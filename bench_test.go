@@ -1,0 +1,702 @@
+package mview
+
+// Benchmarks regenerating the quantitative claims indexed in
+// DESIGN.md §4 and reported in EXPERIMENTS.md. The paper (SIGMOD
+// 1986) has no machine experiments; each bench exposes the SHAPE of a
+// claim — who wins, by what factor, where the crossover falls.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mview/internal/delta"
+	"mview/internal/diffeval"
+	"mview/internal/eval"
+	"mview/internal/expr"
+	"mview/internal/irrelevance"
+	"mview/internal/pred"
+	"mview/internal/relation"
+	"mview/internal/satgraph"
+	"mview/internal/schema"
+	"mview/internal/tuple"
+	"mview/internal/workload"
+)
+
+// ---------- shared helpers ----------
+
+func benchDB(b *testing.B) *schema.Database {
+	b.Helper()
+	db, err := schema.NewDatabase(
+		&schema.RelScheme{Name: "R", Scheme: schema.MustScheme("A", "B")},
+		&schema.RelScheme{Name: "S", Scheme: schema.MustScheme("B", "C")},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func mustBind(b *testing.B, v expr.View, db *schema.Database) *expr.Bound {
+	b.Helper()
+	bound, err := expr.Bind(v, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bound
+}
+
+// randomConj builds a satisfiable-ish random conjunction over nVars
+// variables with ~2·nVars atoms (the O(n³) sweep input).
+func randomConj(rng *rand.Rand, nVars int) pred.Conjunction {
+	vars := make([]pred.Var, nVars)
+	for i := range vars {
+		vars[i] = pred.Var(fmt.Sprintf("X%d", i))
+	}
+	ops := []pred.Op{pred.OpEQ, pred.OpLT, pred.OpLE, pred.OpGT, pred.OpGE}
+	atoms := make([]pred.Atom, 2*nVars)
+	for i := range atoms {
+		x := vars[rng.Intn(nVars)]
+		op := ops[rng.Intn(len(ops))]
+		if rng.Intn(3) == 0 {
+			atoms[i] = pred.VarConst(x, op, int64(rng.Intn(200)-100))
+		} else {
+			atoms[i] = pred.VarVar(x, op, vars[rng.Intn(nVars)], int64(rng.Intn(200)-100))
+		}
+	}
+	return pred.And(atoms...)
+}
+
+// ---------- C-SAT-N3: satisfiability scaling ----------
+
+func BenchmarkSatFloyd(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("vars=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			conj := randomConj(rng, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := satgraph.SatisfiableConjunction(conj, satgraph.MethodFloyd); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSatBellmanFord(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("vars=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			conj := randomConj(rng, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := satgraph.SatisfiableConjunction(conj, satgraph.MethodBellmanFord); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSatDNF(b *testing.B) {
+	for _, m := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("disjuncts=%d", m), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			conjs := make([]pred.Conjunction, m)
+			for i := range conjs {
+				conjs[i] = randomConj(rng, 16)
+			}
+			d := pred.Or(conjs...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := satgraph.SatisfiableDNF(d, satgraph.MethodFloyd); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------- C-ALG41: invariant-graph reuse ----------
+
+func alg41Checker(b *testing.B, nInv int) (*irrelevance.Checker, []tuple.Tuple) {
+	b.Helper()
+	db := benchDB(b)
+	// Condition: invariant chain over S.C-derived pseudo-variables is
+	// not expressible with two relations, so scale the invariant part
+	// with constant bounds on S.C and a join atom on B.
+	atoms := []pred.Atom{pred.VarVar("R.B", pred.OpEQ, "S.C", 0)}
+	for i := 0; i < nInv; i++ {
+		atoms = append(atoms, pred.VarConst("S.C", pred.OpGE, int64(-1000-i)))
+	}
+	atoms = append(atoms, pred.VarConst("R.A", pred.OpLT, 1000))
+	bound := mustBind(b, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.Or(pred.And(atoms...)),
+	}, db)
+	c, err := irrelevance.NewChecker(bound, 0, irrelevance.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := workload.New(3)
+	ts, err := g.Tuples(2, 4096, 4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, ts
+}
+
+func BenchmarkFilterReuse(b *testing.B) {
+	for _, nInv := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("invariants=%d", nInv), func(b *testing.B) {
+			c, ts := alg41Checker(b, nInv)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Relevant(ts[i%len(ts)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFilterRebuild(b *testing.B) {
+	for _, nInv := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("invariants=%d", nInv), func(b *testing.B) {
+			c, ts := alg41Checker(b, nInv)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.RelevantNaive(ts[i%len(ts)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------- C-SEL: select view, differential vs recompute ----------
+
+func selectViewFixture(b *testing.B, baseN, deltaN int) (*expr.Bound, []*relation.Relation, []delta.Update, []*relation.Relation) {
+	b.Helper()
+	db := benchDB(b)
+	bound := mustBind(b, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}},
+		Where:    pred.MustParse("A < 500000"),
+		Project:  []schema.Attribute{"B"},
+	}, db)
+	g := workload.New(7)
+	base, err := g.Relation(schema.MustScheme("A", "B"), baseN, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins, err := g.FreshTuples(base, deltaN, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	insRel, err := relation.FromTuples(schema.MustScheme("A", "B"), ins...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ups := []delta.Update{{Rel: "R", Inserts: insRel}}
+	post := base.Clone()
+	if err := ups[0].Apply(post); err != nil {
+		b.Fatal(err)
+	}
+	return bound, []*relation.Relation{base}, ups, []*relation.Relation{post}
+}
+
+func BenchmarkSelectView(b *testing.B) {
+	const baseN = 100_000
+	for _, deltaN := range []int{1, 10, 100, 1_000, 10_000} {
+		bound, pre, ups, post := selectViewFixture(b, baseN, deltaN)
+		m, err := diffeval.NewMaintainer(bound, diffeval.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("delta=%d/differential", deltaN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.ComputeDelta(pre, ups); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("delta=%d/recompute", deltaN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Materialize(bound, post, eval.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------- C-PROJ: counted project maintenance under deletes ----------
+
+func BenchmarkProjectView(b *testing.B) {
+	for _, dup := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("dupfactor=%d", dup), func(b *testing.B) {
+			db := benchDB(b)
+			bound := mustBind(b, expr.View{
+				Name:     "v",
+				Operands: []expr.Operand{{Rel: "R"}},
+				Project:  []schema.Attribute{"B"},
+			}, db)
+			// B domain shrunk so each B value has ~dup derivations.
+			g := workload.New(11)
+			base := relation.New(schema.MustScheme("A", "B"))
+			const n = 50_000
+			for i := 0; i < n; i++ {
+				_ = base.Insert(tuple.New(int64(i), int64(i%(n/dup))))
+			}
+			dels := g.Sample(base, 500)
+			delRel, err := relation.FromTuples(schema.MustScheme("A", "B"), dels...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ups := []delta.Update{{Rel: "R", Deletes: delRel}}
+			m, err := diffeval.NewMaintainer(bound, diffeval.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pre := []*relation.Relation{base}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.ComputeDelta(pre, ups); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------- C-JOIN / C-MEMO / C-ORDER / C-IDX: join views ----------
+
+// joinFixture builds a p-way chain join with k modified relations,
+// returning the bound view, pre-state, updates, post-state, and an
+// index provider over the pre-state.
+type joinFixture struct {
+	bound *expr.Bound
+	pre   []*relation.Relation
+	ups   []delta.Update
+	post  []*relation.Relation
+	prov  benchProvider
+}
+
+type benchProvider map[string]map[int]*relation.Index
+
+func (p benchProvider) Index(rel string, pos int) *relation.Index { return p[rel][pos] }
+
+func makeJoinFixture(b *testing.B, p, k, rows, deltaN int) joinFixture {
+	b.Helper()
+	mod := make([]int, k)
+	for i := range mod {
+		mod[i] = i
+	}
+	return makeJoinFixtureMod(b, p, mod, rows, deltaN)
+}
+
+// makeJoinFixtureMod builds a chain fixture with net inserts on the
+// listed relation indexes.
+func makeJoinFixtureMod(b *testing.B, p int, modify []int, rows, deltaN int) joinFixture {
+	b.Helper()
+	g := workload.New(int64(100*p + len(modify)))
+	ch, err := g.Chain(p, rows, int64(rows))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := expr.Bind(ch.View, ch.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ups []delta.Update
+	post := make([]*relation.Relation, len(ch.Insts))
+	for i := range post {
+		post[i] = ch.Insts[i].Clone()
+	}
+	for _, i := range modify {
+		ins, err := g.FreshTuples(ch.Insts[i], deltaN, int64(rows))
+		if err != nil {
+			b.Fatal(err)
+		}
+		insRel, err := relation.FromTuples(ch.Insts[i].Scheme(), ins...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := delta.Update{Rel: ch.Names[i], Inserts: insRel}
+		ups = append(ups, u)
+		if err := u.Apply(post[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	prov := make(benchProvider)
+	for i, name := range ch.Names {
+		prov[name] = make(map[int]*relation.Index)
+		for pos := 0; pos < 2; pos++ {
+			ix, err := relation.BuildIndex(ch.Insts[i], pos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prov[name][pos] = ix
+		}
+	}
+	return joinFixture{bound: bound, pre: ch.Insts, ups: ups, post: post, prov: prov}
+}
+
+func benchStrategies(b *testing.B, fx joinFixture, strategies map[string]diffeval.Strategy, recompute bool) {
+	b.Helper()
+	for name, strat := range strategies {
+		m, err := diffeval.NewMaintainer(fx.bound, diffeval.Options{Strategy: strat})
+		if err != nil {
+			b.Fatal(err)
+		}
+		indexed := strat == diffeval.StrategyIndexedDelta
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				if indexed {
+					_, err = m.ComputeDeltaWith(fx.pre, fx.ups, fx.prov)
+				} else {
+					_, err = m.ComputeDelta(fx.pre, fx.ups)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	if recompute {
+		b.Run("recompute", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Materialize(fx.bound, fx.post, eval.Options{Greedy: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoinView sweeps delta size for a 2-way join: differential
+// (indexed and not) vs full re-evaluation — the headline §5.3 claim.
+func BenchmarkJoinView(b *testing.B) {
+	for _, deltaN := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("delta=%d", deltaN), func(b *testing.B) {
+			fx := makeJoinFixture(b, 2, 1, 20_000, deltaN)
+			benchStrategies(b, fx, map[string]diffeval.Strategy{
+				"indexed":     diffeval.StrategyIndexedDelta,
+				"prefixshare": diffeval.StrategyPrefixShare,
+			}, true)
+		})
+	}
+}
+
+// BenchmarkRowsByK shows the 2^k − 1 row growth as more relations are
+// modified in one transaction (§5.3's truth table).
+func BenchmarkRowsByK(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("p=4/k=%d", k), func(b *testing.B) {
+			fx := makeJoinFixture(b, 4, k, 5_000, 50)
+			benchStrategies(b, fx, map[string]diffeval.Strategy{
+				"indexed": diffeval.StrategyIndexedDelta,
+			}, false)
+		})
+	}
+}
+
+// BenchmarkRowMemo quantifies the §5.3/§5.4 observation about re-using
+// partial subexpressions across truth-table rows: prefix sharing vs
+// independent row evaluation, p = k = 4 (15 rows).
+func BenchmarkRowMemo(b *testing.B) {
+	fx := makeJoinFixture(b, 4, 4, 5_000, 50)
+	benchStrategies(b, fx, map[string]diffeval.Strategy{
+		"prefixshare": diffeval.StrategyPrefixShare,
+		"rowbyrow":    diffeval.StrategyRowByRow,
+	}, false)
+}
+
+// BenchmarkDeltaJoinOrder quantifies the §5.3 join-order observation:
+// fixed as-written order vs greedy smallest-first per row. The delta
+// lands on the LAST chain relation, so the as-written order starts
+// each row from a full base relation while greedy starts from the
+// delta.
+func BenchmarkDeltaJoinOrder(b *testing.B) {
+	fx := makeJoinFixtureMod(b, 3, []int{2}, 20_000, 10)
+	benchStrategies(b, fx, map[string]diffeval.Strategy{
+		"aswritten": diffeval.StrategyRowByRow,
+		"greedy":    diffeval.StrategyRowByRowGreedy,
+	}, false)
+}
+
+// ---------- C-FILT: irrelevance-ratio sweep ----------
+
+func BenchmarkMaintainFilter(b *testing.B) {
+	db := benchDB(b)
+	bound := mustBind(b, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("R.B = S.B && R.A < 1000"),
+	}, db)
+	g := workload.New(23)
+	base, err := g.Relation(schema.MustScheme("A", "B"), 20_000, 10_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := g.Relation(schema.MustScheme("B", "C"), 20_000, 10_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, relevantPct := range []int{0, 25, 50, 75, 100} {
+		stream := g.ThresholdStream(2, 500, 1000, 10_000, float64(relevantPct)/100)
+		insRel := relation.New(schema.MustScheme("A", "B"))
+		for _, t := range stream {
+			if !base.Has(t) {
+				_ = insRel.Insert(t)
+			}
+		}
+		ups := []delta.Update{{Rel: "R", Inserts: insRel}}
+		pre := []*relation.Relation{base, s}
+		for _, filter := range []bool{true, false} {
+			m, err := diffeval.NewMaintainer(bound, diffeval.Options{Filter: filter, Strategy: diffeval.StrategyPrefixShare})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("relevant=%d%%/filter=%v", relevantPct, filter), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := m.ComputeDelta(pre, ups); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------- C-SPJ: realistic SPJ view end-to-end ----------
+
+func BenchmarkSPJMaintain(b *testing.B) {
+	g := workload.New(31)
+	w, err := g.Orders(20_000, 2, 2_000, 4, 500, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := expr.Bind(expr.View{
+		Name:     "hot",
+		Operands: []expr.Operand{{Rel: "orders"}, {Rel: "items"}},
+		Where:    pred.MustParse("orders.OID = items.OID && orders.REGION = 2 && items.QTY >= 40"),
+		Project:  []schema.Attribute{"orders.OID", "orders.CUST", "items.SKU", "items.QTY"},
+	}, w.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One incoming order with 3 lines.
+	oid := int64(1_000_000)
+	insO := relation.MustFromTuples(w.Orders.Scheme(), tuple.New(oid, 7, 2))
+	insI := relation.MustFromTuples(w.Items.Scheme(),
+		tuple.New(oid, 1, 45), tuple.New(oid, 2, 10), tuple.New(oid, 3, 50))
+	ups := []delta.Update{
+		{Rel: "orders", Inserts: insO},
+		{Rel: "items", Inserts: insI},
+	}
+	pre := []*relation.Relation{w.Orders, w.Items}
+	post := []*relation.Relation{w.Orders.Clone(), w.Items.Clone()}
+	_ = ups[0].Apply(post[0])
+	_ = ups[1].Apply(post[1])
+	prov := make(benchProvider)
+	oix, _ := relation.BuildIndex(w.Orders, 0)
+	iix, _ := relation.BuildIndex(w.Items, 0)
+	prov["orders"] = map[int]*relation.Index{0: oix}
+	prov["items"] = map[int]*relation.Index{0: iix}
+
+	m, err := diffeval.NewMaintainer(bound, diffeval.Options{Filter: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("differential-indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ComputeDeltaWith(pre, ups, prov); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mp, err := diffeval.NewMaintainer(bound, diffeval.Options{Strategy: diffeval.StrategyPrefixShare})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("differential-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mp.ComputeDelta(pre, ups); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.Materialize(bound, post, eval.Options{Greedy: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------- C-T42: multi-tuple irrelevance ----------
+
+func BenchmarkMultiTuple(b *testing.B) {
+	db := benchDB(b)
+	bound := mustBind(b, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("R.B = S.B && R.A < 100 && S.C > 50"),
+	}, db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := irrelevance.SetRelevant(bound, map[int]tuple.Tuple{
+			0: tuple.New(int64(i%200), int64(i%50)),
+			1: tuple.New(int64(i%50), int64(i%120)),
+		}, irrelevance.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------- C-NE: ≠ expansion cost ----------
+
+func BenchmarkNeqExpansion(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("neq=%d", k), func(b *testing.B) {
+			atoms := []pred.Atom{pred.VarConst("X0", pred.OpLT, 100)}
+			for i := 0; i < k; i++ {
+				atoms = append(atoms, pred.VarConst(pred.Var(fmt.Sprintf("X%d", i)), pred.OpNE, int64(i)))
+			}
+			c := pred.And(atoms...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cs, err := pred.ExpandNE(c, 1024)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, conj := range cs {
+					if _, err := satgraph.SatisfiableConjunction(conj, satgraph.MethodFloyd); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// ---------- durability overhead ----------
+
+// BenchmarkDurableExec measures the commit-log cost per transaction:
+// in-memory vs logged (no fsync) vs logged+fsynced.
+func BenchmarkDurableExec(b *testing.B) {
+	type mode struct {
+		name    string
+		durable bool
+		sync    bool
+	}
+	for _, m := range []mode{
+		{"memory", false, false},
+		{"logged", true, false},
+		{"logged+fsync", true, true},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			var d *DB
+			if m.durable {
+				var err error
+				d, err = OpenDurable(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer d.Close()
+				d.SetLogSync(m.sync)
+			} else {
+				d = Open()
+			}
+			if err := d.CreateRelation("r", "A", "B"); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.CreateView("v", ViewSpec{From: []string{"r"}, Where: "A < 1000000"}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Exec(Insert("r", int64(i), int64(i%7))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------- C-SNAP: deferred snapshot refresh amortization ----------
+
+func BenchmarkSnapshotRefresh(b *testing.B) {
+	// A fixed workload of 100 small transactions over R(A,B), with a
+	// select view A < 500. Immediate maintains per transaction;
+	// deferred composes and refreshes once.
+	db := benchDB(b)
+	bound := mustBind(b, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}},
+		Where:    pred.MustParse("A < 500"),
+	}, db)
+	g := workload.New(41)
+	base, err := g.Relation(schema.MustScheme("A", "B"), 50_000, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nTx = 100
+	m, err := diffeval.NewMaintainer(bound, diffeval.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-generate the per-transaction updates.
+	txUps := make([]delta.Update, nTx)
+	state := base.Clone()
+	for i := range txUps {
+		ins, err := g.FreshTuples(state, 5, 1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insRel, _ := relation.FromTuples(state.Scheme(), ins...)
+		dels := g.Sample(state, 3)
+		delRel, _ := relation.FromTuples(state.Scheme(), dels...)
+		txUps[i] = delta.Update{Rel: "R", Inserts: insRel, Deletes: delRel}
+		if err := txUps[i].Apply(state); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("immediate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cur := base.Clone()
+			for _, u := range txUps {
+				if _, err := m.ComputeDelta([]*relation.Relation{cur}, []delta.Update{u}); err != nil {
+					b.Fatal(err)
+				}
+				if err := u.Apply(cur); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("deferred", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			comp := txUps[0]
+			for _, u := range txUps[1:] {
+				var err error
+				comp, err = delta.Compose(comp, u)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := m.ComputeDelta([]*relation.Relation{base}, []delta.Update{comp}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,51 @@
+// Command mviewbench regenerates every experiment table indexed in
+// DESIGN.md §4 / EXPERIMENTS.md: the paper's worked examples (P-*) and
+// its quantitative claims (C-*).
+//
+// Usage:
+//
+//	mviewbench              # run everything at full scale
+//	mviewbench -quick       # smaller datasets, fewer timing iterations
+//	mviewbench -exp C-SEL   # run one experiment
+//	mviewbench -list        # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mview/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "run only the experiment with this id (e.g. P-4.1, C-SEL)")
+		quick = flag.Bool("quick", false, "run with reduced dataset sizes and timing effort")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp != "" {
+		e, ok := bench.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mviewbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		if err := bench.RunOne(os.Stdout, e, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "mviewbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := bench.RunAll(os.Stdout, *quick); err != nil {
+		fmt.Fprintf(os.Stderr, "mviewbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+// Command mviewcli is an interactive shell over the mview engine:
+// create relations and materialized views, run transactions, inspect
+// view contents and maintenance statistics, and test updates for
+// §4 irrelevance.
+//
+// Usage:
+//
+//	mviewcli                 # interactive prompt, in-memory database
+//	mviewcli -data ./mydb    # durable database (commit log + checkpoints)
+//	mviewcli < script        # batch mode
+//
+// Type "help" at the prompt for the command language.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"mview/internal/cli"
+)
+
+func main() {
+	data := flag.String("data", "", "durable database directory (empty = in-memory)")
+	flag.Parse()
+
+	interactive := isTerminal()
+	var s *cli.Session
+	if *data != "" {
+		var err error
+		s, err = cli.NewDurableSession(*data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mviewcli: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		s = cli.NewSession()
+	}
+	defer s.Close()
+	if interactive {
+		fmt.Println("mview — materialized views with efficient differential maintenance (SIGMOD 1986)")
+		fmt.Println("type 'help' for the command language")
+	}
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for {
+		if interactive {
+			fmt.Print("mview> ")
+		}
+		if !in.Scan() {
+			break
+		}
+		out, done := s.Exec(in.Text())
+		if out != "" {
+			fmt.Println(out)
+		}
+		if done {
+			return
+		}
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "mviewcli: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// isTerminal reports whether stdin looks interactive (char device).
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

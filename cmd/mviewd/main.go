@@ -1,0 +1,50 @@
+// Command mviewd serves the mview engine over a JSON/HTTP API.
+//
+// Usage:
+//
+//	mviewd [-addr :8080] [-data ./mydb]
+//
+// See package mview/internal/httpapi for the endpoint reference. A
+// minimal session:
+//
+//	curl -XPOST localhost:8080/relations -d '{"name":"r","attrs":["A","B"]}'
+//	curl -XPOST localhost:8080/views -d '{"name":"v","from":["r"],"where":"A < 10"}'
+//	curl -XPOST localhost:8080/exec -d '{"ops":[{"op":"insert","rel":"r","values":[1,2]}]}'
+//	curl localhost:8080/views/v
+//	curl -N localhost:8080/views/v/watch   # SSE change stream
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"mview"
+	"mview/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "durable database directory (empty = in-memory)")
+	flag.Parse()
+
+	handler := httpapi.New()
+	if *data != "" {
+		db, err := mview.OpenDurable(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer db.Close()
+		handler = httpapi.NewWith(db)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("mviewd listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+// Package mview is a main-memory relational engine with incrementally
+// maintained materialized views, implementing Blakeley, Larson &
+// Tompa, "Efficiently Updating Materialized Views" (SIGMOD 1986).
+//
+// Views are select-project-join (SPJ) expressions over base relations.
+// When a transaction updates the base relations, the engine
+//
+//   - filters out irrelevant updates — tuples that provably cannot
+//     affect the view in any database state (§4, Theorem 4.1), decided
+//     by an O(n³) satisfiability test on a constraint graph with the
+//     invariant part prepared once per view (Algorithm 4.1); and
+//   - differentially re-evaluates the view for the remaining updates
+//     (§5, Algorithm 5.1): tagged deltas flow through the truth-table
+//     expansion of the view's joins, project counters keep duplicate
+//     semantics exact, and the stored view is patched with the
+//     resulting insert and delete sets.
+//
+// Views refresh immediately at commit or accumulate changes for
+// deferred "snapshot" refresh (§6). Per-view statistics expose the
+// maintenance work performed.
+//
+// Quickstart:
+//
+//	db := mview.Open()
+//	_ = db.CreateRelation("r", "A", "B")
+//	_ = db.CreateRelation("s", "C", "D")
+//	_ = db.CreateView("v", mview.ViewSpec{
+//		From:   []string{"r", "s"},
+//		Where:  "A < 10 && C > 5 && B = C",
+//		Select: []string{"A", "D"},
+//	})
+//	_, _ = db.Exec(mview.Insert("r", 9, 10), mview.Insert("s", 10, 20))
+//	rows, _ := db.View("v") // [{Values:[9 20] Count:1}]
+//
+// All attribute values are int64, following the paper's integer-domain
+// model; use the string dictionary in your application layer for
+// symbolic data (the examples show how).
+package mview

@@ -1,0 +1,94 @@
+package mview_test
+
+// Godoc examples: runnable documentation for the public API.
+
+import (
+	"fmt"
+
+	"mview"
+)
+
+// Example reproduces the paper's Example 4.1 end to end.
+func Example() {
+	db := mview.Open()
+	_ = db.CreateRelation("r", "A", "B")
+	_ = db.CreateRelation("s", "C", "D")
+	_ = db.CreateView("v", mview.ViewSpec{
+		From:   []string{"r", "s"},
+		Where:  "A < 10 && C > 5 && B = C",
+		Select: []string{"A", "D"},
+	})
+	_, _ = db.Exec(mview.Insert("r", 9, 10), mview.Insert("s", 10, 20))
+	rows, _ := db.View("v")
+	for _, r := range rows {
+		fmt.Println(r.Values, "×", r.Count)
+	}
+	// Output:
+	// [9 20] × 1
+}
+
+// ExampleDB_Relevant shows the §4 irrelevance test: (11,10) fails
+// A < 10 for every database state, so it can be discarded unseen.
+func ExampleDB_Relevant() {
+	db := mview.Open()
+	_ = db.CreateRelation("r", "A", "B")
+	_ = db.CreateRelation("s", "C", "D")
+	_ = db.CreateView("v", mview.ViewSpec{
+		From:  []string{"r", "s"},
+		Where: "A < 10 && C > 5 && B = C",
+	})
+	for _, tu := range [][2]int64{{9, 10}, {11, 10}} {
+		ok, _ := db.Relevant("v", "r", tu[0], tu[1])
+		fmt.Printf("insert %v relevant: %v\n", tu, ok)
+	}
+	// Output:
+	// insert [9 10] relevant: true
+	// insert [11 10] relevant: false
+}
+
+// ExampleDB_Subscribe shows alerter-style change notifications: the
+// callback receives exactly the delta that maintenance computed.
+func ExampleDB_Subscribe() {
+	db := mview.Open()
+	_ = db.CreateRelation("r", "A", "B")
+	_ = db.CreateView("low", mview.ViewSpec{From: []string{"r"}, Where: "A < 5"})
+	cancel, _ := db.Subscribe("low", func(c mview.Change) {
+		for _, row := range c.Inserts {
+			fmt.Println("alert:", row.Values)
+		}
+	})
+	defer cancel()
+	_, _ = db.Exec(mview.Insert("r", 3, 30)) // fires
+	_, _ = db.Exec(mview.Insert("r", 9, 90)) // irrelevant: silent
+	// Output:
+	// alert: [3 30]
+}
+
+// ExampleDB_Refresh shows a deferred ("snapshot", §6) view.
+func ExampleDB_Refresh() {
+	db := mview.Open()
+	_ = db.CreateRelation("r", "A")
+	_ = db.CreateView("snap", mview.ViewSpec{From: []string{"r"}}, mview.Deferred())
+	_, _ = db.Exec(mview.Insert("r", 1))
+	rows, _ := db.View("snap")
+	fmt.Println("before refresh:", len(rows))
+	_ = db.Refresh("snap")
+	rows, _ = db.View("snap")
+	fmt.Println("after refresh:", len(rows))
+	// Output:
+	// before refresh: 0
+	// after refresh: 1
+}
+
+// ExampleDB_Stats shows maintenance statistics after transactions.
+func ExampleDB_Stats() {
+	db := mview.Open()
+	_ = db.CreateRelation("r", "A")
+	_ = db.CreateView("v", mview.ViewSpec{From: []string{"r"}, Where: "A > 0"}, mview.WithFilter())
+	_, _ = db.Exec(mview.Insert("r", 1))
+	_, _ = db.Exec(mview.Insert("r", -1)) // filtered as irrelevant
+	st, _ := db.Stats("v")
+	fmt.Println("refreshes:", st.Refreshes, "filtered:", st.FilteredOut)
+	// Output:
+	// refreshes: 2 filtered: 1
+}

@@ -1,0 +1,156 @@
+// Command alerter demonstrates the Buneman–Clemons use case the paper
+// cites (§1–2): an alerter monitors a database condition expressed as
+// a view and fires when the view becomes non-empty.
+//
+// Scenario: a warehouse tracks stock(SKU, QTY) and reorder thresholds
+// thresholds(SKU, MIN). The alert view
+//
+//	low = σ_{QTY < MIN}(stock ⋈ thresholds)
+//
+// is materialized. Most updates (receipts keeping QTY comfortably
+// high) are *irrelevant* to the alert and are filtered out by the §4
+// test before any join work; only genuinely risky updates cause
+// differential re-evaluation. Because the engine stores integers, the
+// example keeps an application-level dictionary mapping SKU names to
+// codes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mview"
+)
+
+// skuDict is the application-side string dictionary (the paper maps
+// all discrete domains to naturals; see internal/dict for the library
+// version used by the engine's own tooling).
+type skuDict struct {
+	codes map[string]int64
+	names []string
+}
+
+func newSKUDict() *skuDict { return &skuDict{codes: map[string]int64{}} }
+
+func (d *skuDict) code(s string) int64 {
+	if c, ok := d.codes[s]; ok {
+		return c
+	}
+	c := int64(len(d.names))
+	d.codes[s] = c
+	d.names = append(d.names, s)
+	return c
+}
+
+func (d *skuDict) name(c int64) string { return d.names[c] }
+
+func main() {
+	db := mview.Open()
+	must(db.CreateRelation("stock", "SKU", "QTY"))
+	must(db.CreateRelation("thresholds", "SKU", "MIN"))
+
+	skus := newSKUDict()
+	bolts, nuts, gears := skus.code("bolts"), skus.code("nuts"), skus.code("gears")
+
+	_, err := db.Exec(
+		mview.Insert("thresholds", bolts, 100),
+		mview.Insert("thresholds", nuts, 50),
+		mview.Insert("thresholds", gears, 10),
+		mview.Insert("stock", bolts, 500),
+		mview.Insert("stock", nuts, 80),
+		mview.Insert("stock", gears, 25),
+	)
+	must(err)
+
+	// The alert view: stock below its reorder threshold.
+	must(db.CreateView("low", mview.ViewSpec{
+		From:   []string{"stock st", "thresholds th"},
+		Where:  "st.SKU = th.SKU && st.QTY < th.MIN",
+		Select: []string{"st.SKU", "st.QTY", "th.MIN"},
+	}, mview.WithFilter()))
+
+	// Push-based alerting (Buneman–Clemons): the subscriber receives
+	// exactly the delta differential maintenance computed. Irrelevant
+	// updates never reach it — the §4 filter suppresses the wake-up.
+	cancel, err := db.Subscribe("low", func(ch mview.Change) {
+		for _, r := range ch.Inserts {
+			fmt.Printf("  >> ALERT: %s fell below threshold (qty %d < min %d)\n",
+				skus.name(r.Values[0]), r.Values[1], r.Values[2])
+		}
+		for _, r := range ch.Deletes {
+			fmt.Printf("  >> clear: %s recovered (was qty %d)\n",
+				skus.name(r.Values[0]), r.Values[1])
+		}
+	})
+	must(err)
+	defer cancel()
+
+	checkAlert(db, skus) // all healthy
+
+	// A stock movement is modeled as delete(old row) + insert(new row)
+	// in one transaction.
+	fmt.Println("\n-- ship 450 bolts (500 → 50: below MIN 100)")
+	_, err = db.Exec(
+		mview.Delete("stock", bolts, 500),
+		mview.Insert("stock", bolts, 50),
+	)
+	must(err)
+	checkAlert(db, skus)
+
+	fmt.Println("\n-- receive 300 bolts (50 → 350: recovers)")
+	_, err = db.Exec(
+		mview.Delete("stock", bolts, 50),
+		mview.Insert("stock", bolts, 350),
+	)
+	must(err)
+	checkAlert(db, skus)
+
+	fmt.Println("\n-- ship 30 nuts (80 → 50: NOT below MIN 50, boundary case)")
+	_, err = db.Exec(
+		mview.Delete("stock", nuts, 80),
+		mview.Insert("stock", nuts, 50),
+	)
+	must(err)
+	checkAlert(db, skus)
+
+	// Show the §4 filter earning its keep: a stock level that can
+	// never trip any threshold present or future would still be
+	// relevant (thresholds vary per SKU), but one failing the static
+	// part of the condition is provably irrelevant. Here QTY is
+	// unconstrained statically, so we demonstrate with the thresholds
+	// side instead: a threshold of 0 can never fire QTY < 0 for
+	// non-negative stock — but the engine cannot know stock stays
+	// non-negative, so it is still relevant. The provably irrelevant
+	// class needs a constant guard; add one.
+	must(db.CreateView("low_small", mview.ViewSpec{
+		From:   []string{"stock st", "thresholds th"},
+		Where:  "st.SKU = th.SKU && st.QTY < th.MIN && st.QTY < 1000",
+		Select: []string{"st.SKU"},
+	}, mview.WithFilter()))
+	rel, err := db.Relevant("low_small", "stock", skus.code("bolts"), 5000)
+	must(err)
+	fmt.Printf("\nstock update (bolts, 5000) relevant to low_small? %v (filtered before any join)\n", rel)
+
+	st, err := db.Stats("low")
+	must(err)
+	fmt.Printf("\nalert view maintenance stats: %+v\n", st)
+}
+
+func checkAlert(db *mview.DB, skus *skuDict) {
+	rows, err := db.View("low")
+	must(err)
+	if len(rows) == 0 {
+		fmt.Println("alert state: OK (no SKU below threshold)")
+		return
+	}
+	fmt.Println("alert state: FIRING")
+	for _, r := range rows {
+		fmt.Printf("  %s: qty %d < min %d\n", skus.name(r.Values[0]), r.Values[1], r.Values[2])
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

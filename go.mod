@@ -1,0 +1,3 @@
+module mview
+
+go 1.22

@@ -1,0 +1,950 @@
+// Package db assembles the substrates into a small main-memory
+// database engine with incrementally maintained materialized views:
+// a catalog of base relations, SPJ view definitions, transaction
+// execution, and view refresh in the two regimes the paper discusses —
+// immediate maintenance as the last step of each transaction (§5), and
+// deferred "snapshot refresh" (§6) in which net changes accumulate and
+// the view is brought up to date on demand.
+//
+// Each view can also be pinned to full re-evaluation instead of
+// differential maintenance, which is the paper's baseline and the
+// engine's comparison point.
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mview/internal/delta"
+	"mview/internal/diffeval"
+	"mview/internal/eval"
+	"mview/internal/expr"
+	"mview/internal/irrelevance"
+	"mview/internal/pred"
+	"mview/internal/relation"
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+// RefreshMode says when a view is brought up to date.
+type RefreshMode uint8
+
+const (
+	// Immediate refreshes the view as part of every transaction commit
+	// ("the differential update mechanism is invoked as the last
+	// operation within the transaction", §5).
+	Immediate RefreshMode = iota
+	// Deferred accumulates net changes and refreshes only when
+	// RefreshView is called — the snapshot regime of §6.
+	Deferred
+)
+
+// Policy says how a view is brought up to date.
+type Policy uint8
+
+const (
+	// PolicyDifferential uses §5's differential re-evaluation.
+	PolicyDifferential Policy = iota
+	// PolicyRecompute re-evaluates the defining expression from
+	// scratch on every refresh — the paper's baseline.
+	PolicyRecompute
+	// PolicyAdaptive chooses per refresh: differential while the
+	// accumulated delta is a small fraction of the base relations,
+	// full re-evaluation once it grows past AdaptiveThreshold. This
+	// realizes the paper's closing research question — "determine
+	// under what circumstances differential re-evaluation is more
+	// efficient than complete re-evaluation" — as a simple
+	// size-ratio cost model.
+	PolicyAdaptive
+)
+
+// DefaultAdaptiveThreshold is the delta-to-base size ratio above which
+// PolicyAdaptive switches to full re-evaluation.
+const DefaultAdaptiveThreshold = 0.25
+
+// ViewConfig configures one materialized view.
+type ViewConfig struct {
+	Mode    RefreshMode
+	Policy  Policy
+	Maint   diffeval.Options // differential maintenance options
+	EvalOpt eval.Options     // options for full (re-)evaluation
+	// AdaptiveThreshold tunes PolicyAdaptive (0 means
+	// DefaultAdaptiveThreshold).
+	AdaptiveThreshold float64
+}
+
+// ViewStats accumulates maintenance counters for one view.
+type ViewStats struct {
+	Transactions  int // transactions whose updates reached this view
+	Refreshes     int // differential refreshes performed
+	Recomputes    int // full re-evaluations performed
+	RowsEvaluated int // truth-table rows completed (differential)
+	JoinSteps     int // join pipeline steps executed (differential)
+	FilteredOut   int // update tuples discarded by the §4 filter
+	DeltaInserts  int // view tuples inserted by deltas
+	DeltaDeletes  int // view tuples deleted by deltas
+	PendingTx     int // transactions awaiting a deferred refresh
+}
+
+type viewState struct {
+	name    string
+	bound   *expr.Bound
+	cfg     ViewConfig
+	maint   *diffeval.Maintainer
+	data    *relation.Counted
+	pending map[string]delta.Update // composed net updates since last refresh
+	stats   ViewStats
+	// checkers caches one §4 irrelevance checker per operand for the
+	// Relevant API (built lazily; the Prepare step is O(n³) per
+	// conjunct and must not run per call).
+	checkers []*irrelevance.Checker
+	// subscribers receive the view's deltas after each refresh — the
+	// alerter mechanism of Buneman & Clemons that §1–2 cite as a
+	// motivating application: the §4 filter suppresses wake-ups for
+	// irrelevant updates, and the differential delta is exactly the
+	// alert payload.
+	subscribers map[int]Subscriber
+	nextSubID   int
+}
+
+// Subscriber receives a view's change sets after a refresh touches the
+// view. Inserts and deletes are owned by the subscriber. Callbacks run
+// synchronously after the commit or refresh completes, with no engine
+// lock held, so they may read the engine; they should not write to it.
+type Subscriber func(view string, inserts, deletes *relation.Counted)
+
+// notification is a queued subscriber callback, fired after the engine
+// lock is released.
+type notification struct {
+	sub      Subscriber
+	view     string
+	ins, del *relation.Counted
+}
+
+func (st *viewState) notifications(view string, ins, del *relation.Counted) []notification {
+	if len(st.subscribers) == 0 || (ins.Len() == 0 && del.Len() == 0) {
+		return nil
+	}
+	ids := make([]int, 0, len(st.subscribers))
+	for id := range st.subscribers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]notification, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, notification{sub: st.subscribers[id], view: view, ins: ins, del: del})
+	}
+	return out
+}
+
+func fire(ns []notification) {
+	for _, n := range ns {
+		n.sub(n.view, n.ins, n.del)
+	}
+}
+
+// countedDiff computes the insert and delete sets between two view
+// states (used to notify subscribers when a refresh recomputed the
+// view instead of producing a differential delta).
+func countedDiff(old, new *relation.Counted) (ins, del *relation.Counted) {
+	ins, del = relation.NewCounted(new.Scheme()), relation.NewCounted(old.Scheme())
+	new.Each(func(t tuple.Tuple, n int64) {
+		if diff := n - old.Count(t); diff > 0 {
+			_ = ins.Add(t, diff)
+		}
+	})
+	old.Each(func(t tuple.Tuple, n int64) {
+		if diff := n - new.Count(t); diff > 0 {
+			_ = del.Add(t, diff)
+		}
+	})
+	return ins, del
+}
+
+func (st *viewState) checker(opIdx int) (*irrelevance.Checker, error) {
+	if st.checkers == nil {
+		st.checkers = make([]*irrelevance.Checker, len(st.bound.Operands))
+	}
+	if st.checkers[opIdx] == nil {
+		c, err := irrelevance.NewChecker(st.bound, opIdx, st.cfg.Maint.FilterOptions)
+		if err != nil {
+			return nil, err
+		}
+		st.checkers[opIdx] = c
+	}
+	return st.checkers[opIdx], nil
+}
+
+// Engine is a main-memory database with materialized views. All
+// methods are safe for concurrent use; writes are serialized.
+type Engine struct {
+	mu        sync.RWMutex
+	scheme    *schema.Database
+	base      map[string]*relation.Relation
+	views     map[string]*viewState
+	viewOrder []string
+	// indexes holds persistent single-column hash indexes over base
+	// relations, created on the equi-join columns of each view and
+	// maintained incrementally at commit. Differential maintenance
+	// probes them so per-transaction work scales with the delta.
+	indexes map[string]map[int]*relation.Index
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	db, err := schema.NewDatabase()
+	if err != nil {
+		panic(err) // unreachable: empty database scheme is valid
+	}
+	return &Engine{
+		scheme:  db,
+		base:    make(map[string]*relation.Relation),
+		views:   make(map[string]*viewState),
+		indexes: make(map[string]map[int]*relation.Index),
+	}
+}
+
+// provider adapts the engine's index map to diffeval.IndexProvider.
+// Methods are called with the engine lock already held.
+type provider struct{ e *Engine }
+
+// Index returns the persistent index of rel on base column pos.
+func (p provider) Index(rel string, pos int) *relation.Index {
+	return p.e.indexes[rel][pos]
+}
+
+// ensureIndexes creates any missing indexes on the equi-join columns
+// of the bound view's condition. Callers hold the engine lock.
+func (e *Engine) ensureIndexes(b *expr.Bound) error {
+	ensure := func(v pred.Var) error {
+		ops := b.OperandsOf(v)
+		if len(ops) != 1 {
+			return nil
+		}
+		op := b.Operands[ops[0]]
+		pos, ok := op.QScheme.Pos(schema.Attribute(v))
+		if !ok {
+			return nil
+		}
+		if e.indexes[op.Rel] == nil {
+			e.indexes[op.Rel] = make(map[int]*relation.Index)
+		}
+		if e.indexes[op.Rel][pos] != nil {
+			return nil
+		}
+		ix, err := relation.BuildIndex(e.base[op.Rel], pos)
+		if err != nil {
+			return err
+		}
+		e.indexes[op.Rel][pos] = ix
+		return nil
+	}
+	for _, conj := range b.Where.Conjuncts {
+		for _, a := range conj.Atoms {
+			if a.Op != pred.OpEQ || !a.HasRightVar() || a.C != 0 {
+				continue
+			}
+			if err := ensure(a.Left); err != nil {
+				return err
+			}
+			if err := ensure(a.Right); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyToIndexes folds one base update into the relation's indexes.
+// Callers hold the engine lock.
+func (e *Engine) applyToIndexes(u delta.Update) {
+	for _, ix := range e.indexes[u.Rel] {
+		if u.Deletes != nil {
+			u.Deletes.Each(ix.Remove)
+		}
+		if u.Inserts != nil {
+			u.Inserts.Each(func(t tuple.Tuple) { ix.Add(t.Clone()) })
+		}
+	}
+}
+
+// CreateRelation adds a base relation with the given attributes.
+func (e *Engine) CreateRelation(name string, attrs ...schema.Attribute) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.views[name]; dup {
+		return fmt.Errorf("db: name %q already names a view", name)
+	}
+	s, err := schema.NewScheme(attrs...)
+	if err != nil {
+		return err
+	}
+	rs := &schema.RelScheme{Name: name, Scheme: s}
+	if err := e.scheme.Add(rs); err != nil {
+		return err
+	}
+	e.base[name] = relation.New(s)
+	return nil
+}
+
+// Scheme exposes the database scheme (for binding ad-hoc expressions).
+func (e *Engine) Scheme() *schema.Database {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.scheme
+}
+
+// Relations returns the base relation names in creation order.
+func (e *Engine) Relations() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.scheme.Names()
+}
+
+// Views returns the view names in creation order.
+func (e *Engine) Views() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, len(e.viewOrder))
+	copy(out, e.viewOrder)
+	return out
+}
+
+// Relation returns a snapshot (clone) of a base relation.
+func (e *Engine) Relation(name string) (*relation.Relation, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	r, ok := e.base[name]
+	if !ok {
+		return nil, fmt.Errorf("db: unknown relation %q", name)
+	}
+	return r.Clone(), nil
+}
+
+// CreateView defines and immediately materializes a view.
+func (e *Engine) CreateView(v expr.View, cfg ViewConfig) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.views[v.Name]; dup {
+		return fmt.Errorf("db: duplicate view %q", v.Name)
+	}
+	if _, clash := e.base[v.Name]; clash {
+		return fmt.Errorf("db: name %q already names a base relation", v.Name)
+	}
+	bound, err := expr.Bind(v, e.scheme)
+	if err != nil {
+		return err
+	}
+	maint, err := diffeval.NewMaintainer(bound, cfg.Maint)
+	if err != nil {
+		return err
+	}
+	if err := e.ensureIndexes(bound); err != nil {
+		return err
+	}
+	data, err := eval.Materialize(bound, e.operandInstances(bound), cfg.EvalOpt)
+	if err != nil {
+		return err
+	}
+	st := &viewState{
+		name:    v.Name,
+		bound:   bound,
+		cfg:     cfg,
+		maint:   maint,
+		data:    data,
+		pending: make(map[string]delta.Update),
+	}
+	e.views[v.Name] = st
+	e.viewOrder = append(e.viewOrder, v.Name)
+	return nil
+}
+
+// DropView removes a view.
+func (e *Engine) DropView(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.views[name]; !ok {
+		return fmt.Errorf("db: unknown view %q", name)
+	}
+	delete(e.views, name)
+	for i, n := range e.viewOrder {
+		if n == name {
+			e.viewOrder = append(e.viewOrder[:i], e.viewOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// View returns a snapshot (clone) of a view's current materialization.
+// For deferred views this may lag the base relations; call RefreshView
+// first for an up-to-date answer.
+func (e *Engine) View(name string) (*relation.Counted, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st, ok := e.views[name]
+	if !ok {
+		return nil, fmt.Errorf("db: unknown view %q", name)
+	}
+	return st.data.Clone(), nil
+}
+
+// ViewStats returns a view's maintenance counters.
+func (e *Engine) ViewStats(name string) (ViewStats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st, ok := e.views[name]
+	if !ok {
+		return ViewStats{}, fmt.Errorf("db: unknown view %q", name)
+	}
+	return st.stats, nil
+}
+
+// ViewDef returns the bound definition of a view.
+func (e *Engine) ViewDef(name string) (*expr.Bound, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st, ok := e.views[name]
+	if !ok {
+		return nil, fmt.Errorf("db: unknown view %q", name)
+	}
+	return st.bound, nil
+}
+
+// operandInstances gathers the live base instances for a bound view.
+// Callers hold the engine lock.
+func (e *Engine) operandInstances(b *expr.Bound) []*relation.Relation {
+	insts := make([]*relation.Relation, len(b.Operands))
+	for i, op := range b.Operands {
+		insts[i] = e.base[op.Rel]
+	}
+	return insts
+}
+
+// TxResult summarizes one committed transaction.
+type TxResult struct {
+	Updates        []delta.Update // net effects applied to base relations
+	ViewsRefreshed int            // immediate views brought up to date
+	ViewsDeferred  int            // deferred views that queued changes
+}
+
+// Execute atomically applies a transaction: net effects are computed
+// against the pre-state, immediate views are differentially refreshed
+// as the last step of the commit, and deferred views accumulate the
+// composed net change for a later refresh.
+func (e *Engine) Execute(tx *delta.Tx) (TxResult, error) {
+	res, ns, err := e.executeLocked(tx)
+	if err != nil {
+		return TxResult{}, err
+	}
+	fire(ns)
+	return res, nil
+}
+
+func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	updates, err := tx.Net(func(name string) (*relation.Relation, bool) {
+		r, ok := e.base[name]
+		return r, ok
+	})
+	if err != nil {
+		return TxResult{}, nil, err
+	}
+	res := TxResult{Updates: updates}
+	if len(updates) == 0 {
+		return res, nil, nil
+	}
+	touched := make(map[string]bool, len(updates))
+	for _, u := range updates {
+		touched[u.Rel] = true
+	}
+
+	// Phase 1: compute deltas for immediate differential views against
+	// the pre-state (nothing applied yet, so a failure leaves the
+	// engine untouched).
+	type refreshed struct {
+		st *viewState
+		d  *diffeval.ViewDelta
+		vc *relation.Counted // recompute result (PolicyRecompute)
+	}
+	var work []refreshed
+	for _, name := range e.viewOrder {
+		st := e.views[name]
+		if !e.viewTouched(st, touched) {
+			continue
+		}
+		st.stats.Transactions++
+		if st.cfg.Mode == Deferred {
+			if err := e.queuePending(st, updates); err != nil {
+				return TxResult{}, nil, err
+			}
+			st.stats.PendingTx++
+			res.ViewsDeferred++
+			continue
+		}
+		policy := st.cfg.Policy
+		if policy == PolicyAdaptive {
+			policy = e.chooseAdaptive(st, updates)
+		}
+		switch policy {
+		case PolicyRecompute:
+			// Recompute needs the post-state; defer to phase 3.
+			work = append(work, refreshed{st: st})
+		default:
+			d, err := st.maint.ComputeDeltaWith(e.operandInstances(st.bound), updates, provider{e: e})
+			if err != nil {
+				return TxResult{}, nil, err
+			}
+			work = append(work, refreshed{st: st, d: d})
+		}
+	}
+
+	// Phase 2: apply base updates (and keep the persistent indexes in
+	// step with the base relations).
+	for _, u := range updates {
+		if err := u.Apply(e.base[u.Rel]); err != nil {
+			return TxResult{}, nil, err
+		}
+		e.applyToIndexes(u)
+	}
+
+	// Phase 3: fold deltas into the immediate views (and recompute the
+	// full-re-evaluation views from the post-state), queueing
+	// subscriber notifications to fire after the lock is released.
+	var ns []notification
+	for _, w := range work {
+		name := w.st.name
+		if w.d != nil {
+			if err := diffeval.Apply(w.st.data, w.d); err != nil {
+				return TxResult{}, nil, err
+			}
+			w.st.noteDelta(w.d)
+			ns = append(ns, w.st.notifications(name, w.d.Inserts, w.d.Deletes)...)
+		} else {
+			vc, err := eval.Materialize(w.st.bound, e.operandInstances(w.st.bound), w.st.cfg.EvalOpt)
+			if err != nil {
+				return TxResult{}, nil, err
+			}
+			if len(w.st.subscribers) > 0 {
+				ins, del := countedDiff(w.st.data, vc)
+				ns = append(ns, w.st.notifications(name, ins, del)...)
+			}
+			w.st.data = vc
+			w.st.stats.Recomputes++
+		}
+		res.ViewsRefreshed++
+	}
+	return res, ns, nil
+}
+
+func (st *viewState) noteDelta(d *diffeval.ViewDelta) {
+	st.stats.Refreshes++
+	st.stats.RowsEvaluated += d.Stats.RowsEvaluated
+	st.stats.JoinSteps += d.Stats.JoinSteps
+	st.stats.FilteredOut += d.Stats.FilteredOut
+	st.stats.DeltaInserts += d.Stats.DeltaInserts
+	st.stats.DeltaDeletes += d.Stats.DeltaDeletes
+}
+
+// chooseAdaptive resolves PolicyAdaptive for one refresh: differential
+// while the combined delta is a small fraction of the view's base
+// relations, full re-evaluation beyond the threshold — the paper's
+// closing question ("under what circumstances differential
+// re-evaluation is more efficient than complete re-evaluation")
+// answered with a size-ratio cost model. Callers hold the engine lock.
+func (e *Engine) chooseAdaptive(st *viewState, updates []delta.Update) Policy {
+	threshold := st.cfg.AdaptiveThreshold
+	if threshold <= 0 {
+		threshold = DefaultAdaptiveThreshold
+	}
+	deltaSize, baseSize := 0, 0
+	for _, op := range st.bound.Operands {
+		baseSize += e.base[op.Rel].Len()
+		for _, u := range updates {
+			if u.Rel == op.Rel {
+				deltaSize += u.Size()
+			}
+		}
+	}
+	if baseSize == 0 || float64(deltaSize) > threshold*float64(baseSize) {
+		return PolicyRecompute
+	}
+	return PolicyDifferential
+}
+
+// viewTouched reports whether any operand's relation is in touched.
+func (e *Engine) viewTouched(st *viewState, touched map[string]bool) bool {
+	for _, op := range st.bound.Operands {
+		if touched[op.Rel] {
+			return true
+		}
+	}
+	return false
+}
+
+// queuePending composes the transaction's updates into the view's
+// pending set. Callers hold the engine lock.
+func (e *Engine) queuePending(st *viewState, updates []delta.Update) error {
+	for _, u := range updates {
+		if !e.relUsedBy(st, u.Rel) {
+			continue
+		}
+		prev, ok := st.pending[u.Rel]
+		if !ok {
+			st.pending[u.Rel] = cloneUpdate(u)
+			continue
+		}
+		comp, err := delta.Compose(prev, u)
+		if err != nil {
+			return err
+		}
+		st.pending[u.Rel] = comp
+	}
+	return nil
+}
+
+func (e *Engine) relUsedBy(st *viewState, rel string) bool {
+	for _, op := range st.bound.Operands {
+		if op.Rel == rel {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneUpdate(u delta.Update) delta.Update {
+	out := delta.Update{Rel: u.Rel}
+	if u.Inserts != nil {
+		out.Inserts = u.Inserts.Clone()
+	}
+	if u.Deletes != nil {
+		out.Deletes = u.Deletes.Clone()
+	}
+	return out
+}
+
+// RefreshView brings a deferred view up to date with a single
+// differential pass over the composed pending updates (or a full
+// recompute under PolicyRecompute), clearing the backlog. Refreshing
+// an immediate or already-fresh view is a no-op.
+func (e *Engine) RefreshView(name string) error {
+	ns, err := e.refreshLocked(name)
+	if err != nil {
+		return err
+	}
+	fire(ns)
+	return nil
+}
+
+func (e *Engine) refreshLocked(name string) ([]notification, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.views[name]
+	if !ok {
+		return nil, fmt.Errorf("db: unknown view %q", name)
+	}
+	if len(st.pending) == 0 {
+		return nil, nil
+	}
+	policy := st.cfg.Policy
+	if policy == PolicyAdaptive {
+		pend := make([]delta.Update, 0, len(st.pending))
+		for _, u := range st.pending {
+			pend = append(pend, u)
+		}
+		policy = e.chooseAdaptive(st, pend)
+	}
+	if policy == PolicyRecompute {
+		vc, err := eval.Materialize(st.bound, e.operandInstances(st.bound), st.cfg.EvalOpt)
+		if err != nil {
+			return nil, err
+		}
+		var ns []notification
+		if len(st.subscribers) > 0 {
+			ins, del := countedDiff(st.data, vc)
+			ns = st.notifications(name, ins, del)
+		}
+		st.data = vc
+		st.stats.Recomputes++
+		st.pending = make(map[string]delta.Update)
+		st.stats.PendingTx = 0
+		return ns, nil
+	}
+
+	// Reconstruct the pre-refresh state of each touched operand:
+	// B0 = B_now − I ∪ D.
+	insts := make([]*relation.Relation, len(st.bound.Operands))
+	var updates []delta.Update
+	seen := make(map[string]bool)
+	for i, op := range st.bound.Operands {
+		u, touched := st.pending[op.Rel]
+		if !touched {
+			insts[i] = e.base[op.Rel]
+			continue
+		}
+		pre := e.base[op.Rel].Clone()
+		if u.Inserts != nil {
+			u.Inserts.Each(func(t tuple.Tuple) { pre.Delete(t) })
+		}
+		if u.Deletes != nil {
+			var insErr error
+			u.Deletes.Each(func(t tuple.Tuple) {
+				if err := pre.Insert(t); err != nil && insErr == nil {
+					insErr = err
+				}
+			})
+			if insErr != nil {
+				return nil, insErr
+			}
+		}
+		insts[i] = pre
+		if !seen[op.Rel] {
+			seen[op.Rel] = true
+			updates = append(updates, u)
+		}
+	}
+	// No index provider here: the persistent indexes reflect the
+	// CURRENT base state, while this delta is computed against the
+	// reconstructed pre-refresh state.
+	d, err := st.maint.ComputeDelta(insts, updates)
+	if err != nil {
+		return nil, err
+	}
+	if err := diffeval.Apply(st.data, d); err != nil {
+		return nil, err
+	}
+	st.noteDelta(d)
+	st.pending = make(map[string]delta.Update)
+	st.stats.PendingTx = 0
+	return st.notifications(name, d.Inserts, d.Deletes), nil
+}
+
+// RefreshAll refreshes every deferred view, in name order.
+func (e *Engine) RefreshAll() error {
+	for _, name := range e.sortedViewNames() {
+		if err := e.RefreshView(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) sortedViewNames() []string {
+	e.mu.RLock()
+	names := make([]string, len(e.viewOrder))
+	copy(names, e.viewOrder)
+	e.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Relevant applies Theorem 4.1: it reports whether inserting or
+// deleting tuple t in base relation rel could affect the named view in
+// ANY database state. The per-operand checkers (including their O(n³)
+// invariant-graph preparation) are cached on the view.
+func (e *Engine) Relevant(view, rel string, t tuple.Tuple) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.views[view]
+	if !ok {
+		return false, fmt.Errorf("db: unknown view %q", view)
+	}
+	found := false
+	for i, op := range st.bound.Operands {
+		if op.Rel != rel {
+			continue
+		}
+		found = true
+		c, err := st.checker(i)
+		if err != nil {
+			return false, err
+		}
+		relevant, err := c.Relevant(t)
+		if err != nil {
+			return false, err
+		}
+		if relevant {
+			return true, nil
+		}
+	}
+	if !found {
+		return false, fmt.Errorf("db: view %q does not reference relation %q", view, rel)
+	}
+	return false, nil
+}
+
+// Explain describes how a view is defined and maintained: operands,
+// condition, projection, refresh mode and policy, strategy, and the
+// persistent indexes its equi-join columns can probe.
+func (e *Engine) Explain(name string) (string, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st, ok := e.views[name]
+	if !ok {
+		return "", fmt.Errorf("db: unknown view %q", name)
+	}
+	var sb strings.Builder
+	b := st.bound
+	fmt.Fprintf(&sb, "view %s\n", name)
+	fmt.Fprintf(&sb, "  operands:\n")
+	for _, op := range b.Operands {
+		fmt.Fprintf(&sb, "    %s = %s%s  (%d tuples)\n", op.Alias, op.Rel, op.Scheme, e.base[op.Rel].Len())
+	}
+	fmt.Fprintf(&sb, "  where:   %s\n", b.Where)
+	proj := make([]string, len(b.Project))
+	for i, a := range b.Project {
+		proj[i] = string(a)
+	}
+	fmt.Fprintf(&sb, "  select:  %s\n", strings.Join(proj, ", "))
+	mode := "immediate (refreshed at commit)"
+	if st.cfg.Mode == Deferred {
+		mode = "deferred (snapshot refresh, §6)"
+	}
+	fmt.Fprintf(&sb, "  refresh: %s\n", mode)
+	policy := "differential (§5, Algorithm 5.1)"
+	switch st.cfg.Policy {
+	case PolicyRecompute:
+		policy = "complete re-evaluation"
+	case PolicyAdaptive:
+		threshold := st.cfg.AdaptiveThreshold
+		if threshold <= 0 {
+			threshold = DefaultAdaptiveThreshold
+		}
+		policy = fmt.Sprintf("adaptive (differential while |δ| ≤ %.0f%% of base)", 100*threshold)
+	}
+	fmt.Fprintf(&sb, "  policy:  %s\n", policy)
+	strategy := "auto (indexed delta joins when indexes exist, else prefix-sharing rows)"
+	switch st.cfg.Maint.Strategy {
+	case diffeval.StrategyPrefixShare:
+		strategy = "prefix-sharing truth-table rows"
+	case diffeval.StrategyRowByRow:
+		strategy = "row-by-row (no prefix sharing)"
+	case diffeval.StrategyRowByRowGreedy:
+		strategy = "row-by-row with greedy join order"
+	case diffeval.StrategyIndexedDelta:
+		strategy = "indexed delta joins"
+	}
+	fmt.Fprintf(&sb, "  rows:    %s\n", strategy)
+	fmt.Fprintf(&sb, "  filter:  §4 irrelevance pre-filter %s\n", onOff(st.cfg.Maint.Filter))
+	var idx []string
+	for _, op := range b.Operands {
+		for pos := 0; pos < op.Scheme.Arity(); pos++ {
+			if e.indexes[op.Rel][pos] != nil {
+				idx = append(idx, fmt.Sprintf("%s.%s", op.Rel, op.Scheme.Attr(pos)))
+			}
+		}
+	}
+	sort.Strings(idx)
+	idx = dedupeSorted(idx)
+	if len(idx) == 0 {
+		fmt.Fprintf(&sb, "  indexes: none\n")
+	} else {
+		fmt.Fprintf(&sb, "  indexes: %s\n", strings.Join(idx, ", "))
+	}
+	return sb.String(), nil
+}
+
+func onOff(b bool) string {
+	if b {
+		return "ON"
+	}
+	return "OFF"
+}
+
+func dedupeSorted(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || in[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Subscribe registers an alerter on a view (the Buneman–Clemons
+// application of §1–2): after every commit or refresh that changes the
+// view, the subscriber receives the insert and delete sets. It returns
+// a subscription id for Unsubscribe.
+func (e *Engine) Subscribe(view string, s Subscriber) (int, error) {
+	if s == nil {
+		return 0, fmt.Errorf("db: nil subscriber")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.views[view]
+	if !ok {
+		return 0, fmt.Errorf("db: unknown view %q", view)
+	}
+	if st.subscribers == nil {
+		st.subscribers = make(map[int]Subscriber)
+	}
+	id := st.nextSubID
+	st.nextSubID++
+	st.subscribers[id] = s
+	return id, nil
+}
+
+// Unsubscribe removes a subscription; unknown ids are a no-op.
+func (e *Engine) Unsubscribe(view string, id int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.views[view]
+	if !ok {
+		return fmt.Errorf("db: unknown view %q", view)
+	}
+	delete(st.subscribers, id)
+	return nil
+}
+
+// RefreshPeriodically refreshes a deferred view on a fixed interval
+// until the returned stop function is called — §6's "materialized
+// views are updated periodically" regime. Refresh errors terminate the
+// loop and are reported through the optional onErr callback.
+func (e *Engine) RefreshPeriodically(name string, interval time.Duration, onErr func(error)) (stop func(), err error) {
+	e.mu.RLock()
+	_, ok := e.views[name]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("db: unknown view %q", name)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("db: non-positive refresh interval %v", interval)
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if err := e.RefreshView(name); err != nil {
+					if onErr != nil {
+						onErr(err)
+					}
+					return
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }, nil
+}
+
+// Query evaluates an ad-hoc SPJ expression against the current base
+// relations without materializing it.
+func (e *Engine) Query(v expr.View, opts eval.Options) (*relation.Counted, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	bound, err := expr.Bind(v, e.scheme)
+	if err != nil {
+		return nil, err
+	}
+	return eval.Materialize(bound, e.operandInstances(bound), opts)
+}

@@ -1,0 +1,346 @@
+package db
+
+// Durable snapshots of the engine: a versioned, deterministic binary
+// format holding the database scheme, every base relation's contents,
+// and every view definition with its configuration. Loading rebuilds
+// the engine and re-materializes the views from the restored base
+// relations (so a loaded engine is always internally consistent;
+// deferred views come back fresh).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"mview/internal/diffeval"
+	"mview/internal/expr"
+	"mview/internal/pred"
+	"mview/internal/satgraph"
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+func diffevalStrategy(v uint8) diffeval.Strategy { return diffeval.Strategy(v) }
+
+func satMethod(v uint8) satgraph.Method { return satgraph.Method(v) }
+
+// storageMagic identifies the format; the trailing digit is the
+// version.
+const storageMagic = "MVIEWDB1"
+
+type writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *writer) u8(v uint8) {
+	if w.err == nil {
+		w.err = w.w.WriteByte(v)
+	}
+}
+
+func (w *writer) u32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	if w.err == nil {
+		_, w.err = w.w.Write(b[:])
+	}
+}
+
+func (w *writer) i64(v int64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	if w.err == nil {
+		_, w.err = w.w.Write(b[:])
+	}
+}
+
+func (w *writer) f64(v float64) { w.i64(int64(math.Float64bits(v))) }
+
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	b, err := r.r.ReadByte()
+	r.fail(err)
+	return b
+}
+
+func (r *reader) u32() uint32 {
+	var b [4]byte
+	if r.err != nil {
+		return 0
+	}
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		r.fail(err)
+		return 0
+	}
+	return binary.BigEndian.Uint32(b[:])
+}
+
+func (r *reader) i64() int64 {
+	var b [8]byte
+	if r.err != nil {
+		return 0
+	}
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		r.fail(err)
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b[:]))
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(uint64(r.i64())) }
+
+// maxStr bounds string lengths so corrupt input cannot trigger huge
+// allocations.
+const maxStr = 1 << 20
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxStr {
+		r.fail(fmt.Errorf("db: corrupt snapshot: string length %d", n))
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.fail(err)
+		return ""
+	}
+	return string(b)
+}
+
+func (r *reader) bool() bool { return r.u8() != 0 }
+
+// Save writes a snapshot of the engine: scheme, base relation
+// contents, and view definitions with their configurations. Deferred
+// views are persisted by definition only; on load they re-materialize
+// fresh.
+func (e *Engine) Save(out io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	w := &writer{w: bufio.NewWriter(out)}
+	w.str(storageMagic)
+
+	names := e.scheme.Names()
+	w.u32(uint32(len(names)))
+	for _, name := range names {
+		rs, _ := e.scheme.Rel(name)
+		w.str(name)
+		attrs := rs.Scheme.Attributes()
+		w.u32(uint32(len(attrs)))
+		for _, a := range attrs {
+			w.str(string(a))
+		}
+		inst := e.base[name]
+		w.u32(uint32(inst.Len()))
+		for _, t := range inst.Tuples() {
+			for _, v := range t {
+				w.i64(v)
+			}
+		}
+	}
+
+	w.u32(uint32(len(e.viewOrder)))
+	for _, name := range e.viewOrder {
+		st := e.views[name]
+		w.str(name)
+		b := st.bound
+		w.u32(uint32(len(b.Operands)))
+		for _, op := range b.Operands {
+			w.str(op.Rel)
+			w.str(op.Alias)
+		}
+		writeDNF(w, b.Where)
+		w.u32(uint32(len(b.Project)))
+		for _, a := range b.Project {
+			w.str(string(a))
+		}
+		cfg := st.cfg
+		w.u8(uint8(cfg.Mode))
+		w.u8(uint8(cfg.Policy))
+		w.f64(cfg.AdaptiveThreshold)
+		w.u8(uint8(cfg.Maint.Strategy))
+		w.bool(cfg.Maint.Filter)
+		w.u8(uint8(cfg.Maint.FilterOptions.Method))
+		w.i64(int64(cfg.Maint.FilterOptions.NELimit))
+		w.bool(cfg.EvalOpt.Greedy)
+	}
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func writeDNF(w *writer, d pred.DNF) {
+	w.u32(uint32(len(d.Conjuncts)))
+	for _, c := range d.Conjuncts {
+		w.u32(uint32(len(c.Atoms)))
+		for _, a := range c.Atoms {
+			w.str(string(a.Left))
+			w.u8(uint8(a.Op))
+			w.bool(a.HasRightVar())
+			if a.HasRightVar() {
+				w.str(string(a.Right))
+			}
+			w.i64(a.C)
+		}
+	}
+}
+
+func readDNF(r *reader) pred.DNF {
+	nc := r.u32()
+	if r.err != nil || nc > maxStr {
+		r.fail(fmt.Errorf("db: corrupt snapshot: %d conjuncts", nc))
+		return pred.DNF{}
+	}
+	d := pred.DNF{Conjuncts: make([]pred.Conjunction, 0, nc)}
+	for i := uint32(0); i < nc && r.err == nil; i++ {
+		na := r.u32()
+		if na > maxStr {
+			r.fail(fmt.Errorf("db: corrupt snapshot: %d atoms", na))
+			return pred.DNF{}
+		}
+		atoms := make([]pred.Atom, 0, na)
+		for j := uint32(0); j < na && r.err == nil; j++ {
+			left := pred.Var(r.str())
+			op := pred.Op(r.u8())
+			hasRight := r.bool()
+			var right pred.Var
+			if hasRight {
+				right = pred.Var(r.str())
+			}
+			c := r.i64()
+			if hasRight {
+				atoms = append(atoms, pred.VarVar(left, op, right, c))
+			} else {
+				atoms = append(atoms, pred.VarConst(left, op, c))
+			}
+		}
+		d.Conjuncts = append(d.Conjuncts, pred.Conjunction{Atoms: atoms})
+	}
+	return d
+}
+
+// Load reads a snapshot produced by Save and returns a fresh engine
+// with all relations restored and all views re-materialized.
+func Load(in io.Reader) (*Engine, error) {
+	r := &reader{r: bufio.NewReader(in)}
+	if magic := r.str(); r.err != nil || magic != storageMagic {
+		if r.err != nil {
+			return nil, fmt.Errorf("db: reading snapshot header: %w", r.err)
+		}
+		return nil, fmt.Errorf("db: not an mview snapshot (magic %q)", magic)
+	}
+
+	e := New()
+	nRel := r.u32()
+	if nRel > maxStr {
+		return nil, fmt.Errorf("db: corrupt snapshot: %d relations", nRel)
+	}
+	for i := uint32(0); i < nRel; i++ {
+		name := r.str()
+		nAttr := r.u32()
+		if r.err != nil || nAttr > maxStr {
+			return nil, fmt.Errorf("db: corrupt snapshot: relation %q", name)
+		}
+		attrs := make([]schema.Attribute, nAttr)
+		for j := range attrs {
+			attrs[j] = schema.Attribute(r.str())
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if err := e.CreateRelation(name, attrs...); err != nil {
+			return nil, err
+		}
+		nTup := r.u32()
+		inst := e.base[name]
+		for j := uint32(0); j < nTup && r.err == nil; j++ {
+			t := make(tuple.Tuple, nAttr)
+			for k := range t {
+				t[k] = r.i64()
+			}
+			if err := inst.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	nView := r.u32()
+	if nView > maxStr {
+		return nil, fmt.Errorf("db: corrupt snapshot: %d views", nView)
+	}
+	for i := uint32(0); i < nView; i++ {
+		name := r.str()
+		nOp := r.u32()
+		if r.err != nil || nOp > maxStr {
+			return nil, fmt.Errorf("db: corrupt snapshot: view %q", name)
+		}
+		v := expr.View{Name: name}
+		for j := uint32(0); j < nOp; j++ {
+			rel := r.str()
+			alias := r.str()
+			v.Operands = append(v.Operands, expr.Operand{Rel: rel, Alias: alias})
+		}
+		v.Where = readDNF(r)
+		nProj := r.u32()
+		if r.err != nil || nProj > maxStr {
+			return nil, fmt.Errorf("db: corrupt snapshot: view %q projection", name)
+		}
+		for j := uint32(0); j < nProj; j++ {
+			v.Project = append(v.Project, schema.Attribute(r.str()))
+		}
+		var cfg ViewConfig
+		cfg.Mode = RefreshMode(r.u8())
+		cfg.Policy = Policy(r.u8())
+		cfg.AdaptiveThreshold = r.f64()
+		cfg.Maint.Strategy = diffevalStrategy(r.u8())
+		cfg.Maint.Filter = r.bool()
+		cfg.Maint.FilterOptions.Method = satMethod(r.u8())
+		cfg.Maint.FilterOptions.NELimit = int(r.i64())
+		cfg.EvalOpt.Greedy = r.bool()
+		if r.err != nil {
+			return nil, fmt.Errorf("db: corrupt snapshot: view %q config: %w", name, r.err)
+		}
+		if err := e.CreateView(v, cfg); err != nil {
+			return nil, fmt.Errorf("db: restoring view %q: %w", name, err)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return e, nil
+}

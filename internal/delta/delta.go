@@ -1,0 +1,273 @@
+// Package delta represents transactions against base relations and
+// computes their net effects.
+//
+// Following §3 of the paper, a transaction is an indivisible sequence
+// of insert and delete operations, possibly touching several base
+// relations. Its net effect on a relation r is a pair of sets (i_r,
+// d_r) with r, i_r, d_r mutually disjoint such that τ(r) = r ∪ i_r −
+// d_r. A tuple inserted and then deleted within the transaction (or
+// vice versa) is not represented at all.
+package delta
+
+import (
+	"fmt"
+	"sort"
+
+	"mview/internal/relation"
+	"mview/internal/tuple"
+)
+
+// Update is the net effect of a transaction on one base relation.
+type Update struct {
+	Rel     string
+	Inserts *relation.Relation // i_r: tuples absent before, present after
+	Deletes *relation.Relation // d_r: tuples present before, absent after
+}
+
+// IsEmpty reports whether the update changes nothing.
+func (u Update) IsEmpty() bool {
+	return (u.Inserts == nil || u.Inserts.Len() == 0) && (u.Deletes == nil || u.Deletes.Len() == 0)
+}
+
+// Size returns |i_r| + |d_r|.
+func (u Update) Size() int {
+	n := 0
+	if u.Inserts != nil {
+		n += u.Inserts.Len()
+	}
+	if u.Deletes != nil {
+		n += u.Deletes.Len()
+	}
+	return n
+}
+
+// Apply mutates r into τ(r) = r ∪ i_r − d_r.
+func (u Update) Apply(r *relation.Relation) error {
+	if u.Inserts != nil {
+		var err error
+		u.Inserts.Each(func(t tuple.Tuple) {
+			if e := r.Insert(t); e != nil && err == nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if u.Deletes != nil {
+		u.Deletes.Each(func(t tuple.Tuple) { r.Delete(t) })
+	}
+	return nil
+}
+
+// Compose combines two successive net updates into one. base is the
+// net effect of earlier transactions against some state B0 (so
+// base.Inserts ∩ B0 = ∅ and base.Deletes ⊆ B0), and next is the net
+// effect of a later transaction against B1 = B0 ∪ base.Inserts −
+// base.Deletes. The result is the net effect of both against B0.
+//
+// Compose is what lets deferred ("snapshot", §6) views accumulate an
+// arbitrary number of transactions and still refresh with a single
+// differential pass.
+func Compose(base, next Update) (Update, error) {
+	if base.Rel != next.Rel {
+		return Update{}, fmt.Errorf("delta: composing updates for %q and %q", base.Rel, next.Rel)
+	}
+	if base.Inserts == nil && base.Deletes == nil && next.Inserts == nil && next.Deletes == nil {
+		return Update{Rel: base.Rel}, nil
+	}
+	bi, bd := orEmpty(base.Inserts, base), orEmpty(base.Deletes, base)
+	ni, nd := orEmpty(next.Inserts, next), orEmpty(next.Deletes, next)
+	if bi == nil {
+		bi, bd = orEmpty(nil, next), orEmpty(nil, next)
+	}
+	if ni == nil {
+		ni, nd = orEmpty(nil, base), orEmpty(nil, base)
+	}
+
+	// I' = (I − d) ∪ (i − D): earlier inserts not re-deleted, plus new
+	// inserts that are genuinely new against B0 (tuples of i that were
+	// in D were deleted from B0 earlier, so re-inserting them merely
+	// cancels the delete).
+	i1, err := Diff2(bi, nd)
+	if err != nil {
+		return Update{}, err
+	}
+	i2, err := Diff2(ni, bd)
+	if err != nil {
+		return Update{}, err
+	}
+	ins, err := relation.Union(i1, i2)
+	if err != nil {
+		return Update{}, err
+	}
+
+	// D' = (D − i) ∪ (d − I): earlier deletes not re-inserted, plus
+	// new deletes of tuples that existed in B0 (deletes of tuples in I
+	// merely cancel the earlier insert).
+	d1, err := Diff2(bd, ni)
+	if err != nil {
+		return Update{}, err
+	}
+	d2, err := Diff2(nd, bi)
+	if err != nil {
+		return Update{}, err
+	}
+	del, err := relation.Union(d1, d2)
+	if err != nil {
+		return Update{}, err
+	}
+	return Update{Rel: base.Rel, Inserts: ins, Deletes: del}, nil
+}
+
+// orEmpty substitutes an empty relation (with a scheme borrowed from
+// the sibling update) for a nil set so Compose can treat all four sets
+// uniformly.
+func orEmpty(r *relation.Relation, sibling Update) *relation.Relation {
+	if r != nil {
+		return r
+	}
+	if sibling.Inserts != nil {
+		return relation.New(sibling.Inserts.Scheme())
+	}
+	if sibling.Deletes != nil {
+		return relation.New(sibling.Deletes.Scheme())
+	}
+	return nil
+}
+
+// Diff2 is relation.Diff tolerating nil operands (nil − x = nil is an
+// error; x − nil = x).
+func Diff2(a, b *relation.Relation) (*relation.Relation, error) {
+	if a == nil {
+		return nil, fmt.Errorf("delta: nil relation in update composition")
+	}
+	if b == nil {
+		return a.Clone(), nil
+	}
+	return relation.Diff(a, b)
+}
+
+// opKind distinguishes transaction operations.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opDelete
+)
+
+type op struct {
+	kind opKind
+	rel  string
+	t    tuple.Tuple
+}
+
+// Tx is a transaction: an ordered sequence of updates to base
+// relations, applied atomically. The zero value is an empty
+// transaction.
+type Tx struct {
+	ops []op
+}
+
+// Insert appends an insert operation.
+func (tx *Tx) Insert(rel string, t tuple.Tuple) *Tx {
+	tx.ops = append(tx.ops, op{kind: opInsert, rel: rel, t: t.Clone()})
+	return tx
+}
+
+// Delete appends a delete operation.
+func (tx *Tx) Delete(rel string, t tuple.Tuple) *Tx {
+	tx.ops = append(tx.ops, op{kind: opDelete, rel: rel, t: t.Clone()})
+	return tx
+}
+
+// Len returns the number of operations recorded.
+func (tx *Tx) Len() int { return len(tx.ops) }
+
+// Relations returns the sorted names of relations the transaction
+// touches.
+func (tx *Tx) Relations() []string {
+	seen := make(map[string]bool)
+	for _, o := range tx.ops {
+		seen[o.rel] = true
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Net computes the transaction's net effect per touched relation,
+// given the pre-transaction instances. The lookup function must return
+// the current instance of a named base relation.
+//
+// Net validates arities against the instances and guarantees the
+// returned updates satisfy the disjointness invariant: i_r ∩ r = ∅,
+// d_r ⊆ r, i_r ∩ d_r = ∅.
+func (tx *Tx) Net(lookup func(string) (*relation.Relation, bool)) ([]Update, error) {
+	type state struct {
+		rel     *relation.Relation
+		initial map[string]bool // key → present before tx (lazily filled)
+		final   map[string]bool // key → present now
+		tuples  map[string]tuple.Tuple
+	}
+	states := make(map[string]*state)
+	order := make([]string, 0, 4)
+
+	for _, o := range tx.ops {
+		st := states[o.rel]
+		if st == nil {
+			rel, ok := lookup(o.rel)
+			if !ok {
+				return nil, fmt.Errorf("delta: transaction touches unknown relation %q", o.rel)
+			}
+			st = &state{
+				rel:     rel,
+				initial: make(map[string]bool),
+				final:   make(map[string]bool),
+				tuples:  make(map[string]tuple.Tuple),
+			}
+			states[o.rel] = st
+			order = append(order, o.rel)
+		}
+		if len(o.t) != st.rel.Scheme().Arity() {
+			return nil, fmt.Errorf("delta: tuple %v has arity %d, relation %q has arity %d",
+				o.t, len(o.t), o.rel, st.rel.Scheme().Arity())
+		}
+		k := o.t.Key()
+		if _, seen := st.initial[k]; !seen {
+			st.initial[k] = st.rel.Has(o.t)
+			st.tuples[k] = o.t
+		}
+		st.final[k] = o.kind == opInsert
+	}
+
+	updates := make([]Update, 0, len(order))
+	for _, name := range order {
+		st := states[name]
+		u := Update{
+			Rel:     name,
+			Inserts: relation.New(st.rel.Scheme()),
+			Deletes: relation.New(st.rel.Scheme()),
+		}
+		for k, present := range st.final {
+			was := st.initial[k]
+			switch {
+			case present && !was:
+				if err := u.Inserts.Insert(st.tuples[k]); err != nil {
+					return nil, err
+				}
+			case !present && was:
+				if err := u.Deletes.Insert(st.tuples[k]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !u.IsEmpty() {
+			updates = append(updates, u)
+		}
+	}
+	return updates, nil
+}

@@ -1,0 +1,324 @@
+package delta
+
+import (
+	"testing"
+
+	"mview/internal/relation"
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+func lookupOne(name string, r *relation.Relation) func(string) (*relation.Relation, bool) {
+	return func(n string) (*relation.Relation, bool) {
+		if n == name {
+			return r, true
+		}
+		return nil, false
+	}
+}
+
+func TestNetBasicInsertDelete(t *testing.T) {
+	r := relation.MustFromTuples(schema.MustScheme("A"), tuple.New(1), tuple.New(2))
+	var tx Tx
+	tx.Insert("R", tuple.New(3)).Delete("R", tuple.New(1))
+	ups, err := tx.Net(lookupOne("R", r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 1 {
+		t.Fatalf("updates = %v", ups)
+	}
+	u := ups[0]
+	if u.Rel != "R" || u.Inserts.Len() != 1 || !u.Inserts.Has(tuple.New(3)) {
+		t.Errorf("inserts = %v", u.Inserts)
+	}
+	if u.Deletes.Len() != 1 || !u.Deletes.Has(tuple.New(1)) {
+		t.Errorf("deletes = %v", u.Deletes)
+	}
+	if u.Size() != 2 || u.IsEmpty() {
+		t.Errorf("Size/IsEmpty wrong")
+	}
+}
+
+func TestNetInsertThenDeleteCancels(t *testing.T) {
+	// "if a tuple not in the relation is inserted and then deleted
+	// within a transaction, it is not represented at all" (§5).
+	r := relation.MustFromTuples(schema.MustScheme("A"), tuple.New(1))
+	var tx Tx
+	tx.Insert("R", tuple.New(9)).Delete("R", tuple.New(9))
+	ups, err := tx.Net(lookupOne("R", r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 0 {
+		t.Errorf("updates = %v, want none", ups)
+	}
+}
+
+func TestNetDeleteThenReinsertCancels(t *testing.T) {
+	r := relation.MustFromTuples(schema.MustScheme("A"), tuple.New(1))
+	var tx Tx
+	tx.Delete("R", tuple.New(1)).Insert("R", tuple.New(1))
+	ups, err := tx.Net(lookupOne("R", r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 0 {
+		t.Errorf("updates = %v, want none", ups)
+	}
+}
+
+func TestNetInsertExistingIsNoop(t *testing.T) {
+	r := relation.MustFromTuples(schema.MustScheme("A"), tuple.New(1))
+	var tx Tx
+	tx.Insert("R", tuple.New(1))
+	ups, err := tx.Net(lookupOne("R", r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 0 {
+		t.Errorf("inserting a present tuple must net to nothing, got %v", ups)
+	}
+}
+
+func TestNetDeleteAbsentIsNoop(t *testing.T) {
+	r := relation.New(schema.MustScheme("A"))
+	var tx Tx
+	tx.Delete("R", tuple.New(1))
+	ups, err := tx.Net(lookupOne("R", r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 0 {
+		t.Errorf("deleting an absent tuple must net to nothing, got %v", ups)
+	}
+}
+
+func TestNetDisjointness(t *testing.T) {
+	r := relation.MustFromTuples(schema.MustScheme("A"), tuple.New(1), tuple.New(2))
+	var tx Tx
+	tx.Insert("R", tuple.New(3)).
+		Delete("R", tuple.New(3)).
+		Insert("R", tuple.New(3)). // net insert after churn
+		Delete("R", tuple.New(1)).
+		Insert("R", tuple.New(1)).
+		Delete("R", tuple.New(1)) // net delete after churn
+	ups, err := tx.Net(lookupOne("R", r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := ups[0]
+	if !u.Inserts.Has(tuple.New(3)) || u.Inserts.Len() != 1 {
+		t.Errorf("inserts = %v", u.Inserts)
+	}
+	if !u.Deletes.Has(tuple.New(1)) || u.Deletes.Len() != 1 {
+		t.Errorf("deletes = %v", u.Deletes)
+	}
+	// Disjointness invariants: i ∩ r = ∅, d ⊆ r, i ∩ d = ∅.
+	inter, _ := relation.Intersect(u.Inserts, r)
+	if inter.Len() != 0 {
+		t.Error("i_r must be disjoint from r")
+	}
+	diff, _ := relation.Diff(u.Deletes, r)
+	if diff.Len() != 0 {
+		t.Error("d_r must be a subset of r")
+	}
+	ii, _ := relation.Intersect(u.Inserts, u.Deletes)
+	if ii.Len() != 0 {
+		t.Error("i_r and d_r must be disjoint")
+	}
+}
+
+func TestNetMultipleRelations(t *testing.T) {
+	r := relation.MustFromTuples(schema.MustScheme("A"), tuple.New(1))
+	s := relation.New(schema.MustScheme("B", "C"))
+	lookup := func(n string) (*relation.Relation, bool) {
+		switch n {
+		case "R":
+			return r, true
+		case "S":
+			return s, true
+		}
+		return nil, false
+	}
+	var tx Tx
+	tx.Insert("S", tuple.New(5, 6)).Delete("R", tuple.New(1))
+	ups, err := tx.Net(lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 2 {
+		t.Fatalf("updates = %v", ups)
+	}
+	if got := tx.Relations(); len(got) != 2 || got[0] != "R" || got[1] != "S" {
+		t.Errorf("Relations = %v", got)
+	}
+}
+
+func TestNetErrors(t *testing.T) {
+	r := relation.MustFromTuples(schema.MustScheme("A"), tuple.New(1))
+	var tx Tx
+	tx.Insert("NOPE", tuple.New(1))
+	if _, err := tx.Net(lookupOne("R", r)); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	var tx2 Tx
+	tx2.Insert("R", tuple.New(1, 2))
+	if _, err := tx2.Net(lookupOne("R", r)); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestApply(t *testing.T) {
+	r := relation.MustFromTuples(schema.MustScheme("A"), tuple.New(1), tuple.New(2))
+	u := Update{
+		Rel:     "R",
+		Inserts: relation.MustFromTuples(schema.MustScheme("A"), tuple.New(3)),
+		Deletes: relation.MustFromTuples(schema.MustScheme("A"), tuple.New(1)),
+	}
+	if err := u.Apply(r); err != nil {
+		t.Fatal(err)
+	}
+	want := relation.MustFromTuples(schema.MustScheme("A"), tuple.New(2), tuple.New(3))
+	if !r.Equal(want) {
+		t.Errorf("after Apply: %v, want %v", r, want)
+	}
+	// Nil sets are tolerated.
+	if err := (Update{Rel: "R"}).Apply(r); err != nil {
+		t.Errorf("empty Apply: %v", err)
+	}
+	if !(Update{Rel: "R"}).IsEmpty() {
+		t.Error("zero update should be empty")
+	}
+}
+
+func TestTxCloneInsulation(t *testing.T) {
+	var tx Tx
+	mut := tuple.New(7)
+	tx.Insert("R", mut)
+	mut[0] = 8
+	r := relation.New(schema.MustScheme("A"))
+	ups, err := tx.Net(lookupOne("R", r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ups[0].Inserts.Has(tuple.New(7)) {
+		t.Error("Tx must clone tuples at record time")
+	}
+}
+
+// TestComposeProperty: for random B0 and two random sequential net
+// updates, applying the composition must equal applying both in turn,
+// and the composed update must satisfy the disjointness invariants.
+func TestComposeProperty(t *testing.T) {
+	s := schema.MustScheme("A")
+	for trial := 0; trial < 300; trial++ {
+		seed := int64(trial)
+		rng := newRand(seed)
+		b0 := relation.New(s)
+		for i := 0; i < rng.n(10); i++ {
+			_ = b0.Insert(tuple.New(int64(rng.n(12))))
+		}
+		u1 := randomNet(rng, b0)
+		b1 := b0.Clone()
+		if err := u1.Apply(b1); err != nil {
+			t.Fatal(err)
+		}
+		u2 := randomNet(rng, b1)
+		b2 := b1.Clone()
+		if err := u2.Apply(b2); err != nil {
+			t.Fatal(err)
+		}
+
+		comp, err := Compose(u1, u2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := b0.Clone()
+		if err := comp.Apply(direct); err != nil {
+			t.Fatal(err)
+		}
+		if !direct.Equal(b2) {
+			t.Fatalf("seed %d: composed apply = %v, sequential = %v\nu1=%+v u2=%+v", seed, direct, b2, u1, u2)
+		}
+		// Invariants against B0.
+		if x, _ := relation.Intersect(comp.Inserts, b0); x.Len() != 0 {
+			t.Fatalf("seed %d: composed inserts intersect B0", seed)
+		}
+		if x, _ := relation.Diff(comp.Deletes, b0); x.Len() != 0 {
+			t.Fatalf("seed %d: composed deletes escape B0", seed)
+		}
+		if x, _ := relation.Intersect(comp.Inserts, comp.Deletes); x.Len() != 0 {
+			t.Fatalf("seed %d: composed sets overlap", seed)
+		}
+	}
+}
+
+func TestComposeEdgeCases(t *testing.T) {
+	if _, err := Compose(Update{Rel: "R"}, Update{Rel: "S"}); err == nil {
+		t.Error("different relations must fail")
+	}
+	got, err := Compose(Update{Rel: "R"}, Update{Rel: "R"})
+	if err != nil || !got.IsEmpty() {
+		t.Errorf("empty compose = %+v, %v", got, err)
+	}
+	// One side nil sets, other real.
+	s := schema.MustScheme("A")
+	u := Update{Rel: "R", Inserts: relation.MustFromTuples(s, tuple.New(1))}
+	got, err = Compose(Update{Rel: "R"}, u)
+	if err != nil || !got.Inserts.Has(tuple.New(1)) {
+		t.Errorf("compose with empty base = %+v, %v", got, err)
+	}
+	got, err = Compose(u, Update{Rel: "R"})
+	if err != nil || !got.Inserts.Has(tuple.New(1)) {
+		t.Errorf("compose with empty next = %+v, %v", got, err)
+	}
+	// Insert then delete of the same tuple cancels.
+	d := Update{Rel: "R", Deletes: relation.MustFromTuples(s, tuple.New(1))}
+	got, err = Compose(u, d)
+	if err != nil || !got.IsEmpty() {
+		t.Errorf("insert∘delete = %+v, %v", got, err)
+	}
+}
+
+// Tiny deterministic PRNG helpers (avoid importing math/rand in two
+// places with clashing seeds).
+type miniRand struct{ state uint64 }
+
+func newRand(seed int64) *miniRand {
+	return &miniRand{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+func (r *miniRand) n(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int((r.state >> 33) % uint64(n))
+}
+
+// randomNet builds a valid net update against the given state.
+func randomNet(rng *miniRand, base *relation.Relation) Update {
+	s := base.Scheme()
+	u := Update{Rel: "R", Inserts: relation.New(s), Deletes: relation.New(s)}
+	for i := 0; i < rng.n(6); i++ {
+		tu := tuple.New(int64(rng.n(12)))
+		if !base.Has(tu) {
+			_ = u.Inserts.Insert(tu)
+		}
+	}
+	for _, tu := range base.Tuples() {
+		if rng.n(3) == 0 {
+			_ = u.Deletes.Insert(tu)
+		}
+	}
+	return u
+}
+
+func TestTxLen(t *testing.T) {
+	var tx Tx
+	if tx.Len() != 0 {
+		t.Error("zero Tx should be empty")
+	}
+	tx.Insert("R", tuple.New(1)).Delete("R", tuple.New(2))
+	if tx.Len() != 2 {
+		t.Errorf("Len = %d", tx.Len())
+	}
+}

@@ -1,0 +1,118 @@
+// Package dict maps strings to integer codes so that symbolic data can
+// flow through the engine's integer tuples.
+//
+// The paper assumes "all attributes are defined on discrete and finite
+// domains. Since such a domain can be mapped to a subset of natural
+// numbers, we use integer values in all examples." Dict performs that
+// mapping. Two flavours are provided:
+//
+//   - Dict assigns codes in first-seen order. Equality predicates on
+//     encoded attributes are exact; order comparisons are meaningless.
+//   - Sorted assigns codes by lexicographic rank over a closed
+//     vocabulary, so both equality AND order predicates (x < y, x ≥ c)
+//     on encoded attributes mean what they would on the strings.
+package dict
+
+import (
+	"fmt"
+	"sort"
+
+	"mview/internal/tuple"
+)
+
+// Dict interns strings in first-seen order. The zero value is not
+// usable; call New.
+type Dict struct {
+	codes map[string]tuple.Value
+	names []string
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{codes: make(map[string]tuple.Value)}
+}
+
+// Encode interns s, returning its code. Codes start at 0 and are
+// dense.
+func (d *Dict) Encode(s string) tuple.Value {
+	if c, ok := d.codes[s]; ok {
+		return c
+	}
+	c := tuple.Value(len(d.names))
+	d.codes[s] = c
+	d.names = append(d.names, s)
+	return c
+}
+
+// Code returns the code for s without interning.
+func (d *Dict) Code(s string) (tuple.Value, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// Decode returns the string for a code.
+func (d *Dict) Decode(c tuple.Value) (string, bool) {
+	if c < 0 || c >= tuple.Value(len(d.names)) {
+		return "", false
+	}
+	return d.names[c], true
+}
+
+// Len returns the number of interned strings.
+func (d *Dict) Len() int { return len(d.names) }
+
+// Sorted is an order-preserving dictionary over a closed vocabulary:
+// Code(a) < Code(b) iff a < b lexicographically.
+type Sorted struct {
+	names []string               // sorted
+	codes map[string]tuple.Value // name → rank
+}
+
+// NewSorted builds an order-preserving dictionary from the vocabulary
+// (duplicates are collapsed).
+func NewSorted(vocab []string) *Sorted {
+	uniq := make(map[string]bool, len(vocab))
+	for _, s := range vocab {
+		uniq[s] = true
+	}
+	names := make([]string, 0, len(uniq))
+	for s := range uniq {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	codes := make(map[string]tuple.Value, len(names))
+	for i, s := range names {
+		codes[s] = tuple.Value(i)
+	}
+	return &Sorted{names: names, codes: codes}
+}
+
+// Code returns the rank of s, erroring on out-of-vocabulary strings
+// (a closed vocabulary is what makes the encoding order-preserving).
+func (d *Sorted) Code(s string) (tuple.Value, error) {
+	c, ok := d.codes[s]
+	if !ok {
+		return 0, fmt.Errorf("dict: %q not in vocabulary", s)
+	}
+	return c, nil
+}
+
+// MustCode is Code for statically known vocabulary entries.
+func (d *Sorted) MustCode(s string) tuple.Value {
+	c, err := d.Code(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Decode returns the string with the given rank.
+func (d *Sorted) Decode(c tuple.Value) (string, bool) {
+	if c < 0 || c >= tuple.Value(len(d.names)) {
+		return "", false
+	}
+	return d.names[c], true
+}
+
+// Len returns the vocabulary size.
+func (d *Sorted) Len() int { return len(d.names) }

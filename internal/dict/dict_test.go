@@ -1,0 +1,106 @@
+package dict
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictEncodeDecode(t *testing.T) {
+	d := New()
+	a := d.Encode("apple")
+	b := d.Encode("banana")
+	if a == b {
+		t.Error("distinct strings share a code")
+	}
+	if got := d.Encode("apple"); got != a {
+		t.Error("re-encoding changed the code")
+	}
+	if s, ok := d.Decode(a); !ok || s != "apple" {
+		t.Errorf("Decode = %q,%v", s, ok)
+	}
+	if _, ok := d.Decode(99); ok {
+		t.Error("unknown code decoded")
+	}
+	if _, ok := d.Decode(-1); ok {
+		t.Error("negative code decoded")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if c, ok := d.Code("banana"); !ok || c != b {
+		t.Errorf("Code = %d,%v", c, ok)
+	}
+	if _, ok := d.Code("cherry"); ok {
+		t.Error("Code must not intern")
+	}
+}
+
+func TestDictDense(t *testing.T) {
+	d := New()
+	for i, s := range []string{"x", "y", "z"} {
+		if c := d.Encode(s); c != int64(i) {
+			t.Errorf("Encode(%q) = %d, want %d", s, c, i)
+		}
+	}
+}
+
+func TestSortedOrderPreserving(t *testing.T) {
+	d := NewSorted([]string{"pear", "apple", "banana", "apple"})
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	a, _ := d.Code("apple")
+	b, _ := d.Code("banana")
+	p, _ := d.Code("pear")
+	if !(a < b && b < p) {
+		t.Errorf("order not preserved: %d %d %d", a, b, p)
+	}
+	if s, ok := d.Decode(b); !ok || s != "banana" {
+		t.Errorf("Decode = %q,%v", s, ok)
+	}
+	if _, err := d.Code("kiwi"); err == nil {
+		t.Error("out-of-vocabulary must fail")
+	}
+	if _, ok := d.Decode(77); ok {
+		t.Error("unknown rank decoded")
+	}
+}
+
+func TestMustCodePanics(t *testing.T) {
+	d := NewSorted([]string{"a"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCode did not panic")
+		}
+	}()
+	d.MustCode("zzz")
+}
+
+// TestSortedOrderProperty: for any vocabulary, code order equals
+// string order.
+func TestSortedOrderProperty(t *testing.T) {
+	f := func(vocab []string) bool {
+		if len(vocab) == 0 {
+			return true
+		}
+		d := NewSorted(vocab)
+		sorted := append([]string{}, vocab...)
+		sort.Strings(sorted)
+		prev := int64(-1)
+		for i, s := range sorted {
+			if i > 0 && s == sorted[i-1] {
+				continue
+			}
+			c, err := d.Code(s)
+			if err != nil || c <= prev {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

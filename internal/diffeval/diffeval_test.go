@@ -1,0 +1,873 @@
+package diffeval
+
+import (
+	"math/rand"
+	"testing"
+
+	"mview/internal/delta"
+	"mview/internal/eval"
+	"mview/internal/expr"
+	"mview/internal/irrelevance"
+	"mview/internal/pred"
+	"mview/internal/relation"
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+func testDB(t *testing.T) *schema.Database {
+	t.Helper()
+	db, err := schema.NewDatabase(
+		&schema.RelScheme{Name: "R", Scheme: schema.MustScheme("A", "B")},
+		&schema.RelScheme{Name: "S", Scheme: schema.MustScheme("B", "C")},
+		&schema.RelScheme{Name: "T", Scheme: schema.MustScheme("C", "D")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func joinView(t *testing.T, db *schema.Database, rels ...string) *expr.Bound {
+	t.Helper()
+	v, err := expr.NaturalJoin("v", db, rels...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := expr.Bind(v, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func maintain(t *testing.T, m *Maintainer, view *relation.Counted,
+	insts []*relation.Relation, ups []delta.Update) *ViewDelta {
+	t.Helper()
+	d, err := m.ComputeDelta(insts, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(view, d); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func applyUpdates(t *testing.T, insts []*relation.Relation, names []string, ups []delta.Update) []*relation.Relation {
+	t.Helper()
+	out := make([]*relation.Relation, len(insts))
+	for i := range insts {
+		out[i] = insts[i].Clone()
+		for _, u := range ups {
+			if u.Rel == names[i] {
+				if err := u.Apply(out[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestExample52 reproduces Example 5.2: insert-only maintenance of
+// V = R ⋈ S via v' = v ∪ (i_r ⋈ s).
+func TestExample52(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S")
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2))
+	s := relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 10), tuple.New(5, 20))
+	view, err := eval.Materialize(b, []*relation.Relation{r, s}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 1 || !view.Has(tuple.New(1, 2, 10)) {
+		t.Fatalf("initial view = %v", view)
+	}
+
+	ir := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(7, 5), tuple.New(8, 99))
+	m, err := NewMaintainer(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := maintain(t, m, view, []*relation.Relation{r, s}, []delta.Update{{Rel: "R", Inserts: ir}})
+
+	// (7,5) joins (5,20); (8,99) matches nothing.
+	if d.Inserts.Len() != 1 || !d.Inserts.Has(tuple.New(7, 5, 20)) {
+		t.Errorf("delta inserts = %v", d.Inserts)
+	}
+	if d.Deletes.Len() != 0 {
+		t.Errorf("delta deletes = %v", d.Deletes)
+	}
+	if view.Len() != 2 || !view.Has(tuple.New(7, 5, 20)) {
+		t.Errorf("view after = %v", view)
+	}
+	if d.Stats.ModifiedOperands != 1 || d.Stats.RowsEvaluated != 1 {
+		t.Errorf("stats = %+v", d.Stats)
+	}
+}
+
+// TestExample53 reproduces Example 5.3: delete-only maintenance via
+// v' = v − (d_r ⋈ s).
+func TestExample53(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S")
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2), tuple.New(3, 5))
+	s := relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 10), tuple.New(5, 20))
+	view, err := eval.Materialize(b, []*relation.Relation{r, s}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 2 {
+		t.Fatalf("initial view = %v", view)
+	}
+
+	dr := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(3, 5))
+	m, err := NewMaintainer(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := maintain(t, m, view, []*relation.Relation{r, s}, []delta.Update{{Rel: "R", Deletes: dr}})
+	if d.Deletes.Len() != 1 || !d.Deletes.Has(tuple.New(3, 5, 20)) {
+		t.Errorf("delta deletes = %v", d.Deletes)
+	}
+	if view.Len() != 1 || view.Has(tuple.New(3, 5, 20)) {
+		t.Errorf("view after = %v", view)
+	}
+}
+
+// TestExample55 reproduces Example 5.5: the SPJ view
+// π_A(σ_{C>10}(R ⋈ S)) maintained under inserts to R.
+func TestExample55(t *testing.T) {
+	db := testDB(t)
+	v, err := expr.NaturalJoin("v", db, "R", "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restrict to π_A σ_{C>10}.
+	v.Where.Conjuncts[0].Atoms = append(v.Where.Conjuncts[0].Atoms,
+		pred.VarConst("S.C", pred.OpGT, 10))
+	v.Project = []schema.Attribute{"R.A"}
+	b, err := expr.Bind(v, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2))
+	s := relation.MustFromTuples(schema.MustScheme("B", "C"),
+		tuple.New(2, 5), tuple.New(3, 20), tuple.New(4, 30))
+	view, err := eval.Materialize(b, []*relation.Relation{r, s}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 0 {
+		t.Fatalf("initial view = %v", view)
+	}
+
+	ir := relation.MustFromTuples(schema.MustScheme("A", "B"),
+		tuple.New(9, 3), tuple.New(9, 4), tuple.New(7, 2))
+	m, err := NewMaintainer(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := maintain(t, m, view, []*relation.Relation{r, s}, []delta.Update{{Rel: "R", Inserts: ir}})
+
+	// (9,3)⋈(3,20) and (9,4)⋈(4,30) both pass C>10 and project to A=9:
+	// the view tuple (9) gains TWO derivations. (7,2)⋈(2,5) fails C>10.
+	if d.Inserts.Count(tuple.New(9)) != 2 {
+		t.Errorf("delta inserts = %v, want (9)×2", d.Inserts)
+	}
+	if view.Count(tuple.New(9)) != 2 {
+		t.Errorf("view = %v", view)
+	}
+
+	// Deleting one derivation keeps the view tuple (§5.2 counters).
+	dr := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(9, 3))
+	pre := applyUpdates(t, []*relation.Relation{r, s}, []string{"R", "S"},
+		[]delta.Update{{Rel: "R", Inserts: ir}})
+	maintain(t, m, view, pre, []delta.Update{{Rel: "R", Deletes: dr}})
+	if view.Count(tuple.New(9)) != 1 {
+		t.Errorf("after one delete view = %v, want (9)×1", view)
+	}
+}
+
+// TestTruthTableP3 checks §5.3's p=3 example: when r1 and r2 are
+// modified, exactly rows 3, 5, 7 of the truth table are computed.
+func TestTruthTableP3(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S", "T")
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2))
+	s := relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 3))
+	tt := relation.MustFromTuples(schema.MustScheme("C", "D"), tuple.New(3, 4))
+	view, err := eval.Materialize(b, []*relation.Relation{r, s, tt}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ups := []delta.Update{
+		{Rel: "R", Inserts: relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(10, 2))},
+		{Rel: "S", Inserts: relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 30))},
+	}
+	for _, strat := range []Strategy{StrategyPrefixShare, StrategyRowByRow, StrategyRowByRowGreedy} {
+		m, err := NewMaintainer(b, Options{Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc := view.Clone()
+		d := maintain(t, m, vc, []*relation.Relation{r, s, tt}, ups)
+		if d.Stats.ModifiedOperands != 2 {
+			t.Errorf("strategy %d: k = %d, want 2", strat, d.Stats.ModifiedOperands)
+		}
+		// 2^2 − 1 = 3 rows: (r, i_s, t), (i_r, s, t), (i_r, i_s, t) —
+		// exactly the paper's rows 3, 5, 7. The prefix-sharing
+		// strategy additionally prunes the two rows whose
+		// intermediates go empty (i_s finds no T partner), completing
+		// only one.
+		wantRows := 3
+		if strat == StrategyPrefixShare {
+			wantRows = 1
+		}
+		if d.Stats.RowsEvaluated != wantRows {
+			t.Errorf("strategy %d: rows = %d, want %d", strat, d.Stats.RowsEvaluated, wantRows)
+		}
+		// i_r=(10,2) joins s=(2,3) → (10,2,3,4); r=(1,2) joins
+		// i_s=(2,30) → nothing in T(C=30); i_r ⋈ i_s → (10,2,30,…) → no T.
+		if vc.Len() != 2 || !vc.Has(tuple.New(10, 2, 3, 4)) {
+			t.Errorf("strategy %d: view = %v", strat, vc)
+		}
+	}
+}
+
+// TestDeleteBothSides covers the d_r ⋈ d_s case (Example 5.4 case 4):
+// a view tuple whose r- and s-components are both deleted must be
+// deleted exactly once.
+func TestDeleteBothSides(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S")
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2))
+	s := relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 10))
+	view, err := eval.Materialize(b, []*relation.Relation{r, s}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := []delta.Update{
+		{Rel: "R", Deletes: relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2))},
+		{Rel: "S", Deletes: relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 10))},
+	}
+	m, err := NewMaintainer(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := maintain(t, m, view, []*relation.Relation{r, s}, ups)
+	if d.Deletes.Count(tuple.New(1, 2, 10)) != 1 {
+		t.Errorf("delta deletes = %v, want (1,2,10)×1", d.Deletes)
+	}
+	if view.Len() != 0 {
+		t.Errorf("view after = %v", view)
+	}
+}
+
+// TestInsertMeetsDeleteIgnored covers Example 5.4 case 2: an inserted
+// r-tuple joining a deleted s-tuple must not reach the view.
+func TestInsertMeetsDeleteIgnored(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S")
+	r := relation.New(schema.MustScheme("A", "B"))
+	s := relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 10))
+	view, err := eval.Materialize(b, []*relation.Relation{r, s}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := []delta.Update{
+		{Rel: "R", Inserts: relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2))},
+		{Rel: "S", Deletes: relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 10))},
+	}
+	m, err := NewMaintainer(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := maintain(t, m, view, []*relation.Relation{r, s}, ups)
+	if d.Inserts.Len() != 0 || d.Deletes.Len() != 0 || view.Len() != 0 {
+		t.Errorf("ins=%v del=%v view=%v, want all empty", d.Inserts, d.Deletes, view)
+	}
+}
+
+// TestSelectViewDelta checks the §5.1 formula path.
+func TestSelectViewDelta(t *testing.T) {
+	db := testDB(t)
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}},
+		Where:    pred.MustParse("A >= 10"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := delta.Update{
+		Rel:     "R",
+		Inserts: relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(11, 0), tuple.New(5, 0)),
+		Deletes: relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(20, 0)),
+	}
+	d, err := SelectViewDelta(b, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Inserts.Len() != 1 || !d.Inserts.Has(tuple.New(11, 0)) {
+		t.Errorf("inserts = %v", d.Inserts)
+	}
+	if d.Deletes.Len() != 1 || !d.Deletes.Has(tuple.New(20, 0)) {
+		t.Errorf("deletes = %v", d.Deletes)
+	}
+	// Multi-operand views are rejected.
+	if _, err := SelectViewDelta(joinView(t, db, "R", "S"), u); err == nil {
+		t.Error("SelectViewDelta must reject join views")
+	}
+	// It must agree with the general machinery.
+	m, err := NewMaintainer(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(20, 0), tuple.New(1, 1))
+	g, err := m.ComputeDelta([]*relation.Relation{r}, []delta.Update{u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Inserts.Equal(d.Inserts) || !g.Deletes.Equal(d.Deletes) {
+		t.Errorf("general %v/%v vs select %v/%v", g.Inserts, g.Deletes, d.Inserts, d.Deletes)
+	}
+}
+
+// TestFilterReducesWork wires the §4 pre-filter into maintenance and
+// checks both the stats and the unchanged result.
+func TestFilterReducesWork(t *testing.T) {
+	db := testDB(t)
+	v, err := expr.NaturalJoin("v", db, "R", "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Where.Conjuncts[0].Atoms = append(v.Where.Conjuncts[0].Atoms,
+		pred.VarConst("R.A", pred.OpLT, 10))
+	b, err := expr.Bind(v, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(schema.MustScheme("A", "B"))
+	s := relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 10))
+	view, err := eval.Materialize(b, []*relation.Relation{r, s}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir := relation.MustFromTuples(schema.MustScheme("A", "B"),
+		tuple.New(1, 2),   // relevant, joins s
+		tuple.New(50, 2),  // irrelevant: A ≥ 10
+		tuple.New(99, 99), // irrelevant: A ≥ 10
+	)
+	m, err := NewMaintainer(b, Options{Filter: true, FilterOptions: irrelevance.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := maintain(t, m, view, []*relation.Relation{r, s}, []delta.Update{{Rel: "R", Inserts: ir}})
+	if d.Stats.FilteredOut != 2 {
+		t.Errorf("FilteredOut = %d, want 2", d.Stats.FilteredOut)
+	}
+	if view.Len() != 1 || !view.Has(tuple.New(1, 2, 10)) {
+		t.Errorf("view = %v", view)
+	}
+}
+
+// TestFilterOnlyIrrelevantSkipsAllWork: when every update tuple is
+// filtered out, no rows are evaluated at all.
+func TestFilterOnlyIrrelevantSkipsAllWork(t *testing.T) {
+	db := testDB(t)
+	v, err := expr.NaturalJoin("v", db, "R", "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Where.Conjuncts[0].Atoms = append(v.Where.Conjuncts[0].Atoms,
+		pred.VarConst("R.A", pred.OpLT, 10))
+	b, err := expr.Bind(v, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(schema.MustScheme("A", "B"))
+	s := relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 10))
+	view, _ := eval.Materialize(b, []*relation.Relation{r, s}, eval.Options{})
+	ir := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(50, 2))
+	m, err := NewMaintainer(b, Options{Filter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := maintain(t, m, view, []*relation.Relation{r, s}, []delta.Update{{Rel: "R", Inserts: ir}})
+	if d.Stats.ModifiedOperands != 0 || d.Stats.RowsEvaluated != 0 {
+		t.Errorf("stats = %+v, want no work", d.Stats)
+	}
+}
+
+func TestComputeDeltaErrors(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S")
+	m, err := NewMaintainer(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ComputeDelta(nil, nil); err == nil {
+		t.Error("instance count mismatch must fail")
+	}
+	r := relation.New(schema.MustScheme("A", "B"))
+	s := relation.New(schema.MustScheme("B", "C"))
+	dup := []delta.Update{{Rel: "R"}, {Rel: "R"}}
+	if _, err := m.ComputeDelta([]*relation.Relation{r, s}, dup); err == nil {
+		t.Error("duplicate relation update must fail")
+	}
+	wrong := relation.New(schema.MustScheme("X"))
+	if _, err := m.ComputeDelta([]*relation.Relation{wrong, s}, nil); err == nil {
+		t.Error("instance scheme mismatch must fail")
+	}
+	if m.Bound() != b {
+		t.Error("Bound accessor broken")
+	}
+}
+
+// TestSelfJoinUpdates: one relation referenced twice; its update must
+// flow into both operands.
+func TestSelfJoinUpdates(t *testing.T) {
+	db := testDB(t)
+	// v = σ_{x.B = y.A}(R as x × R as y): pairs chained by B→A.
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R", Alias: "x"}, {Rel: "R", Alias: "y"}},
+		Where:    pred.MustParse("x.B = y.A"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2))
+	view, err := eval.Materialize(b, []*relation.Relation{r, r}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 0 {
+		t.Fatalf("initial view = %v", view)
+	}
+	// Insert (2,1): creates both (1,2)-(2,1) and (2,1)-(1,2), plus…
+	// (2,1)⋈(1,2): B=1=A ✓; (1,2)⋈(2,1): B=2=A ✓.
+	ins := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(2, 1))
+	m, err := NewMaintainer(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := maintain(t, m, view, []*relation.Relation{r, r}, []delta.Update{{Rel: "R", Inserts: ins}})
+	if d.Stats.ModifiedOperands != 2 {
+		t.Errorf("self-join must mark both operands modified: %+v", d.Stats)
+	}
+	if view.Len() != 2 || !view.Has(tuple.New(1, 2, 2, 1)) || !view.Has(tuple.New(2, 1, 1, 2)) {
+		t.Errorf("view = %v", view)
+	}
+}
+
+// TestApplyRejectsMismatchedDelta: folding a delta that deletes a
+// derivation the view does not hold must surface the inconsistency.
+func TestApplyRejectsMismatchedDelta(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S")
+	out, err := b.OutScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := relation.NewCounted(out)
+	del := relation.NewCounted(out)
+	_ = del.Add(tuple.New(1, 2, 3), 1)
+	d := &ViewDelta{Inserts: relation.NewCounted(out), Deletes: del}
+	if err := Apply(view, d); err == nil {
+		t.Error("deleting a missing derivation must fail")
+	}
+	// Mismatched schemes fail on the insert side too.
+	bad := &ViewDelta{
+		Inserts: relation.NewCounted(schema.MustScheme("Z")),
+		Deletes: relation.NewCounted(out),
+	}
+	if err := Apply(view, bad); err == nil {
+		t.Error("mismatched insert scheme must fail")
+	}
+}
+
+// TestSelectViewDeltaNilSides covers the p=1 fast path with one nil
+// update side (exercising the empty-counted construction via the
+// view's output scheme).
+func TestSelectViewDeltaNilSides(t *testing.T) {
+	db := testDB(t)
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}},
+		Where:    pred.MustParse("A >= 10"),
+		Project:  []schema.Attribute{"B"},
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := delta.Update{Rel: "R",
+		Inserts: relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(11, 5))}
+	d, err := SelectViewDelta(b, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Inserts.Count(tuple.New(5)) != 1 || d.Deletes.Len() != 0 {
+		t.Errorf("delta = %v / %v", d.Inserts, d.Deletes)
+	}
+}
+
+// TestIndexedThreeWayFallbackOrdering drives the indexed strategy on a
+// 3-way join with NO indexes, so the next-operand choice must compare
+// candidate sizes (smallest-first) across multiple linked candidates.
+func TestIndexedThreeWayFallbackOrdering(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S", "T")
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2))
+	s := relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 3), tuple.New(2, 4))
+	tt := relation.MustFromTuples(schema.MustScheme("C", "D"), tuple.New(3, 9))
+	view, err := eval.Materialize(b, []*relation.Relation{r, s, tt}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainer(b, Options{Strategy: StrategyIndexedDelta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Modify the middle relation so both R and T are old-slot
+	// candidates linked to the intermediate.
+	ups := []delta.Update{{Rel: "S", Inserts: relation.MustFromTuples(
+		schema.MustScheme("B", "C"), tuple.New(2, 30))}}
+	d, err := m.ComputeDeltaWith([]*relation.Relation{r, s, tt}, ups, noProvider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(view, d); err != nil {
+		t.Fatal(err)
+	}
+	// (2,30) joins r=(1,2) but finds no T partner for C=30: no change.
+	want, err := eval.Materialize(b, []*relation.Relation{r,
+		relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 3), tuple.New(2, 4), tuple.New(2, 30)),
+		tt}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !view.Equal(want) {
+		t.Errorf("view = %v, want %v", view, want)
+	}
+}
+
+// mapProvider is a test IndexProvider backed by eagerly built indexes
+// on every column of every relation.
+type mapProvider map[string]map[int]*relation.Index
+
+func buildAllIndexes(t *testing.T, names []string, insts map[string]*relation.Relation) mapProvider {
+	t.Helper()
+	p := make(mapProvider)
+	for _, n := range names {
+		r := insts[n]
+		p[n] = make(map[int]*relation.Index)
+		for pos := 0; pos < r.Scheme().Arity(); pos++ {
+			ix, err := relation.BuildIndex(r, pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p[n][pos] = ix
+		}
+	}
+	return p
+}
+
+func (p mapProvider) Index(rel string, pos int) *relation.Index { return p[rel][pos] }
+
+// noProvider satisfies IndexProvider but never has an index, forcing
+// the indexed strategy through its hash-join fallback.
+type noProvider struct{}
+
+func (noProvider) Index(string, int) *relation.Index { return nil }
+
+// TestIndexedFallbackWithoutIndexes: StrategyIndexedDelta must still
+// be correct when no usable index exists (hash-join fallback), when
+// rows demand cross products, and under self-joins.
+func TestIndexedFallbackWithoutIndexes(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S")
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2))
+	s := relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 10), tuple.New(5, 20))
+	view, err := eval.Materialize(b, []*relation.Relation{r, s}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainer(b, Options{Strategy: StrategyIndexedDelta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := []delta.Update{{Rel: "R", Inserts: relation.MustFromTuples(
+		schema.MustScheme("A", "B"), tuple.New(7, 5))}}
+	d, err := m.ComputeDeltaWith([]*relation.Relation{r, s}, ups, noProvider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(view, d); err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 2 || !view.Has(tuple.New(7, 5, 20)) {
+		t.Errorf("view = %v", view)
+	}
+	if d.Stats.IndexProbes != 0 {
+		t.Errorf("no probes expected without indexes, got %d", d.Stats.IndexProbes)
+	}
+}
+
+// TestIndexedCrossProductRow: a view whose operands share no join
+// attribute forces the indexed strategy through a cross-product step.
+func TestIndexedCrossProductRow(t *testing.T) {
+	db, err := schema.NewDatabase(
+		&schema.RelScheme{Name: "X", Scheme: schema.MustScheme("A")},
+		&schema.RelScheme{Name: "Y", Scheme: schema.MustScheme("B")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "X"}, {Rel: "Y"}},
+		Where:    pred.MustParse("A < B"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := relation.MustFromTuples(schema.MustScheme("A"), tuple.New(1), tuple.New(9))
+	y := relation.MustFromTuples(schema.MustScheme("B"), tuple.New(5))
+	view, err := eval.Materialize(b, []*relation.Relation{x, y}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainer(b, Options{Strategy: StrategyIndexedDelta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := []delta.Update{{Rel: "Y", Inserts: relation.MustFromTuples(
+		schema.MustScheme("B"), tuple.New(100))}}
+	d, err := m.ComputeDeltaWith([]*relation.Relation{x, y}, ups, noProvider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(view, d); err != nil {
+		t.Fatal(err)
+	}
+	// Both x tuples are < 100.
+	if view.Len() != 3 || !view.Has(tuple.New(9, 100)) {
+		t.Errorf("view = %v", view)
+	}
+}
+
+// TestIndexedSelfJoin drives the indexed strategy through a self-join
+// with a shared update.
+func TestIndexedSelfJoin(t *testing.T) {
+	db := testDB(t)
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R", Alias: "x"}, {Rel: "R", Alias: "y"}},
+		Where:    pred.MustParse("x.B = y.A"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2))
+	view, err := eval.Materialize(b, []*relation.Relation{r, r}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := buildAllIndexes(t, []string{"R"}, map[string]*relation.Relation{"R": r})
+	m, err := NewMaintainer(b, Options{Strategy: StrategyIndexedDelta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := []delta.Update{{Rel: "R", Inserts: relation.MustFromTuples(
+		schema.MustScheme("A", "B"), tuple.New(2, 1))}}
+	d, err := m.ComputeDeltaWith([]*relation.Relation{r, r}, ups, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(view, d); err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 2 || !view.Has(tuple.New(1, 2, 2, 1)) || !view.Has(tuple.New(2, 1, 1, 2)) {
+		t.Errorf("view = %v", view)
+	}
+}
+
+// TestIndexedStrategyRequiresProvider checks the explicit error.
+func TestIndexedStrategyRequiresProvider(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S")
+	m, err := NewMaintainer(b, Options{Strategy: StrategyIndexedDelta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(schema.MustScheme("A", "B"))
+	s := relation.New(schema.MustScheme("B", "C"))
+	if _, err := m.ComputeDelta([]*relation.Relation{r, s}, nil); err == nil {
+		t.Error("indexed strategy without provider must fail")
+	}
+}
+
+// TestIndexedProbeSkipsDeletedTuples: the persistent index holds the
+// pre-state (including to-be-deleted tuples); probes must skip them.
+func TestIndexedProbeSkipsDeletedTuples(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S")
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2))
+	s := relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 10), tuple.New(2, 20))
+	prov := buildAllIndexes(t, []string{"R", "S"}, map[string]*relation.Relation{"R": r, "S": s})
+	m, err := NewMaintainer(b, Options{Strategy: StrategyIndexedDelta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One transaction: insert a new R tuple AND delete an S tuple.
+	ups := []delta.Update{
+		{Rel: "R", Inserts: relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(9, 2))},
+		{Rel: "S", Deletes: relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 10))},
+	}
+	d, err := m.ComputeDeltaWith([]*relation.Relation{r, s}, ups, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i_r must join only the surviving S tuple (2,20); the deleted
+	// (2,10) must be skipped by the probe (it would otherwise appear
+	// as a bogus insert). The old view tuple (1,2,10) must be deleted.
+	if d.Inserts.Len() != 1 || !d.Inserts.Has(tuple.New(9, 2, 20)) {
+		t.Errorf("inserts = %v", d.Inserts)
+	}
+	if d.Deletes.Len() != 1 || !d.Deletes.Has(tuple.New(1, 2, 10)) {
+		t.Errorf("deletes = %v", d.Deletes)
+	}
+	if d.Stats.IndexProbes == 0 {
+		t.Error("expected index probes to be used")
+	}
+}
+
+// TestDifferentialMatchesFullReevaluation is the headline oracle: for
+// random databases, random views, and random transactions, applying
+// the differential delta must equal re-materializing from the
+// post-transaction state — under every strategy, with and without the
+// irrelevance filter.
+func TestDifferentialMatchesFullReevaluation(t *testing.T) {
+	db := testDB(t)
+	names := []string{"R", "S", "T"}
+	schemes := map[string]*schema.Scheme{
+		"R": schema.MustScheme("A", "B"),
+		"S": schema.MustScheme("B", "C"),
+		"T": schema.MustScheme("C", "D"),
+	}
+	conds := []struct {
+		rels []string
+		cond string
+		proj []schema.Attribute
+	}{
+		{[]string{"R"}, "R.A < 5", nil},
+		{[]string{"R"}, "R.A >= 3", []schema.Attribute{"R.B"}},
+		{[]string{"R", "S"}, "R.B = S.B", []schema.Attribute{"R.A", "S.C"}},
+		{[]string{"R", "S"}, "R.B = S.B && S.C > 3", nil},
+		{[]string{"R", "S", "T"}, "R.B = S.B && S.C = T.C", []schema.Attribute{"R.A", "T.D"}},
+		{[]string{"R", "S"}, "(R.B = S.B && R.A < 4) || (R.B = S.B && S.C > 6)", []schema.Attribute{"R.A"}},
+	}
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 120; trial++ {
+		spec := conds[trial%len(conds)]
+		var ops []expr.Operand
+		for _, rl := range spec.rels {
+			ops = append(ops, expr.Operand{Rel: rl})
+		}
+		b, err := expr.Bind(expr.View{
+			Name: "v", Operands: ops,
+			Where: pred.MustParse(spec.cond), Project: spec.proj,
+		}, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Random instances.
+		instByName := make(map[string]*relation.Relation)
+		for _, n := range names {
+			r := relation.New(schemes[n])
+			for i := 0; i < rng.Intn(15); i++ {
+				_ = r.Insert(tuple.New(int64(rng.Intn(8)), int64(rng.Intn(8))))
+			}
+			instByName[n] = r
+		}
+		insts := make([]*relation.Relation, len(spec.rels))
+		for i, n := range spec.rels {
+			insts[i] = instByName[n]
+		}
+
+		view, err := eval.Materialize(b, insts, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Random net updates on a random subset of relations.
+		var ups []delta.Update
+		for _, n := range spec.rels {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			inst := instByName[n]
+			u := delta.Update{Rel: n,
+				Inserts: relation.New(schemes[n]),
+				Deletes: relation.New(schemes[n])}
+			for i := 0; i < rng.Intn(5); i++ {
+				tu := tuple.New(int64(rng.Intn(8)), int64(rng.Intn(8)))
+				if !inst.Has(tu) {
+					_ = u.Inserts.Insert(tu)
+				}
+			}
+			for _, tu := range inst.Tuples() {
+				if rng.Intn(4) == 0 {
+					_ = u.Deletes.Insert(tu)
+				}
+			}
+			if !u.IsEmpty() {
+				ups = append(ups, u)
+			}
+		}
+
+		// Post-state oracle.
+		post := applyUpdates(t, insts, spec.rels, ups)
+		want, err := eval.Materialize(b, post, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		prov := buildAllIndexes(t, names, instByName)
+		for _, opt := range []Options{
+			{Strategy: StrategyPrefixShare},
+			{Strategy: StrategyRowByRow},
+			{Strategy: StrategyRowByRowGreedy},
+			{Strategy: StrategyPrefixShare, Filter: true},
+			{Strategy: StrategyIndexedDelta},
+			{Strategy: StrategyIndexedDelta, Filter: true},
+			{Strategy: StrategyAuto},
+		} {
+			m, err := NewMaintainer(b, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := view.Clone()
+			var d *ViewDelta
+			if opt.Strategy == StrategyIndexedDelta || opt.Strategy == StrategyAuto {
+				d, err = m.ComputeDeltaWith(insts, ups, prov)
+			} else {
+				d, err = m.ComputeDelta(insts, ups)
+			}
+			if err != nil {
+				t.Fatalf("trial %d cond %q: %v", trial, spec.cond, err)
+			}
+			if err := Apply(got, d); err != nil {
+				t.Fatalf("trial %d cond %q opts %+v: Apply: %v", trial, spec.cond, opt, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d cond %q opts %+v:\n got %v\nwant %v", trial, spec.cond, opt, got, want)
+			}
+		}
+	}
+}

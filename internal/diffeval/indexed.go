@@ -1,0 +1,343 @@
+package diffeval
+
+// This file implements StrategyIndexedDelta: per-row, delta-first
+// evaluation that reaches old slots by probing persistent base
+// relation indexes, so the per-transaction cost scales with the delta
+// rather than with the base relations.
+
+import (
+	"fmt"
+	"sort"
+
+	"mview/internal/expr"
+	"mview/internal/pred"
+	"mview/internal/relation"
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+// atomInfo is a selection atom with its variables resolved to owning
+// operands and positions.
+type atomInfo struct {
+	a        pred.Atom
+	leftOp   int // operand owning the left variable
+	leftPos  int // position within that operand's scheme
+	rightOp  int // -1 when the right side is a constant
+	rightPos int
+	eqJoin   bool // x = y (no offset) across two distinct operands
+}
+
+type conjInfo struct {
+	atoms []atomInfo
+}
+
+// resolveConj resolves every atom of a bound conjunct. Bound
+// conditions are fully qualified, so each variable has exactly one
+// owning operand.
+func resolveConj(b *expr.Bound, conj pred.Conjunction) (conjInfo, error) {
+	ci := conjInfo{atoms: make([]atomInfo, len(conj.Atoms))}
+	resolve := func(v pred.Var) (int, int, error) {
+		ops := b.OperandsOf(v)
+		if len(ops) != 1 {
+			return 0, 0, fmt.Errorf("diffeval: variable %q owned by %d operands", v, len(ops))
+		}
+		pos, ok := b.Operands[ops[0]].QScheme.Pos(schema.Attribute(v))
+		if !ok {
+			return 0, 0, fmt.Errorf("diffeval: variable %q missing from operand scheme", v)
+		}
+		return ops[0], pos, nil
+	}
+	for i, a := range conj.Atoms {
+		ai := atomInfo{a: a, rightOp: -1}
+		var err error
+		ai.leftOp, ai.leftPos, err = resolve(a.Left)
+		if err != nil {
+			return ci, err
+		}
+		if a.HasRightVar() {
+			ai.rightOp, ai.rightPos, err = resolve(a.Right)
+			if err != nil {
+				return ci, err
+			}
+			ai.eqJoin = a.Op == pred.OpEQ && a.C == 0 && ai.leftOp != ai.rightOp
+		}
+		ci.atoms[i] = ai
+	}
+	return ci, nil
+}
+
+// runIndexed evaluates every non-all-old truth-table row delta-first
+// with index probes.
+func (m *Maintainer) runIndexed(sl []*slot, out *relation.Tagged, stats *Stats, provider IndexProvider) error {
+	var modified []int
+	for i := range sl {
+		if sl[i].modified {
+			modified = append(modified, i)
+		}
+	}
+	k := len(modified)
+	for ci := range m.conjs {
+		for mask := 1; mask < 1<<k; mask++ {
+			res, err := m.evalRowIndexed(ci, sl, modified, mask, stats, provider)
+			if err != nil {
+				return err
+			}
+			if res != nil {
+				if err := out.Merge(res); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rowState tracks one row's evaluation.
+type rowState struct {
+	g        *relation.Tagged
+	scheme   *schema.Scheme
+	consumed []bool
+	applied  []bool
+}
+
+// evalRowIndexed evaluates one truth-table row of one conjunct.
+// It returns nil (no error) when the row is pruned empty.
+func (m *Maintainer) evalRowIndexed(ci int, sl []*slot, modified []int, mask int,
+	stats *Stats, provider IndexProvider) (*relation.Tagged, error) {
+
+	info := &m.conjs[ci]
+	n := len(sl)
+	isDelta := make([]bool, n)
+	for bit, opIdx := range modified {
+		if mask&(1<<bit) != 0 {
+			isDelta[opIdx] = true
+		}
+	}
+	rowSlot := func(i int) (*relation.Tagged, error) {
+		if isDelta[i] {
+			return sl[i].deltaTagged()
+		}
+		return sl[i].old()
+	}
+
+	st := &rowState{consumed: make([]bool, n), applied: make([]bool, len(info.atoms))}
+
+	// Linking atoms between the consumed set and operand j.
+	linksTo := func(j int) []int {
+		var out []int
+		for ai, a := range info.atoms {
+			if !a.eqJoin || st.applied[ai] {
+				continue
+			}
+			if (st.consumed[a.leftOp] && a.rightOp == j) || (st.consumed[a.rightOp] && a.leftOp == j) {
+				out = append(out, ai)
+			}
+		}
+		return out
+	}
+
+	// probeFor returns the linking atom and index to use for an
+	// indexed probe of operand j's old slot, or (-1, nil).
+	probeFor := func(j int, links []int) (int, *relation.Index) {
+		if isDelta[j] || provider == nil {
+			return -1, nil
+		}
+		for _, ai := range links {
+			a := info.atoms[ai]
+			jPos := a.rightPos
+			if a.leftOp == j {
+				jPos = a.leftPos
+			}
+			if ix := provider.Index(sl[j].op.Rel, jPos); ix != nil {
+				return ai, ix
+			}
+		}
+		return -1, nil
+	}
+
+	// Choose the evaluation order: the row's delta slots first
+	// (smallest first), then connected operands preferring indexed
+	// probes, then the rest.
+	var deltaOps []int
+	for _, opIdx := range modified {
+		if isDelta[opIdx] {
+			deltaOps = append(deltaOps, opIdx)
+		}
+	}
+	sort.Slice(deltaOps, func(a, b int) bool {
+		return sl[deltaOps[a]].deltaSize() < sl[deltaOps[b]].deltaSize()
+	})
+
+	// tryApply filters the intermediate by every not-yet-applied atom
+	// whose variables are all available.
+	tryApply := func() error {
+		var atoms []pred.Atom
+		for ai, a := range info.atoms {
+			if st.applied[ai] {
+				continue
+			}
+			if st.scheme.Has(schema.Attribute(a.a.Left)) &&
+				(!a.a.HasRightVar() || st.scheme.Has(schema.Attribute(a.a.Right))) {
+				atoms = append(atoms, a.a)
+				st.applied[ai] = true
+			}
+		}
+		if len(atoms) == 0 {
+			return nil
+		}
+		f, err := pred.Or(pred.And(atoms...)).Compile(st.scheme)
+		if err != nil {
+			return err
+		}
+		st.g = relation.SelectTagged(st.g, f)
+		return nil
+	}
+
+	// Consume the first operand.
+	first := deltaOps[0]
+	g, err := rowSlot(first)
+	if err != nil {
+		return nil, err
+	}
+	st.g, st.scheme = g, sl[first].op.QScheme
+	st.consumed[first] = true
+	if err := tryApply(); err != nil {
+		return nil, err
+	}
+
+	for consumedCount := 1; consumedCount < n; consumedCount++ {
+		if st.g.Len() == 0 {
+			return nil, nil // pruned
+		}
+		// Pick the next operand.
+		next, probeAtom := -1, -1
+		var probeIx *relation.Index
+		var nextLinks []int
+		// Pass 1: connected with a usable index.
+		for j := 0; j < n; j++ {
+			if st.consumed[j] {
+				continue
+			}
+			links := linksTo(j)
+			if len(links) == 0 {
+				continue
+			}
+			if ai, ix := probeFor(j, links); ix != nil {
+				next, probeAtom, probeIx, nextLinks = j, ai, ix, links
+				break
+			}
+			if next < 0 || sizeOf(sl[j], isDelta[j]) < sizeOf(sl[next], isDelta[next]) {
+				next, nextLinks = j, links
+			}
+		}
+		// Pass 2: nothing connected — cross product with the smallest.
+		if next < 0 {
+			for j := 0; j < n; j++ {
+				if st.consumed[j] {
+					continue
+				}
+				if next < 0 || sizeOf(sl[j], isDelta[j]) < sizeOf(sl[next], isDelta[next]) {
+					next = j
+				}
+			}
+			nextLinks = nil
+		}
+
+		stats.JoinSteps++
+		if probeIx != nil {
+			// Indexed probe of an old slot: iterate the (small)
+			// intermediate and look up matches in the persistent
+			// base index, skipping deleted tuples.
+			a := info.atoms[probeAtom]
+			var curVar pred.Var
+			if a.leftOp == next {
+				curVar = a.a.Right
+			} else {
+				curVar = a.a.Left
+			}
+			lpos, ok := st.scheme.Pos(schema.Attribute(curVar))
+			if !ok {
+				return nil, fmt.Errorf("diffeval: probe variable %q missing from intermediate", curVar)
+			}
+			nextScheme, err := st.scheme.Concat(sl[next].op.QScheme)
+			if err != nil {
+				return nil, err
+			}
+			ng := relation.NewTagged(nextScheme)
+			delSet := sl[next].del
+			var setErr error
+			st.g.Each(func(t tuple.Tuple, tag tuple.Tag) {
+				if setErr != nil {
+					return
+				}
+				stats.IndexProbes++
+				for _, bt := range probeIx.Probe(t[lpos]) {
+					if delSet != nil && delSet.Has(bt) {
+						continue
+					}
+					if err := ng.Set(t.Concat(bt), tag); err != nil {
+						setErr = err
+						return
+					}
+				}
+			})
+			if setErr != nil {
+				return nil, setErr
+			}
+			st.g, st.scheme = ng, nextScheme
+			st.applied[probeAtom] = true
+		} else {
+			// Hash join (or cross product) against the row slot.
+			rhs, err := rowSlot(next)
+			if err != nil {
+				return nil, err
+			}
+			var lpos, rpos []int
+			for _, ai := range nextLinks {
+				a := info.atoms[ai]
+				var curVar pred.Var
+				var rp int
+				if a.leftOp == next {
+					curVar, rp = a.a.Right, a.leftPos
+				} else {
+					curVar, rp = a.a.Left, a.rightPos
+				}
+				lp, ok := st.scheme.Pos(schema.Attribute(curVar))
+				if !ok {
+					return nil, fmt.Errorf("diffeval: join variable %q missing from intermediate", curVar)
+				}
+				lpos = append(lpos, lp)
+				rpos = append(rpos, rp)
+				st.applied[ai] = true
+			}
+			ng, err := relation.JoinOn(st.g, rhs, lpos, rpos)
+			if err != nil {
+				return nil, err
+			}
+			st.g = ng
+			st.scheme = ng.Scheme()
+		}
+		st.consumed[next] = true
+		if err := tryApply(); err != nil {
+			return nil, err
+		}
+	}
+
+	if st.g.Len() == 0 {
+		return nil, nil
+	}
+	for ai := range info.atoms {
+		if !st.applied[ai] {
+			return nil, fmt.Errorf("diffeval: atom %q never applied in indexed row", info.atoms[ai].a)
+		}
+	}
+	stats.RowsEvaluated++
+	return st.g.Reorder(m.bound.Joint.Attributes())
+}
+
+func sizeOf(s *slot, isDelta bool) int {
+	if isDelta {
+		return s.deltaSize()
+	}
+	return s.inst.Len()
+}

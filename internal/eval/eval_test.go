@@ -1,0 +1,316 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"mview/internal/expr"
+	"mview/internal/pred"
+	"mview/internal/relation"
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+func testDB(t *testing.T) *schema.Database {
+	t.Helper()
+	db, err := schema.NewDatabase(
+		&schema.RelScheme{Name: "R", Scheme: schema.MustScheme("A", "B")},
+		&schema.RelScheme{Name: "S", Scheme: schema.MustScheme("C", "D")},
+		&schema.RelScheme{Name: "T", Scheme: schema.MustScheme("E", "F")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func bindView(t *testing.T, db *schema.Database, v expr.View) *expr.Bound {
+	t.Helper()
+	b, err := expr.Bind(v, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// naiveMaterialize is the oracle: brute-force cross product, condition
+// evaluation via the interpreter, counted projection.
+func naiveMaterialize(t *testing.T, b *expr.Bound, insts []*relation.Relation) *relation.Counted {
+	t.Helper()
+	cross := relation.NewTagged(b.Joint)
+	var rec func(prefix tuple.Tuple, i int)
+	rec = func(prefix tuple.Tuple, i int) {
+		if i == len(insts) {
+			if err := cross.Set(prefix, tuple.TagOld); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		insts[i].Each(func(tu tuple.Tuple) {
+			rec(prefix.Concat(tu), i+1)
+		})
+	}
+	rec(tuple.New(), 0)
+	filtered := relation.SelectTagged(cross, func(tu tuple.Tuple) bool {
+		ok, err := b.Where.Eval(pred.BindTuple(b.Joint, tu))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	})
+	out, err := filtered.CountAll(b.Project)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMaterializeExample41 evaluates the paper's Example 4.1 view:
+// v = π_{A,D}(σ_{A<10 ∧ C>5 ∧ B=C}(r × s)) over the paper's instances,
+// expecting v = {(1,20), (2,15)} … the paper lists (5,10)? No: the
+// paper's printed view contains (5, 20)-style rows; we verify against
+// the brute-force oracle and spot-check membership computed by hand.
+func TestMaterializeExample41(t *testing.T) {
+	db := testDB(t)
+	b := bindView(t, db, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("A < 10 && C > 5 && B = C"),
+		Project:  []schema.Attribute{"A", "D"},
+	})
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"),
+		tuple.New(1, 2), tuple.New(5, 10), tuple.New(10, 20))
+	s := relation.MustFromTuples(schema.MustScheme("C", "D"),
+		tuple.New(2, 10), tuple.New(10, 20), tuple.New(12, 15))
+
+	got, err := Materialize(b, []*relation.Relation{r, s}, Options{Greedy: true})
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	// Hand check: (1,2)×(2,10) fails C>5; (5,10)×(10,20) passes → (5,20);
+	// (10,…) fails A<10; (1,2)×(12,15), (5,10)×(12,15) fail B=C.
+	if got.Len() != 1 || got.Count(tuple.New(5, 20)) != 1 {
+		t.Errorf("view = %v, want {(5, 20)×1}", got)
+	}
+	want := naiveMaterialize(t, b, []*relation.Relation{r, s})
+	if !got.Equal(want) {
+		t.Errorf("materialize = %v, oracle = %v", got, want)
+	}
+}
+
+func TestMaterializeSingleOperandSelectProject(t *testing.T) {
+	db := testDB(t)
+	b := bindView(t, db, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}},
+		Where:    pred.MustParse("A >= 2"),
+		Project:  []schema.Attribute{"B"},
+	})
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"),
+		tuple.New(1, 10), tuple.New(2, 10), tuple.New(3, 10), tuple.New(4, 20))
+	got, err := Materialize(b, []*relation.Relation{r}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count(tuple.New(10)) != 2 || got.Count(tuple.New(20)) != 1 {
+		t.Errorf("view = %v", got)
+	}
+}
+
+func TestMaterializeDisjunctionNoDoubleCount(t *testing.T) {
+	db := testDB(t)
+	// A tuple satisfying both disjuncts must count once.
+	b := bindView(t, db, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}},
+		Where:    pred.MustParse("A > 0 || B > 0"),
+		Project:  []schema.Attribute{"A", "B"},
+	})
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"),
+		tuple.New(1, 1), tuple.New(1, -5), tuple.New(-5, -5))
+	got, err := Materialize(b, []*relation.Relation{r}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count(tuple.New(1, 1)) != 1 {
+		t.Errorf("double-counted disjuncts: %v", got)
+	}
+	if got.Len() != 2 {
+		t.Errorf("view = %v", got)
+	}
+}
+
+func TestMaterializeCrossOperandInequality(t *testing.T) {
+	db := testDB(t)
+	// A non-equality cross-operand atom cannot be a hash join; it must
+	// be applied as a post-join filter.
+	b := bindView(t, db, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("A < C"),
+	})
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 0), tuple.New(5, 0))
+	s := relation.MustFromTuples(schema.MustScheme("C", "D"), tuple.New(3, 0))
+	got, err := Materialize(b, []*relation.Relation{r, s}, Options{Greedy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Has(tuple.New(1, 0, 3, 0)) {
+		t.Errorf("view = %v", got)
+	}
+}
+
+func TestMaterializeEquiJoinWithOffsetAtom(t *testing.T) {
+	db := testDB(t)
+	// B = C + 5 has a nonzero offset: applied as filter, not join key.
+	b := bindView(t, db, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("B = C + 5"),
+	})
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 15))
+	s := relation.MustFromTuples(schema.MustScheme("C", "D"), tuple.New(10, 0), tuple.New(11, 0))
+	got, err := Materialize(b, []*relation.Relation{r, s}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Has(tuple.New(1, 15, 10, 0)) {
+		t.Errorf("view = %v", got)
+	}
+}
+
+func TestMaterializeThreeWayJoin(t *testing.T) {
+	db := testDB(t)
+	b := bindView(t, db, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}, {Rel: "T"}},
+		Where:    pred.MustParse("B = C && D = E"),
+		Project:  []schema.Attribute{"A", "F"},
+	})
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 100), tuple.New(2, 200))
+	s := relation.MustFromTuples(schema.MustScheme("C", "D"), tuple.New(100, 7), tuple.New(200, 8))
+	tt := relation.MustFromTuples(schema.MustScheme("E", "F"), tuple.New(7, 70), tuple.New(9, 90))
+	for _, greedy := range []bool{false, true} {
+		got, err := Materialize(b, []*relation.Relation{r, s, tt}, Options{Greedy: greedy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != 1 || got.Count(tuple.New(1, 70)) != 1 {
+			t.Errorf("greedy=%v view = %v", greedy, got)
+		}
+	}
+}
+
+func TestBuildPlanBadOrder(t *testing.T) {
+	db := testDB(t)
+	b := bindView(t, db, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+	})
+	conj := b.Where.Conjuncts[0]
+	if _, err := BuildPlan(b, conj, []int{0}); err == nil {
+		t.Error("short order must fail")
+	}
+	if _, err := BuildPlan(b, conj, []int{0, 0}); err == nil {
+		t.Error("non-permutation must fail")
+	}
+	if _, err := BuildPlan(b, conj, []int{0, 2}); err == nil {
+		t.Error("out-of-range order must fail")
+	}
+}
+
+func TestEvaluateInstanceCountMismatch(t *testing.T) {
+	db := testDB(t)
+	b := bindView(t, db, expr.View{Name: "v", Operands: []expr.Operand{{Rel: "R"}}})
+	if _, err := Evaluate(b, nil, Options{}); err == nil {
+		t.Error("missing instances must fail")
+	}
+	if _, err := Materialize(b, nil, Options{}); err == nil {
+		t.Error("missing instances must fail")
+	}
+}
+
+func TestMaterializeSchemeMismatch(t *testing.T) {
+	db := testDB(t)
+	b := bindView(t, db, expr.View{Name: "v", Operands: []expr.Operand{{Rel: "R"}}})
+	wrong := relation.New(schema.MustScheme("X"))
+	if _, err := Materialize(b, []*relation.Relation{wrong}, Options{}); err == nil {
+		t.Error("wrong instance scheme must fail")
+	}
+}
+
+func TestGreedyOrderPrefersSmallConnected(t *testing.T) {
+	db := testDB(t)
+	b := bindView(t, db, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}, {Rel: "T"}},
+		Where:    pred.MustParse("B = C && D = E"),
+	})
+	conj := b.Where.Conjuncts[0]
+	// S is smallest; R connects to S; T connects to S.
+	order := GreedyOrder(b, conj, []int{100, 1, 50})
+	if order[0] != 1 {
+		t.Errorf("order = %v, want S first", order)
+	}
+	// All three must appear.
+	if len(order) != 3 {
+		t.Errorf("order = %v", order)
+	}
+	// Single operand short-circuits.
+	b1 := bindView(t, db, expr.View{Name: "v1", Operands: []expr.Operand{{Rel: "R"}}})
+	if got := GreedyOrder(b1, b1.Where.Conjuncts[0], []int{5}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single-operand order = %v", got)
+	}
+}
+
+// TestMaterializeAgainstOracleRandom fuzzes random instances and
+// conditions, comparing the planned evaluator with the brute-force
+// oracle — with and without the greedy join order.
+func TestMaterializeAgainstOracleRandom(t *testing.T) {
+	db := testDB(t)
+	rng := rand.New(rand.NewSource(2026))
+	conds := []string{
+		"B = C",
+		"B = C && A < D",
+		"A < 3 || D > 7",
+		"B = C && (A < 2 || D >= 5)",
+		"A <= C + 2",
+		"true",
+		"A > 5 && A < 3",
+		"A != D && B = C",
+	}
+	for trial := 0; trial < 60; trial++ {
+		cond := conds[trial%len(conds)]
+		b := bindView(t, db, expr.View{
+			Name:     "v",
+			Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+			Where:    pred.MustParse(cond),
+			Project:  []schema.Attribute{"A", "D"},
+		})
+		mk := func(n int) *relation.Relation {
+			r := relation.New(schema.MustScheme("A", "B"))
+			for i := 0; i < n; i++ {
+				_ = r.Insert(tuple.New(int64(rng.Intn(8)), int64(rng.Intn(8))))
+			}
+			return r
+		}
+		mkS := func(n int) *relation.Relation {
+			r := relation.New(schema.MustScheme("C", "D"))
+			for i := 0; i < n; i++ {
+				_ = r.Insert(tuple.New(int64(rng.Intn(8)), int64(rng.Intn(8))))
+			}
+			return r
+		}
+		r, s := mk(rng.Intn(12)), mkS(rng.Intn(12))
+		want := naiveMaterialize(t, b, []*relation.Relation{r, s})
+		for _, greedy := range []bool{false, true} {
+			got, err := Materialize(b, []*relation.Relation{r, s}, Options{Greedy: greedy})
+			if err != nil {
+				t.Fatalf("cond %q: %v", cond, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("cond %q greedy=%v:\n got %v\nwant %v\nr=%v s=%v", cond, greedy, got, want, r, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"testing"
+
+	"mview/internal/expr"
+	"mview/internal/pred"
+	"mview/internal/relation"
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+// TestPlanStepAPI drives Scan / RunStep / Finish directly, the way the
+// differential evaluator does.
+func TestPlanStepAPI(t *testing.T) {
+	db := testDB(t)
+	b := bindView(t, db, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("B = C && A < 100"),
+	})
+	conj := b.Where.Conjuncts[0]
+	p, err := BuildPlan(b, conj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps() != 2 {
+		t.Fatalf("Steps = %d", p.Steps())
+	}
+	if p.OperandAt(0) != 0 || p.OperandAt(1) != 1 {
+		t.Errorf("operand order = %d,%d", p.OperandAt(0), p.OperandAt(1))
+	}
+
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"),
+		tuple.New(1, 7), tuple.New(500, 7)) // second fails A < 100 at scan
+	s := relation.MustFromTuples(schema.MustScheme("C", "D"), tuple.New(7, 9))
+	gr, err := relation.TagRelationAs(r, b.Operands[0].QScheme, tuple.TagOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := relation.TagRelationAs(s, b.Operands[1].QScheme, tuple.TagInsert)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur := p.Scan(gr)
+	if cur.Len() != 1 {
+		t.Fatalf("scan filter not pushed down: %v", cur)
+	}
+	cur, err = p.RunStep(cur, 1, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Finish(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("result = %v", out)
+	}
+	tag, ok := out.Get(tuple.New(1, 7, 7, 9))
+	if !ok || tag != tuple.TagInsert {
+		t.Errorf("tag = %v, ok = %v (old ⋈ insert must be insert)", tag, ok)
+	}
+	if !out.Scheme().Equal(b.Joint) {
+		t.Errorf("Finish must return joint order: %s", out.Scheme())
+	}
+}
+
+// TestPlanFinishReorders checks that a non-identity operand order is
+// mapped back to the joint scheme.
+func TestPlanFinishReorders(t *testing.T) {
+	db := testDB(t)
+	b := bindView(t, db, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("B = C"),
+	})
+	p, err := BuildPlan(b, b.Where.Conjuncts[0], []int{1, 0}) // S first
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 7))
+	s := relation.MustFromTuples(schema.MustScheme("C", "D"), tuple.New(7, 9))
+	gr, _ := relation.TagRelationAs(r, b.Operands[0].QScheme, tuple.TagOld)
+	gs, _ := relation.TagRelationAs(s, b.Operands[1].QScheme, tuple.TagOld)
+	out, err := p.Run([]*relation.Tagged{gr, gs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joint order is (R.A, R.B, S.C, S.D) even though S was scanned
+	// first.
+	if _, ok := out.Get(tuple.New(1, 7, 7, 9)); !ok {
+		t.Errorf("result = %v", out)
+	}
+}
+
+func TestPlanRunInstanceCount(t *testing.T) {
+	db := testDB(t)
+	b := bindView(t, db, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+	})
+	p, err := BuildPlan(b, b.Where.Conjuncts[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(nil); err == nil {
+		t.Error("Run with missing instances must fail")
+	}
+}
+
+// TestGreedyOrderDisconnected: operands with no equality links fall
+// back to smallest-first cross products.
+func TestGreedyOrderDisconnected(t *testing.T) {
+	db := testDB(t)
+	b := bindView(t, db, expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}, {Rel: "T"}},
+		Where:    pred.MustParse("A < 10"), // no joins at all
+	})
+	order := GreedyOrder(b, b.Where.Conjuncts[0], []int{30, 10, 20})
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Errorf("order = %v, want smallest-first [1 2 0]", order)
+	}
+}

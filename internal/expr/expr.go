@@ -1,0 +1,247 @@
+// Package expr defines SPJ view expressions — the class of views the
+// paper supports: V = π_X(σ_C(R1 × R2 × … × Rp)) — and binds them
+// against a database scheme.
+//
+// Operand relations are referred to by alias; attributes inside the
+// selection condition and the projection list may be written qualified
+// ("r.A") or unqualified ("A") when unambiguous. Binding resolves all
+// names, producing the joint (qualified) scheme of the cross product,
+// a fully qualified condition, and the projection positions.
+//
+// Natural-join views (§5.3) are provided as sugar: NaturalJoin builds
+// the cross product, equality conditions on the shared attribute
+// names, and a projection emitting each shared attribute once.
+package expr
+
+import (
+	"fmt"
+
+	"mview/internal/pred"
+	"mview/internal/schema"
+)
+
+// Operand references one base relation of the view's cross product.
+type Operand struct {
+	Rel   string // base relation name in the database scheme
+	Alias string // unique within the view; defaults to Rel
+}
+
+// View is an unresolved SPJ view definition.
+type View struct {
+	Name     string
+	Operands []Operand
+	Where    pred.DNF           // selection condition C(Y)
+	Project  []schema.Attribute // projection list X (empty = all attributes)
+}
+
+// BoundOperand is an operand resolved against the database scheme.
+type BoundOperand struct {
+	Rel     string
+	Alias   string
+	Scheme  *schema.Scheme // the base relation's scheme
+	QScheme *schema.Scheme // the scheme qualified by the alias
+	Offset  int            // position of this operand's first column in the joint scheme
+}
+
+// Bound is a view resolved against a database scheme: every attribute
+// reference is qualified and validated.
+type Bound struct {
+	Name     string
+	Operands []BoundOperand
+	Joint    *schema.Scheme     // concatenation of all qualified schemes
+	Where    pred.DNF           // fully qualified condition
+	Project  []schema.Attribute // fully qualified projection list
+	ProjPos  []int              // positions of Project in Joint
+
+	byAlias map[string]int
+}
+
+// Bind resolves the view against a database scheme.
+func Bind(v View, db *schema.Database) (*Bound, error) {
+	if v.Name == "" {
+		return nil, fmt.Errorf("expr: view with empty name")
+	}
+	if len(v.Operands) == 0 {
+		return nil, fmt.Errorf("expr: view %q has no operands", v.Name)
+	}
+
+	b := &Bound{Name: v.Name, byAlias: make(map[string]int, len(v.Operands))}
+	var jointAttrs []schema.Attribute
+	for _, op := range v.Operands {
+		alias := op.Alias
+		if alias == "" {
+			alias = op.Rel
+		}
+		if _, dup := b.byAlias[alias]; dup {
+			return nil, fmt.Errorf("expr: view %q: duplicate operand alias %q", v.Name, alias)
+		}
+		rs, ok := db.Rel(op.Rel)
+		if !ok {
+			return nil, fmt.Errorf("expr: view %q: unknown relation %q", v.Name, op.Rel)
+		}
+		bo := BoundOperand{
+			Rel:     op.Rel,
+			Alias:   alias,
+			Scheme:  rs.Scheme,
+			QScheme: rs.Scheme.Qualify(alias),
+			Offset:  len(jointAttrs),
+		}
+		b.byAlias[alias] = len(b.Operands)
+		b.Operands = append(b.Operands, bo)
+		jointAttrs = append(jointAttrs, bo.QScheme.Attributes()...)
+	}
+	joint, err := schema.NewScheme(jointAttrs...)
+	if err != nil {
+		return nil, fmt.Errorf("expr: view %q: %w", v.Name, err)
+	}
+	b.Joint = joint
+
+	resolve, err := b.resolver()
+	if err != nil {
+		return nil, err
+	}
+
+	// Qualify the condition. A zero-value condition (no conjuncts)
+	// means "no selection" and is normalized to Always; an explicit
+	// never-true view has no use and cannot be expressed.
+	where := v.Where
+	if len(where.Conjuncts) == 0 {
+		where = pred.Always()
+	}
+	var resolveErr error
+	b.Where = where.Rename(func(x pred.Var) pred.Var {
+		q, err := resolve(x)
+		if err != nil && resolveErr == nil {
+			resolveErr = fmt.Errorf("expr: view %q: condition: %w", v.Name, err)
+		}
+		return q
+	})
+	if resolveErr != nil {
+		return nil, resolveErr
+	}
+	// Statically dead conjuncts contribute no tuples in any database
+	// state; drop them and remove redundant atoms from the survivors
+	// (satisfiability-based minimization, cf. the §5.4 observation on
+	// minimizing view expressions at definition time). A condition
+	// whose every conjunct is dead yields a legitimately always-empty
+	// view.
+	b.Where, _ = pred.SimplifyDNF(b.Where)
+
+	// Qualify the projection list; empty means all joint attributes.
+	if len(v.Project) == 0 {
+		b.Project = joint.Attributes()
+	} else {
+		b.Project = make([]schema.Attribute, len(v.Project))
+		for i, a := range v.Project {
+			q, err := resolve(pred.Var(a))
+			if err != nil {
+				return nil, fmt.Errorf("expr: view %q: projection: %w", v.Name, err)
+			}
+			b.Project[i] = schema.Attribute(q)
+		}
+	}
+	pos, err := joint.Positions(b.Project)
+	if err != nil {
+		return nil, fmt.Errorf("expr: view %q: %w", v.Name, err)
+	}
+	b.ProjPos = pos
+	// Reject duplicate projection targets: the output scheme must be
+	// valid.
+	if _, err := joint.Project(b.Project); err != nil {
+		return nil, fmt.Errorf("expr: view %q: %w", v.Name, err)
+	}
+	return b, nil
+}
+
+// resolver returns a function mapping possibly-unqualified attribute
+// names to qualified ones, erroring on unknown or ambiguous names.
+func (b *Bound) resolver() (func(pred.Var) (pred.Var, error), error) {
+	// owners maps an unqualified attribute to the qualified names that
+	// carry it.
+	owners := make(map[schema.Attribute][]schema.Attribute)
+	for _, op := range b.Operands {
+		for _, a := range op.Scheme.Attributes() {
+			owners[a] = append(owners[a], schema.Attribute(a.Qualified(op.Alias)))
+		}
+	}
+	return func(x pred.Var) (pred.Var, error) {
+		if b.Joint.Has(schema.Attribute(x)) {
+			return x, nil // already qualified
+		}
+		qs := owners[schema.Attribute(x)]
+		switch len(qs) {
+		case 1:
+			return pred.Var(qs[0]), nil
+		case 0:
+			return x, fmt.Errorf("unknown attribute %q", x)
+		default:
+			return x, fmt.Errorf("ambiguous attribute %q (in %v)", x, qs)
+		}
+	}, nil
+}
+
+// OperandIndex returns the index of the operand with the given alias.
+func (b *Bound) OperandIndex(alias string) (int, bool) {
+	i, ok := b.byAlias[alias]
+	return i, ok
+}
+
+// OutScheme returns the scheme of the view's result.
+func (b *Bound) OutScheme() (*schema.Scheme, error) {
+	return b.Joint.Project(b.Project)
+}
+
+// OperandsOf returns the indexes of operands whose qualified scheme
+// contains the variable, used to locate Y1 during irrelevance testing.
+func (b *Bound) OperandsOf(v pred.Var) []int {
+	var out []int
+	for i, op := range b.Operands {
+		if op.QScheme.Has(schema.Attribute(v)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NaturalJoin builds the SPJ desugaring of R1 ⋈ R2 ⋈ … ⋈ Rp: a cross
+// product of the named relations, equality conditions linking every
+// later occurrence of a shared attribute name to its first occurrence,
+// and a projection emitting each attribute name once. The result
+// matches the paper's join views.
+func NaturalJoin(name string, db *schema.Database, rels ...string) (View, error) {
+	if len(rels) == 0 {
+		return View{}, fmt.Errorf("expr: natural join %q needs at least one relation", name)
+	}
+	seen := make(map[schema.Attribute]string) // attribute → first alias
+	var atoms []pred.Atom
+	var project []schema.Attribute
+	var operands []Operand
+	aliasCount := make(map[string]int)
+	for _, rel := range rels {
+		rs, ok := db.Rel(rel)
+		if !ok {
+			return View{}, fmt.Errorf("expr: natural join %q: unknown relation %q", name, rel)
+		}
+		alias := rel
+		aliasCount[rel]++
+		if aliasCount[rel] > 1 {
+			alias = fmt.Sprintf("%s_%d", rel, aliasCount[rel])
+		}
+		operands = append(operands, Operand{Rel: rel, Alias: alias})
+		for _, a := range rs.Scheme.Attributes() {
+			q := schema.Attribute(a.Qualified(alias))
+			if first, dup := seen[a]; dup {
+				atoms = append(atoms, pred.VarVar(
+					pred.Var(a.Qualified(first)), pred.OpEQ, pred.Var(q), 0))
+			} else {
+				seen[a] = alias
+				project = append(project, q)
+			}
+		}
+	}
+	where := pred.Always()
+	if len(atoms) > 0 {
+		where = pred.Or(pred.And(atoms...))
+	}
+	return View{Name: name, Operands: operands, Where: where, Project: project}, nil
+}

@@ -1,0 +1,278 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"mview/internal/pred"
+	"mview/internal/schema"
+)
+
+func testDB(t *testing.T) *schema.Database {
+	t.Helper()
+	db, err := schema.NewDatabase(
+		&schema.RelScheme{Name: "R", Scheme: schema.MustScheme("A", "B")},
+		&schema.RelScheme{Name: "S", Scheme: schema.MustScheme("C", "D")},
+		&schema.RelScheme{Name: "T", Scheme: schema.MustScheme("B", "C")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestBindExample41View(t *testing.T) {
+	db := testDB(t)
+	v := View{
+		Name:     "v",
+		Operands: []Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("A < 10 && C > 5 && B = C"),
+		Project:  []schema.Attribute{"A", "D"},
+	}
+	b, err := Bind(v, db)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if got := b.Joint.String(); got != "(R.A, R.B, S.C, S.D)" {
+		t.Errorf("Joint = %s", got)
+	}
+	if got := b.Where.String(); got != "R.A < 10 && S.C > 5 && R.B = S.C" {
+		t.Errorf("Where = %s", got)
+	}
+	if b.Project[0] != "R.A" || b.Project[1] != "S.D" {
+		t.Errorf("Project = %v", b.Project)
+	}
+	if b.ProjPos[0] != 0 || b.ProjPos[1] != 3 {
+		t.Errorf("ProjPos = %v", b.ProjPos)
+	}
+	out, err := b.OutScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "(R.A, S.D)" {
+		t.Errorf("OutScheme = %s", out)
+	}
+}
+
+func TestBindQualifiedNamesPassThrough(t *testing.T) {
+	db := testDB(t)
+	v := View{
+		Name:     "v",
+		Operands: []Operand{{Rel: "R", Alias: "x"}, {Rel: "R", Alias: "y"}},
+		Where:    pred.MustParse("x.A = y.A"),
+		Project:  []schema.Attribute{"x.B", "y.B"},
+	}
+	b, err := Bind(v, db)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if b.Where.String() != "x.A = y.A" {
+		t.Errorf("Where = %s", b.Where)
+	}
+}
+
+func TestBindSelfJoinWithoutAliasFails(t *testing.T) {
+	db := testDB(t)
+	v := View{Name: "v", Operands: []Operand{{Rel: "R"}, {Rel: "R"}}}
+	if _, err := Bind(v, db); err == nil {
+		t.Error("duplicate alias must fail")
+	}
+}
+
+func TestBindAmbiguousAttribute(t *testing.T) {
+	db := testDB(t)
+	// B appears in both R and T.
+	v := View{
+		Name:     "v",
+		Operands: []Operand{{Rel: "R"}, {Rel: "T"}},
+		Where:    pred.MustParse("B = 1"),
+	}
+	if _, err := Bind(v, db); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("want ambiguity error, got %v", err)
+	}
+}
+
+func TestBindUnknownAttribute(t *testing.T) {
+	db := testDB(t)
+	v := View{
+		Name:     "v",
+		Operands: []Operand{{Rel: "R"}},
+		Where:    pred.MustParse("Z = 1"),
+	}
+	if _, err := Bind(v, db); err == nil {
+		t.Error("unknown condition attribute must fail")
+	}
+	v = View{
+		Name:     "v",
+		Operands: []Operand{{Rel: "R"}},
+		Project:  []schema.Attribute{"Z"},
+	}
+	if _, err := Bind(v, db); err == nil {
+		t.Error("unknown projection attribute must fail")
+	}
+}
+
+func TestBindUnknownRelationAndEmpty(t *testing.T) {
+	db := testDB(t)
+	if _, err := Bind(View{Name: "v", Operands: []Operand{{Rel: "NOPE"}}}, db); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if _, err := Bind(View{Name: "v"}, db); err == nil {
+		t.Error("no operands must fail")
+	}
+	if _, err := Bind(View{Operands: []Operand{{Rel: "R"}}}, db); err == nil {
+		t.Error("empty name must fail")
+	}
+}
+
+func TestBindEmptyProjectionMeansAll(t *testing.T) {
+	db := testDB(t)
+	b, err := Bind(View{Name: "v", Operands: []Operand{{Rel: "R"}}}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Project) != 2 || b.Project[0] != "R.A" {
+		t.Errorf("Project = %v", b.Project)
+	}
+}
+
+func TestBindDuplicateProjectionFails(t *testing.T) {
+	db := testDB(t)
+	v := View{
+		Name:     "v",
+		Operands: []Operand{{Rel: "R"}},
+		Project:  []schema.Attribute{"A", "A"},
+	}
+	if _, err := Bind(v, db); err == nil {
+		t.Error("duplicate projection attribute must fail")
+	}
+}
+
+func TestOperandIndexAndOperandsOf(t *testing.T) {
+	db := testDB(t)
+	b, err := Bind(View{
+		Name:     "v",
+		Operands: []Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("B = C"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := b.OperandIndex("S"); !ok || i != 1 {
+		t.Errorf("OperandIndex(S) = %d,%v", i, ok)
+	}
+	if _, ok := b.OperandIndex("zzz"); ok {
+		t.Error("unknown alias should miss")
+	}
+	ops := b.OperandsOf("R.B")
+	if len(ops) != 1 || ops[0] != 0 {
+		t.Errorf("OperandsOf(R.B) = %v", ops)
+	}
+	if got := b.OperandsOf("nope"); got != nil {
+		t.Errorf("OperandsOf(nope) = %v", got)
+	}
+}
+
+func TestOperandOffsets(t *testing.T) {
+	db := testDB(t)
+	b, err := Bind(View{Name: "v", Operands: []Operand{{Rel: "R"}, {Rel: "S"}, {Rel: "T"}}}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Operands[0].Offset != 0 || b.Operands[1].Offset != 2 || b.Operands[2].Offset != 4 {
+		t.Errorf("offsets = %d,%d,%d", b.Operands[0].Offset, b.Operands[1].Offset, b.Operands[2].Offset)
+	}
+}
+
+func TestNaturalJoinDesugaring(t *testing.T) {
+	db := testDB(t)
+	// R(A,B) ⋈ T(B,C) ⋈ S(C,D): shared B and C.
+	v, err := NaturalJoin("j", db, "R", "T", "S")
+	if err != nil {
+		t.Fatalf("NaturalJoin: %v", err)
+	}
+	b, err := Bind(v, db)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if got := b.Where.String(); got != "R.B = T.B && T.C = S.C" {
+		t.Errorf("Where = %q", got)
+	}
+	want := []schema.Attribute{"R.A", "R.B", "T.C", "S.D"}
+	if len(b.Project) != len(want) {
+		t.Fatalf("Project = %v", b.Project)
+	}
+	for i := range want {
+		if b.Project[i] != want[i] {
+			t.Errorf("Project[%d] = %v, want %v", i, b.Project[i], want[i])
+		}
+	}
+}
+
+func TestNaturalJoinSelfJoinAliases(t *testing.T) {
+	db := testDB(t)
+	v, err := NaturalJoin("jj", db, "R", "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Operands[0].Alias == v.Operands[1].Alias {
+		t.Errorf("self-join aliases collide: %v", v.Operands)
+	}
+	if _, err := Bind(v, db); err != nil {
+		t.Errorf("Bind self-join: %v", err)
+	}
+}
+
+func TestNaturalJoinNoShared(t *testing.T) {
+	db := testDB(t)
+	v, err := NaturalJoin("cross", db, "R", "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bind(v, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degenerates to cross product: condition must be Always.
+	if len(b.Where.Conjuncts) != 1 || len(b.Where.Conjuncts[0].Atoms) != 0 {
+		t.Errorf("Where = %v, want Always", b.Where)
+	}
+}
+
+func TestBindSimplifiesCondition(t *testing.T) {
+	db := testDB(t)
+	// Redundant atom removed; dead conjunct dropped.
+	b, err := Bind(View{
+		Name:     "v",
+		Operands: []Operand{{Rel: "R"}},
+		Where:    pred.MustParse("(A < 5 && A < 10) || (A < 0 && A > 0)"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Where.String(); got != "R.A < 5" {
+		t.Errorf("simplified Where = %q", got)
+	}
+	// All conjuncts dead → a legitimately always-empty view.
+	b, err = Bind(View{
+		Name:     "dead",
+		Operands: []Operand{{Rel: "R"}},
+		Where:    pred.MustParse("A < 0 && A > 0"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Where.Conjuncts) != 0 {
+		t.Errorf("dead condition should simplify to Never: %s", b.Where)
+	}
+}
+
+func TestNaturalJoinErrors(t *testing.T) {
+	db := testDB(t)
+	if _, err := NaturalJoin("x", db); err == nil {
+		t.Error("zero relations must fail")
+	}
+	if _, err := NaturalJoin("x", db, "NOPE"); err == nil {
+		t.Error("unknown relation must fail")
+	}
+}

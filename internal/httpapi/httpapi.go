@@ -1,0 +1,312 @@
+// Package httpapi exposes the mview engine over a small JSON/HTTP
+// API, used by cmd/mviewd. One handler serves one database.
+//
+//	POST /relations                 {"name":"r","attrs":["A","B"]}
+//	GET  /relations/{name}          base relation contents
+//	POST /views                     {"name":"v","from":["r","s"],"where":"...","select":["A"],"options":["deferred"]}
+//	GET  /views/{name}              view contents (with counters)
+//	GET  /views/{name}/stats        maintenance statistics
+//	GET  /views/{name}/explain      definition and maintenance plan
+//	GET  /views/{name}/watch        change stream (Server-Sent Events)
+//	POST /views/{name}/refresh      snapshot refresh (§6)
+//	GET  /views/{name}/relevant     ?rel=r&values=9,10 → §4 verdict
+//	POST /exec                      {"ops":[{"op":"insert","rel":"r","values":[1,2]}, ...]}
+//	GET  /catalog                   relation and view names
+//	POST /checkpoint                durable mode: snapshot + truncate the commit log
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"mview"
+)
+
+// Handler serves the API for one database.
+type Handler struct {
+	db  *mview.DB
+	mux *http.ServeMux
+}
+
+// New returns a handler over a fresh database.
+func New() *Handler { return NewWith(mview.Open()) }
+
+// NewWith returns a handler over an existing database.
+func NewWith(db *mview.DB) *Handler {
+	h := &Handler{db: db, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /relations", h.createRelation)
+	h.mux.HandleFunc("GET /relations/{name}", h.getRelation)
+	h.mux.HandleFunc("POST /views", h.createView)
+	h.mux.HandleFunc("GET /views/{name}", h.getView)
+	h.mux.HandleFunc("GET /views/{name}/stats", h.getStats)
+	h.mux.HandleFunc("GET /views/{name}/explain", h.explain)
+	h.mux.HandleFunc("GET /views/{name}/watch", h.watch)
+	h.mux.HandleFunc("POST /views/{name}/refresh", h.refresh)
+	h.mux.HandleFunc("GET /views/{name}/relevant", h.relevant)
+	h.mux.HandleFunc("POST /exec", h.exec)
+	h.mux.HandleFunc("GET /catalog", h.catalog)
+	h.mux.HandleFunc("POST /checkpoint", h.checkpoint)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+type createRelationReq struct {
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+}
+
+func (h *Handler) createRelation(w http.ResponseWriter, r *http.Request) {
+	var req createRelationReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := h.db.CreateRelation(req.Name, req.Attrs...); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"created": req.Name})
+}
+
+func (h *Handler) getRelation(w http.ResponseWriter, r *http.Request) {
+	rows, err := h.db.Rows(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rows": rows, "count": len(rows)})
+}
+
+type createViewReq struct {
+	Name    string   `json:"name"`
+	From    []string `json:"from"`
+	Where   string   `json:"where"`
+	Select  []string `json:"select"`
+	Options []string `json:"options"`
+}
+
+func viewOptions(names []string) ([]mview.ViewOption, error) {
+	var opts []mview.ViewOption
+	for _, o := range names {
+		switch strings.ToLower(o) {
+		case "deferred":
+			opts = append(opts, mview.Deferred())
+		case "recompute":
+			opts = append(opts, mview.Recompute())
+		case "adaptive":
+			opts = append(opts, mview.Adaptive())
+		case "filtered":
+			opts = append(opts, mview.WithFilter())
+		case "rowbyrow":
+			opts = append(opts, mview.WithoutPrefixSharing())
+		default:
+			return nil, fmt.Errorf("unknown option %q", o)
+		}
+	}
+	return opts, nil
+}
+
+func (h *Handler) createView(w http.ResponseWriter, r *http.Request) {
+	var req createViewReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := viewOptions(req.Options)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := mview.ViewSpec{From: req.From, Where: req.Where, Select: req.Select}
+	if err := h.db.CreateView(req.Name, spec, opts...); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"created": req.Name})
+}
+
+func (h *Handler) getView(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rows, err := h.db.View(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	attrs, err := h.db.ViewSchema(name)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"schema": attrs, "rows": rows, "count": len(rows)})
+}
+
+func (h *Handler) getStats(w http.ResponseWriter, r *http.Request) {
+	st, err := h.db.Stats(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
+	out, err := h.db.Explain(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"explain": out})
+}
+
+// watch streams a view's changes as Server-Sent Events: one
+// `data: {"View":…,"Inserts":…,"Deletes":…}` event per refresh that
+// changed the view. Slow consumers are tolerated by dropping events
+// past a small buffer rather than stalling commits.
+func (h *Handler) watch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	ch := make(chan mview.Change, 16)
+	cancel, err := h.db.Subscribe(name, func(c mview.Change) {
+		select {
+		case ch <- c:
+		default: // consumer too slow: drop rather than stall commits
+		}
+	})
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "event: ready\ndata: {}\n\n")
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case c := <-ch:
+			data, err := json.Marshal(c)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			flusher.Flush()
+		}
+	}
+}
+
+func (h *Handler) refresh(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := h.db.Refresh(name); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"refreshed": name})
+}
+
+func (h *Handler) relevant(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rel := r.URL.Query().Get("rel")
+	valsParam := r.URL.Query().Get("values")
+	if rel == "" || valsParam == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("need rel and values query parameters"))
+		return
+	}
+	var vals []int64
+	for _, p := range strings.Split(valsParam, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad value %q", p))
+			return
+		}
+		vals = append(vals, v)
+	}
+	ok, err := h.db.Relevant(name, rel, vals...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"relevant": ok})
+}
+
+type execOp struct {
+	Op     string  `json:"op"` // "insert" | "delete"
+	Rel    string  `json:"rel"`
+	Values []int64 `json:"values"`
+}
+
+type execReq struct {
+	Ops []execOp `json:"ops"`
+}
+
+func (h *Handler) exec(w http.ResponseWriter, r *http.Request) {
+	var req execReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ops := make([]mview.Op, 0, len(req.Ops))
+	for _, o := range req.Ops {
+		switch strings.ToLower(o.Op) {
+		case "insert":
+			ops = append(ops, mview.Insert(o.Rel, o.Values...))
+		case "delete":
+			ops = append(ops, mview.Delete(o.Rel, o.Values...))
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", o.Op))
+			return
+		}
+	}
+	info, err := h.db.Exec(ops...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (h *Handler) checkpoint(w http.ResponseWriter, r *http.Request) {
+	if err := h.db.Checkpoint(); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "checkpointed"})
+}
+
+func (h *Handler) catalog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"relations": h.db.Relations(),
+		"views":     h.db.Views(),
+	})
+}

@@ -1,0 +1,115 @@
+package httpapi
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mview"
+)
+
+// TestWatchStreamsChanges drives the SSE endpoint end to end: a
+// subscriber connects, a transaction commits, and the change event
+// arrives on the stream.
+func TestWatchStreamsChanges(t *testing.T) {
+	db := mview.Open()
+	if err := db.CreateRelation("r", "A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("low", mview.ViewSpec{From: []string{"r"}, Where: "A < 5"}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewWith(db))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/views/low/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	reader := bufio.NewReader(resp.Body)
+
+	// The ready handshake arrives first.
+	line, err := reader.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "event: ready") {
+		t.Fatalf("handshake = %q, %v", line, err)
+	}
+
+	// Commit a relevant change once the subscriber is attached.
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.Exec(mview.Insert("r", 3, 30))
+		done <- err
+	}()
+
+	deadline := time.After(5 * time.Second)
+	var data string
+	for data == "" {
+		select {
+		case <-deadline:
+			t.Fatal("no event within deadline")
+		default:
+		}
+		line, err := reader.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream read: %v", err)
+		}
+		if strings.HasPrefix(line, "data: {\"View\"") {
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(data, `"View":"low"`) || !strings.Contains(data, `"Values":[3,30]`) {
+		t.Errorf("event payload = %s", data)
+	}
+}
+
+func TestWatchUnknownView(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/views/zzz/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+// TestWatchDisconnectUnsubscribes: closing the client connection must
+// release the subscription so later commits do not block or leak.
+func TestWatchDisconnectUnsubscribes(t *testing.T) {
+	db := mview.Open()
+	_ = db.CreateRelation("r", "A")
+	_ = db.CreateView("v", mview.ViewSpec{From: []string{"r"}})
+	srv := httptest.NewServer(NewWith(db))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/views/v/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader := bufio.NewReader(resp.Body)
+	if _, err := reader.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() // client goes away
+
+	// Commits keep working; eventually the handler notices the dead
+	// context. Fill well past the channel buffer to prove commits
+	// never block on the dead consumer.
+	for i := 0; i < 64; i++ {
+		if _, err := db.Exec(mview.Insert("r", int64(i))); err != nil {
+			t.Fatalf("commit %d after disconnect: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,454 @@
+package irrelevance
+
+import (
+	"math/rand"
+	"testing"
+
+	"mview/internal/delta"
+	"mview/internal/eval"
+	"mview/internal/expr"
+	"mview/internal/pred"
+	"mview/internal/relation"
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+func testDB(t *testing.T) *schema.Database {
+	t.Helper()
+	db, err := schema.NewDatabase(
+		&schema.RelScheme{Name: "R", Scheme: schema.MustScheme("A", "B")},
+		&schema.RelScheme{Name: "S", Scheme: schema.MustScheme("C", "D")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func example41View(t *testing.T) *expr.Bound {
+	t.Helper()
+	db := testDB(t)
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("A < 10 && C > 5 && B = C"),
+		Project:  []schema.Attribute{"A", "D"},
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestExample41 reproduces the paper's Example 4.1 verdicts.
+func TestExample41(t *testing.T) {
+	b := example41View(t)
+	c, err := NewChecker(b, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inserting (9,10) into r is relevant: C(9,10,C) is satisfiable.
+	rel, err := c.Relevant(tuple.New(9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel {
+		t.Error("(9,10) must be relevant")
+	}
+	// Inserting (11,10) is provably irrelevant: (11<10) is false.
+	rel, err = c.Relevant(tuple.New(11, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel {
+		t.Error("(11,10) must be irrelevant")
+	}
+	// (9,3): A<10 holds but B=C forces C=3, contradicting C>5.
+	rel, err = c.Relevant(tuple.New(9, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel {
+		t.Error("(9,3) must be irrelevant (C=3 contradicts C>5)")
+	}
+	tested, irr := c.Stats()
+	if tested != 3 || irr != 2 {
+		t.Errorf("Stats = %d,%d want 3,2", tested, irr)
+	}
+}
+
+// TestDeletionsUseSameTest verifies §4's remark that the same
+// substitution test covers deletions.
+func TestDeletionsUseSameTest(t *testing.T) {
+	b := example41View(t)
+	c, err := NewChecker(b, 1, Options{}) // updates to S(C,D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting (4, 99) from s: C>5 fails → the tuple was never visible.
+	rel, err := c.Relevant(tuple.New(4, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel {
+		t.Error("(4,99) must be irrelevant to deletions as well")
+	}
+	rel, err = c.Relevant(tuple.New(7, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel {
+		t.Error("(7,99) must be relevant")
+	}
+}
+
+func TestUnconditionedOperandAlwaysRelevant(t *testing.T) {
+	db := testDB(t)
+	// Condition only mentions R; S is unconstrained, so every S-update
+	// is relevant (it multiplies the cross product).
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("A < 10"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(b, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := c.Relevant(tuple.New(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel {
+		t.Error("updates to an unconstrained operand are always relevant")
+	}
+}
+
+func TestInvariantUnsatisfiableView(t *testing.T) {
+	db := testDB(t)
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("C > 5 && C < 5 && A = 1"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(b, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := c.Relevant(tuple.New(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel {
+		t.Error("view condition is unsatisfiable; every update is irrelevant")
+	}
+}
+
+func TestDisjunctiveCondition(t *testing.T) {
+	db := testDB(t)
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("(A < 0 && B = C) || (A > 100 && B = D)"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(b, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    tuple.Tuple
+		want bool
+	}{
+		{tuple.New(-1, 7), true},  // first disjunct open
+		{tuple.New(101, 7), true}, // second disjunct open
+		{tuple.New(50, 7), false}, // both disjuncts closed
+	}
+	for _, cs := range cases {
+		got, err := c.Relevant(cs.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != cs.want {
+			t.Errorf("Relevant(%v) = %v, want %v", cs.t, got, cs.want)
+		}
+	}
+}
+
+func TestNEExactExpansion(t *testing.T) {
+	db := testDB(t)
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("A != 5 && A >= 5 && A <= 5 && B = C"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(b, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Conservative() {
+		t.Fatal("one ≠ atom should expand, not degrade")
+	}
+	// The condition is globally unsatisfiable (A=5 and A≠5).
+	rel, err := c.Relevant(tuple.New(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel {
+		t.Error("condition is unsatisfiable; update must be irrelevant")
+	}
+}
+
+func TestNEConservativeFallback(t *testing.T) {
+	db := testDB(t)
+	// Nine ≠ atoms exceed an NELimit of 256 (2^9 = 512): conservative.
+	cond := "A != 1 && A != 2 && A != 3 && A != 4 && A != 5 && B != 1 && B != 2 && B != 3 && B != 4"
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse(cond + " && A > 1000"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(b, 0, Options{NELimit: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Conservative() {
+		t.Fatal("expected conservative degradation")
+	}
+	// Even an "obviously" irrelevant tuple is reported relevant: sound,
+	// not minimal.
+	rel, err := c.Relevant(tuple.New(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel {
+		t.Error("conservative checker must report relevant")
+	}
+}
+
+func TestFilterTuplesAndRelation(t *testing.T) {
+	b := example41View(t)
+	c, err := NewChecker(b, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []tuple.Tuple{tuple.New(9, 10), tuple.New(11, 10), tuple.New(5, 7), tuple.New(5, 2)}
+	out, err := c.FilterTuples(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("FilterTuples = %v", out)
+	}
+
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), in...)
+	fr, err := c.FilterRelation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Len() != 2 || !fr.Has(tuple.New(9, 10)) || !fr.Has(tuple.New(5, 7)) {
+		t.Errorf("FilterRelation = %v", fr)
+	}
+}
+
+func TestFilterUpdate(t *testing.T) {
+	b := example41View(t)
+	c, err := NewChecker(b, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := delta.Update{
+		Rel: "R",
+		Inserts: relation.MustFromTuples(schema.MustScheme("A", "B"),
+			tuple.New(9, 10), tuple.New(11, 10)),
+		Deletes: relation.MustFromTuples(schema.MustScheme("A", "B"),
+			tuple.New(5, 7), tuple.New(50, 7)),
+	}
+	out, err := c.FilterUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Inserts.Len() != 1 || !out.Inserts.Has(tuple.New(9, 10)) {
+		t.Errorf("filtered inserts = %v", out.Inserts)
+	}
+	if out.Deletes.Len() != 1 || !out.Deletes.Has(tuple.New(5, 7)) {
+		t.Errorf("filtered deletes = %v", out.Deletes)
+	}
+	// Nil sides are tolerated.
+	out, err = c.FilterUpdate(delta.Update{Rel: "R"})
+	if err != nil || out.Inserts != nil || out.Deletes != nil {
+		t.Errorf("nil-side filter: %+v, %v", out, err)
+	}
+	// Errors propagate (arity mismatch inside a relation).
+	bad := delta.Update{Rel: "R", Inserts: relation.MustFromTuples(schema.MustScheme("X"), tuple.New(1))}
+	if _, err := c.FilterUpdate(bad); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestCheckerErrors(t *testing.T) {
+	b := example41View(t)
+	if _, err := NewChecker(b, 5, Options{}); err == nil {
+		t.Error("bad operand index must fail")
+	}
+	c, err := NewChecker(b, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Relevant(tuple.New(1)); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+// TestSetRelevantTheorem42 exercises multi-tuple irrelevance: tuples
+// individually relevant whose combination is impossible.
+func TestSetRelevantTheorem42(t *testing.T) {
+	b := example41View(t)
+
+	// r-tuple (9,10) is relevant; s-tuple (20,1) is relevant
+	// (C=20 > 5). But together B=C forces 10=20: impossible.
+	rel, err := SetRelevant(b, map[int]tuple.Tuple{
+		0: tuple.New(9, 10),
+		1: tuple.New(20, 1),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel {
+		t.Error("pair {(9,10), (20,1)} must be jointly irrelevant")
+	}
+
+	// A compatible pair is jointly relevant.
+	rel, err = SetRelevant(b, map[int]tuple.Tuple{
+		0: tuple.New(9, 10),
+		1: tuple.New(10, 1),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel {
+		t.Error("pair {(9,10), (10,1)} must be jointly relevant")
+	}
+
+	// Errors.
+	if _, err := SetRelevant(b, nil, Options{}); err == nil {
+		t.Error("empty set must fail")
+	}
+	if _, err := SetRelevant(b, map[int]tuple.Tuple{9: tuple.New(1, 2)}, Options{}); err == nil {
+		t.Error("bad operand index must fail")
+	}
+	if _, err := SetRelevant(b, map[int]tuple.Tuple{0: tuple.New(1)}, Options{}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+// TestRelevantMatchesNaive fuzzes tuples against both the prepared
+// (Algorithm 4.1) and the rebuild-per-tuple paths.
+func TestRelevantMatchesNaive(t *testing.T) {
+	db := testDB(t)
+	conds := []string{
+		"A < 10 && C > 5 && B = C",
+		"A <= C + 3 && B >= D - 2",
+		"(A < 0 && B = C) || (A > 50 && D <= B + 1)",
+		"A = B && C = 7",
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, cond := range conds {
+		b, err := expr.Bind(expr.View{
+			Name:     "v",
+			Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+			Where:    pred.MustParse(cond),
+		}, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for opIdx := 0; opIdx < 2; opIdx++ {
+			c, err := NewChecker(b, opIdx, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 200; trial++ {
+				tu := tuple.New(int64(rng.Intn(120)-10), int64(rng.Intn(120)-10))
+				fast, err := c.Relevant(tu)
+				if err != nil {
+					t.Fatal(err)
+				}
+				naive, err := c.RelevantNaive(tu)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fast != naive {
+					t.Fatalf("cond %q op %d tuple %v: fast=%v naive=%v", cond, opIdx, tu, fast, naive)
+				}
+			}
+		}
+	}
+}
+
+// TestIrrelevantUpdatesNeverChangeView is the semantic soundness
+// property behind Theorem 4.1: if the checker calls an insert
+// irrelevant, materializing the view before and after the insert must
+// give identical results — for arbitrary database states.
+func TestIrrelevantUpdatesNeverChangeView(t *testing.T) {
+	db := testDB(t)
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}, {Rel: "S"}},
+		Where:    pred.MustParse("A < 10 && C > 5 && B = C"),
+		Project:  []schema.Attribute{"A", "D"},
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := NewChecker(b, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 80; trial++ {
+		r := relation.New(schema.MustScheme("A", "B"))
+		s := relation.New(schema.MustScheme("C", "D"))
+		for i := 0; i < rng.Intn(20); i++ {
+			_ = r.Insert(tuple.New(int64(rng.Intn(20)), int64(rng.Intn(20))))
+		}
+		for i := 0; i < rng.Intn(20); i++ {
+			_ = s.Insert(tuple.New(int64(rng.Intn(20)), int64(rng.Intn(20))))
+		}
+		tu := tuple.New(int64(rng.Intn(30)-5), int64(rng.Intn(30)-5))
+		if r.Has(tu) {
+			continue
+		}
+		rel, err := checker.Relevant(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := eval.Materialize(b, []*relation.Relation{r, s}, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2 := r.Clone()
+		_ = r2.Insert(tu)
+		after, err := eval.Materialize(b, []*relation.Relation{r2, s}, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rel && !before.Equal(after) {
+			t.Fatalf("irrelevant insert %v changed the view:\nbefore %v\nafter %v\nr=%v s=%v",
+				tu, before, after, r, s)
+		}
+	}
+}

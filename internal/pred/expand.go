@@ -1,0 +1,60 @@
+package pred
+
+import "fmt"
+
+// ExpandNE rewrites every ≠ atom of the conjunction into the exact
+// disjunction (x < y + c) ∨ (x > y + c), returning the resulting list
+// of ≠-free conjunctions. A conjunction with k ≠-atoms expands into
+// 2^k conjuncts; maxConjuncts caps that growth (0 means a default of
+// 256). The expansion is exact: its disjunction is equivalent to the
+// input over the integers.
+func ExpandNE(c Conjunction, maxConjuncts int) ([]Conjunction, error) {
+	if maxConjuncts <= 0 {
+		maxConjuncts = 256
+	}
+	out := []Conjunction{{Atoms: []Atom{}}}
+	for _, a := range c.Atoms {
+		if a.Op != OpNE {
+			for i := range out {
+				out[i].Atoms = append(out[i].Atoms, a)
+			}
+			continue
+		}
+		if len(out)*2 > maxConjuncts {
+			return nil, fmt.Errorf("pred: expanding != atoms would exceed %d conjuncts", maxConjuncts)
+		}
+		lt := a
+		lt.Op = OpLT
+		gt := a
+		gt.Op = OpGT
+		next := make([]Conjunction, 0, len(out)*2)
+		for _, conj := range out {
+			ltc := Conjunction{Atoms: append(append([]Atom{}, conj.Atoms...), lt)}
+			gtc := Conjunction{Atoms: append(append([]Atom{}, conj.Atoms...), gt)}
+			next = append(next, ltc, gtc)
+		}
+		out = next
+	}
+	return out, nil
+}
+
+// ExpandNEDNF applies ExpandNE to every conjunct of a DNF, returning an
+// equivalent ≠-free DNF. maxConjuncts bounds the total number of
+// output conjuncts.
+func ExpandNEDNF(d DNF, maxConjuncts int) (DNF, error) {
+	if maxConjuncts <= 0 {
+		maxConjuncts = 256
+	}
+	var out []Conjunction
+	for _, c := range d.Conjuncts {
+		cs, err := ExpandNE(c, maxConjuncts)
+		if err != nil {
+			return DNF{}, err
+		}
+		if len(out)+len(cs) > maxConjuncts {
+			return DNF{}, fmt.Errorf("pred: expanding != atoms would exceed %d conjuncts", maxConjuncts)
+		}
+		out = append(out, cs...)
+	}
+	return DNF{Conjuncts: out}, nil
+}

@@ -1,0 +1,108 @@
+package pred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandNENoNE(t *testing.T) {
+	c := And(VarConst("A", OpLT, 10))
+	out, err := ExpandNE(c, 0)
+	if err != nil {
+		t.Fatalf("ExpandNE: %v", err)
+	}
+	if len(out) != 1 || len(out[0].Atoms) != 1 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestExpandNESingle(t *testing.T) {
+	c := And(VarVar("A", OpNE, "B", 0), VarConst("A", OpLT, 10))
+	out, err := ExpandNE(c, 0)
+	if err != nil {
+		t.Fatalf("ExpandNE: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("want 2 conjuncts, got %v", out)
+	}
+	for _, conj := range out {
+		if conj.HasNE() {
+			t.Errorf("residual NE in %v", conj)
+		}
+		if len(conj.Atoms) != 2 {
+			t.Errorf("conjunct %v lost an atom", conj)
+		}
+	}
+}
+
+// TestExpandNEEquivalence checks ∀ bindings: original ⇔ expansion.
+func TestExpandNEEquivalence(t *testing.T) {
+	c := And(
+		VarVar("A", OpNE, "B", 1),
+		VarConst("B", OpNE, 0),
+		VarVar("A", OpLE, "B", 3),
+	)
+	out, err := ExpandNE(c, 0)
+	if err != nil {
+		t.Fatalf("ExpandNE: %v", err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("want 4 conjuncts, got %d", len(out))
+	}
+	f := func(a, b int8) bool {
+		bind := bindMap(map[Var]int64{"A": int64(a), "B": int64(b)})
+		want, err := c.Eval(bind)
+		if err != nil {
+			return false
+		}
+		got := false
+		for _, conj := range out {
+			ok, err := conj.Eval(bind)
+			if err != nil {
+				return false
+			}
+			got = got || ok
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpandNECap(t *testing.T) {
+	atoms := make([]Atom, 6)
+	for i := range atoms {
+		atoms[i] = VarConst(Var(string(rune('A'+i))), OpNE, int64(i))
+	}
+	if _, err := ExpandNE(And(atoms...), 16); err == nil {
+		t.Error("expected cap error for 2^6 expansion with cap 16")
+	}
+	out, err := ExpandNE(And(atoms...), 64)
+	if err != nil {
+		t.Fatalf("cap 64: %v", err)
+	}
+	if len(out) != 64 {
+		t.Errorf("len = %d, want 64", len(out))
+	}
+}
+
+func TestExpandNEDNF(t *testing.T) {
+	d := Or(
+		And(VarConst("A", OpNE, 1)),
+		And(VarConst("B", OpLT, 5)),
+	)
+	out, err := ExpandNEDNF(d, 0)
+	if err != nil {
+		t.Fatalf("ExpandNEDNF: %v", err)
+	}
+	if len(out.Conjuncts) != 3 {
+		t.Errorf("conjuncts = %d, want 3", len(out.Conjuncts))
+	}
+	if out.HasNE() {
+		t.Error("NE survived expansion")
+	}
+	if _, err := ExpandNEDNF(d, 2); err == nil {
+		t.Error("expected total cap to trigger")
+	}
+}

@@ -1,0 +1,95 @@
+package pred
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that accepted inputs
+// round-trip through String → Parse to the same rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"A < 10",
+		"A < 10 && C > 5 && B = C",
+		"(A = 1 || A = 2) && (B = 1 || B = 2)",
+		"A <= B + 3",
+		"A >= B - 4 && C != 7",
+		"true",
+		"false",
+		"R.A = S.B",
+		"a AND b = 1 or c = 2",
+		"A == 9223372036854775807",
+		"A = -1",
+		"x != y + -3",
+		"(((((A = 1)))))",
+		"A < 10 &&",
+		"&& A < 10",
+		"A $ 1",
+		"A = B + 99999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Parse(input)
+		if err != nil {
+			return // rejections are fine; panics are not
+		}
+		rendered := d.String()
+		d2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering of accepted input does not re-parse: %q → %q: %v", input, rendered, err)
+		}
+		if got := d2.String(); got != rendered {
+			t.Fatalf("round trip drifted: %q → %q → %q", input, rendered, got)
+		}
+	})
+}
+
+// FuzzNormalizeEval cross-checks Normalize against direct atom
+// evaluation on fuzzed operands.
+func FuzzNormalizeEval(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(0), uint8(0))
+	f.Add(int64(-5), int64(5), int64(3), uint8(2))
+	f.Fuzz(func(t *testing.T, x, y, c int64, opIdx uint8) {
+		// Clamp to avoid arithmetic overflow in y + c.
+		x %= 1 << 40
+		y %= 1 << 40
+		c %= 1 << 40
+		op := []Op{OpEQ, OpLT, OpLE, OpGT, OpGE}[int(opIdx)%5]
+		a := VarVar("x", op, "y", c)
+		cons, err := Normalize(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := op.Compare(x, y+c)
+		got := true
+		for _, cc := range cons {
+			val := func(v Var) int64 {
+				switch v {
+				case "x":
+					return x
+				case "y":
+					return y
+				default:
+					return 0
+				}
+			}
+			got = got && val(cc.X) <= val(cc.Y)+cc.C
+		}
+		if got != want {
+			t.Fatalf("normalize mismatch for %s at x=%d y=%d: %v vs %v", a, x, y, got, want)
+		}
+	})
+}
+
+// TestFuzzSeedsAsRegression replays the seed corpus through the fuzz
+// bodies so `go test` (without -fuzz) still covers them.
+func TestFuzzSeedsAsRegression(t *testing.T) {
+	for _, s := range []string{"A <", "A = 1 extra", strings.Repeat("(", 100)} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package pred
+
+import "fmt"
+
+// ZeroVar is the distinguished node "0" of the Rosenkrantz–Hunt
+// construction: a pseudo-variable whose value is the constant zero,
+// letting constant bounds x op c be treated as x op ZeroVar + c. The
+// name is deliberately unspellable as a real attribute.
+const ZeroVar Var = "\x00zero\x00"
+
+// Constraint is a normalized atomic formula x ≤ y + c (a difference
+// constraint). Either side may be ZeroVar. A conjunction of
+// constraints is satisfiable over the integers iff the corresponding
+// weighted digraph has no negative cycle (§4).
+type Constraint struct {
+	X, Y Var
+	C    int64
+}
+
+// String renders the constraint as "x <= y + c".
+func (c Constraint) String() string {
+	return fmt.Sprintf("%s <= %s + %d", displayVar(c.X), displayVar(c.Y), c.C)
+}
+
+func displayVar(v Var) string {
+	if v == ZeroVar {
+		return "'0'"
+	}
+	return string(v)
+}
+
+// ErrOutsideClass reports an atom outside the Rosenkrantz–Hunt class
+// (currently: any use of ≠). Callers may fall back to a conservative
+// answer or expand the atom via ExpandNE.
+type ErrOutsideClass struct {
+	Atom Atom
+}
+
+func (e ErrOutsideClass) Error() string {
+	return fmt.Sprintf("pred: atom %q is outside the Rosenkrantz–Hunt class (operator !=)", e.Atom)
+}
+
+// Normalize rewrites one atom into equivalent ≤-constraints, following
+// §4's normalization procedure:
+//
+//	x <  y + c  →  x ≤ y + c − 1
+//	x >  y + c  →  y ≤ x − c − 1
+//	x =  y + c  →  x ≤ y + c  ∧  y ≤ x − c
+//	x ≤  y + c  →  x ≤ y + c
+//	x ≥  y + c  →  y ≤ x − c
+//
+// Constant comparisons x op c are treated as x op ZeroVar + c. The
+// paper writes the two constant-edge translations with origin and
+// destination exchanged relative to its variable-edge rule; we use one
+// consistent convention throughout (cycle weights, and hence the
+// satisfiability verdict, are unaffected by the choice).
+//
+// Normalize returns ErrOutsideClass for ≠.
+func Normalize(a Atom) ([]Constraint, error) {
+	x, y, c := a.Left, a.Right, a.C
+	if !a.HasRightVar() {
+		y = ZeroVar
+	}
+	switch a.Op {
+	case OpLE:
+		return []Constraint{{X: x, Y: y, C: c}}, nil
+	case OpLT:
+		return []Constraint{{X: x, Y: y, C: c - 1}}, nil
+	case OpGE:
+		return []Constraint{{X: y, Y: x, C: -c}}, nil
+	case OpGT:
+		return []Constraint{{X: y, Y: x, C: -c - 1}}, nil
+	case OpEQ:
+		return []Constraint{{X: x, Y: y, C: c}, {X: y, Y: x, C: -c}}, nil
+	case OpNE:
+		return nil, ErrOutsideClass{Atom: a}
+	default:
+		return nil, fmt.Errorf("pred: cannot normalize unknown operator in %q", a)
+	}
+}
+
+// NormalizeConjunction rewrites every atom of the conjunction,
+// returning the combined constraint list or ErrOutsideClass if any atom
+// uses ≠.
+func NormalizeConjunction(c Conjunction) ([]Constraint, error) {
+	out := make([]Constraint, 0, len(c.Atoms)+len(c.Atoms)/2)
+	for _, a := range c.Atoms {
+		cs, err := Normalize(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package pred
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// checkConstraint evaluates a normalized constraint under an
+// assignment, treating ZeroVar as 0.
+func checkConstraint(c Constraint, val map[Var]int64) bool {
+	get := func(v Var) int64 {
+		if v == ZeroVar {
+			return 0
+		}
+		return val[v]
+	}
+	return get(c.X) <= get(c.Y)+c.C
+}
+
+// TestNormalizeEquivalence verifies, by exhaustive small-domain
+// enumeration, that each atom is logically equivalent to the
+// conjunction of its normalized constraints (the core soundness of the
+// §4 normalization).
+func TestNormalizeEquivalence(t *testing.T) {
+	ops := []Op{OpEQ, OpLT, OpLE, OpGT, OpGE}
+	for _, op := range ops {
+		for c := int64(-2); c <= 2; c++ {
+			// Two-variable atom x op y + c.
+			a := VarVar("x", op, "y", c)
+			cons, err := Normalize(a)
+			if err != nil {
+				t.Fatalf("Normalize(%s): %v", a, err)
+			}
+			for x := int64(-3); x <= 3; x++ {
+				for y := int64(-3); y <= 3; y++ {
+					val := map[Var]int64{"x": x, "y": y}
+					want := op.Compare(x, y+c)
+					got := true
+					for _, cc := range cons {
+						got = got && checkConstraint(cc, val)
+					}
+					if got != want {
+						t.Fatalf("%s at x=%d,y=%d: normalized=%v, atom=%v (%v)", a, x, y, got, want, cons)
+					}
+				}
+			}
+			// Constant atom x op c.
+			b := VarConst("x", op, c)
+			cons, err = Normalize(b)
+			if err != nil {
+				t.Fatalf("Normalize(%s): %v", b, err)
+			}
+			for x := int64(-3); x <= 3; x++ {
+				val := map[Var]int64{"x": x}
+				want := op.Compare(x, c)
+				got := true
+				for _, cc := range cons {
+					got = got && checkConstraint(cc, val)
+				}
+				if got != want {
+					t.Fatalf("%s at x=%d: normalized=%v, atom=%v", b, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNormalizeRejectsNE(t *testing.T) {
+	_, err := Normalize(VarConst("x", OpNE, 1))
+	var oc ErrOutsideClass
+	if !errors.As(err, &oc) {
+		t.Fatalf("want ErrOutsideClass, got %v", err)
+	}
+	if oc.Error() == "" {
+		t.Error("error message empty")
+	}
+}
+
+func TestNormalizeConjunction(t *testing.T) {
+	c := And(VarConst("A", OpLT, 10), VarVar("B", OpEQ, "C", 0))
+	cons, err := NormalizeConjunction(c)
+	if err != nil {
+		t.Fatalf("NormalizeConjunction: %v", err)
+	}
+	// A<10 → 1 constraint; B=C → 2 constraints.
+	if len(cons) != 3 {
+		t.Errorf("constraints = %v", cons)
+	}
+	if _, err := NormalizeConjunction(And(VarConst("A", OpNE, 1))); err == nil {
+		t.Error("NE must propagate error")
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := Constraint{X: "x", Y: ZeroVar, C: 5}
+	if got := c.String(); got != "x <= '0' + 5" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestNormalizeEquivalenceQuick extends the equivalence check to
+// random 64-bit-ish values via testing/quick.
+func TestNormalizeEquivalenceQuick(t *testing.T) {
+	f := func(x, y int64, c int32, opIdx uint8) bool {
+		// Keep magnitudes moderate to avoid overflow in y+c.
+		x, y = x%1_000_000, y%1_000_000
+		op := []Op{OpEQ, OpLT, OpLE, OpGT, OpGE}[int(opIdx)%5]
+		a := VarVar("x", op, "y", int64(c))
+		cons, err := Normalize(a)
+		if err != nil {
+			return false
+		}
+		val := map[Var]int64{"x": x, "y": y}
+		want := op.Compare(x, y+int64(c))
+		got := true
+		for _, cc := range cons {
+			got = got && checkConstraint(cc, val)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

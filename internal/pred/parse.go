@@ -1,0 +1,405 @@
+package pred
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a selection condition in a small textual syntax and
+// returns it in disjunctive normal form.
+//
+// Grammar (whitespace-insensitive):
+//
+//	expr  := and ( ("||" | "or")  and )*
+//	and   := prim ( ("&&" | "and") prim )*
+//	prim  := "(" expr ")" | "true" | "false" | atom
+//	atom  := ident op rhs
+//	rhs   := ident [ ("+"|"-") int ] | int
+//	op    := "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+//
+// Identifiers may be qualified ("R.A"). Nested boolean structure is
+// distributed into DNF; the number of resulting conjuncts is capped at
+// 4096 to bound pathological inputs.
+func Parse(input string) (DNF, error) {
+	p := &parser{lex: newLexer(input)}
+	if err := p.next(); err != nil {
+		return DNF{}, err
+	}
+	if p.tok.kind == tokEOF {
+		return Always(), nil
+	}
+	node, err := p.parseExpr()
+	if err != nil {
+		return DNF{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return DNF{}, fmt.Errorf("pred: unexpected %q at end of condition", p.tok.text)
+	}
+	return node.toDNF()
+}
+
+// MustParse is Parse for statically known conditions; it panics on
+// error.
+func MustParse(input string) DNF {
+	d, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+const maxParsedConjuncts = 4096
+
+type nodeKind uint8
+
+const (
+	nodeAtom nodeKind = iota
+	nodeAnd
+	nodeOr
+	nodeTrue
+	nodeFalse
+)
+
+type node struct {
+	kind nodeKind
+	atom Atom
+	kids []*node
+}
+
+// toDNF distributes the boolean tree into disjunctive normal form.
+func (n *node) toDNF() (DNF, error) {
+	switch n.kind {
+	case nodeTrue:
+		return Always(), nil
+	case nodeFalse:
+		return Never(), nil
+	case nodeAtom:
+		return Or(And(n.atom)), nil
+	case nodeOr:
+		var out []Conjunction
+		for _, k := range n.kids {
+			d, err := k.toDNF()
+			if err != nil {
+				return DNF{}, err
+			}
+			out = append(out, d.Conjuncts...)
+			if len(out) > maxParsedConjuncts {
+				return DNF{}, fmt.Errorf("pred: condition expands past %d DNF conjuncts", maxParsedConjuncts)
+			}
+		}
+		return DNF{Conjuncts: out}, nil
+	case nodeAnd:
+		acc := []Conjunction{True()}
+		for _, k := range n.kids {
+			d, err := k.toDNF()
+			if err != nil {
+				return DNF{}, err
+			}
+			if len(d.Conjuncts) == 0 {
+				return Never(), nil // AND with false
+			}
+			if len(acc)*len(d.Conjuncts) > maxParsedConjuncts {
+				return DNF{}, fmt.Errorf("pred: condition expands past %d DNF conjuncts", maxParsedConjuncts)
+			}
+			next := make([]Conjunction, 0, len(acc)*len(d.Conjuncts))
+			for _, a := range acc {
+				for _, b := range d.Conjuncts {
+					atoms := make([]Atom, 0, len(a.Atoms)+len(b.Atoms))
+					atoms = append(atoms, a.Atoms...)
+					atoms = append(atoms, b.Atoms...)
+					next = append(next, Conjunction{Atoms: atoms})
+				}
+			}
+			acc = next
+		}
+		return DNF{Conjuncts: acc}, nil
+	default:
+		return DNF{}, fmt.Errorf("pred: internal: unknown node kind %d", n.kind)
+	}
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokOp     // comparison operator
+	tokAnd    // && / and
+	tokOr     // || / or
+	tokLParen // (
+	tokRParen // )
+	tokPlus   // +
+	tokMinus  // -
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+func newLexer(in string) *lexer { return &lexer{in: in} }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentRest(c byte) bool {
+	return isIdentStart(c) || c == '.' || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lex() (token, error) {
+	for l.pos < len(l.in) && (l.in[l.pos] == ' ' || l.in[l.pos] == '\t' || l.in[l.pos] == '\n' || l.in[l.pos] == '\r') {
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF}, nil
+	}
+	c := l.in[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "("}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")"}, nil
+	case c == '+':
+		l.pos++
+		return token{kind: tokPlus, text: "+"}, nil
+	case c == '-':
+		l.pos++
+		return token{kind: tokMinus, text: "-"}, nil
+	case c == '&':
+		if strings.HasPrefix(l.in[l.pos:], "&&") {
+			l.pos += 2
+			return token{kind: tokAnd, text: "&&"}, nil
+		}
+		return token{}, fmt.Errorf("pred: stray '&' at offset %d", l.pos)
+	case c == '|':
+		if strings.HasPrefix(l.in[l.pos:], "||") {
+			l.pos += 2
+			return token{kind: tokOr, text: "||"}, nil
+		}
+		return token{}, fmt.Errorf("pred: stray '|' at offset %d", l.pos)
+	case c == '=', c == '!', c == '<', c == '>':
+		for _, op := range []string{"==", "!=", "<>", "<=", ">=", "=", "<", ">"} {
+			if strings.HasPrefix(l.in[l.pos:], op) {
+				l.pos += len(op)
+				return token{kind: tokOp, text: op}, nil
+			}
+		}
+		return token{}, fmt.Errorf("pred: bad operator at offset %d", l.pos)
+	case c >= '0' && c <= '9':
+		start := l.pos
+		for l.pos < len(l.in) && l.in[l.pos] >= '0' && l.in[l.pos] <= '9' {
+			l.pos++
+		}
+		return token{kind: tokInt, text: l.in[start:l.pos]}, nil
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.in) && isIdentRest(l.in[l.pos]) {
+			l.pos++
+		}
+		word := l.in[start:l.pos]
+		switch strings.ToLower(word) {
+		case "and":
+			return token{kind: tokAnd, text: word}, nil
+		case "or":
+			return token{kind: tokOr, text: word}, nil
+		}
+		return token{kind: tokIdent, text: word}, nil
+	default:
+		return token{}, fmt.Errorf("pred: unexpected character %q at offset %d", c, l.pos)
+	}
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) next() error {
+	t, err := p.lex.lex()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) parseExpr() (*node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*node{left}
+	for p.tok.kind == tokOr {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &node{kind: nodeOr, kids: kids}, nil
+}
+
+func (p *parser) parseAnd() (*node, error) {
+	left, err := p.parsePrim()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*node{left}
+	for p.tok.kind == tokAnd {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parsePrim()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &node{kind: nodeAnd, kids: kids}, nil
+}
+
+func (p *parser) parsePrim() (*node, error) {
+	switch p.tok.kind {
+	case tokLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("pred: expected ')', got %q", p.tok.text)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tokIdent:
+		switch strings.ToLower(p.tok.text) {
+		case "true":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			return &node{kind: nodeTrue}, nil
+		case "false":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			return &node{kind: nodeFalse}, nil
+		}
+		return p.parseAtom()
+	default:
+		return nil, fmt.Errorf("pred: expected condition, got %q", p.tok.text)
+	}
+}
+
+func (p *parser) parseOp(text string) (Op, error) {
+	switch text {
+	case "=", "==":
+		return OpEQ, nil
+	case "!=", "<>":
+		return OpNE, nil
+	case "<":
+		return OpLT, nil
+	case "<=":
+		return OpLE, nil
+	case ">":
+		return OpGT, nil
+	case ">=":
+		return OpGE, nil
+	default:
+		return 0, fmt.Errorf("pred: unknown operator %q", text)
+	}
+}
+
+func (p *parser) parseInt(neg bool) (int64, error) {
+	if p.tok.kind != tokInt {
+		return 0, fmt.Errorf("pred: expected integer, got %q", p.tok.text)
+	}
+	v, err := strconv.ParseInt(p.tok.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("pred: bad integer %q: %w", p.tok.text, err)
+	}
+	if err := p.next(); err != nil {
+		return 0, err
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) parseAtom() (*node, error) {
+	left := Var(p.tok.text)
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokOp {
+		return nil, fmt.Errorf("pred: expected comparison operator after %q, got %q", left, p.tok.text)
+	}
+	op, err := p.parseOp(p.tok.text)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+
+	switch p.tok.kind {
+	case tokMinus:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		c, err := p.parseInt(true)
+		if err != nil {
+			return nil, err
+		}
+		return &node{kind: nodeAtom, atom: VarConst(left, op, c)}, nil
+	case tokInt:
+		c, err := p.parseInt(false)
+		if err != nil {
+			return nil, err
+		}
+		return &node{kind: nodeAtom, atom: VarConst(left, op, c)}, nil
+	case tokIdent:
+		right := Var(p.tok.text)
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		var c int64
+		if p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+			neg := p.tok.kind == tokMinus
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			v, err := p.parseInt(neg)
+			if err != nil {
+				return nil, err
+			}
+			c = v
+		}
+		return &node{kind: nodeAtom, atom: VarVar(left, op, right, c)}, nil
+	default:
+		return nil, fmt.Errorf("pred: expected value after operator, got %q", p.tok.text)
+	}
+}

@@ -1,0 +1,179 @@
+package pred
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleConjunction(t *testing.T) {
+	d, err := Parse("A < 10 && C > 5 && B = C")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(d.Conjuncts) != 1 {
+		t.Fatalf("conjuncts = %d", len(d.Conjuncts))
+	}
+	atoms := d.Conjuncts[0].Atoms
+	if len(atoms) != 3 {
+		t.Fatalf("atoms = %v", atoms)
+	}
+	if atoms[0] != VarConst("A", OpLT, 10) {
+		t.Errorf("atom0 = %v", atoms[0])
+	}
+	if atoms[2] != VarVar("B", OpEQ, "C", 0) {
+		t.Errorf("atom2 = %v", atoms[2])
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	cases := map[string]Op{
+		"A = 1": OpEQ, "A == 1": OpEQ,
+		"A != 1": OpNE, "A <> 1": OpNE,
+		"A < 1": OpLT, "A <= 1": OpLE,
+		"A > 1": OpGT, "A >= 1": OpGE,
+	}
+	for in, op := range cases {
+		d, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got := d.Conjuncts[0].Atoms[0].Op; got != op {
+			t.Errorf("Parse(%q) op = %v, want %v", in, got, op)
+		}
+	}
+}
+
+func TestParseOffsetsAndNegatives(t *testing.T) {
+	d := MustParse("A <= B + 3 && C >= D - 4 && E < -7")
+	atoms := d.Conjuncts[0].Atoms
+	if atoms[0] != VarVar("A", OpLE, "B", 3) {
+		t.Errorf("atom0 = %v", atoms[0])
+	}
+	if atoms[1] != VarVar("C", OpGE, "D", -4) {
+		t.Errorf("atom1 = %v", atoms[1])
+	}
+	if atoms[2] != VarConst("E", OpLT, -7) {
+		t.Errorf("atom2 = %v", atoms[2])
+	}
+}
+
+func TestParseQualifiedNames(t *testing.T) {
+	d := MustParse("R.A = S.B")
+	if d.Conjuncts[0].Atoms[0] != VarVar("R.A", OpEQ, "S.B", 0) {
+		t.Errorf("atom = %v", d.Conjuncts[0].Atoms[0])
+	}
+}
+
+func TestParseDisjunction(t *testing.T) {
+	d := MustParse("A < 0 || A > 10 || B = 1")
+	if len(d.Conjuncts) != 3 {
+		t.Fatalf("conjuncts = %d", len(d.Conjuncts))
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	// (a || b) && (c || d) must expand to 4 conjuncts.
+	d := MustParse("(A = 1 || A = 2) && (B = 1 || B = 2)")
+	if len(d.Conjuncts) != 4 {
+		t.Fatalf("conjuncts = %d, want 4", len(d.Conjuncts))
+	}
+	for _, c := range d.Conjuncts {
+		if len(c.Atoms) != 2 {
+			t.Errorf("conjunct %v should have 2 atoms", c)
+		}
+	}
+}
+
+func TestParseAndOrKeywords(t *testing.T) {
+	d := MustParse("A = 1 AND B = 2 or C = 3")
+	if len(d.Conjuncts) != 2 {
+		t.Fatalf("conjuncts = %d", len(d.Conjuncts))
+	}
+	if len(d.Conjuncts[0].Atoms) != 2 {
+		t.Errorf("first conjunct = %v", d.Conjuncts[0])
+	}
+}
+
+func TestParseTrueFalseEmpty(t *testing.T) {
+	if d := MustParse(""); len(d.Conjuncts) != 1 || len(d.Conjuncts[0].Atoms) != 0 {
+		t.Errorf("empty input should be Always, got %v", d)
+	}
+	if d := MustParse("true"); len(d.Conjuncts) != 1 || len(d.Conjuncts[0].Atoms) != 0 {
+		t.Errorf("true should be Always, got %v", d)
+	}
+	if d := MustParse("false"); len(d.Conjuncts) != 0 {
+		t.Errorf("false should be Never, got %v", d)
+	}
+	// false inside AND annihilates.
+	if d := MustParse("A = 1 && false"); len(d.Conjuncts) != 0 {
+		t.Errorf("x && false should be Never, got %v", d)
+	}
+	// true inside AND is identity.
+	if d := MustParse("A = 1 && true"); len(d.Conjuncts) != 1 || len(d.Conjuncts[0].Atoms) != 1 {
+		t.Errorf("x && true should be x, got %v", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"A <",
+		"A",
+		"< 10",
+		"A = 1 &&",
+		"A = 1 & B = 2",
+		"A = 1 | B = 2",
+		"(A = 1",
+		"A = 1)",
+		"A = 1 extra",
+		"A = B + ",
+		"A = 99999999999999999999999999",
+		"A $ 1",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): want error", in)
+		}
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	inputs := []string{
+		"A < 10 && C > 5 && B = C",
+		"(A < 0) || (A > 10)",
+		"A <= B + 3",
+		"A >= B - 2 && C != 7",
+	}
+	for _, in := range inputs {
+		d1 := MustParse(in)
+		d2, err := Parse(d1.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", d1.String(), err)
+		}
+		if d1.String() != d2.String() {
+			t.Errorf("round trip drifted: %q → %q", d1.String(), d2.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("<<")
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	// Build a condition whose naive DNF is huge and check the cap trips.
+	var sb strings.Builder
+	for i := 0; i < 14; i++ {
+		if i > 0 {
+			sb.WriteString(" && ")
+		}
+		sb.WriteString("(A = 1 || A = 2 || A = 3)")
+	}
+	if _, err := Parse(sb.String()); err == nil {
+		t.Error("expected DNF explosion cap to trigger")
+	}
+}

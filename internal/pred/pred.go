@@ -1,0 +1,383 @@
+// Package pred implements the Boolean selection conditions of
+// Blakeley, Larson & Tompa §4: conjunctions (and disjunctions of
+// conjunctions) of atomic formulae of the forms
+//
+//	x op y        x op y + c        x op c
+//
+// where x, y are variables naming attributes, c is an integer constant,
+// and op ∈ {=, ≠, <, ≤, >, ≥}. The paper's efficiently decidable class
+// (after Rosenkrantz & Hunt) excludes ≠; this package supports ≠ for
+// evaluation and offers an optional exact DNF expansion of it
+// (ExpandNE) for satisfiability testing.
+//
+// The package provides evaluation against tuples, the variable
+// substitution C(t, Y2) of Definition 4.1, the variant/invariant
+// classification of Definition 4.2, normalization to ≤/≥ form for the
+// satisfiability graph, and a parser for a small textual syntax.
+package pred
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+// Var names an attribute, possibly qualified ("R.A").
+type Var = schema.Attribute
+
+// Op is a comparison operator.
+type Op uint8
+
+// Comparison operators. OpEQ is the zero value.
+const (
+	OpEQ Op = iota // =
+	OpNE           // ≠
+	OpLT           // <
+	OpLE           // ≤
+	OpGT           // >
+	OpGE           // ≥
+)
+
+// String returns the ASCII spelling used by the parser.
+func (o Op) String() string {
+	switch o {
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "!="
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Flip returns the operator with its operands exchanged:
+// (x op y) ≡ (y Flip(op) x).
+func (o Op) Flip() Op {
+	switch o {
+	case OpLT:
+		return OpGT
+	case OpLE:
+		return OpGE
+	case OpGT:
+		return OpLT
+	case OpGE:
+		return OpLE
+	default: // =, ≠ are symmetric
+		return o
+	}
+}
+
+// Compare applies the operator to two integers.
+func (o Op) Compare(a, b int64) bool {
+	switch o {
+	case OpEQ:
+		return a == b
+	case OpNE:
+		return a != b
+	case OpLT:
+		return a < b
+	case OpLE:
+		return a <= b
+	case OpGT:
+		return a > b
+	case OpGE:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// Atom is one atomic formula. With Right == "" it reads "Left Op C";
+// otherwise it reads "Left Op Right + C" (use C == 0 for "x op y").
+type Atom struct {
+	Left  Var
+	Op    Op
+	Right Var
+	C     int64
+}
+
+// VarVar builds the atom "x op y + c".
+func VarVar(x Var, op Op, y Var, c int64) Atom {
+	return Atom{Left: x, Op: op, Right: y, C: c}
+}
+
+// VarConst builds the atom "x op c".
+func VarConst(x Var, op Op, c int64) Atom {
+	return Atom{Left: x, Op: op, C: c}
+}
+
+// HasRightVar reports whether the atom compares two variables.
+func (a Atom) HasRightVar() bool { return a.Right != "" }
+
+// String renders the atom in parser syntax.
+func (a Atom) String() string {
+	var rhs string
+	switch {
+	case !a.HasRightVar():
+		rhs = strconv.FormatInt(a.C, 10)
+	case a.C == 0:
+		rhs = string(a.Right)
+	case a.C > 0:
+		rhs = fmt.Sprintf("%s + %d", a.Right, a.C)
+	default:
+		rhs = fmt.Sprintf("%s - %d", a.Right, -a.C)
+	}
+	return fmt.Sprintf("%s %s %s", a.Left, a.Op, rhs)
+}
+
+// Rename returns the atom with variables mapped through f.
+func (a Atom) Rename(f func(Var) Var) Atom {
+	a.Left = f(a.Left)
+	if a.HasRightVar() {
+		a.Right = f(a.Right)
+	}
+	return a
+}
+
+// Conjunction is the logical AND of its atoms. An empty conjunction is
+// true.
+type Conjunction struct {
+	Atoms []Atom
+}
+
+// And builds a conjunction from atoms.
+func And(atoms ...Atom) Conjunction { return Conjunction{Atoms: atoms} }
+
+// True is the empty (always satisfied) conjunction.
+func True() Conjunction { return Conjunction{} }
+
+// String renders "a && b && c"; the empty conjunction renders "true".
+func (c Conjunction) String() string {
+	if len(c.Atoms) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(c.Atoms))
+	for i, a := range c.Atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " && ")
+}
+
+// Vars returns the sorted set of variables mentioned by the
+// conjunction — a(C) in the paper's notation.
+func (c Conjunction) Vars() []Var {
+	seen := make(map[Var]bool)
+	for _, a := range c.Atoms {
+		seen[a.Left] = true
+		if a.HasRightVar() {
+			seen[a.Right] = true
+		}
+	}
+	out := make([]Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Rename returns the conjunction with all variables mapped through f.
+func (c Conjunction) Rename(f func(Var) Var) Conjunction {
+	out := make([]Atom, len(c.Atoms))
+	for i, a := range c.Atoms {
+		out[i] = a.Rename(f)
+	}
+	return Conjunction{Atoms: out}
+}
+
+// HasNE reports whether any atom uses ≠ (outside the
+// Rosenkrantz–Hunt class).
+func (c Conjunction) HasNE() bool {
+	for _, a := range c.Atoms {
+		if a.Op == OpNE {
+			return true
+		}
+	}
+	return false
+}
+
+// DNF is a disjunction of conjunctions, C1 ∨ … ∨ Cm. A DNF with no
+// conjuncts is false; Always() is the canonical truth.
+type DNF struct {
+	Conjuncts []Conjunction
+}
+
+// Or builds a DNF from conjuncts.
+func Or(cs ...Conjunction) DNF { return DNF{Conjuncts: cs} }
+
+// Always is the always-true condition (one empty conjunct).
+func Always() DNF { return DNF{Conjuncts: []Conjunction{True()}} }
+
+// Never is the always-false condition (no conjuncts).
+func Never() DNF { return DNF{} }
+
+// String renders "(c1) || (c2)"; false renders "false".
+func (d DNF) String() string {
+	if len(d.Conjuncts) == 0 {
+		return "false"
+	}
+	if len(d.Conjuncts) == 1 {
+		return d.Conjuncts[0].String()
+	}
+	parts := make([]string, len(d.Conjuncts))
+	for i, c := range d.Conjuncts {
+		parts[i] = "(" + c.String() + ")"
+	}
+	return strings.Join(parts, " || ")
+}
+
+// Vars returns the sorted set of variables mentioned anywhere in the
+// DNF.
+func (d DNF) Vars() []Var {
+	seen := make(map[Var]bool)
+	for _, c := range d.Conjuncts {
+		for _, v := range c.Vars() {
+			seen[v] = true
+		}
+	}
+	out := make([]Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Rename returns the DNF with all variables mapped through f.
+func (d DNF) Rename(f func(Var) Var) DNF {
+	out := make([]Conjunction, len(d.Conjuncts))
+	for i, c := range d.Conjuncts {
+		out[i] = c.Rename(f)
+	}
+	return DNF{Conjuncts: out}
+}
+
+// HasNE reports whether any conjunct contains a ≠ atom.
+func (d DNF) HasNE() bool {
+	for _, c := range d.Conjuncts {
+		if c.HasNE() {
+			return true
+		}
+	}
+	return false
+}
+
+// Binding resolves a variable to a value. The second result reports
+// whether the variable is bound.
+type Binding func(Var) (tuple.Value, bool)
+
+// EvalAtom evaluates one atom under a binding. It returns an error for
+// unbound variables.
+func EvalAtom(a Atom, b Binding) (bool, error) {
+	lv, ok := b(a.Left)
+	if !ok {
+		return false, fmt.Errorf("pred: unbound variable %q in %s", a.Left, a)
+	}
+	rv := a.C
+	if a.HasRightVar() {
+		v, ok := b(a.Right)
+		if !ok {
+			return false, fmt.Errorf("pred: unbound variable %q in %s", a.Right, a)
+		}
+		rv = v + a.C
+	}
+	return a.Op.Compare(lv, rv), nil
+}
+
+// Eval evaluates the conjunction under a binding.
+func (c Conjunction) Eval(b Binding) (bool, error) {
+	for _, a := range c.Atoms {
+		ok, err := EvalAtom(a, b)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Eval evaluates the DNF under a binding.
+func (d DNF) Eval(b Binding) (bool, error) {
+	for _, c := range d.Conjuncts {
+		ok, err := c.Eval(b)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// compiledAtom is an atom with variable references resolved to tuple
+// positions for fast evaluation.
+type compiledAtom struct {
+	op       Op
+	leftPos  int
+	rightPos int // -1 when the right side is a constant
+	c        int64
+}
+
+func (ca compiledAtom) eval(t tuple.Tuple) bool {
+	rv := ca.c
+	if ca.rightPos >= 0 {
+		rv = t[ca.rightPos] + ca.c
+	}
+	return ca.op.Compare(t[ca.leftPos], rv)
+}
+
+// Compile resolves the DNF's variables against a scheme, returning a
+// fast predicate over tuples of that scheme. It returns an error if any
+// variable is missing from the scheme.
+func (d DNF) Compile(s *schema.Scheme) (func(tuple.Tuple) bool, error) {
+	compiled := make([][]compiledAtom, len(d.Conjuncts))
+	for i, c := range d.Conjuncts {
+		cas := make([]compiledAtom, len(c.Atoms))
+		for j, a := range c.Atoms {
+			lp, ok := s.Pos(a.Left)
+			if !ok {
+				return nil, fmt.Errorf("pred: variable %q not in scheme %s", a.Left, s)
+			}
+			rp := -1
+			if a.HasRightVar() {
+				p, ok := s.Pos(a.Right)
+				if !ok {
+					return nil, fmt.Errorf("pred: variable %q not in scheme %s", a.Right, s)
+				}
+				rp = p
+			}
+			cas[j] = compiledAtom{op: a.Op, leftPos: lp, rightPos: rp, c: a.C}
+		}
+		compiled[i] = cas
+	}
+	return func(t tuple.Tuple) bool {
+		for _, conj := range compiled {
+			ok := true
+			for _, ca := range conj {
+				if !ca.eval(t) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

@@ -1,0 +1,221 @@
+package pred
+
+import (
+	"testing"
+
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+func bindMap(m map[Var]int64) Binding {
+	return func(v Var) (int64, bool) {
+		x, ok := m[v]
+		return x, ok
+	}
+}
+
+func TestOpCompare(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want bool
+	}{
+		{OpEQ, 1, 1, true}, {OpEQ, 1, 2, false},
+		{OpNE, 1, 2, true}, {OpNE, 2, 2, false},
+		{OpLT, 1, 2, true}, {OpLT, 2, 2, false},
+		{OpLE, 2, 2, true}, {OpLE, 3, 2, false},
+		{OpGT, 3, 2, true}, {OpGT, 2, 2, false},
+		{OpGE, 2, 2, true}, {OpGE, 1, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Compare(c.a, c.b); got != c.want {
+			t.Errorf("%d %s %d = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOpFlip(t *testing.T) {
+	// (x op y) ≡ (y Flip(op) x) for all operand pairs.
+	ops := []Op{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}
+	for _, op := range ops {
+		for a := int64(-2); a <= 2; a++ {
+			for b := int64(-2); b <= 2; b++ {
+				if op.Compare(a, b) != op.Flip().Compare(b, a) {
+					t.Errorf("Flip broken for %s on (%d,%d)", op, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	cases := []struct {
+		a    Atom
+		want string
+	}{
+		{VarConst("A", OpLT, 10), "A < 10"},
+		{VarVar("A", OpEQ, "B", 0), "A = B"},
+		{VarVar("A", OpLE, "B", 3), "A <= B + 3"},
+		{VarVar("A", OpGE, "B", -3), "A >= B - 3"},
+		{VarConst("A", OpNE, -1), "A != -1"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEvalAtom(t *testing.T) {
+	b := bindMap(map[Var]int64{"A": 5, "B": 7})
+	cases := []struct {
+		a    Atom
+		want bool
+	}{
+		{VarConst("A", OpLT, 10), true},
+		{VarConst("A", OpGT, 10), false},
+		{VarVar("A", OpLT, "B", 0), true},
+		{VarVar("A", OpEQ, "B", -2), true}, // 5 = 7 + (−2)
+		{VarVar("B", OpGE, "A", 2), true},  // 7 ≥ 5 + 2
+	}
+	for _, c := range cases {
+		got, err := EvalAtom(c.a, b)
+		if err != nil {
+			t.Fatalf("EvalAtom(%s): %v", c.a, err)
+		}
+		if got != c.want {
+			t.Errorf("EvalAtom(%s) = %v, want %v", c.a, got, c.want)
+		}
+	}
+	if _, err := EvalAtom(VarConst("Z", OpEQ, 1), b); err == nil {
+		t.Error("unbound left variable should error")
+	}
+	if _, err := EvalAtom(VarVar("A", OpEQ, "Z", 0), b); err == nil {
+		t.Error("unbound right variable should error")
+	}
+}
+
+func TestConjunctionEval(t *testing.T) {
+	c := And(VarConst("A", OpLT, 10), VarVar("B", OpEQ, "C", 0))
+	ok, err := c.Eval(bindMap(map[Var]int64{"A": 9, "B": 10, "C": 10}))
+	if err != nil || !ok {
+		t.Errorf("Eval = %v,%v want true", ok, err)
+	}
+	ok, err = c.Eval(bindMap(map[Var]int64{"A": 11, "B": 10, "C": 10}))
+	if err != nil || ok {
+		t.Errorf("Eval = %v,%v want false", ok, err)
+	}
+	if ok, err := True().Eval(bindMap(nil)); err != nil || !ok {
+		t.Error("empty conjunction must be true")
+	}
+}
+
+func TestDNFEval(t *testing.T) {
+	d := Or(
+		And(VarConst("A", OpLT, 0)),
+		And(VarConst("A", OpGT, 10)),
+	)
+	for _, c := range []struct {
+		a    int64
+		want bool
+	}{{-1, true}, {5, false}, {11, true}} {
+		got, err := d.Eval(bindMap(map[Var]int64{"A": c.a}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("DNF(A=%d) = %v, want %v", c.a, got, c.want)
+		}
+	}
+	if ok, _ := Never().Eval(bindMap(nil)); ok {
+		t.Error("Never must evaluate false")
+	}
+	if ok, _ := Always().Eval(bindMap(nil)); !ok {
+		t.Error("Always must evaluate true")
+	}
+}
+
+func TestVars(t *testing.T) {
+	c := And(VarVar("B", OpEQ, "C", 0), VarConst("A", OpLT, 10))
+	got := c.Vars()
+	want := []Var{"A", "B", "C"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Vars = %v, want %v", got, want)
+		}
+	}
+	d := Or(c, And(VarConst("D", OpGE, 0)))
+	if len(d.Vars()) != 4 {
+		t.Errorf("DNF Vars = %v", d.Vars())
+	}
+}
+
+func TestRename(t *testing.T) {
+	c := And(VarVar("A", OpEQ, "B", 0), VarConst("A", OpLT, 3))
+	r := c.Rename(func(v Var) Var { return "R." + v })
+	if r.Atoms[0].Left != "R.A" || r.Atoms[0].Right != "R.B" || r.Atoms[1].Left != "R.A" {
+		t.Errorf("Rename = %v", r)
+	}
+	// Original untouched.
+	if c.Atoms[0].Left != "A" {
+		t.Error("Rename mutated receiver")
+	}
+	d := Or(c).Rename(func(v Var) Var { return "q" + v })
+	if d.Conjuncts[0].Atoms[0].Left != "qA" {
+		t.Errorf("DNF Rename = %v", d)
+	}
+}
+
+func TestHasNE(t *testing.T) {
+	if And(VarConst("A", OpLT, 1)).HasNE() {
+		t.Error("no NE present")
+	}
+	if !And(VarConst("A", OpNE, 1)).HasNE() {
+		t.Error("NE not detected")
+	}
+	if !Or(True(), And(VarVar("A", OpNE, "B", 0))).HasNE() {
+		t.Error("DNF NE not detected")
+	}
+}
+
+func TestCompile(t *testing.T) {
+	s := schema.MustScheme("A", "B", "C")
+	d := MustParse("A < 10 && B = C")
+	f, err := d.Compile(s)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if !f(tuple.New(9, 5, 5)) {
+		t.Error("want true for (9,5,5)")
+	}
+	if f(tuple.New(11, 5, 5)) || f(tuple.New(9, 5, 6)) {
+		t.Error("want false")
+	}
+	if _, err := MustParse("Z = 1").Compile(s); err == nil {
+		t.Error("unknown variable should fail to compile")
+	}
+	// Var-var with offset.
+	g, err := MustParse("B >= C + 2").Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g(tuple.New(0, 7, 5)) || g(tuple.New(0, 6, 5)) {
+		t.Error("offset comparison miscompiled")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if got := True().String(); got != "true" {
+		t.Errorf("True = %q", got)
+	}
+	if got := Never().String(); got != "false" {
+		t.Errorf("Never = %q", got)
+	}
+	d := Or(And(VarConst("A", OpLT, 1)), And(VarConst("B", OpGT, 2)))
+	if got := d.String(); got != "(A < 1) || (B > 2)" {
+		t.Errorf("DNF = %q", got)
+	}
+}

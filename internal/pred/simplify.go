@@ -1,0 +1,193 @@
+package pred
+
+// Satisfiability-based condition simplification, after the direction
+// the paper's §5.4 observation (i) points at (Aho–Sagiv–Ullman tableau
+// minimization extended to inequalities, [KBO]): with the
+// Rosenkrantz–Hunt machinery in hand, implication between atoms in the
+// decidable class is itself decidable, so conditions can be minimized
+// before any plans or checkers are built from them.
+//
+// These functions live in pred (rather than satgraph) to keep the
+// dependency direction substrate → algorithms; they use the
+// closure-based implication test below, which mirrors satgraph's
+// Floyd–Warshall but needs no graph object.
+
+import "math"
+
+// infWeight mirrors satgraph.Inf; duplicated to avoid an import cycle
+// (satgraph depends on pred).
+const infWeight int64 = math.MaxInt64 / 4
+
+func saturate(a, b int64) int64 {
+	if a >= infWeight || b >= infWeight {
+		return infWeight
+	}
+	s := a + b
+	switch {
+	case s > infWeight:
+		return infWeight
+	case s < -infWeight:
+		return -infWeight
+	default:
+		return s
+	}
+}
+
+// closure computes all-pairs shortest paths over the constraints'
+// variables (plus ZeroVar). It reports ok=false when the constraint
+// set is unsatisfiable (negative cycle).
+func closure(cons []Constraint) (dist map[Var]map[Var]int64, ok bool) {
+	vars := map[Var]bool{ZeroVar: true}
+	for _, c := range cons {
+		vars[c.X] = true
+		vars[c.Y] = true
+	}
+	dist = make(map[Var]map[Var]int64, len(vars))
+	for a := range vars {
+		row := make(map[Var]int64, len(vars))
+		for b := range vars {
+			if a == b {
+				row[b] = 0
+			} else {
+				row[b] = infWeight
+			}
+		}
+		dist[a] = row
+	}
+	for _, c := range cons {
+		w := c.C
+		if w > infWeight {
+			w = infWeight
+		} else if w < -infWeight {
+			w = -infWeight
+		}
+		if w < dist[c.Y][c.X] {
+			dist[c.Y][c.X] = w
+		}
+	}
+	for k := range vars {
+		for i := range vars {
+			dik := dist[i][k]
+			if dik >= infWeight {
+				continue
+			}
+			for j := range vars {
+				if alt := saturate(dik, dist[k][j]); alt < dist[i][j] {
+					dist[i][j] = alt
+				}
+			}
+		}
+	}
+	for v := range vars {
+		if dist[v][v] < 0 {
+			return dist, false
+		}
+	}
+	return dist, true
+}
+
+// Implies reports whether the conjunction c entails atom a over the
+// integers (c ⊨ a), for conditions in the Rosenkrantz–Hunt class. It
+// returns ErrOutsideClass if c or a uses ≠.
+//
+// An unsatisfiable c implies everything.
+func Implies(c Conjunction, a Atom) (bool, error) {
+	cons, err := NormalizeConjunction(c)
+	if err != nil {
+		return false, err
+	}
+	target, err := Normalize(a)
+	if err != nil {
+		return false, err
+	}
+	dist, ok := closure(cons)
+	if !ok {
+		return true, nil // false implies everything
+	}
+	// c ⊨ (x ≤ y + w) iff the closure already bounds x − y by ≤ w.
+	for _, t := range target {
+		row, okY := dist[t.Y]
+		if !okY {
+			return false, nil // variable unconstrained by c
+		}
+		d, okX := row[t.X]
+		if !okX || d > t.C {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MinimizeConjunction removes atoms entailed by the remaining ones,
+// returning an equivalent, irredundant conjunction. Atoms outside the
+// decidable class (≠) are always kept. The scan is greedy
+// (first-removable-first), which yields a minimal — not necessarily
+// minimum — atom set, as in tableau minimization practice.
+func MinimizeConjunction(c Conjunction) Conjunction {
+	atoms := append([]Atom{}, c.Atoms...)
+	for i := 0; i < len(atoms); i++ {
+		if atoms[i].Op == OpNE {
+			continue
+		}
+		rest := make([]Atom, 0, len(atoms)-1)
+		restHasNE := false
+		for j, a := range atoms {
+			if j == i {
+				continue
+			}
+			if a.Op == OpNE {
+				restHasNE = true
+				continue // implication test runs on the decidable part
+			}
+			rest = append(rest, a)
+		}
+		implied, err := Implies(Conjunction{Atoms: rest}, atoms[i])
+		if err != nil || !implied {
+			continue
+		}
+		// With ≠ atoms excluded from `rest`, entailment still holds:
+		// adding conjuncts only strengthens the left side.
+		_ = restHasNE
+		atoms = append(atoms[:i], atoms[i+1:]...)
+		i--
+	}
+	return Conjunction{Atoms: atoms}
+}
+
+// SimplifyDNF drops statically unsatisfiable conjuncts (they
+// contribute no tuples in any database state) and minimizes the
+// survivors. Conjuncts containing ≠ atoms are kept unless their
+// ≠-free part is already unsatisfiable (removing atoms can only grow
+// the satisfying set, so an unsatisfiable subset proves the whole
+// conjunct dead). The result is equivalent to the input; dropped
+// reports how many conjuncts were eliminated.
+func SimplifyDNF(d DNF) (out DNF, dropped int) {
+	out = DNF{Conjuncts: make([]Conjunction, 0, len(d.Conjuncts))}
+	for _, c := range d.Conjuncts {
+		decidable := c
+		if c.HasNE() {
+			var kept []Atom
+			for _, a := range c.Atoms {
+				if a.Op != OpNE {
+					kept = append(kept, a)
+				}
+			}
+			decidable = Conjunction{Atoms: kept}
+		}
+		cons, err := NormalizeConjunction(decidable)
+		if err != nil {
+			out.Conjuncts = append(out.Conjuncts, c) // conservative
+			continue
+		}
+		if _, ok := closure(cons); !ok {
+			dropped++
+			continue
+		}
+		if c.HasNE() {
+			out.Conjuncts = append(out.Conjuncts, c)
+		} else {
+			out.Conjuncts = append(out.Conjuncts, MinimizeConjunction(c))
+		}
+	}
+	return out, dropped
+}

@@ -1,0 +1,183 @@
+package pred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestImpliesBasics(t *testing.T) {
+	cases := []struct {
+		c    string
+		a    Atom
+		want bool
+	}{
+		{"A < 5", VarConst("A", OpLT, 10), true},
+		{"A < 10", VarConst("A", OpLT, 5), false},
+		{"A < 5 && B = A", VarConst("B", OpLT, 5), true},
+		{"A <= B && B <= C", VarVar("A", OpLE, "C", 0), true},
+		{"A <= B && B <= C", VarVar("A", OpLT, "C", 0), false},
+		{"A = 7", VarConst("A", OpGE, 7), true},
+		{"A = 7", VarConst("A", OpLE, 7), true},
+		{"A = 7", VarConst("A", OpEQ, 8), false},
+		// Unsatisfiable premises imply everything.
+		{"A < 0 && A > 0", VarConst("Z", OpEQ, 42), true},
+		// Unconstrained variable.
+		{"A < 5", VarConst("Z", OpLT, 10), false},
+	}
+	for _, cs := range cases {
+		conj := MustParse(cs.c).Conjuncts[0]
+		got, err := Implies(conj, cs.a)
+		if err != nil {
+			t.Fatalf("Implies(%q, %s): %v", cs.c, cs.a, err)
+		}
+		if got != cs.want {
+			t.Errorf("Implies(%q, %s) = %v, want %v", cs.c, cs.a, got, cs.want)
+		}
+	}
+}
+
+func TestImpliesRejectsNE(t *testing.T) {
+	conj := MustParse("A != 1").Conjuncts[0]
+	if _, err := Implies(conj, VarConst("A", OpLT, 5)); err == nil {
+		t.Error("NE premise must error")
+	}
+	if _, err := Implies(True(), VarConst("A", OpNE, 5)); err == nil {
+		t.Error("NE conclusion must error")
+	}
+}
+
+func TestMinimizeConjunction(t *testing.T) {
+	cases := []struct {
+		in       string
+		maxAtoms int
+	}{
+		{"A < 5 && A < 10", 1},
+		{"A < 5 && A < 10 && A < 7", 1},
+		{"A <= B && B <= C && A <= C", 2},
+		{"A < 5 && B > 3", 2},            // nothing redundant
+		{"A = B && B = C && A = C", 2},   // one equality follows
+		{"A != 3 && A != 3 && A < 5", 3}, // NE atoms always kept
+	}
+	for _, cs := range cases {
+		conj := MustParse(cs.in).Conjuncts[0]
+		got := MinimizeConjunction(conj)
+		if len(got.Atoms) > cs.maxAtoms {
+			t.Errorf("Minimize(%q) kept %d atoms (%s), want ≤ %d", cs.in, len(got.Atoms), got, cs.maxAtoms)
+		}
+	}
+}
+
+// TestMinimizeEquivalence: minimization must preserve semantics over
+// random assignments.
+func TestMinimizeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	vars := []Var{"A", "B", "C"}
+	ops := []Op{OpEQ, OpLT, OpLE, OpGT, OpGE}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		atoms := make([]Atom, n)
+		for i := range atoms {
+			x := vars[rng.Intn(len(vars))]
+			op := ops[rng.Intn(len(ops))]
+			if rng.Intn(2) == 0 {
+				atoms[i] = VarConst(x, op, int64(rng.Intn(9)-4))
+			} else {
+				atoms[i] = VarVar(x, op, vars[rng.Intn(len(vars))], int64(rng.Intn(9)-4))
+			}
+		}
+		orig := And(atoms...)
+		min := MinimizeConjunction(orig)
+		if len(min.Atoms) > len(orig.Atoms) {
+			t.Fatalf("minimization grew the conjunction")
+		}
+		for probe := 0; probe < 200; probe++ {
+			bind := bindMap(map[Var]int64{
+				"A": int64(rng.Intn(13) - 6),
+				"B": int64(rng.Intn(13) - 6),
+				"C": int64(rng.Intn(13) - 6),
+			})
+			a, err := orig.Eval(bind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := min.Eval(bind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("Minimize changed semantics: %s vs %s", orig, min)
+			}
+		}
+	}
+}
+
+func TestSimplifyDNF(t *testing.T) {
+	// One dead conjunct, one live redundant one.
+	d := MustParse("(A < 0 && A > 5) || (B < 5 && B < 9)")
+	out, dropped := SimplifyDNF(d)
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if len(out.Conjuncts) != 1 || len(out.Conjuncts[0].Atoms) != 1 {
+		t.Errorf("out = %s", out)
+	}
+
+	// NE conjunct whose decidable part is dead is still dropped.
+	d2 := MustParse("(A != 7 && A < 0 && A > 5) || (B = 1)")
+	out2, dropped2 := SimplifyDNF(d2)
+	if dropped2 != 1 || len(out2.Conjuncts) != 1 {
+		t.Errorf("NE-dead: out = %s, dropped = %d", out2, dropped2)
+	}
+
+	// NE conjunct with satisfiable decidable part is kept verbatim.
+	d3 := MustParse("A != 7 && A < 100")
+	out3, dropped3 := SimplifyDNF(d3)
+	if dropped3 != 0 || len(out3.Conjuncts[0].Atoms) != 2 {
+		t.Errorf("NE-live: out = %s", out3)
+	}
+
+	// All conjuncts dead → Never.
+	d4 := MustParse("(A < 0 && A > 0) || (B < 1 && B > 1)")
+	out4, dropped4 := SimplifyDNF(d4)
+	if dropped4 != 2 || len(out4.Conjuncts) != 0 {
+		t.Errorf("all-dead: out = %s, dropped = %d", out4, dropped4)
+	}
+}
+
+// TestSimplifyDNFEquivalence fuzzes equivalence of SimplifyDNF.
+func TestSimplifyDNFEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	vars := []Var{"A", "B"}
+	ops := []Op{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}
+	for trial := 0; trial < 200; trial++ {
+		nc := 1 + rng.Intn(3)
+		var conjs []Conjunction
+		for i := 0; i < nc; i++ {
+			n := 1 + rng.Intn(4)
+			atoms := make([]Atom, n)
+			for j := range atoms {
+				atoms[j] = VarConst(vars[rng.Intn(2)], ops[rng.Intn(len(ops))], int64(rng.Intn(9)-4))
+			}
+			conjs = append(conjs, And(atoms...))
+		}
+		orig := Or(conjs...)
+		simp, _ := SimplifyDNF(orig)
+		for probe := 0; probe < 150; probe++ {
+			bind := bindMap(map[Var]int64{
+				"A": int64(rng.Intn(13) - 6),
+				"B": int64(rng.Intn(13) - 6),
+			})
+			a, err := orig.Eval(bind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := simp.Eval(bind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("SimplifyDNF changed semantics:\n%s\n%s", orig, simp)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package pred
+
+// This file implements the substitution C(t, Y2) of Definition 4.1 and
+// the variant/invariant classification of Definition 4.2.
+
+// Class partitions atoms relative to a substitution (Definition 4.2).
+type Class uint8
+
+const (
+	// ClassInvariant atoms mention no substituted variable; they are
+	// unaffected by the tuple being tested.
+	ClassInvariant Class = iota
+	// ClassVariantEvaluable atoms become ground (c op d) after
+	// substitution and evaluate immediately to true or false.
+	ClassVariantEvaluable
+	// ClassVariantNonEvaluable atoms become (y op c) after
+	// substitution: one variable substituted, one remaining.
+	ClassVariantNonEvaluable
+)
+
+// String names the class as in the paper.
+func (c Class) String() string {
+	switch c {
+	case ClassInvariant:
+		return "invariant"
+	case ClassVariantEvaluable:
+		return "variant evaluable"
+	case ClassVariantNonEvaluable:
+		return "variant non-evaluable"
+	default:
+		return "unknown class"
+	}
+}
+
+// ClassifyAtom classifies one atom with respect to the set of
+// substituted variables Y1, given as a membership predicate.
+func ClassifyAtom(a Atom, inY1 func(Var) bool) Class {
+	leftIn := inY1(a.Left)
+	if !a.HasRightVar() {
+		if leftIn {
+			return ClassVariantEvaluable
+		}
+		return ClassInvariant
+	}
+	rightIn := inY1(a.Right)
+	switch {
+	case leftIn && rightIn:
+		return ClassVariantEvaluable
+	case leftIn || rightIn:
+		return ClassVariantNonEvaluable
+	default:
+		return ClassInvariant
+	}
+}
+
+// Split partitions the conjunction into its invariant, variant
+// evaluable, and variant non-evaluable subexpressions, written
+// C_INV ∧ C_VEVAL ∧ C_VNEVAL in Algorithm 4.1.
+func (c Conjunction) Split(inY1 func(Var) bool) (inv, vEval, vNonEval []Atom) {
+	for _, a := range c.Atoms {
+		switch ClassifyAtom(a, inY1) {
+		case ClassInvariant:
+			inv = append(inv, a)
+		case ClassVariantEvaluable:
+			vEval = append(vEval, a)
+		default:
+			vNonEval = append(vNonEval, a)
+		}
+	}
+	return inv, vEval, vNonEval
+}
+
+// SubstituteAtom substitutes bound variables into one atom.
+//
+// Results:
+//   - ground=true: the atom became (c op d); value holds its truth.
+//   - ground=false: residual holds the remaining atom. When exactly
+//     one side was substituted the residual is rewritten into the
+//     var-constant form (y op' c) of Definition 4.2.
+func SubstituteAtom(a Atom, bind Binding) (residual Atom, ground, value bool) {
+	lv, leftBound := bind(a.Left)
+	if !a.HasRightVar() {
+		if leftBound {
+			return Atom{}, true, a.Op.Compare(lv, a.C)
+		}
+		return a, false, false
+	}
+	rv, rightBound := bind(a.Right)
+	switch {
+	case leftBound && rightBound:
+		return Atom{}, true, a.Op.Compare(lv, rv+a.C)
+	case leftBound:
+		// lv op y + c  ≡  y Flip(op) lv − c
+		return VarConst(a.Right, a.Op.Flip(), lv-a.C), false, false
+	case rightBound:
+		// x op rv + c
+		return VarConst(a.Left, a.Op, rv+a.C), false, false
+	default:
+		return a, false, false
+	}
+}
+
+// Substitute computes C(t, Y2): bound variables are replaced by their
+// values, ground atoms are evaluated and removed, and the residual
+// conjunction over the remaining variables is returned.
+//
+// ok=false means some ground atom evaluated to false, so the whole
+// substituted conjunction is unsatisfiable regardless of the residue
+// (the residual is then meaningless). ok=true with an empty residual
+// means the substituted conjunction is trivially true.
+func (c Conjunction) Substitute(bind Binding) (residual Conjunction, ok bool) {
+	out := make([]Atom, 0, len(c.Atoms))
+	for _, a := range c.Atoms {
+		r, ground, value := SubstituteAtom(a, bind)
+		if ground {
+			if !value {
+				return Conjunction{}, false
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return Conjunction{Atoms: out}, true
+}
+
+// BindTuple builds a Binding from a tuple over a scheme whose
+// attributes are the substituted variables Y1. Variables outside the
+// scheme remain unbound.
+func BindTuple(s interface {
+	Pos(Var) (int, bool)
+}, t []int64) Binding {
+	return func(v Var) (int64, bool) {
+		p, ok := s.Pos(v)
+		if !ok {
+			return 0, false
+		}
+		return t[p], true
+	}
+}

@@ -1,0 +1,171 @@
+package pred
+
+import (
+	"testing"
+
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+func inSet(vars ...Var) func(Var) bool {
+	s := make(map[Var]bool, len(vars))
+	for _, v := range vars {
+		s[v] = true
+	}
+	return func(v Var) bool { return s[v] }
+}
+
+func TestClassifyAtom(t *testing.T) {
+	y1 := inSet("A", "B")
+	cases := []struct {
+		a    Atom
+		want Class
+	}{
+		{VarConst("A", OpLT, 10), ClassVariantEvaluable},
+		{VarConst("C", OpLT, 10), ClassInvariant},
+		{VarVar("A", OpEQ, "B", 0), ClassVariantEvaluable},
+		{VarVar("A", OpEQ, "C", 0), ClassVariantNonEvaluable},
+		{VarVar("C", OpEQ, "B", 0), ClassVariantNonEvaluable},
+		{VarVar("C", OpEQ, "D", 0), ClassInvariant},
+	}
+	for _, c := range cases {
+		if got := ClassifyAtom(c.a, y1); got != c.want {
+			t.Errorf("ClassifyAtom(%s) = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassInvariant.String() != "invariant" ||
+		ClassVariantEvaluable.String() != "variant evaluable" ||
+		ClassVariantNonEvaluable.String() != "variant non-evaluable" {
+		t.Error("class names drifted from the paper")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	// Example 4.1's condition over R(A,B) and S(C,D):
+	// (A < 10) ∧ (C > 5) ∧ (B = C), substituting a tuple of R.
+	c := And(
+		VarConst("A", OpLT, 10),
+		VarConst("C", OpGT, 5),
+		VarVar("B", OpEQ, "C", 0),
+	)
+	inv, vEval, vNonEval := c.Split(inSet("A", "B"))
+	if len(inv) != 1 || inv[0].Left != "C" {
+		t.Errorf("invariant = %v", inv)
+	}
+	if len(vEval) != 1 || vEval[0].Left != "A" {
+		t.Errorf("variant evaluable = %v", vEval)
+	}
+	if len(vNonEval) != 1 || vNonEval[0].Left != "B" {
+		t.Errorf("variant non-evaluable = %v", vNonEval)
+	}
+}
+
+// TestSubstituteExample41 works the paper's Example 4.1 substitutions.
+func TestSubstituteExample41(t *testing.T) {
+	c := And(
+		VarConst("A", OpLT, 10),
+		VarConst("C", OpGT, 5),
+		VarVar("B", OpEQ, "C", 0),
+	)
+
+	// Insert (9, 10) into r: C(9,10,C) = (9<10) ∧ (C>5) ∧ (10=C),
+	// which is satisfiable (C = 10 works): residual must keep both
+	// C-atoms and drop the ground true atom.
+	res, ok := c.Substitute(bindMap(map[Var]int64{"A": 9, "B": 10}))
+	if !ok {
+		t.Fatal("substitution reported trivially false")
+	}
+	if len(res.Atoms) != 2 {
+		t.Fatalf("residual = %v", res)
+	}
+	// (10 = C) must have been rewritten to (C = 10).
+	var sawCeq bool
+	for _, a := range res.Atoms {
+		if a.Left == "C" && a.Op == OpEQ && !a.HasRightVar() && a.C == 10 {
+			sawCeq = true
+		}
+	}
+	if !sawCeq {
+		t.Errorf("residual missing rewritten C = 10: %v", res)
+	}
+
+	// Insert (11, 10): (11<10) is ground false, so the substituted
+	// condition is unsatisfiable regardless of the database state.
+	_, ok = c.Substitute(bindMap(map[Var]int64{"A": 11, "B": 10}))
+	if ok {
+		t.Error("substitution of (11,10) must be trivially false")
+	}
+}
+
+func TestSubstituteAtomRewrites(t *testing.T) {
+	// lv op y + c  ≡  y Flip(op) lv − c: check semantics for every op
+	// by evaluating both sides over a small domain.
+	ops := []Op{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}
+	for _, op := range ops {
+		for lv := int64(-2); lv <= 2; lv++ {
+			for c := int64(-1); c <= 1; c++ {
+				a := VarVar("x", op, "y", c)
+				res, ground, _ := SubstituteAtom(a, bindMap(map[Var]int64{"x": lv}))
+				if ground {
+					t.Fatalf("atom %s with only x bound reported ground", a)
+				}
+				if res.Left != "y" || res.HasRightVar() {
+					t.Fatalf("residual %v not in var-const form", res)
+				}
+				for y := int64(-3); y <= 3; y++ {
+					want := op.Compare(lv, y+c)
+					got := res.Op.Compare(y, res.C)
+					if got != want {
+						t.Fatalf("rewrite of %s at x=%d,y=%d: got %v want %v (residual %s)", a, lv, y, got, want, res)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSubstituteAtomRightBound(t *testing.T) {
+	a := VarVar("x", OpLT, "y", 3)
+	res, ground, _ := SubstituteAtom(a, bindMap(map[Var]int64{"y": 7}))
+	if ground {
+		t.Fatal("should not be ground")
+	}
+	if res.Left != "x" || res.Op != OpLT || res.HasRightVar() || res.C != 10 {
+		t.Errorf("residual = %v, want x < 10", res)
+	}
+}
+
+func TestSubstituteAtomUnboundUnchanged(t *testing.T) {
+	a := VarVar("x", OpLT, "y", 3)
+	res, ground, _ := SubstituteAtom(a, bindMap(nil))
+	if ground || res != a {
+		t.Errorf("unbound substitution altered atom: %v", res)
+	}
+	b := VarConst("x", OpGE, 5)
+	res, ground, _ = SubstituteAtom(b, bindMap(nil))
+	if ground || res != b {
+		t.Errorf("unbound substitution altered atom: %v", res)
+	}
+}
+
+func TestSubstituteTriviallyTrue(t *testing.T) {
+	c := And(VarConst("A", OpLT, 10))
+	res, ok := c.Substitute(bindMap(map[Var]int64{"A": 5}))
+	if !ok || len(res.Atoms) != 0 {
+		t.Errorf("want empty residual, got %v ok=%v", res, ok)
+	}
+}
+
+func TestBindTuple(t *testing.T) {
+	s := schema.MustScheme("A", "B")
+	b := BindTuple(s, tuple.New(7, 8))
+	if v, ok := b("B"); !ok || v != 8 {
+		t.Errorf("BindTuple(B) = %d,%v", v, ok)
+	}
+	if _, ok := b("Z"); ok {
+		t.Error("unknown variable must be unbound")
+	}
+}

@@ -1,0 +1,280 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+// Counted is a relation whose tuples carry the multiplicity counter of
+// §5.2. The counter records how many operand tuples contribute to each
+// view tuple, which restores the distributive property of projection
+// over difference: π(r1 − r2) = π(r1) ⊖ π(r2).
+//
+// Base relations have an implicit counter of one on every tuple (the
+// paper: "for base relations, this attribute need not be explicitly
+// stored since its value in every tuple is always one").
+type Counted struct {
+	scheme *schema.Scheme
+	m      map[string]centry
+	total  int64 // sum of all counts, maintained incrementally
+}
+
+type centry struct {
+	t tuple.Tuple
+	n int64
+}
+
+// CountedTuple pairs a tuple with its multiplicity, for iteration in
+// deterministic order.
+type CountedTuple struct {
+	Tuple tuple.Tuple
+	Count int64
+}
+
+// NewCounted returns an empty counted relation over the given scheme.
+func NewCounted(s *schema.Scheme) *Counted {
+	return &Counted{scheme: s, m: make(map[string]centry)}
+}
+
+// FromRelation lifts a set relation to a counted relation with every
+// count equal to one.
+func FromRelation(r *Relation) *Counted {
+	c := NewCounted(r.scheme)
+	for k, t := range r.m {
+		c.m[k] = centry{t: t, n: 1}
+	}
+	c.total = int64(len(r.m))
+	return c
+}
+
+// Scheme returns the relation's scheme.
+func (c *Counted) Scheme() *schema.Scheme { return c.scheme }
+
+// Len returns the number of distinct tuples.
+func (c *Counted) Len() int { return len(c.m) }
+
+// Total returns the sum of all multiplicities.
+func (c *Counted) Total() int64 { return c.total }
+
+// Count returns the multiplicity of t (zero when absent).
+func (c *Counted) Count(t tuple.Tuple) int64 {
+	return c.m[t.Key()].n
+}
+
+// Has reports whether t has a positive count.
+func (c *Counted) Has(t tuple.Tuple) bool { return c.Count(t) > 0 }
+
+// Add adjusts t's counter by n (n may be negative). The tuple is
+// removed when its counter reaches zero. It returns an error if the
+// counter would become negative, which indicates an inconsistent
+// maintenance sequence, or on arity mismatch.
+func (c *Counted) Add(t tuple.Tuple, n int64) error {
+	if len(t) != c.scheme.Arity() {
+		return fmt.Errorf("relation: counted tuple %v has arity %d, scheme %s has arity %d",
+			t, len(t), c.scheme, c.scheme.Arity())
+	}
+	if n == 0 {
+		return nil
+	}
+	k := t.Key()
+	e := c.m[k]
+	next := e.n + n
+	switch {
+	case next < 0:
+		return fmt.Errorf("relation: counter for %v would become negative (%d%+d)", t, e.n, n)
+	case next == 0:
+		delete(c.m, k)
+	default:
+		if e.t == nil {
+			e.t = t.Clone()
+		}
+		e.n = next
+		c.m[k] = e
+	}
+	c.total += n
+	return nil
+}
+
+// Each calls f for every (tuple, count) pair in unspecified order.
+func (c *Counted) Each(f func(tuple.Tuple, int64)) {
+	for _, e := range c.m {
+		f(e.t, e.n)
+	}
+}
+
+// Tuples returns all counted tuples sorted lexicographically.
+func (c *Counted) Tuples() []CountedTuple {
+	out := make([]CountedTuple, 0, len(c.m))
+	for _, e := range c.m {
+		out = append(out, CountedTuple{Tuple: e.t, Count: e.n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Less(out[j].Tuple) })
+	return out
+}
+
+// Clone returns a deep copy.
+func (c *Counted) Clone() *Counted {
+	out := NewCounted(c.scheme)
+	for k, e := range c.m {
+		out.m[k] = e
+	}
+	out.total = c.total
+	return out
+}
+
+// Equal reports whether two counted relations have equal schemes,
+// tuples, and multiplicities. It is the correctness oracle used to
+// compare differential maintenance against full re-evaluation.
+func (c *Counted) Equal(o *Counted) bool {
+	if !c.scheme.Equal(o.scheme) || len(c.m) != len(o.m) {
+		return false
+	}
+	for k, e := range c.m {
+		if o.m[k].n != e.n {
+			return false
+		}
+	}
+	return true
+}
+
+// ToRelation collapses multiplicities, returning the underlying set.
+func (c *Counted) ToRelation() *Relation {
+	out := New(c.scheme)
+	for k, e := range c.m {
+		out.m[k] = e.t
+	}
+	return out
+}
+
+// String renders the relation as "{(1, 2)×3, (4, 5)×1}" in sorted
+// order.
+func (c *Counted) String() string {
+	s := "{"
+	for i, ct := range c.Tuples() {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s×%d", ct.Tuple, ct.Count)
+	}
+	return s + "}"
+}
+
+// Merge adds every counted tuple of o into c (the ⊎ operator). It
+// mutates c and returns an error on scheme mismatch.
+func (c *Counted) Merge(o *Counted) error {
+	if err := sameScheme("counted merge", c.scheme, o.scheme); err != nil {
+		return err
+	}
+	for _, e := range o.m {
+		if err := c.Add(e.t, e.n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Subtract removes every counted tuple of o from c (the ⊖ operator),
+// erroring if any counter would go negative.
+func (c *Counted) Subtract(o *Counted) error {
+	if err := sameScheme("counted subtract", c.scheme, o.scheme); err != nil {
+		return err
+	}
+	for _, e := range o.m {
+		if err := c.Add(e.t, -e.n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SelectCounted returns σ_pred(c); selection leaves counters untouched
+// (§5.2: "the select operation is not affected").
+func SelectCounted(c *Counted, pred func(tuple.Tuple) bool) *Counted {
+	out := NewCounted(c.scheme)
+	for k, e := range c.m {
+		if pred(e.t) {
+			out.m[k] = e
+			out.total += e.n
+		}
+	}
+	return out
+}
+
+// ProjectCounted returns π_attrs(c) under the §5.2 redefinition: the
+// counter of an output tuple is the sum of the counters of the operand
+// tuples that project onto it.
+func ProjectCounted(c *Counted, attrs []schema.Attribute) (*Counted, error) {
+	pos, err := c.scheme.Positions(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := c.scheme.Project(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := NewCounted(ps)
+	for _, e := range c.m {
+		pt := e.t.Project(pos)
+		k := pt.Key()
+		oe := out.m[k]
+		if oe.t == nil {
+			oe.t = pt
+		}
+		oe.n += e.n
+		out.m[k] = oe
+	}
+	out.total = c.total
+	return out, nil
+}
+
+// CrossCounted returns the cross product with counters multiplied
+// (the §5.2 redefinition of join specialized to an empty join set).
+func CrossCounted(a, b *Counted) (*Counted, error) {
+	cs, err := a.scheme.Concat(b.scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := NewCounted(cs)
+	for _, ea := range a.m {
+		for _, eb := range b.m {
+			t := ea.t.Concat(eb.t)
+			out.m[t.Key()] = centry{t: t, n: ea.n * eb.n}
+			out.total += ea.n * eb.n
+		}
+	}
+	return out, nil
+}
+
+// NaturalJoinCounted returns a ⋈ b under the §5.2 redefinition: the
+// counter of a joined tuple is the product u(N) * v(N) of the operand
+// counters.
+func NaturalJoinCounted(a, b *Counted) (*Counted, error) {
+	p, err := planNaturalJoin(a.scheme, b.scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := NewCounted(p.out)
+	idx := make(map[string][]centry, len(b.m))
+	for _, eb := range b.m {
+		k := eb.t.Project(p.rightPos).Key()
+		idx[k] = append(idx[k], eb)
+	}
+	for _, ea := range a.m {
+		k := ea.t.Project(p.leftPos).Key()
+		for _, eb := range idx[k] {
+			t := p.combine(ea.t, eb.t)
+			tk := t.Key()
+			oe := out.m[tk]
+			if oe.t == nil {
+				oe.t = t
+			}
+			oe.n += ea.n * eb.n
+			out.m[tk] = oe
+			out.total += ea.n * eb.n
+		}
+	}
+	return out, nil
+}

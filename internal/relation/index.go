@@ -1,0 +1,75 @@
+package relation
+
+import (
+	"fmt"
+
+	"mview/internal/tuple"
+)
+
+// Index is a persistent single-column hash index over a base relation,
+// maintained incrementally as transactions commit. Differential view
+// maintenance probes these indexes with delta tuples, turning each
+// truth-table row into work proportional to the delta rather than to
+// the base relation (the production-grade counterpart of the paper's
+// observation that "one only needs to compute the contribution of the
+// new tuples to the join").
+type Index struct {
+	pos int
+	m   map[tuple.Value][]tuple.Tuple
+	n   int
+}
+
+// NewIndex returns an empty index on column pos of the indexed
+// relation's scheme.
+func NewIndex(pos int) *Index {
+	return &Index{pos: pos, m: make(map[tuple.Value][]tuple.Tuple)}
+}
+
+// BuildIndex indexes every tuple of r on column pos.
+func BuildIndex(r *Relation, pos int) (*Index, error) {
+	if pos < 0 || pos >= r.Scheme().Arity() {
+		return nil, fmt.Errorf("relation: index position %d outside scheme %s", pos, r.Scheme())
+	}
+	ix := NewIndex(pos)
+	r.Each(ix.Add)
+	return ix, nil
+}
+
+// Pos returns the indexed column position.
+func (ix *Index) Pos() int { return ix.pos }
+
+// Len returns the number of indexed tuples.
+func (ix *Index) Len() int { return ix.n }
+
+// Add indexes t. The caller must not mutate t afterwards.
+func (ix *Index) Add(t tuple.Tuple) {
+	k := t[ix.pos]
+	ix.m[k] = append(ix.m[k], t)
+	ix.n++
+}
+
+// Remove un-indexes t (matching by full tuple equality). Removing an
+// absent tuple is a no-op.
+func (ix *Index) Remove(t tuple.Tuple) {
+	k := t[ix.pos]
+	bucket := ix.m[k]
+	for i, u := range bucket {
+		if u.Equal(t) {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			if len(bucket) == 0 {
+				delete(ix.m, k)
+			} else {
+				ix.m[k] = bucket
+			}
+			ix.n--
+			return
+		}
+	}
+}
+
+// Probe returns the tuples whose indexed column equals v. The caller
+// must not mutate the returned slice or its tuples.
+func (ix *Index) Probe(v tuple.Value) []tuple.Tuple {
+	return ix.m[v]
+}

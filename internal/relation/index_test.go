@@ -1,0 +1,50 @@
+package relation
+
+import (
+	"testing"
+
+	"mview/internal/tuple"
+)
+
+func TestBuildIndexAndProbe(t *testing.T) {
+	r := MustFromTuples(ts("A", "B"),
+		tuple.New(1, 10), tuple.New(2, 10), tuple.New(3, 20))
+	ix, err := BuildIndex(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Pos() != 1 || ix.Len() != 3 {
+		t.Errorf("Pos=%d Len=%d", ix.Pos(), ix.Len())
+	}
+	if got := ix.Probe(10); len(got) != 2 {
+		t.Errorf("Probe(10) = %v", got)
+	}
+	if got := ix.Probe(99); got != nil {
+		t.Errorf("Probe(99) = %v", got)
+	}
+	if _, err := BuildIndex(r, 5); err == nil {
+		t.Error("out-of-range position must fail")
+	}
+}
+
+func TestIndexAddRemove(t *testing.T) {
+	ix := NewIndex(0)
+	ix.Add(tuple.New(1, 5))
+	ix.Add(tuple.New(1, 6))
+	ix.Remove(tuple.New(1, 5))
+	if got := ix.Probe(1); len(got) != 1 || !got[0].Equal(tuple.New(1, 6)) {
+		t.Errorf("Probe = %v", got)
+	}
+	ix.Remove(tuple.New(1, 6))
+	if got := ix.Probe(1); got != nil {
+		t.Errorf("empty bucket should be deleted: %v", got)
+	}
+	if ix.Len() != 0 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	// Removing an absent tuple is a no-op.
+	ix.Remove(tuple.New(9, 9))
+	if ix.Len() != 0 {
+		t.Error("no-op remove changed size")
+	}
+}

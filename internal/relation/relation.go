@@ -1,0 +1,311 @@
+// Package relation implements the three relation representations used
+// by the mview engine and the relational operators over them:
+//
+//   - Relation: a set of tuples (the paper's model for base relations).
+//   - Counted: a relation whose tuples carry the multiplicity counter
+//     introduced in §5.2 to make projection distribute over difference.
+//     Materialized views are Counted relations.
+//   - Tagged: a relation whose tuples carry the old/insert/delete tags
+//     of §5.3, used while differentially re-evaluating join views.
+//
+// All operators are pure: they allocate fresh results and never mutate
+// their operands, except for the explicitly mutating methods (Insert,
+// Delete, Add, Apply).
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+// Relation is a set of tuples over a fixed scheme.
+type Relation struct {
+	scheme *schema.Scheme
+	m      map[string]tuple.Tuple
+}
+
+// New returns an empty relation over the given scheme.
+func New(s *schema.Scheme) *Relation {
+	return &Relation{scheme: s, m: make(map[string]tuple.Tuple)}
+}
+
+// FromTuples builds a relation from the given tuples, ignoring
+// duplicates. It returns an error if any tuple's arity does not match
+// the scheme.
+func FromTuples(s *schema.Scheme, ts ...tuple.Tuple) (*Relation, error) {
+	r := New(s)
+	for _, t := range ts {
+		if err := r.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// MustFromTuples is FromTuples for statically known data; it panics on
+// arity mismatch.
+func MustFromTuples(s *schema.Scheme, ts ...tuple.Tuple) *Relation {
+	r, err := FromTuples(s, ts...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Scheme returns the relation's scheme.
+func (r *Relation) Scheme() *schema.Scheme { return r.scheme }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.m) }
+
+// Has reports whether t is in the relation.
+func (r *Relation) Has(t tuple.Tuple) bool {
+	_, ok := r.m[t.Key()]
+	return ok
+}
+
+func (r *Relation) checkArity(t tuple.Tuple) error {
+	if len(t) != r.scheme.Arity() {
+		return fmt.Errorf("relation: tuple %v has arity %d, scheme %s has arity %d",
+			t, len(t), r.scheme, r.scheme.Arity())
+	}
+	return nil
+}
+
+// Insert adds t to the relation. Inserting a present tuple is a no-op
+// (set semantics). It returns an error on arity mismatch.
+func (r *Relation) Insert(t tuple.Tuple) error {
+	if err := r.checkArity(t); err != nil {
+		return err
+	}
+	k := t.Key()
+	if _, ok := r.m[k]; !ok {
+		r.m[k] = t.Clone()
+	}
+	return nil
+}
+
+// Delete removes t; removing an absent tuple is a no-op.
+func (r *Relation) Delete(t tuple.Tuple) {
+	delete(r.m, t.Key())
+}
+
+// Each calls f for every tuple in unspecified order. The callback must
+// not retain or mutate the tuple.
+func (r *Relation) Each(f func(tuple.Tuple)) {
+	for _, t := range r.m {
+		f(t)
+	}
+}
+
+// Tuples returns all tuples sorted lexicographically, for deterministic
+// iteration and display.
+func (r *Relation) Tuples() []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, len(r.m))
+	for _, t := range r.m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	out := New(r.scheme)
+	for k, t := range r.m {
+		out.m[k] = t
+	}
+	return out
+}
+
+// Equal reports whether two relations have equal schemes and tuple
+// sets.
+func (r *Relation) Equal(o *Relation) bool {
+	if !r.scheme.Equal(o.scheme) || len(r.m) != len(o.m) {
+		return false
+	}
+	for k := range r.m {
+		if _, ok := o.m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as "{(1, 2), (3, 4)}" in sorted order.
+func (r *Relation) String() string {
+	ts := r.Tuples()
+	s := "{"
+	for i, t := range ts {
+		if i > 0 {
+			s += ", "
+		}
+		s += t.String()
+	}
+	return s + "}"
+}
+
+func sameScheme(op string, a, b *schema.Scheme) error {
+	if !a.Equal(b) {
+		return fmt.Errorf("relation: %s over mismatched schemes %s and %s", op, a, b)
+	}
+	return nil
+}
+
+// Union returns r ∪ o. The schemes must be equal.
+func Union(r, o *Relation) (*Relation, error) {
+	if err := sameScheme("union", r.scheme, o.scheme); err != nil {
+		return nil, err
+	}
+	out := r.Clone()
+	for k, t := range o.m {
+		out.m[k] = t
+	}
+	return out, nil
+}
+
+// Diff returns r − o. The schemes must be equal.
+func Diff(r, o *Relation) (*Relation, error) {
+	if err := sameScheme("difference", r.scheme, o.scheme); err != nil {
+		return nil, err
+	}
+	out := New(r.scheme)
+	for k, t := range r.m {
+		if _, drop := o.m[k]; !drop {
+			out.m[k] = t
+		}
+	}
+	return out, nil
+}
+
+// Intersect returns r ∩ o. The schemes must be equal.
+func Intersect(r, o *Relation) (*Relation, error) {
+	if err := sameScheme("intersection", r.scheme, o.scheme); err != nil {
+		return nil, err
+	}
+	out := New(r.scheme)
+	for k, t := range r.m {
+		if _, keep := o.m[k]; keep {
+			out.m[k] = t
+		}
+	}
+	return out, nil
+}
+
+// Select returns σ_pred(r).
+func Select(r *Relation, pred func(tuple.Tuple) bool) *Relation {
+	out := New(r.scheme)
+	for k, t := range r.m {
+		if pred(t) {
+			out.m[k] = t
+		}
+	}
+	return out
+}
+
+// Project returns the set projection π_attrs(r) (duplicates collapse).
+// Use ProjectCounted when multiplicities matter (§5.2).
+func Project(r *Relation, attrs []schema.Attribute) (*Relation, error) {
+	pos, err := r.scheme.Positions(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := r.scheme.Project(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := New(ps)
+	for _, t := range r.m {
+		pt := t.Project(pos)
+		out.m[pt.Key()] = pt
+	}
+	return out, nil
+}
+
+// Cross returns the cross product r × o. The schemes must be disjoint;
+// qualify them first if they are not (schema.Scheme.Qualify).
+func Cross(r, o *Relation) (*Relation, error) {
+	cs, err := r.scheme.Concat(o.scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := New(cs)
+	for _, a := range r.m {
+		for _, b := range o.m {
+			t := a.Concat(b)
+			out.m[t.Key()] = t
+		}
+	}
+	return out, nil
+}
+
+// joinPlan precomputes the shapes of a natural join between two
+// schemes: positions of the shared attributes on both sides, positions
+// of the right-side attributes that are not shared, and the output
+// scheme (left attributes followed by right-only attributes).
+type joinPlan struct {
+	leftPos, rightPos []int // shared attributes, aligned
+	rightRest         []int // right positions excluded from output
+	out               *schema.Scheme
+}
+
+func planNaturalJoin(l, r *schema.Scheme) (*joinPlan, error) {
+	common := l.Common(r)
+	p := &joinPlan{}
+	for _, a := range common {
+		lp, _ := l.Pos(a)
+		rp, _ := r.Pos(a)
+		p.leftPos = append(p.leftPos, lp)
+		p.rightPos = append(p.rightPos, rp)
+	}
+	attrs := append([]schema.Attribute{}, l.Attributes()...)
+	for i, a := range r.Attributes() {
+		if !l.Has(a) {
+			attrs = append(attrs, a)
+			p.rightRest = append(p.rightRest, i)
+		}
+	}
+	out, err := schema.NewScheme(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("relation: natural join scheme: %w", err)
+	}
+	p.out = out
+	return p, nil
+}
+
+func (p *joinPlan) combine(a, b tuple.Tuple) tuple.Tuple {
+	t := make(tuple.Tuple, 0, len(a)+len(p.rightRest))
+	t = append(t, a...)
+	for _, i := range p.rightRest {
+		t = append(t, b[i])
+	}
+	return t
+}
+
+// NaturalJoin returns l ⋈ r: tuples agreeing on all shared attributes,
+// with shared columns emitted once. With no shared attributes it
+// degenerates to the cross product, per the standard definition.
+func NaturalJoin(l, r *Relation) (*Relation, error) {
+	p, err := planNaturalJoin(l.scheme, r.scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := New(p.out)
+	// Hash join: build on the smaller side conceptually; here build on r.
+	idx := make(map[string][]tuple.Tuple, len(r.m))
+	for _, b := range r.m {
+		k := b.Project(p.rightPos).Key()
+		idx[k] = append(idx[k], b)
+	}
+	for _, a := range l.m {
+		k := a.Project(p.leftPos).Key()
+		for _, b := range idx[k] {
+			t := p.combine(a, b)
+			out.m[t.Key()] = t
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+// Tagged is a relation whose tuples carry the old/insert/delete tags of
+// §5.3. During differential re-evaluation the operands of each
+// truth-table row are tagged relations, and tags propagate through the
+// operators: joins combine tags by the paper's tag table (dropping
+// "ignore" results), while select and project preserve them.
+type Tagged struct {
+	scheme *schema.Scheme
+	m      map[string]tentry
+}
+
+type tentry struct {
+	t   tuple.Tuple
+	tag tuple.Tag
+}
+
+// TaggedTuple pairs a tuple with its tag for deterministic iteration.
+type TaggedTuple struct {
+	Tuple tuple.Tuple
+	Tag   tuple.Tag
+}
+
+// NewTagged returns an empty tagged relation over the given scheme.
+func NewTagged(s *schema.Scheme) *Tagged {
+	return &Tagged{scheme: s, m: make(map[string]tentry)}
+}
+
+// TagRelation lifts a set relation to a tagged relation with every
+// tuple carrying the given tag.
+func TagRelation(r *Relation, tag tuple.Tag) *Tagged {
+	g := NewTagged(r.scheme)
+	for k, t := range r.m {
+		g.m[k] = tentry{t: t, tag: tag}
+	}
+	return g
+}
+
+// TagRelationAs lifts a set relation to a tagged relation over the
+// given scheme (same arity, possibly different attribute names — the
+// usual case is qualifying base attributes with an operand alias),
+// with every tuple carrying the given tag.
+func TagRelationAs(r *Relation, s *schema.Scheme, tag tuple.Tag) (*Tagged, error) {
+	if s.Arity() != r.scheme.Arity() {
+		return nil, fmt.Errorf("relation: cannot rebind %s as %s: arity mismatch", r.scheme, s)
+	}
+	g := NewTagged(s)
+	for k, t := range r.m {
+		g.m[k] = tentry{t: t, tag: tag}
+	}
+	return g, nil
+}
+
+// Scheme returns the relation's scheme.
+func (g *Tagged) Scheme() *schema.Scheme { return g.scheme }
+
+// Len returns the number of tuples.
+func (g *Tagged) Len() int { return len(g.m) }
+
+// Set records t with the given tag, replacing any previous tag.
+func (g *Tagged) Set(t tuple.Tuple, tag tuple.Tag) error {
+	if len(t) != g.scheme.Arity() {
+		return fmt.Errorf("relation: tagged tuple %v has arity %d, scheme %s has arity %d",
+			t, len(t), g.scheme, g.scheme.Arity())
+	}
+	g.m[t.Key()] = tentry{t: t.Clone(), tag: tag}
+	return nil
+}
+
+// Get returns t's tag and whether t is present.
+func (g *Tagged) Get(t tuple.Tuple) (tuple.Tag, bool) {
+	e, ok := g.m[t.Key()]
+	return e.tag, ok
+}
+
+// Each calls f for every (tuple, tag) pair in unspecified order.
+func (g *Tagged) Each(f func(tuple.Tuple, tuple.Tag)) {
+	for _, e := range g.m {
+		f(e.t, e.tag)
+	}
+}
+
+// Tuples returns all tagged tuples sorted lexicographically.
+func (g *Tagged) Tuples() []TaggedTuple {
+	out := make([]TaggedTuple, 0, len(g.m))
+	for _, e := range g.m {
+		out = append(out, TaggedTuple{Tuple: e.t, Tag: e.tag})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Less(out[j].Tuple) })
+	return out
+}
+
+// Clone returns a deep copy.
+func (g *Tagged) Clone() *Tagged {
+	out := NewTagged(g.scheme)
+	for k, e := range g.m {
+		out.m[k] = e
+	}
+	return out
+}
+
+// Merge adds every tuple of o into g. A tuple present in both must
+// carry the same tag; differential rows are disjoint regions of the
+// product space, so a clash indicates a maintenance bug.
+func (g *Tagged) Merge(o *Tagged) error {
+	if err := sameScheme("tagged merge", g.scheme, o.scheme); err != nil {
+		return err
+	}
+	for k, e := range o.m {
+		if prev, ok := g.m[k]; ok && prev.tag != e.tag {
+			return fmt.Errorf("relation: tuple %v tagged both %v and %v", e.t, prev.tag, e.tag)
+		}
+		g.m[k] = e
+	}
+	return nil
+}
+
+// String renders the relation as "{(1, 2):insert, …}" in sorted order.
+func (g *Tagged) String() string {
+	s := "{"
+	for i, tt := range g.Tuples() {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s:%s", tt.Tuple, tt.Tag)
+	}
+	return s + "}"
+}
+
+// SelectTagged returns σ_pred(g); per §5.3's unary tag table, the tag
+// of every surviving tuple is preserved.
+func SelectTagged(g *Tagged, pred func(tuple.Tuple) bool) *Tagged {
+	out := NewTagged(g.scheme)
+	for k, e := range g.m {
+		if pred(e.t) {
+			out.m[k] = e
+		}
+	}
+	return out
+}
+
+// CrossTagged returns the tagged cross product a × b. Tags combine by
+// the paper's table; result tuples tagged "ignore" are discarded ("they
+// do not emerge from the join").
+func CrossTagged(a, b *Tagged) (*Tagged, error) {
+	cs, err := a.scheme.Concat(b.scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTagged(cs)
+	for _, ea := range a.m {
+		for _, eb := range b.m {
+			tag := tuple.JoinTags(ea.tag, eb.tag)
+			if tag == tuple.TagIgnore {
+				continue
+			}
+			t := ea.t.Concat(eb.t)
+			out.m[t.Key()] = tentry{t: t, tag: tag}
+		}
+	}
+	return out, nil
+}
+
+// NaturalJoinTagged returns a ⋈ b with tag propagation, discarding
+// "ignore" results.
+func NaturalJoinTagged(a, b *Tagged) (*Tagged, error) {
+	p, err := planNaturalJoin(a.scheme, b.scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTagged(p.out)
+	idx := make(map[string][]tentry, len(b.m))
+	for _, eb := range b.m {
+		k := eb.t.Project(p.rightPos).Key()
+		idx[k] = append(idx[k], eb)
+	}
+	for _, ea := range a.m {
+		k := ea.t.Project(p.leftPos).Key()
+		for _, eb := range idx[k] {
+			tag := tuple.JoinTags(ea.tag, eb.tag)
+			if tag == tuple.TagIgnore {
+				continue
+			}
+			t := p.combine(ea.t, eb.t)
+			out.m[t.Key()] = tentry{t: t, tag: tag}
+		}
+	}
+	return out, nil
+}
+
+// JoinOn returns the equi-join of a and b on the given aligned
+// position lists (a's lpos values must equal b's rpos values), with
+// result tuples formed by concatenation. Tags combine by the paper's
+// table; "ignore" results are discarded. Empty position lists yield
+// the cross product. The schemes must be disjoint.
+func JoinOn(a, b *Tagged, lpos, rpos []int) (*Tagged, error) {
+	if len(lpos) != len(rpos) {
+		return nil, fmt.Errorf("relation: JoinOn with %d left and %d right positions", len(lpos), len(rpos))
+	}
+	cs, err := a.scheme.Concat(b.scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTagged(cs)
+	idx := make(map[string][]tentry, len(b.m))
+	for _, eb := range b.m {
+		k := eb.t.Project(rpos).Key()
+		idx[k] = append(idx[k], eb)
+	}
+	for _, ea := range a.m {
+		k := ea.t.Project(lpos).Key()
+		for _, eb := range idx[k] {
+			tag := tuple.JoinTags(ea.tag, eb.tag)
+			if tag == tuple.TagIgnore {
+				continue
+			}
+			t := ea.t.Concat(eb.t)
+			out.m[t.Key()] = tentry{t: t, tag: tag}
+		}
+	}
+	return out, nil
+}
+
+// Reorder returns the tagged relation with columns permuted to the
+// given attribute order, which must be a permutation of the scheme's
+// attributes (so the mapping is bijective and tags are preserved).
+func (g *Tagged) Reorder(attrs []schema.Attribute) (*Tagged, error) {
+	if len(attrs) != g.scheme.Arity() {
+		return nil, fmt.Errorf("relation: Reorder with %d of %d attributes", len(attrs), g.scheme.Arity())
+	}
+	pos, err := g.scheme.Positions(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := g.scheme.Project(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTagged(ps)
+	for _, e := range g.m {
+		t := e.t.Project(pos)
+		out.m[t.Key()] = tentry{t: t, tag: e.tag}
+	}
+	if out.Len() != g.Len() {
+		return nil, fmt.Errorf("relation: Reorder collapsed tuples; attribute list is not a permutation")
+	}
+	return out, nil
+}
+
+// CountAll projects the tagged relation onto attrs with §5.2 counting,
+// counting every tuple regardless of tag. It is used to materialize a
+// view from scratch (all tuples tagged old).
+func (g *Tagged) CountAll(attrs []schema.Attribute) (*Counted, error) {
+	pos, err := g.scheme.Positions(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := g.scheme.Project(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := NewCounted(ps)
+	for _, e := range g.m {
+		if err := out.Add(e.t.Project(pos), 1); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Deltas projects the tagged relation onto attrs with §5.2 counting and
+// splits the result by tag: inserted derivations and deleted
+// derivations. Tuples tagged old or ignore contribute to neither.
+//
+// The returned counted relations are what Algorithm 5.1 applies to the
+// stored view: v' = v ⊎ ins ⊖ del.
+func (g *Tagged) Deltas(attrs []schema.Attribute) (ins, del *Counted, err error) {
+	pos, err := g.scheme.Positions(attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps, err := g.scheme.Project(attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	ins, del = NewCounted(ps), NewCounted(ps)
+	for _, e := range g.m {
+		var target *Counted
+		switch e.tag {
+		case tuple.TagInsert:
+			target = ins
+		case tuple.TagDelete:
+			target = del
+		default:
+			continue
+		}
+		if err := target.Add(e.t.Project(pos), 1); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ins, del, nil
+}

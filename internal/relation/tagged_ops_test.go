@@ -1,0 +1,126 @@
+package relation
+
+import (
+	"testing"
+
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+func TestTagRelationAs(t *testing.T) {
+	r := MustFromTuples(ts("A", "B"), tuple.New(1, 2))
+	q := schema.MustScheme("x.A", "x.B")
+	g, err := TagRelationAs(r, q, tuple.TagDelete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Scheme().Equal(q) || g.Len() != 1 {
+		t.Errorf("g = %v over %s", g, g.Scheme())
+	}
+	tag, ok := g.Get(tuple.New(1, 2))
+	if !ok || tag != tuple.TagDelete {
+		t.Errorf("Get = %v, %v", tag, ok)
+	}
+	if _, err := TagRelationAs(r, schema.MustScheme("X"), tuple.TagOld); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestJoinOnDirect(t *testing.T) {
+	l := NewTagged(ts("A", "B"))
+	_ = l.Set(tuple.New(1, 7), tuple.TagInsert)
+	_ = l.Set(tuple.New(2, 8), tuple.TagOld)
+	r := NewTagged(ts("C", "D"))
+	_ = r.Set(tuple.New(7, 10), tuple.TagOld)
+	_ = r.Set(tuple.New(8, 20), tuple.TagDelete)
+
+	// Equi-join B = C.
+	out, err := JoinOn(l, r, []int{1}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("JoinOn = %v", out)
+	}
+	tag, _ := out.Get(tuple.New(1, 7, 7, 10))
+	if tag != tuple.TagInsert {
+		t.Errorf("insert⋈old = %v", tag)
+	}
+	tag, _ = out.Get(tuple.New(2, 8, 8, 20))
+	if tag != tuple.TagDelete {
+		t.Errorf("old⋈delete = %v", tag)
+	}
+
+	// Empty positions = cross product.
+	cross, err := JoinOn(l, r, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.Len() != 3 { // 4 pairs minus the insert⋈delete (ignored)
+		t.Errorf("cross = %v", cross)
+	}
+
+	// Mismatched position lists.
+	if _, err := JoinOn(l, r, []int{0}, nil); err == nil {
+		t.Error("mismatched positions must fail")
+	}
+	// Overlapping schemes.
+	if _, err := JoinOn(l, l, nil, nil); err == nil {
+		t.Error("overlapping schemes must fail")
+	}
+}
+
+func TestReorderDirect(t *testing.T) {
+	g := NewTagged(ts("A", "B", "C"))
+	_ = g.Set(tuple.New(1, 2, 3), tuple.TagInsert)
+	out, err := g.Reorder([]schema.Attribute{"C", "A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, ok := out.Get(tuple.New(3, 1, 2))
+	if !ok || tag != tuple.TagInsert {
+		t.Errorf("reordered = %v", out)
+	}
+	if _, err := g.Reorder([]schema.Attribute{"A"}); err == nil {
+		t.Error("short attribute list must fail")
+	}
+	if _, err := g.Reorder([]schema.Attribute{"A", "B", "Z"}); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	// Non-permutation (duplicate) collapses and must be rejected.
+	if _, err := g.Reorder([]schema.Attribute{"A", "A", "B"}); err == nil {
+		t.Error("duplicate attribute must fail")
+	}
+}
+
+func TestCountAllDirect(t *testing.T) {
+	g := NewTagged(ts("A", "B"))
+	_ = g.Set(tuple.New(1, 10), tuple.TagOld)
+	_ = g.Set(tuple.New(2, 10), tuple.TagInsert)
+	_ = g.Set(tuple.New(3, 20), tuple.TagDelete)
+	c, err := g.CountAll([]schema.Attribute{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CountAll is tag-agnostic: both B=10 derivations count.
+	if c.Count(tuple.New(10)) != 2 || c.Count(tuple.New(20)) != 1 {
+		t.Errorf("CountAll = %v", c)
+	}
+	if _, err := g.CountAll([]schema.Attribute{"Z"}); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+}
+
+func TestCountedAccessors(t *testing.T) {
+	c := NewCounted(ts("A"))
+	if !c.Scheme().Equal(ts("A")) {
+		t.Error("Scheme accessor broken")
+	}
+	_ = c.Add(tuple.New(1), 2)
+	_ = c.Add(tuple.New(2), 1)
+	sum := int64(0)
+	c.Each(func(_ tuple.Tuple, n int64) { sum += n })
+	if sum != 3 {
+		t.Errorf("Each sum = %d", sum)
+	}
+}

@@ -1,0 +1,191 @@
+package relation
+
+import (
+	"testing"
+
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+func TestTaggedSetGet(t *testing.T) {
+	g := NewTagged(ts("A"))
+	if err := g.Set(tuple.New(1), tuple.TagInsert); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	tag, ok := g.Get(tuple.New(1))
+	if !ok || tag != tuple.TagInsert {
+		t.Errorf("Get = %v,%v", tag, ok)
+	}
+	if _, ok := g.Get(tuple.New(2)); ok {
+		t.Error("absent tuple reported present")
+	}
+	if err := g.Set(tuple.New(1, 2), tuple.TagOld); err == nil {
+		t.Error("want arity error")
+	}
+}
+
+func TestTagRelation(t *testing.T) {
+	r := MustFromTuples(ts("A"), tuple.New(1), tuple.New(2))
+	g := TagRelation(r, tuple.TagDelete)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	g.Each(func(_ tuple.Tuple, tag tuple.Tag) {
+		if tag != tuple.TagDelete {
+			t.Errorf("tag = %v, want delete", tag)
+		}
+	})
+}
+
+func TestTaggedMerge(t *testing.T) {
+	a := NewTagged(ts("A"))
+	_ = a.Set(tuple.New(1), tuple.TagInsert)
+	b := NewTagged(ts("A"))
+	_ = b.Set(tuple.New(2), tuple.TagDelete)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Len() != 2 {
+		t.Errorf("Len = %d", a.Len())
+	}
+
+	// Conflicting tags on the same tuple must be detected.
+	c := NewTagged(ts("A"))
+	_ = c.Set(tuple.New(1), tuple.TagDelete)
+	if err := a.Merge(c); err == nil {
+		t.Error("conflicting tag merge should fail")
+	}
+	// Merging the same tag is fine (idempotent).
+	d := NewTagged(ts("A"))
+	_ = d.Set(tuple.New(1), tuple.TagInsert)
+	if err := a.Merge(d); err != nil {
+		t.Errorf("idempotent merge failed: %v", err)
+	}
+}
+
+func TestSelectTaggedPreservesTags(t *testing.T) {
+	g := NewTagged(ts("A"))
+	_ = g.Set(tuple.New(1), tuple.TagInsert)
+	_ = g.Set(tuple.New(10), tuple.TagDelete)
+	got := SelectTagged(g, func(t tuple.Tuple) bool { return t[0] >= 10 })
+	if got.Len() != 1 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	tag, _ := got.Get(tuple.New(10))
+	if tag != tuple.TagDelete {
+		t.Errorf("tag = %v, want delete (§5.3 unary table)", tag)
+	}
+}
+
+// TestExample54Cases reproduces the six cases of the paper's Example
+// 5.4 for V = R ⋈ S with R(A,B), S(B,C).
+func TestExample54Cases(t *testing.T) {
+	rs, ss := ts("A", "B"), ts("B", "C")
+	cases := []struct {
+		name    string
+		rTag    tuple.Tag
+		sTag    tuple.Tag
+		want    tuple.Tag
+		emerges bool
+	}{
+		{"case1 i_r⋈i_s → insert", tuple.TagInsert, tuple.TagInsert, tuple.TagInsert, true},
+		{"case2 i_r⋈d_s → ignore", tuple.TagInsert, tuple.TagDelete, tuple.TagIgnore, false},
+		{"case3 i_r⋈s → insert", tuple.TagInsert, tuple.TagOld, tuple.TagInsert, true},
+		{"case4 d_r⋈d_s → delete", tuple.TagDelete, tuple.TagDelete, tuple.TagDelete, true},
+		{"case5 d_r⋈s → delete", tuple.TagDelete, tuple.TagOld, tuple.TagDelete, true},
+		{"case6 r⋈s → old", tuple.TagOld, tuple.TagOld, tuple.TagOld, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := NewTagged(rs)
+			_ = r.Set(tuple.New(1, 2), c.rTag)
+			s := NewTagged(ss)
+			_ = s.Set(tuple.New(2, 3), c.sTag)
+			j, err := NaturalJoinTagged(r, s)
+			if err != nil {
+				t.Fatalf("join: %v", err)
+			}
+			if !c.emerges {
+				if j.Len() != 0 {
+					t.Fatalf("ignored tuple emerged: %v", j)
+				}
+				return
+			}
+			tag, ok := j.Get(tuple.New(1, 2, 3))
+			if !ok {
+				t.Fatalf("joined tuple missing, got %v", j)
+			}
+			if tag != c.want {
+				t.Errorf("tag = %v, want %v", tag, c.want)
+			}
+		})
+	}
+}
+
+func TestCrossTagged(t *testing.T) {
+	a := NewTagged(ts("A"))
+	_ = a.Set(tuple.New(1), tuple.TagInsert)
+	b := NewTagged(ts("B"))
+	_ = b.Set(tuple.New(2), tuple.TagOld)
+	_ = b.Set(tuple.New(3), tuple.TagDelete)
+	got, err := CrossTagged(a, b)
+	if err != nil {
+		t.Fatalf("CrossTagged: %v", err)
+	}
+	// insert×old emerges as insert; insert×delete is discarded.
+	if got.Len() != 1 {
+		t.Fatalf("Len = %d, want 1: %v", got.Len(), got)
+	}
+	tag, ok := got.Get(tuple.New(1, 2))
+	if !ok || tag != tuple.TagInsert {
+		t.Errorf("Get = %v,%v", tag, ok)
+	}
+}
+
+func TestDeltasSplitsAndCounts(t *testing.T) {
+	g := NewTagged(ts("A", "B"))
+	_ = g.Set(tuple.New(1, 10), tuple.TagInsert)
+	_ = g.Set(tuple.New(2, 10), tuple.TagInsert)
+	_ = g.Set(tuple.New(3, 20), tuple.TagDelete)
+	_ = g.Set(tuple.New(4, 30), tuple.TagOld) // must not contribute
+
+	ins, del, err := g.Deltas([]schema.Attribute{"B"})
+	if err != nil {
+		t.Fatalf("Deltas: %v", err)
+	}
+	if ins.Count(tuple.New(10)) != 2 {
+		t.Errorf("insert count(10) = %d, want 2", ins.Count(tuple.New(10)))
+	}
+	if del.Count(tuple.New(20)) != 1 {
+		t.Errorf("delete count(20) = %d, want 1", del.Count(tuple.New(20)))
+	}
+	if ins.Has(tuple.New(30)) || del.Has(tuple.New(30)) {
+		t.Error("old tuples must not reach deltas")
+	}
+	if _, _, err := g.Deltas([]schema.Attribute{"Z"}); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}
+
+func TestTaggedTuplesSortedAndString(t *testing.T) {
+	g := NewTagged(ts("A"))
+	_ = g.Set(tuple.New(2), tuple.TagDelete)
+	_ = g.Set(tuple.New(1), tuple.TagInsert)
+	tt := g.Tuples()
+	if len(tt) != 2 || !tt[0].Tuple.Equal(tuple.New(1)) {
+		t.Errorf("Tuples = %v", tt)
+	}
+	if got := g.String(); got != "{(1):insert, (2):delete}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTaggedClone(t *testing.T) {
+	g := NewTagged(ts("A"))
+	_ = g.Set(tuple.New(1), tuple.TagInsert)
+	c := g.Clone()
+	_ = c.Set(tuple.New(1), tuple.TagDelete)
+	if tag, _ := g.Get(tuple.New(1)); tag != tuple.TagInsert {
+		t.Error("Clone aliases map")
+	}
+}

@@ -1,0 +1,262 @@
+package satgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"mview/internal/pred"
+)
+
+// prepFromCond splits cond's single conjunction on the substituted set
+// y1, returning the Prepared invariant closure and the variant
+// non-evaluable atoms.
+func prepFromCond(t *testing.T, cond string, y1 ...pred.Var) (*Prepared, []pred.Atom, pred.Conjunction) {
+	t.Helper()
+	d := pred.MustParse(cond)
+	c := d.Conjuncts[0]
+	in := func(v pred.Var) bool {
+		for _, y := range y1 {
+			if v == y {
+				return true
+			}
+		}
+		return false
+	}
+	inv, _, vne := c.Split(in)
+	cons, err := pred.NormalizeConjunction(pred.And(inv...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(cons, c.Vars())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, vne, c
+}
+
+func residualConstraints(t *testing.T, c pred.Conjunction, bind pred.Binding) ([]pred.Constraint, bool) {
+	t.Helper()
+	res, ok := c.Substitute(bind)
+	if !ok {
+		return nil, false
+	}
+	cons, err := pred.NormalizeConjunction(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cons, true
+}
+
+// TestPreparedExample41 runs Example 4.1 through the prepared path.
+func TestPreparedExample41(t *testing.T) {
+	p, _, c := prepFromCond(t, "A < 10 && C > 5 && B = C", "A", "B")
+	if p.InvariantUnsatisfiable() {
+		t.Fatal("invariant part (C > 5) is satisfiable")
+	}
+
+	bind9 := func(v pred.Var) (int64, bool) {
+		switch v {
+		case "A":
+			return 9, true
+		case "B":
+			return 10, true
+		}
+		return 0, false
+	}
+	// The residual includes substituted variant non-evaluable atoms
+	// only; ground atoms were checked during substitution.
+	vres, ok := residualConstraints(t, pred.And(variantOnly(c, "A", "B")...), bind9)
+	if !ok {
+		t.Fatal("(9,10) should not fail at substitution")
+	}
+	sat, err := p.SatisfiableWith(vres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat {
+		t.Error("insert (9,10) must be relevant (satisfiable)")
+	}
+
+	// (7, 100): A<10 passes, but B=C forces C=100 which is fine with
+	// C>5, so relevant.
+	bind7 := func(v pred.Var) (int64, bool) {
+		switch v {
+		case "A":
+			return 7, true
+		case "B":
+			return 100, true
+		}
+		return 0, false
+	}
+	vres, ok = residualConstraints(t, pred.And(variantOnly(c, "A", "B")...), bind7)
+	if !ok {
+		t.Fatal("substitution should succeed")
+	}
+	if sat, _ := p.SatisfiableWith(vres); !sat {
+		t.Error("insert (7,100) must be relevant")
+	}
+
+	// (7, 3): B=C forces C=3, contradicting invariant C>5 → irrelevant.
+	bind3 := func(v pred.Var) (int64, bool) {
+		switch v {
+		case "A":
+			return 7, true
+		case "B":
+			return 3, true
+		}
+		return 0, false
+	}
+	vres, ok = residualConstraints(t, pred.And(variantOnly(c, "A", "B")...), bind3)
+	if !ok {
+		t.Fatal("substitution should succeed (no ground-false atom)")
+	}
+	if sat, _ := p.SatisfiableWith(vres); sat {
+		t.Error("insert (7,3) must be irrelevant: C=3 contradicts C>5")
+	}
+}
+
+func variantOnly(c pred.Conjunction, y1 ...pred.Var) []pred.Atom {
+	in := func(v pred.Var) bool {
+		for _, y := range y1 {
+			if v == y {
+				return true
+			}
+		}
+		return false
+	}
+	_, _, vne := c.Split(in)
+	return vne
+}
+
+func TestPreparedInvariantUnsat(t *testing.T) {
+	cons, err := pred.NormalizeConjunction(pred.MustParse("C > 5 && C < 5").Conjuncts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(cons, []pred.Var{"C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.InvariantUnsatisfiable() {
+		t.Fatal("invariant part should be unsatisfiable")
+	}
+	sat, err := p.SatisfiableWith(nil)
+	if err != nil || sat {
+		t.Errorf("everything is irrelevant under an unsatisfiable invariant: %v %v", sat, err)
+	}
+}
+
+func TestPreparedEmptyVariant(t *testing.T) {
+	p, err := Prepare(nil, []pred.Var{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, err := p.SatisfiableWith(nil)
+	if err != nil || !sat {
+		t.Errorf("empty everything must be satisfiable: %v %v", sat, err)
+	}
+}
+
+func TestPreparedUnknownVariable(t *testing.T) {
+	p, err := Prepare(nil, []pred.Var{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.SatisfiableWith([]pred.Constraint{{X: "UNKNOWN", Y: pred.ZeroVar, C: 0}})
+	if err == nil {
+		t.Error("unknown variable must error")
+	}
+}
+
+func TestPreparedRejectsNonZeroTouchingConstraint(t *testing.T) {
+	p, err := Prepare(nil, []pred.Var{"X", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.SatisfiableWith([]pred.Constraint{{X: "X", Y: "Y", C: 0}})
+	if err == nil {
+		t.Error("variant constraint between two variables must be rejected")
+	}
+}
+
+func TestPreparedGroundVariant(t *testing.T) {
+	p, err := Prepare(nil, []pred.Var{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 ≤ 0 − 1: false.
+	sat, err := p.SatisfiableWith([]pred.Constraint{{X: pred.ZeroVar, Y: pred.ZeroVar, C: -1}})
+	if err != nil || sat {
+		t.Errorf("ground-false variant: %v %v", sat, err)
+	}
+	// 0 ≤ 0 + 1: true.
+	sat, err = p.SatisfiableWith([]pred.Constraint{{X: pred.ZeroVar, Y: pred.ZeroVar, C: 1}})
+	if err != nil || !sat {
+		t.Errorf("ground-true variant: %v %v", sat, err)
+	}
+}
+
+// TestPreparedMatchesFullRebuild fuzzes random invariant parts and
+// random variant overlays, checking the O(k²) incremental verdict
+// against a from-scratch Floyd–Warshall on the combined graph.
+func TestPreparedMatchesFullRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vars := []pred.Var{"A", "B", "C", "D"}
+	ops := []pred.Op{pred.OpEQ, pred.OpLT, pred.OpLE, pred.OpGT, pred.OpGE}
+	for trial := 0; trial < 600; trial++ {
+		// Random invariant conjunction over vars.
+		nInv := rng.Intn(6)
+		var invAtoms []pred.Atom
+		for i := 0; i < nInv; i++ {
+			x := vars[rng.Intn(len(vars))]
+			op := ops[rng.Intn(len(ops))]
+			if rng.Intn(2) == 0 {
+				invAtoms = append(invAtoms, pred.VarConst(x, op, int64(rng.Intn(15)-7)))
+			} else {
+				invAtoms = append(invAtoms, pred.VarVar(x, op, vars[rng.Intn(len(vars))], int64(rng.Intn(15)-7)))
+			}
+		}
+		invCons, err := pred.NormalizeConjunction(pred.And(invAtoms...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Prepare(invCons, vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Random variant overlay: var-vs-constant bounds only, as
+		// produced by substitution.
+		nVar := rng.Intn(5)
+		var varAtoms []pred.Atom
+		for i := 0; i < nVar; i++ {
+			varAtoms = append(varAtoms, pred.VarConst(vars[rng.Intn(len(vars))], ops[rng.Intn(len(ops))], int64(rng.Intn(15)-7)))
+		}
+		varCons, err := pred.NormalizeConjunction(pred.And(varAtoms...))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		got, err := p.SatisfiableWith(varCons)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Oracle: full rebuild.
+		g := NewGraph()
+		for _, v := range vars {
+			g.AddVar(v)
+		}
+		for _, c := range invCons {
+			g.AddConstraint(c)
+		}
+		for _, c := range varCons {
+			g.AddConstraint(c)
+		}
+		want := g.Satisfiable(MethodFloyd)
+
+		if got != want {
+			t.Fatalf("trial %d: prepared=%v full=%v\ninv=%v\nvar=%v", trial, got, want, invAtoms, varAtoms)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package satgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"mview/internal/pred"
+)
+
+func mustSat(t *testing.T, cond string, m Method) bool {
+	t.Helper()
+	d := pred.MustParse(cond)
+	if len(d.Conjuncts) != 1 {
+		t.Fatalf("test condition %q is not a single conjunction", cond)
+	}
+	ok, err := SatisfiableConjunction(d.Conjuncts[0], m)
+	if err != nil {
+		t.Fatalf("SatisfiableConjunction(%q): %v", cond, err)
+	}
+	return ok
+}
+
+func TestSatisfiableBasics(t *testing.T) {
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{"A < 10", true},
+		{"A < 10 && A > 20", false},
+		{"A < 10 && A > 5", true},
+		{"A = B && B = C && A != A", true}, // parser keeps NE out of this test: see below
+		{"A <= B && B <= C && C <= A", true},
+		{"A < B && B < C && C < A", false},
+		{"A <= B + 5 && B <= A - 6", false},
+		{"A <= B + 5 && B <= A - 5", true},
+		{"A = B + 1 && B = A + 1", false},
+		{"A = B + 1 && B = A - 1", true},
+		{"A >= 10 && A <= 10", true},
+		{"A > 10 && A < 11", false}, // integers: nothing strictly between
+	}
+	for _, c := range cases {
+		if c.cond == "A = B && B = C && A != A" {
+			continue // covered by TestOutsideClass
+		}
+		for _, m := range []Method{MethodFloyd, MethodBellmanFord} {
+			if got := mustSat(t, c.cond, m); got != c.want {
+				t.Errorf("Satisfiable(%q, method %d) = %v, want %v", c.cond, m, got, c.want)
+			}
+		}
+	}
+}
+
+// TestExample41Substituted checks the two substituted conditions of
+// the paper's Example 4.1.
+func TestExample41Substituted(t *testing.T) {
+	// C(9,10,C) = (9 < 10) ∧ (C > 5) ∧ (10 = C): satisfiable.
+	cond := pred.MustParse("A < 10 && C > 5 && B = C").Conjuncts[0]
+	res, ok := cond.Substitute(func(v pred.Var) (int64, bool) {
+		switch v {
+		case "A":
+			return 9, true
+		case "B":
+			return 10, true
+		}
+		return 0, false
+	})
+	if !ok {
+		t.Fatal("substitution of (9,10) should not be ground-false")
+	}
+	sat, err := SatisfiableConjunction(res, MethodFloyd)
+	if err != nil || !sat {
+		t.Errorf("C(9,10,C) should be satisfiable: %v %v", sat, err)
+	}
+
+	// C(11,10,C): (11 < 10) is false, caught at substitution time.
+	_, ok = cond.Substitute(func(v pred.Var) (int64, bool) {
+		switch v {
+		case "A":
+			return 11, true
+		case "B":
+			return 10, true
+		}
+		return 0, false
+	})
+	if ok {
+		t.Error("C(11,10,C) should be trivially unsatisfiable")
+	}
+}
+
+func TestOutsideClass(t *testing.T) {
+	c := pred.And(pred.VarConst("A", pred.OpNE, 3))
+	if _, err := SatisfiableConjunction(c, MethodFloyd); err == nil {
+		t.Error("NE should be rejected as outside the class")
+	}
+}
+
+func TestEmptyConjunctionSatisfiable(t *testing.T) {
+	ok, err := SatisfiableConjunction(pred.True(), MethodFloyd)
+	if err != nil || !ok {
+		t.Errorf("empty conjunction: %v %v", ok, err)
+	}
+}
+
+func TestSatisfiableDNF(t *testing.T) {
+	d := pred.MustParse("(A < 0 && A > 5) || (B < 10)")
+	ok, err := SatisfiableDNF(d, MethodFloyd)
+	if err != nil || !ok {
+		t.Errorf("DNF with one satisfiable disjunct: %v %v", ok, err)
+	}
+	d2 := pred.MustParse("(A < 0 && A > 5) || (B < 10 && B > 10)")
+	ok, err = SatisfiableDNF(d2, MethodFloyd)
+	if err != nil || ok {
+		t.Errorf("all-unsat DNF: %v %v", ok, err)
+	}
+	ok, err = SatisfiableDNF(pred.Never(), MethodFloyd)
+	if err != nil || ok {
+		t.Errorf("Never: %v %v", ok, err)
+	}
+}
+
+func TestMethodsAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	vars := []pred.Var{"A", "B", "C", "D", "E"}
+	ops := []pred.Op{pred.OpEQ, pred.OpLT, pred.OpLE, pred.OpGT, pred.OpGE}
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(8)
+		atoms := make([]pred.Atom, n)
+		for i := range atoms {
+			x := vars[rng.Intn(len(vars))]
+			op := ops[rng.Intn(len(ops))]
+			if rng.Intn(2) == 0 {
+				atoms[i] = pred.VarConst(x, op, int64(rng.Intn(21)-10))
+			} else {
+				y := vars[rng.Intn(len(vars))]
+				atoms[i] = pred.VarVar(x, op, y, int64(rng.Intn(21)-10))
+			}
+		}
+		c := pred.And(atoms...)
+		f, err := SatisfiableConjunction(c, MethodFloyd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SatisfiableConjunction(c, MethodBellmanFord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f != b {
+			t.Fatalf("detectors disagree on %s: floyd=%v bf=%v", c, f, b)
+		}
+	}
+}
+
+// TestSatAgainstBruteForce cross-checks the graph verdict against
+// brute-force search over a small integer domain. Constants are kept
+// small enough that satisfiable conjunctions have witnesses within the
+// searched box (every cycle-free difference-constraint system with
+// |c| ≤ 3 and ≤ 3 variables has a solution with |x| ≤ 9).
+func TestSatAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vars := []pred.Var{"A", "B", "C"}
+	ops := []pred.Op{pred.OpEQ, pred.OpLT, pred.OpLE, pred.OpGT, pred.OpGE}
+	const bound = 12
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(5)
+		atoms := make([]pred.Atom, n)
+		for i := range atoms {
+			x := vars[rng.Intn(len(vars))]
+			op := ops[rng.Intn(len(ops))]
+			if rng.Intn(2) == 0 {
+				atoms[i] = pred.VarConst(x, op, int64(rng.Intn(7)-3))
+			} else {
+				atoms[i] = pred.VarVar(x, op, vars[rng.Intn(len(vars))], int64(rng.Intn(7)-3))
+			}
+		}
+		c := pred.And(atoms...)
+		got, err := SatisfiableConjunction(c, MethodFloyd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := false
+	search:
+		for a := int64(-bound); a <= bound; a++ {
+			for b := int64(-bound); b <= bound; b++ {
+				for cc := int64(-bound); cc <= bound; cc++ {
+					bind := map[pred.Var]int64{"A": a, "B": b, "C": cc}
+					ok, err := c.Eval(func(v pred.Var) (int64, bool) {
+						x, o := bind[v]
+						return x, o
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ok {
+						want = true
+						break search
+					}
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("verdict mismatch on %s: graph=%v brute=%v", c, got, want)
+		}
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := NewGraph()
+	if g.Len() != 1 {
+		t.Errorf("new graph should contain only '0', Len = %d", g.Len())
+	}
+	g.AddVar("X")
+	g.AddVar("X")
+	if g.Len() != 2 {
+		t.Errorf("interning duplicated node: %d", g.Len())
+	}
+	g.AddConstraint(pred.Constraint{X: "X", Y: pred.ZeroVar, C: 4})
+	if g.Edges() != 1 {
+		t.Errorf("Edges = %d", g.Edges())
+	}
+}
+
+func TestSaturatingAdd(t *testing.T) {
+	if sadd(Inf, -5) != Inf {
+		t.Error("Inf must absorb")
+	}
+	if sadd(Inf-1, Inf-1) != Inf {
+		t.Error("positive overflow must saturate")
+	}
+	if sadd(-Inf, -Inf) != -Inf {
+		t.Error("negative overflow must saturate")
+	}
+	if sadd(2, 3) != 5 {
+		t.Error("plain addition broken")
+	}
+}
+
+func TestExtremeConstantsNoOverflow(t *testing.T) {
+	// Constants near the int64 boundary must not wrap the verdict.
+	c := pred.And(
+		pred.VarConst("A", pred.OpLE, math62()),
+		pred.VarConst("A", pred.OpGE, -math62()),
+	)
+	ok, err := SatisfiableConjunction(c, MethodFloyd)
+	if err != nil || !ok {
+		t.Errorf("huge range should be satisfiable: %v %v", ok, err)
+	}
+	c2 := pred.And(
+		pred.VarConst("A", pred.OpGE, math62()),
+		pred.VarConst("A", pred.OpLE, -math62()),
+	)
+	ok, err = SatisfiableConjunction(c2, MethodFloyd)
+	if err != nil || ok {
+		t.Errorf("contradictory huge bounds should be unsatisfiable: %v %v", ok, err)
+	}
+}
+
+func math62() int64 { return int64(1) << 60 }

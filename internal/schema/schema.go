@@ -1,0 +1,254 @@
+// Package schema defines relation schemes and database schemes for the
+// mview engine: named attributes, ordered attribute lists, and the
+// variable-resolution helpers needed by SPJ view definitions.
+//
+// The model follows Blakeley, Larson & Tompa (SIGMOD 1986): a database
+// scheme is a set of relation schemes; every attribute is defined on a
+// discrete, countable domain mapped to the integers.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attribute is the name of a column within a relation scheme.
+// Attribute names are case-sensitive and must be non-empty.
+type Attribute string
+
+// Qualified returns the attribute qualified by a relation name, in the
+// form "R.A". Qualified names are how view conditions refer to columns
+// of specific operands of a cross product.
+func (a Attribute) Qualified(rel string) string {
+	return rel + "." + string(a)
+}
+
+// Scheme is an ordered list of distinct attributes describing the
+// columns of a relation. The zero value is an empty scheme.
+type Scheme struct {
+	attrs []Attribute
+	index map[Attribute]int
+}
+
+// NewScheme builds a scheme from the given attributes.
+// It returns an error if any attribute is empty or duplicated.
+func NewScheme(attrs ...Attribute) (*Scheme, error) {
+	s := &Scheme{
+		attrs: make([]Attribute, 0, len(attrs)),
+		index: make(map[Attribute]int, len(attrs)),
+	}
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("schema: empty attribute name")
+		}
+		if strings.ContainsAny(string(a), " \t\n") {
+			return nil, fmt.Errorf("schema: invalid attribute name %q", a)
+		}
+		if _, dup := s.index[a]; dup {
+			return nil, fmt.Errorf("schema: duplicate attribute %q", a)
+		}
+		s.index[a] = len(s.attrs)
+		s.attrs = append(s.attrs, a)
+	}
+	return s, nil
+}
+
+// MustScheme is like NewScheme but panics on error. It is intended for
+// tests, examples, and statically known schemes.
+func MustScheme(attrs ...Attribute) *Scheme {
+	s, err := NewScheme(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arity returns the number of attributes in the scheme.
+func (s *Scheme) Arity() int { return len(s.attrs) }
+
+// Attributes returns the attributes in declaration order.
+// The caller must not modify the returned slice.
+func (s *Scheme) Attributes() []Attribute { return s.attrs }
+
+// Attr returns the attribute at position i.
+func (s *Scheme) Attr(i int) Attribute { return s.attrs[i] }
+
+// Pos returns the position of attribute a and whether it is present.
+func (s *Scheme) Pos(a Attribute) (int, bool) {
+	i, ok := s.index[a]
+	return i, ok
+}
+
+// Has reports whether the scheme contains attribute a.
+func (s *Scheme) Has(a Attribute) bool {
+	_, ok := s.index[a]
+	return ok
+}
+
+// Positions maps each attribute in attrs to its position in s.
+// It returns an error naming the first attribute not in the scheme.
+func (s *Scheme) Positions(attrs []Attribute) ([]int, error) {
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, ok := s.index[a]
+		if !ok {
+			return nil, fmt.Errorf("schema: attribute %q not in scheme %s", a, s)
+		}
+		pos[i] = p
+	}
+	return pos, nil
+}
+
+// Common returns the attributes shared by s and t, in s's order.
+// It is the join set of a natural join between the two schemes.
+func (s *Scheme) Common(t *Scheme) []Attribute {
+	var common []Attribute
+	for _, a := range s.attrs {
+		if t.Has(a) {
+			common = append(common, a)
+		}
+	}
+	return common
+}
+
+// Equal reports whether the two schemes have identical attributes in
+// identical order.
+func (s *Scheme) Equal(t *Scheme) bool {
+	if len(s.attrs) != len(t.attrs) {
+		return false
+	}
+	for i, a := range s.attrs {
+		if t.attrs[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a new scheme containing only attrs, in the given
+// order. Every attribute must belong to s.
+func (s *Scheme) Project(attrs []Attribute) (*Scheme, error) {
+	for _, a := range attrs {
+		if !s.Has(a) {
+			return nil, fmt.Errorf("schema: cannot project on %q: not in scheme %s", a, s)
+		}
+	}
+	return NewScheme(attrs...)
+}
+
+// Concat returns the scheme of a cross product: s's attributes followed
+// by t's. It fails if the schemes share an attribute name; callers that
+// need overlapping names must qualify them first (see Qualify).
+func (s *Scheme) Concat(t *Scheme) (*Scheme, error) {
+	out := make([]Attribute, 0, len(s.attrs)+len(t.attrs))
+	out = append(out, s.attrs...)
+	out = append(out, t.attrs...)
+	return NewScheme(out...)
+}
+
+// Qualify returns a copy of the scheme with every attribute renamed to
+// "rel.A". It never fails: qualification cannot introduce duplicates
+// when the input scheme is valid.
+func (s *Scheme) Qualify(rel string) *Scheme {
+	out := make([]Attribute, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = Attribute(a.Qualified(rel))
+	}
+	q, err := NewScheme(out...)
+	if err != nil {
+		// Unreachable for a valid receiver: qualification preserves
+		// distinctness and non-emptiness.
+		panic(err)
+	}
+	return q
+}
+
+// String renders the scheme as "(A, B, C)".
+func (s *Scheme) String() string {
+	parts := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		parts[i] = string(a)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// RelScheme is a named relation scheme within a database scheme.
+type RelScheme struct {
+	Name   string
+	Scheme *Scheme
+	// Key optionally lists a candidate key (a subset of the scheme's
+	// attributes). A nil Key means the full scheme is the key, i.e.
+	// the relation is a pure set of tuples, which is the paper's model.
+	Key []Attribute
+}
+
+// Validate checks internal consistency of the relation scheme.
+func (r *RelScheme) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("schema: relation with empty name")
+	}
+	if r.Scheme == nil || r.Scheme.Arity() == 0 {
+		return fmt.Errorf("schema: relation %q has no attributes", r.Name)
+	}
+	for _, k := range r.Key {
+		if !r.Scheme.Has(k) {
+			return fmt.Errorf("schema: relation %q key attribute %q not in scheme", r.Name, k)
+		}
+	}
+	return nil
+}
+
+// Database is a database scheme: a set of named relation schemes.
+type Database struct {
+	rels  map[string]*RelScheme
+	order []string
+}
+
+// NewDatabase builds a database scheme from relation schemes.
+func NewDatabase(rels ...*RelScheme) (*Database, error) {
+	db := &Database{rels: make(map[string]*RelScheme, len(rels))}
+	for _, r := range rels {
+		if err := db.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Add inserts one relation scheme, rejecting duplicates and invalid
+// schemes.
+func (db *Database) Add(r *RelScheme) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if _, dup := db.rels[r.Name]; dup {
+		return fmt.Errorf("schema: duplicate relation %q", r.Name)
+	}
+	db.rels[r.Name] = r
+	db.order = append(db.order, r.Name)
+	return nil
+}
+
+// Rel returns the relation scheme with the given name.
+func (db *Database) Rel(name string) (*RelScheme, bool) {
+	r, ok := db.rels[name]
+	return r, ok
+}
+
+// Names returns the relation names in insertion order.
+func (db *Database) Names() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// SortedNames returns the relation names in lexicographic order.
+func (db *Database) SortedNames() []string {
+	out := db.Names()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of relations in the database scheme.
+func (db *Database) Len() int { return len(db.order) }

@@ -1,0 +1,198 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchemeValid(t *testing.T) {
+	s, err := NewScheme("A", "B", "C")
+	if err != nil {
+		t.Fatalf("NewScheme: %v", err)
+	}
+	if got := s.Arity(); got != 3 {
+		t.Errorf("Arity = %d, want 3", got)
+	}
+	if got := s.String(); got != "(A, B, C)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNewSchemeRejectsDuplicates(t *testing.T) {
+	if _, err := NewScheme("A", "B", "A"); err == nil {
+		t.Fatal("want error for duplicate attribute")
+	}
+}
+
+func TestNewSchemeRejectsEmptyAndInvalid(t *testing.T) {
+	cases := [][]Attribute{
+		{""},
+		{"A", ""},
+		{"A B"},
+		{"A\tB"},
+	}
+	for _, attrs := range cases {
+		if _, err := NewScheme(attrs...); err == nil {
+			t.Errorf("NewScheme(%v): want error", attrs)
+		}
+	}
+}
+
+func TestMustSchemePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustScheme did not panic on duplicate")
+		}
+	}()
+	MustScheme("A", "A")
+}
+
+func TestPosAndHas(t *testing.T) {
+	s := MustScheme("A", "B")
+	if p, ok := s.Pos("B"); !ok || p != 1 {
+		t.Errorf("Pos(B) = %d,%v want 1,true", p, ok)
+	}
+	if _, ok := s.Pos("Z"); ok {
+		t.Error("Pos(Z) should be absent")
+	}
+	if !s.Has("A") || s.Has("Z") {
+		t.Error("Has misbehaves")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	s := MustScheme("A", "B", "C")
+	pos, err := s.Positions([]Attribute{"C", "A"})
+	if err != nil {
+		t.Fatalf("Positions: %v", err)
+	}
+	if pos[0] != 2 || pos[1] != 0 {
+		t.Errorf("Positions = %v, want [2 0]", pos)
+	}
+	if _, err := s.Positions([]Attribute{"Z"}); err == nil {
+		t.Error("want error for unknown attribute")
+	}
+}
+
+func TestCommon(t *testing.T) {
+	r := MustScheme("A", "B")
+	s := MustScheme("B", "C")
+	common := r.Common(s)
+	if len(common) != 1 || common[0] != "B" {
+		t.Errorf("Common = %v, want [B]", common)
+	}
+	if got := r.Common(MustScheme("X", "Y")); got != nil {
+		t.Errorf("disjoint Common = %v, want nil", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustScheme("A", "B")
+	b := MustScheme("A", "B")
+	c := MustScheme("B", "A")
+	if !a.Equal(b) {
+		t.Error("identical schemes should be Equal")
+	}
+	if a.Equal(c) {
+		t.Error("order matters: (A,B) != (B,A)")
+	}
+	if a.Equal(MustScheme("A")) {
+		t.Error("different arity should not be Equal")
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := MustScheme("A", "B", "C")
+	p, err := s.Project([]Attribute{"C", "A"})
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if p.String() != "(C, A)" {
+		t.Errorf("Project = %s", p)
+	}
+	if _, err := s.Project([]Attribute{"Z"}); err == nil {
+		t.Error("want error projecting unknown attribute")
+	}
+}
+
+func TestConcatAndQualify(t *testing.T) {
+	r := MustScheme("A", "B")
+	s := MustScheme("B", "C")
+	if _, err := r.Concat(s); err == nil {
+		t.Error("Concat with shared attribute should fail")
+	}
+	rq := r.Qualify("R")
+	sq := s.Qualify("S")
+	c, err := rq.Concat(sq)
+	if err != nil {
+		t.Fatalf("Concat qualified: %v", err)
+	}
+	want := "(R.A, R.B, S.B, S.C)"
+	if c.String() != want {
+		t.Errorf("Concat = %s, want %s", c, want)
+	}
+}
+
+func TestQualified(t *testing.T) {
+	if got := Attribute("A").Qualified("R"); got != "R.A" {
+		t.Errorf("Qualified = %q", got)
+	}
+}
+
+func TestRelSchemeValidate(t *testing.T) {
+	good := &RelScheme{Name: "R", Scheme: MustScheme("A", "B"), Key: []Attribute{"A"}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid scheme rejected: %v", err)
+	}
+	bad := []*RelScheme{
+		{Name: "", Scheme: MustScheme("A")},
+		{Name: "R", Scheme: nil},
+		{Name: "R", Scheme: MustScheme("A"), Key: []Attribute{"Z"}},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db, err := NewDatabase(
+		&RelScheme{Name: "R", Scheme: MustScheme("A", "B")},
+		&RelScheme{Name: "S", Scheme: MustScheme("B", "C")},
+	)
+	if err != nil {
+		t.Fatalf("NewDatabase: %v", err)
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	if _, ok := db.Rel("R"); !ok {
+		t.Error("Rel(R) missing")
+	}
+	if _, ok := db.Rel("Z"); ok {
+		t.Error("Rel(Z) should be absent")
+	}
+	if got := strings.Join(db.Names(), ","); got != "R,S" {
+		t.Errorf("Names = %s", got)
+	}
+	if err := db.Add(&RelScheme{Name: "R", Scheme: MustScheme("X")}); err == nil {
+		t.Error("duplicate Add should fail")
+	}
+}
+
+func TestDatabaseSortedNames(t *testing.T) {
+	db, _ := NewDatabase(
+		&RelScheme{Name: "Z", Scheme: MustScheme("A")},
+		&RelScheme{Name: "M", Scheme: MustScheme("B")},
+	)
+	got := db.SortedNames()
+	if got[0] != "M" || got[1] != "Z" {
+		t.Errorf("SortedNames = %v", got)
+	}
+	// Names must stay in insertion order.
+	names := db.Names()
+	if names[0] != "Z" {
+		t.Errorf("Names = %v, insertion order broken", names)
+	}
+}

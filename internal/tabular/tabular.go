@@ -1,0 +1,129 @@
+// Package tabular renders small aligned text tables for the benchmark
+// harness and the CLI. It exists so every experiment in EXPERIMENTS.md
+// prints in one consistent format.
+package tabular
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given column headers.
+func New(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// Row appends one row; short rows are padded with empty cells and long
+// rows extend the column count.
+func (t *Table) Row(cells ...string) *Table {
+	t.rows = append(t.rows, cells)
+	return t
+}
+
+// Rowf appends a row formatting each value with %v.
+func (t *Table) Rowf(values ...any) *Table {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = fmt.Sprintf("%v", v)
+	}
+	return t.Row(cells...)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.headers))
+	grow := func(cells []string) {
+		for i, c := range cells {
+			if i >= len(w) {
+				w = append(w, 0)
+			}
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	grow(t.headers)
+	for _, r := range t.rows {
+		grow(r)
+	}
+	return w
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	widths := t.widths()
+	writeRow := func(cells []string) {
+		for i, width := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths)-1 {
+				sb.WriteString(strings.Repeat(" ", width-len(c)))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(widths))
+	for i, width := range widths {
+		sep[i] = strings.Repeat("-", width)
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if _, err := t.WriteTo(&sb); err != nil {
+		return err.Error()
+	}
+	return sb.String()
+}
+
+// Int formats an integer cell.
+func Int(v int) string { return strconv.Itoa(v) }
+
+// Int64 formats an int64 cell.
+func Int64(v int64) string { return strconv.FormatInt(v, 10) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// Dur formats a duration with precision adapted to its magnitude
+// (nanoseconds below 10µs, otherwise microseconds).
+func Dur(d time.Duration) string {
+	if d < 10*time.Microsecond {
+		return d.Round(time.Nanosecond).String()
+	}
+	return d.Round(time.Microsecond).String()
+}
+
+// Ratio formats a/b as "12.34x", guarding division by zero.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return F2(a/b) + "x"
+}

@@ -1,0 +1,66 @@
+package tabular
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("name", "count").
+		Row("alpha", "1").
+		Row("b", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "name   count" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "-----  -----" {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if lines[2] != "alpha  1" || lines[3] != "b      22" {
+		t.Errorf("rows = %q, %q", lines[2], lines[3])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := New("a").Row("x", "extra").Row()
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("long row truncated:\n%s", out)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestRowf(t *testing.T) {
+	tb := New("n", "f").Rowf(3, 2.5)
+	if !strings.Contains(tb.String(), "3  2.5") {
+		t.Errorf("Rowf output:\n%s", tb.String())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Int(3) != "3" || Int64(-9) != "-9" {
+		t.Error("int formatters broken")
+	}
+	if F2(1.005) != "1.00" && F2(1.005) != "1.01" {
+		t.Errorf("F2 = %q", F2(1.005))
+	}
+	if Dur(1500*time.Nanosecond) != "1.5µs" {
+		t.Errorf("Dur = %q", Dur(1500*time.Nanosecond))
+	}
+	if Dur(1500*time.Microsecond) != "1.5ms" {
+		t.Errorf("Dur = %q", Dur(1500*time.Microsecond))
+	}
+	if Ratio(10, 4) != "2.50x" {
+		t.Errorf("Ratio = %q", Ratio(10, 4))
+	}
+	if Ratio(1, 0) != "inf" {
+		t.Errorf("Ratio/0 = %q", Ratio(1, 0))
+	}
+}

@@ -1,0 +1,185 @@
+// Package tuple provides the value and tuple representation used by the
+// mview engine, plus the update tags of Blakeley, Larson & Tompa §5.3.
+//
+// Following the paper, all attribute values are integers: "all
+// attributes are defined on discrete and finite domains. Since such a
+// domain can be mapped to a subset of natural numbers, we use integer
+// values in all examples." Symbolic data is supported one level up via
+// a string dictionary (internal/dict).
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is a single attribute value.
+type Value = int64
+
+// Tuple is an ordered list of values conforming to some relation
+// scheme. Tuples are treated as immutable once stored in a relation.
+type Tuple []Value
+
+// New builds a tuple from the given values.
+func New(vals ...Value) Tuple { return Tuple(vals) }
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports whether two tuples have identical arity and values.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i, v := range t {
+		if u[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Less orders tuples lexicographically; it is used for deterministic
+// iteration and output.
+func (t Tuple) Less(u Tuple) bool {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if t[i] != u[i] {
+			return t[i] < u[i]
+		}
+	}
+	return len(t) < len(u)
+}
+
+// Key encodes the tuple into a string usable as a map key. The
+// encoding is injective for tuples of the same arity (fixed 8 bytes
+// per value, big-endian two's complement).
+func (t Tuple) Key() string {
+	var b strings.Builder
+	b.Grow(len(t) * 8)
+	var buf [8]byte
+	for _, v := range t {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		b.Write(buf[:])
+	}
+	return b.String()
+}
+
+// FromKey decodes a key produced by Key back into a tuple of the given
+// arity. It returns an error if the key length does not match.
+func FromKey(key string, arity int) (Tuple, error) {
+	if len(key) != arity*8 {
+		return nil, fmt.Errorf("tuple: key length %d does not match arity %d", len(key), arity)
+	}
+	t := make(Tuple, arity)
+	for i := 0; i < arity; i++ {
+		t[i] = int64(binary.BigEndian.Uint64([]byte(key[i*8 : i*8+8])))
+	}
+	return t, nil
+}
+
+// Project returns the tuple restricted to the given positions, in that
+// order.
+func (t Tuple) Project(pos []int) Tuple {
+	out := make(Tuple, len(pos))
+	for i, p := range pos {
+		out[i] = t[p]
+	}
+	return out
+}
+
+// Concat returns the concatenation t ++ u (the tuple of a cross
+// product).
+func (t Tuple) Concat(u Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(u))
+	out = append(out, t...)
+	out = append(out, u...)
+	return out
+}
+
+// String renders the tuple as "(1, 2, 3)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Tag classifies a tuple during differential re-evaluation (§5.3).
+//
+// Old marks tuples present at the latest materialization and untouched
+// by the current transaction; Insert and Delete mark the transaction's
+// net insertions and deletions; Ignore marks combinations that must not
+// emerge from a join (an inserted tuple matched with a deleted one).
+type Tag uint8
+
+// Tag values. TagOld is the zero value so untagged tuples default to
+// "already in the view".
+const (
+	TagOld Tag = iota
+	TagInsert
+	TagDelete
+	TagIgnore
+)
+
+// String returns the lower-case tag name used in the paper's tables.
+func (g Tag) String() string {
+	switch g {
+	case TagOld:
+		return "old"
+	case TagInsert:
+		return "insert"
+	case TagDelete:
+		return "delete"
+	case TagIgnore:
+		return "ignore"
+	default:
+		return fmt.Sprintf("tag(%d)", uint8(g))
+	}
+}
+
+// JoinTags combines the tags of two operand tuples of a join according
+// to the paper's table in §5.3:
+//
+//	r1      r2      r1 ⋈ r2
+//	insert  insert  insert
+//	insert  delete  ignore
+//	insert  old     insert
+//	delete  insert  ignore
+//	delete  delete  delete
+//	delete  old     delete
+//	old     insert  insert
+//	old     delete  delete
+//	old     old     old
+//
+// Any operand already tagged Ignore stays Ignore.
+func JoinTags(a, b Tag) Tag {
+	if a == TagIgnore || b == TagIgnore {
+		return TagIgnore
+	}
+	switch {
+	case a == TagOld:
+		return b
+	case b == TagOld:
+		return a
+	case a == b:
+		return a
+	default: // one Insert, one Delete
+		return TagIgnore
+	}
+}
+
+// UnaryTag propagates a tag through a select or project operator. Per
+// the paper's second table in §5.3, select and project preserve the
+// operand tuple's tag (insert → insert, delete → delete, old → old).
+func UnaryTag(a Tag) Tag { return a }

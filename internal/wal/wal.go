@@ -1,0 +1,194 @@
+// Package wal implements a minimal write-ahead log: an append-only
+// file of checksummed, length-framed records with monotonically
+// increasing log sequence numbers (LSNs).
+//
+// The durable mview database logs every DDL statement and transaction
+// before applying it; on restart, records with LSN greater than the
+// last checkpointed snapshot are replayed. A torn final record (from a
+// crash mid-append) is detected by its length/checksum and truncated.
+//
+// Record layout (all integers big-endian):
+//
+//	u64 LSN | u8 kind | u32 payloadLen | payload | u32 CRC32(IEEE, of all preceding bytes)
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Record is one logged entry.
+type Record struct {
+	LSN     uint64
+	Kind    uint8
+	Payload []byte
+}
+
+const headerLen = 8 + 1 + 4
+const crcLen = 4
+
+// MaxPayload bounds record payloads (16 MiB) so a corrupt length field
+// cannot trigger huge allocations.
+const MaxPayload = 16 << 20
+
+// Log is an open write-ahead log positioned for appending.
+type Log struct {
+	f       *os.File
+	path    string
+	nextLSN uint64
+	// Sync controls whether every append is fsynced (durability
+	// against OS crashes). Defaults to true; tests and bulk loads may
+	// disable it.
+	Sync bool
+}
+
+// Open opens (or creates) a log, scans it to find the end of the valid
+// prefix, truncates any torn tail, and positions for appending.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	validEnd, lastLSN, err := scan(f, 0, nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, path: path, nextLSN: lastLSN + 1, Sync: true}, nil
+}
+
+// scan reads records from the start of f, invoking fn (when non-nil)
+// for each valid record, and returns the byte offset after the last
+// valid record plus the last valid LSN (0 when none). A torn or
+// corrupt tail terminates the scan without error.
+func scan(f *os.File, fromLSN uint64, fn func(Record) error) (validEnd int64, lastLSN uint64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	r := io.Reader(f)
+	var offset int64
+	var header [headerLen]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			return offset, lastLSN, nil // clean EOF or torn header
+		}
+		lsn := binary.BigEndian.Uint64(header[0:8])
+		kind := header[8]
+		plen := binary.BigEndian.Uint32(header[9:13])
+		// LSNs start at 1 and increase strictly sequentially within a
+		// log file; the first record may carry any LSN (a truncation
+		// writes a continuity marker with the prior high-water mark).
+		if plen > MaxPayload || lsn == 0 || (lastLSN != 0 && lsn != lastLSN+1) {
+			return offset, lastLSN, nil // corrupt: stop at last valid record
+		}
+		body := make([]byte, int(plen)+crcLen)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return offset, lastLSN, nil // torn record
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(header[:])
+		crc.Write(body[:plen])
+		if crc.Sum32() != binary.BigEndian.Uint32(body[plen:]) {
+			return offset, lastLSN, nil // checksum mismatch
+		}
+		if fn != nil && lsn > fromLSN {
+			if err := fn(Record{LSN: lsn, Kind: kind, Payload: body[:plen]}); err != nil {
+				return 0, 0, err
+			}
+		}
+		lastLSN = lsn
+		offset += int64(headerLen) + int64(plen) + crcLen
+	}
+}
+
+// Append logs one record and returns its LSN.
+func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
+	if len(payload) > MaxPayload {
+		return 0, fmt.Errorf("wal: payload of %d bytes exceeds limit", len(payload))
+	}
+	lsn := l.nextLSN
+	buf := make([]byte, headerLen+len(payload)+crcLen)
+	binary.BigEndian.PutUint64(buf[0:8], lsn)
+	buf[8] = kind
+	binary.BigEndian.PutUint32(buf[9:13], uint32(len(payload)))
+	copy(buf[headerLen:], payload)
+	crc := crc32.ChecksumIEEE(buf[:headerLen+len(payload)])
+	binary.BigEndian.PutUint32(buf[headerLen+len(payload):], crc)
+	if _, err := l.f.Write(buf); err != nil {
+		return 0, err
+	}
+	if l.Sync {
+		if err := l.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	l.nextLSN++
+	return lsn, nil
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 when
+// the log is empty).
+func (l *Log) LastLSN() uint64 { return l.nextLSN - 1 }
+
+// EnsureLSN raises the next LSN to at least min, so numbering stays
+// monotonic across a checkpoint that emptied the log.
+func (l *Log) EnsureLSN(min uint64) {
+	if l.nextLSN < min {
+		l.nextLSN = min
+	}
+}
+
+// Truncate discards all records (after a checkpoint has made them
+// redundant). LSNs keep increasing monotonically across truncations.
+func (l *Log) Truncate() error {
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	// Persist the LSN high-water mark as a single no-op record so
+	// that a reopened log continues numbering correctly.
+	_, err := l.Append(KindNoop, nil)
+	return err
+}
+
+// KindNoop marks records written only to preserve LSN continuity;
+// replay skips them.
+const KindNoop uint8 = 0
+
+// Close closes the underlying file.
+func (l *Log) Close() error { return l.f.Close() }
+
+// Replay invokes fn for every valid record with LSN > fromLSN, in
+// order. Torn or corrupt tails end the replay silently (they were
+// never acknowledged); fn errors abort it.
+func Replay(path string, fromLSN uint64, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	wrapped := func(r Record) error {
+		if r.Kind == KindNoop {
+			return nil
+		}
+		return fn(r)
+	}
+	_, _, err = scan(f, fromLSN, wrapped)
+	return err
+}

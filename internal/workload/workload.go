@@ -1,0 +1,245 @@
+// Package workload generates synthetic relations, view definitions,
+// and update streams for the benchmark harness and the examples.
+//
+// The 1986 paper reports no machine experiments; its claims are
+// algorithmic (who wins, by what factor, where crossovers fall). The
+// generators here produce the controlled sweeps that expose those
+// shapes: base relation size, delta size, join fan-out, number of
+// modified relations, and the fraction of updates that are irrelevant
+// to a view.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mview/internal/expr"
+	"mview/internal/relation"
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+// Gen is a seeded generator; all output is deterministic per seed.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// New returns a generator with the given seed.
+func New(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Int returns a uniform value in [0, domain).
+func (g *Gen) Int(domain int64) tuple.Value {
+	return tuple.Value(g.rng.Int63n(domain))
+}
+
+// Tuple returns a uniform random tuple of the given arity.
+func (g *Gen) Tuple(arity int, domain int64) tuple.Tuple {
+	t := make(tuple.Tuple, arity)
+	for i := range t {
+		t[i] = g.Int(domain)
+	}
+	return t
+}
+
+// Tuples returns n distinct uniform random tuples. It errors when the
+// domain is too small to yield n distinct tuples.
+func (g *Gen) Tuples(arity, n int, domain int64) ([]tuple.Tuple, error) {
+	cap64 := float64(1)
+	for i := 0; i < arity; i++ {
+		cap64 *= float64(domain)
+		if cap64 >= float64(n)*2 {
+			break
+		}
+	}
+	if cap64 < float64(n) {
+		return nil, fmt.Errorf("workload: domain %d^%d cannot hold %d distinct tuples", domain, arity, n)
+	}
+	seen := make(map[string]bool, n)
+	out := make([]tuple.Tuple, 0, n)
+	for len(out) < n {
+		t := g.Tuple(arity, domain)
+		k := t.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Relation returns a relation with n distinct uniform random tuples.
+func (g *Gen) Relation(s *schema.Scheme, n int, domain int64) (*relation.Relation, error) {
+	ts, err := g.Tuples(s.Arity(), n, domain)
+	if err != nil {
+		return nil, err
+	}
+	return relation.FromTuples(s, ts...)
+}
+
+// Zipf returns n values drawn from a Zipf(s=skew, v=1) distribution
+// over [0, domain).
+func (g *Gen) Zipf(n int, domain int64, skew float64) []tuple.Value {
+	if skew <= 1.0 {
+		skew = 1.01
+	}
+	z := rand.NewZipf(g.rng, skew, 1, uint64(domain-1))
+	out := make([]tuple.Value, n)
+	for i := range out {
+		out[i] = tuple.Value(z.Uint64())
+	}
+	return out
+}
+
+// Sample returns k distinct tuples drawn from the relation (or all of
+// them when k ≥ Len).
+func (g *Gen) Sample(r *relation.Relation, k int) []tuple.Tuple {
+	all := r.Tuples()
+	g.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// FreshTuples returns n distinct tuples NOT present in r, for use as
+// net inserts.
+func (g *Gen) FreshTuples(r *relation.Relation, n int, domain int64) ([]tuple.Tuple, error) {
+	out := make([]tuple.Tuple, 0, n)
+	seen := make(map[string]bool, n)
+	arity := r.Scheme().Arity()
+	for attempts := 0; len(out) < n; attempts++ {
+		if attempts > 50*n+1000 {
+			return nil, fmt.Errorf("workload: could not find %d fresh tuples in domain %d", n, domain)
+		}
+		t := g.Tuple(arity, domain)
+		k := t.Key()
+		if seen[k] || r.Has(t) {
+			continue
+		}
+		seen[k] = true
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ThresholdStream generates n update tuples for a scheme whose first
+// attribute is guarded by a view condition "attr < threshold": a
+// relevantFrac fraction fall below the threshold (relevant), the rest
+// at or above it (provably irrelevant). It is the workload for the
+// §4 filtering experiments.
+func (g *Gen) ThresholdStream(arity, n int, threshold, domain int64, relevantFrac float64) []tuple.Tuple {
+	if threshold <= 0 || threshold >= domain {
+		panic(fmt.Sprintf("workload: threshold %d outside (0, %d)", threshold, domain))
+	}
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		t := g.Tuple(arity, domain)
+		if g.rng.Float64() < relevantFrac {
+			t[0] = tuple.Value(g.rng.Int63n(threshold))
+		} else {
+			t[0] = threshold + tuple.Value(g.rng.Int63n(domain-threshold))
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// Chain is a p-relation chain-join database: R1(C0,C1), R2(C1,C2), …,
+// Rp(C{p-1},Cp), with the natural-join view over all of them.
+type Chain struct {
+	DB    *schema.Database
+	Names []string
+	Insts []*relation.Relation
+	View  expr.View
+}
+
+// Chain builds a chain-join workload. Every relation holds rows
+// distinct tuples over [0, domain)²; join selectivity is governed by
+// rows/domain (expected matches per tuple ≈ rows/domain).
+func (g *Gen) Chain(p, rows int, domain int64) (*Chain, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("workload: chain needs p ≥ 1, got %d", p)
+	}
+	c := &Chain{}
+	var rels []*schema.RelScheme
+	for i := 0; i < p; i++ {
+		name := fmt.Sprintf("R%d", i+1)
+		s, err := schema.NewScheme(
+			schema.Attribute(fmt.Sprintf("C%d", i)),
+			schema.Attribute(fmt.Sprintf("C%d", i+1)),
+		)
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, &schema.RelScheme{Name: name, Scheme: s})
+		c.Names = append(c.Names, name)
+	}
+	db, err := schema.NewDatabase(rels...)
+	if err != nil {
+		return nil, err
+	}
+	c.DB = db
+	for _, rs := range rels {
+		inst, err := g.Relation(rs.Scheme, rows, domain)
+		if err != nil {
+			return nil, err
+		}
+		c.Insts = append(c.Insts, inst)
+	}
+	v, err := expr.NaturalJoin("chain", db, c.Names...)
+	if err != nil {
+		return nil, err
+	}
+	c.View = v
+	return c, nil
+}
+
+// Orders is a small order-processing scenario used by the examples and
+// the SPJ benchmarks: orders(OID, CUST, REGION) and items(OID, SKU,
+// QTY), joined on OID.
+type Orders struct {
+	DB     *schema.Database
+	Orders *relation.Relation
+	Items  *relation.Relation
+}
+
+// Orders generates nOrders orders with ~itemsPer items each, over
+// nCust customers, nRegion regions, nSKU distinct SKUs, and quantities
+// in [1, maxQty].
+func (g *Gen) Orders(nOrders, itemsPer, nCust, nRegion, nSKU, maxQty int) (*Orders, error) {
+	oScheme := schema.MustScheme("OID", "CUST", "REGION")
+	iScheme := schema.MustScheme("OID", "SKU", "QTY")
+	db, err := schema.NewDatabase(
+		&schema.RelScheme{Name: "orders", Scheme: oScheme, Key: []schema.Attribute{"OID"}},
+		&schema.RelScheme{Name: "items", Scheme: iScheme},
+	)
+	if err != nil {
+		return nil, err
+	}
+	w := &Orders{DB: db, Orders: relation.New(oScheme), Items: relation.New(iScheme)}
+	for oid := 0; oid < nOrders; oid++ {
+		err := w.Orders.Insert(tuple.New(
+			int64(oid),
+			int64(g.rng.Intn(nCust)),
+			int64(g.rng.Intn(nRegion)),
+		))
+		if err != nil {
+			return nil, err
+		}
+		k := 1 + g.rng.Intn(2*itemsPer-1)
+		for li := 0; li < k; li++ {
+			err := w.Items.Insert(tuple.New(
+				int64(oid),
+				int64(g.rng.Intn(nSKU)),
+				int64(1+g.rng.Intn(maxQty)),
+			))
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return w, nil
+}

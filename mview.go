@@ -1,0 +1,480 @@
+package mview
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"mview/internal/db"
+	"mview/internal/delta"
+	"mview/internal/diffeval"
+	"mview/internal/eval"
+	"mview/internal/expr"
+	"mview/internal/pred"
+	"mview/internal/relation"
+	"mview/internal/schema"
+	"mview/internal/tuple"
+	"mview/internal/wal"
+)
+
+// DB is a main-memory database with materialized views, optionally
+// backed by a commit log and checkpoints (OpenDurable). It is safe for
+// concurrent use.
+type DB struct {
+	eng *db.Engine
+	// Durable state; nil/zero for in-memory databases.
+	wal *wal.Log
+	dir string
+	mu  sync.Mutex // serializes logged statements so log order = apply order
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	return &DB{eng: db.New()}
+}
+
+// CreateRelation adds a base relation with the named attributes.
+func (d *DB) CreateRelation(name string, attrs ...string) error {
+	defer d.lockIfDurable()()
+	if err := d.eng.CreateRelation(name, toAttrs(attrs)...); err != nil {
+		return err
+	}
+	return d.logStmt(walStmt{Kind: "relation", Name: name, Attrs: attrs})
+}
+
+func toAttrs(attrs []string) []schema.Attribute {
+	as := make([]schema.Attribute, len(attrs))
+	for i, a := range attrs {
+		as[i] = schema.Attribute(a)
+	}
+	return as
+}
+
+// lockIfDurable takes the statement-ordering lock when a commit log is
+// attached, returning the matching unlock (a no-op otherwise). The
+// caller must invoke the result with defer-like discipline; because
+// the lock only matters for durable databases, plain calls at function
+// entry followed by the returned closure via defer keep in-memory
+// paths free of contention.
+func (d *DB) lockIfDurable() func() {
+	if d.wal == nil {
+		return func() {}
+	}
+	d.mu.Lock()
+	return d.mu.Unlock
+}
+
+// ViewSpec describes an SPJ view: V = π_Select(σ_Where(From₁ × … ×
+// Fromₚ)).
+type ViewSpec struct {
+	// From lists the operand relations, each as "rel", "rel alias", or
+	// "rel AS alias". Attributes are referred to by name when
+	// unambiguous, or qualified as "alias.attr".
+	From []string
+	// Where is the selection condition, e.g.
+	// "A < 10 && C > 5 && B = C". Atoms compare an attribute against
+	// an attribute, an attribute plus a constant, or a constant, with
+	// =, !=, <, <=, >, >=; combine with &&, ||, and parentheses. Empty
+	// means no condition.
+	Where string
+	// Select lists the projected attributes; empty means all.
+	Select []string
+}
+
+func (s ViewSpec) build(name string) (expr.View, error) {
+	v := expr.View{Name: name}
+	if len(s.From) == 0 {
+		return v, fmt.Errorf("mview: view %q has an empty From list", name)
+	}
+	for _, f := range s.From {
+		fields := strings.Fields(f)
+		switch {
+		case len(fields) == 1:
+			v.Operands = append(v.Operands, expr.Operand{Rel: fields[0]})
+		case len(fields) == 2:
+			v.Operands = append(v.Operands, expr.Operand{Rel: fields[0], Alias: fields[1]})
+		case len(fields) == 3 && strings.EqualFold(fields[1], "as"):
+			v.Operands = append(v.Operands, expr.Operand{Rel: fields[0], Alias: fields[2]})
+		default:
+			return v, fmt.Errorf("mview: bad From entry %q (want \"rel\", \"rel alias\", or \"rel AS alias\")", f)
+		}
+	}
+	if s.Where != "" {
+		w, err := pred.Parse(s.Where)
+		if err != nil {
+			return v, err
+		}
+		v.Where = w
+	}
+	for _, a := range s.Select {
+		v.Project = append(v.Project, schema.Attribute(a))
+	}
+	return v, nil
+}
+
+// ViewOption configures a view at creation time. Options carry a
+// stable name so durable databases can log and replay view
+// definitions.
+type ViewOption struct {
+	name  string
+	apply func(*db.ViewConfig)
+}
+
+// Deferred makes the view a snapshot (§6): transactions accumulate
+// and the view is refreshed only by Refresh or RefreshAll.
+func Deferred() ViewOption {
+	return ViewOption{name: "deferred", apply: func(c *db.ViewConfig) { c.Mode = db.Deferred }}
+}
+
+// Recompute pins the view to full re-evaluation on every refresh —
+// the paper's baseline, useful for comparison.
+func Recompute() ViewOption {
+	return ViewOption{name: "recompute", apply: func(c *db.ViewConfig) { c.Policy = db.PolicyRecompute }}
+}
+
+// Adaptive lets the engine choose per refresh between differential
+// maintenance and full re-evaluation, based on the delta-to-base size
+// ratio — the paper's closing research question, answered with a
+// simple cost model.
+func Adaptive() ViewOption {
+	return ViewOption{name: "adaptive", apply: func(c *db.ViewConfig) { c.Policy = db.PolicyAdaptive }}
+}
+
+// WithFilter enables the §4 irrelevant-update pre-filter for the
+// view's differential maintenance.
+func WithFilter() ViewOption {
+	return ViewOption{name: "filtered", apply: func(c *db.ViewConfig) { c.Maint.Filter = true }}
+}
+
+// WithoutPrefixSharing evaluates truth-table rows independently
+// instead of sharing join prefixes. Exposed for experimentation; the
+// default (sharing) is faster.
+func WithoutPrefixSharing() ViewOption {
+	return ViewOption{name: "rowbyrow", apply: func(c *db.ViewConfig) { c.Maint.Strategy = diffeval.StrategyRowByRow }}
+}
+
+// optionByName reconstructs a ViewOption from its stable name, for
+// write-ahead-log replay.
+func optionByName(name string) (ViewOption, error) {
+	switch name {
+	case "deferred":
+		return Deferred(), nil
+	case "recompute":
+		return Recompute(), nil
+	case "adaptive":
+		return Adaptive(), nil
+	case "filtered":
+		return WithFilter(), nil
+	case "rowbyrow":
+		return WithoutPrefixSharing(), nil
+	default:
+		return ViewOption{}, fmt.Errorf("mview: unknown view option %q", name)
+	}
+}
+
+// CreateView defines and materializes a view.
+func (d *DB) CreateView(name string, spec ViewSpec, opts ...ViewOption) error {
+	defer d.lockIfDurable()()
+	v, err := spec.build(name)
+	if err != nil {
+		return err
+	}
+	if err := d.eng.CreateView(v, buildConfig(opts)); err != nil {
+		return err
+	}
+	return d.logStmt(walStmt{Kind: "view", Name: name, Spec: spec, Options: optionNames(opts)})
+}
+
+func optionNames(opts []ViewOption) []string {
+	names := make([]string, len(opts))
+	for i, o := range opts {
+		names[i] = o.name
+	}
+	return names
+}
+
+func buildConfig(opts []ViewOption) db.ViewConfig {
+	var cfg db.ViewConfig
+	cfg.EvalOpt.Greedy = true
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	return cfg
+}
+
+// CreateJoinView defines a natural-join view R1 ⋈ R2 ⋈ … ⋈ Rp (§5.3):
+// operands join on equality of all shared attribute names, each
+// emitted once.
+func (d *DB) CreateJoinView(name string, rels []string, opts ...ViewOption) error {
+	defer d.lockIfDurable()()
+	if err := d.createJoinViewCore(name, rels, opts); err != nil {
+		return err
+	}
+	return d.logStmt(walStmt{Kind: "joinview", Name: name, Rels: rels, Options: optionNames(opts)})
+}
+
+func (d *DB) createJoinViewCore(name string, rels []string, opts []ViewOption) error {
+	v, err := expr.NaturalJoin(name, d.eng.Scheme(), rels...)
+	if err != nil {
+		return err
+	}
+	return d.eng.CreateView(v, buildConfig(opts))
+}
+
+// DropView removes a view.
+func (d *DB) DropView(name string) error {
+	defer d.lockIfDurable()()
+	if err := d.eng.DropView(name); err != nil {
+		return err
+	}
+	return d.logStmt(walStmt{Kind: "dropview", Name: name})
+}
+
+// Op is one operation inside a transaction.
+type Op struct {
+	del  bool
+	rel  string
+	vals []int64
+}
+
+// Insert builds an insert operation.
+func Insert(rel string, vals ...int64) Op { return Op{rel: rel, vals: vals} }
+
+// Delete builds a delete operation.
+func Delete(rel string, vals ...int64) Op { return Op{del: true, rel: rel, vals: vals} }
+
+// Update builds the delete-then-insert pair that modifies a tuple in
+// place. Relations are sets of whole tuples, so an update is exactly
+// this pair; wrapping both in one transaction keeps the change atomic
+// and lets net-effect computation cancel no-op updates.
+func Update(rel string, oldVals, newVals []int64) []Op {
+	return []Op{Delete(rel, oldVals...), Insert(rel, newVals...)}
+}
+
+// TxInfo summarizes a committed transaction.
+type TxInfo struct {
+	Inserted       int // net tuples inserted across base relations
+	Deleted        int // net tuples deleted across base relations
+	ViewsRefreshed int // immediate views brought up to date
+	ViewsDeferred  int // deferred views that queued the change
+}
+
+// Exec runs the operations as one atomic transaction. Net semantics
+// apply: inserting a present tuple or deleting an absent one is a
+// no-op, and churn that cancels within the transaction never reaches
+// the views.
+func (d *DB) Exec(ops ...Op) (TxInfo, error) {
+	defer d.lockIfDurable()()
+	info, err := d.execCore(ops)
+	if err != nil {
+		return TxInfo{}, err
+	}
+	if d.wal != nil {
+		wops := make([]walOp, len(ops))
+		for i, o := range ops {
+			wops[i] = walOp{Del: o.del, Rel: o.rel, Vals: o.vals}
+		}
+		if err := d.logStmt(walStmt{Kind: "tx", Ops: wops}); err != nil {
+			return TxInfo{}, err
+		}
+	}
+	return info, nil
+}
+
+func (d *DB) execCore(ops []Op) (TxInfo, error) {
+	var tx delta.Tx
+	for _, o := range ops {
+		t := tuple.New(o.vals...)
+		if o.del {
+			tx.Delete(o.rel, t)
+		} else {
+			tx.Insert(o.rel, t)
+		}
+	}
+	res, err := d.eng.Execute(&tx)
+	if err != nil {
+		return TxInfo{}, err
+	}
+	info := TxInfo{ViewsRefreshed: res.ViewsRefreshed, ViewsDeferred: res.ViewsDeferred}
+	for _, u := range res.Updates {
+		if u.Inserts != nil {
+			info.Inserted += u.Inserts.Len()
+		}
+		if u.Deletes != nil {
+			info.Deleted += u.Deletes.Len()
+		}
+	}
+	return info, nil
+}
+
+// Row is one view tuple with its §5.2 multiplicity counter (the number
+// of derivations supporting it).
+type Row struct {
+	Values []int64
+	Count  int64
+}
+
+func rowsOf(c *relation.Counted) []Row {
+	cts := c.Tuples()
+	out := make([]Row, len(cts))
+	for i, ct := range cts {
+		out[i] = Row{Values: ct.Tuple, Count: ct.Count}
+	}
+	return out
+}
+
+// View returns the current contents of a materialized view, sorted.
+// Deferred views may lag; call Refresh first for fresh results.
+func (d *DB) View(name string) ([]Row, error) {
+	c, err := d.eng.View(name)
+	if err != nil {
+		return nil, err
+	}
+	return rowsOf(c), nil
+}
+
+// ViewSchema returns the attribute names of a view's result.
+func (d *DB) ViewSchema(name string) ([]string, error) {
+	b, err := d.eng.ViewDef(name)
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.OutScheme()
+	if err != nil {
+		return nil, err
+	}
+	attrs := out.Attributes()
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		names[i] = string(a)
+	}
+	return names, nil
+}
+
+// Rows returns the sorted contents of a base relation.
+func (d *DB) Rows(rel string) ([][]int64, error) {
+	r, err := d.eng.Relation(rel)
+	if err != nil {
+		return nil, err
+	}
+	ts := r.Tuples()
+	out := make([][]int64, len(ts))
+	for i, t := range ts {
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Refresh brings a deferred view up to date (§6 snapshot refresh).
+func (d *DB) Refresh(name string) error { return d.eng.RefreshView(name) }
+
+// RefreshAll refreshes every deferred view.
+func (d *DB) RefreshAll() error { return d.eng.RefreshAll() }
+
+// Relations lists base relation names in creation order.
+func (d *DB) Relations() []string { return d.eng.Relations() }
+
+// Views lists view names in creation order.
+func (d *DB) Views() []string { return d.eng.Views() }
+
+// Stats reports a view's accumulated maintenance counters.
+type Stats struct {
+	Transactions  int // transactions that touched the view's operands
+	Refreshes     int // differential refreshes performed
+	Recomputes    int // full re-evaluations performed
+	RowsEvaluated int // truth-table rows completed
+	JoinSteps     int // join pipeline steps executed
+	FilteredOut   int // update tuples discarded as irrelevant (§4)
+	DeltaInserts  int // view tuples inserted by deltas
+	DeltaDeletes  int // view tuples deleted by deltas
+	PendingTx     int // transactions awaiting a deferred refresh
+}
+
+// Stats returns a view's maintenance counters.
+func (d *DB) Stats(name string) (Stats, error) {
+	s, err := d.eng.ViewStats(name)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Transactions:  s.Transactions,
+		Refreshes:     s.Refreshes,
+		Recomputes:    s.Recomputes,
+		RowsEvaluated: s.RowsEvaluated,
+		JoinSteps:     s.JoinSteps,
+		FilteredOut:   s.FilteredOut,
+		DeltaInserts:  s.DeltaInserts,
+		DeltaDeletes:  s.DeltaDeletes,
+		PendingTx:     s.PendingTx,
+	}, nil
+}
+
+// Query evaluates an ad-hoc SPJ expression without materializing it.
+func (d *DB) Query(spec ViewSpec) ([]Row, error) {
+	v, err := spec.build("(query)")
+	if err != nil {
+		return nil, err
+	}
+	c, err := d.eng.Query(v, eval.Options{Greedy: true})
+	if err != nil {
+		return nil, err
+	}
+	return rowsOf(c), nil
+}
+
+// Change is one view-change notification delivered to a subscriber.
+type Change struct {
+	View    string
+	Inserts []Row
+	Deletes []Row
+}
+
+// Subscribe registers an alerter on a view — the Buneman–Clemons
+// application the paper cites: after every transaction or refresh that
+// changes the view, the callback receives the exact insert and delete
+// sets (which differential maintenance computed anyway). The callback
+// runs synchronously after commit with no engine lock held; it may
+// read the database but must not write to it. The returned cancel
+// function removes the subscription.
+func (d *DB) Subscribe(view string, fn func(Change)) (cancel func(), err error) {
+	id, err := d.eng.Subscribe(view, func(name string, ins, del *relation.Counted) {
+		fn(Change{View: name, Inserts: rowsOf(ins), Deletes: rowsOf(del)})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return func() { _ = d.eng.Unsubscribe(view, id) }, nil
+}
+
+// Save writes a durable snapshot of the database — scheme, base
+// relation contents, and view definitions with their configurations —
+// in a versioned binary format readable by Load.
+func (d *DB) Save(w io.Writer) error { return d.eng.Save(w) }
+
+// Load reads a snapshot produced by Save, returning a database with
+// all relations restored and all views re-materialized.
+func Load(r io.Reader) (*DB, error) {
+	eng, err := db.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Relevant applies the §4 test directly: it reports whether inserting
+// or deleting the given tuple in the named base relation could affect
+// the named view in ANY database state. A false answer is a proof of
+// irrelevance (Theorem 4.1). The tuple is checked against every view
+// operand that references the relation; the per-view checkers (and
+// their prepared invariant graphs) are cached inside the engine.
+func (d *DB) Relevant(view, rel string, vals ...int64) (bool, error) {
+	return d.eng.Relevant(view, rel, tuple.New(vals...))
+}
+
+// Explain describes how a view is defined and maintained: operands,
+// condition, projection, refresh mode, policy, row strategy, and the
+// persistent indexes available to its delta joins.
+func (d *DB) Explain(view string) (string, error) {
+	return d.eng.Explain(view)
+}
