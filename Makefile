@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race bench lint clean
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector; the obs registry and the engine's
+# notification fan-out are exercised concurrently.
+race:
+	$(GO) test -race ./...
+
+# The quantitative-shape benchmarks behind bench_results.txt. Narrow
+# with BENCH, e.g. `make bench BENCH=ObsOverhead`.
+BENCH ?= .
+bench:
+	$(GO) test -run=NONE -bench=$(BENCH) -benchmem .
+
+lint:
+	$(GO) vet ./...
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+clean:
+	$(GO) clean ./...

@@ -17,6 +17,7 @@ import (
 	"mview/internal/eval"
 	"mview/internal/expr"
 	"mview/internal/irrelevance"
+	"mview/internal/obs"
 	"mview/internal/pred"
 	"mview/internal/relation"
 	"mview/internal/satgraph"
@@ -622,6 +623,50 @@ func BenchmarkDurableExec(b *testing.B) {
 			}
 			if err := d.CreateView("v", ViewSpec{From: []string{"r"}, Where: "A < 1000000"}); err != nil {
 				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Exec(Insert("r", int64(i), int64(i%7))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------- observability overhead ----------
+
+// BenchmarkObsOverhead measures what metrics and tracing cost on the
+// commit hot path: the same single-insert transaction against an
+// immediate differential view, uninstrumented vs with a live registry
+// vs with registry plus a no-op tracer. The uninstrumented path must
+// stay within a few percent of the seed (one atomic pointer load per
+// commit).
+func BenchmarkObsOverhead(b *testing.B) {
+	type mode struct {
+		name string
+		reg  bool
+		tr   bool
+	}
+	for _, m := range []mode{
+		{"off", false, false},
+		{"registry", true, false},
+		{"registry+tracer", true, true},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			d := Open()
+			if err := d.CreateRelation("r", "A", "B"); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.CreateView("v", ViewSpec{From: []string{"r"}, Where: "A < 1000000"}, WithFilter()); err != nil {
+				b.Fatal(err)
+			}
+			if m.reg {
+				var tr obs.Tracer
+				if m.tr {
+					tr = obs.NopTracer{}
+				}
+				d.Instrument(obs.NewRegistry(), tr)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	mviewd [-addr :8080] [-data ./mydb]
+//	mviewd [-addr :8080] [-data ./mydb] [-metrics=true] [-slowlog 100ms]
 //
 // See package mview/internal/httpapi for the endpoint reference. A
 // minimal session:
@@ -12,39 +12,115 @@
 //	curl -XPOST localhost:8080/exec -d '{"ops":[{"op":"insert","rel":"r","values":[1,2]}]}'
 //	curl localhost:8080/views/v
 //	curl -N localhost:8080/views/v/watch   # SSE change stream
+//	curl localhost:8080/metrics            # Prometheus exposition
+//	curl localhost:8080/debug/stats        # JSON snapshot
+//
+// -slowlog enables a structured log line ("slow span=db.refresh
+// dur=... view=v ...") for any commit, view refresh, or HTTP request
+// slower than the given threshold; 0 disables it.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests get a grace period, SSE watchers are disconnected, and the
+// commit log is closed so every acknowledged transaction is on disk.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mview"
 	"mview/internal/httpapi"
+	"mview/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "", "durable database directory (empty = in-memory)")
+	metrics := flag.Bool("metrics", true, "serve /metrics and /debug/stats")
+	slowlog := flag.Duration("slowlog", 0, "log spans (commits, refreshes, requests) slower than this; 0 disables")
 	flag.Parse()
 
-	handler := httpapi.New()
-	if *data != "" {
-		db, err := mview.OpenDurable(*data)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer db.Close()
-		handler = httpapi.NewWith(db)
-	}
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	log.Printf("mviewd listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+	if err := run(*addr, *data, *metrics, *slowlog); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func run(addr, data string, metrics bool, slowlog time.Duration) error {
+	var db *mview.DB
+	if data != "" {
+		var err error
+		if db, err = mview.OpenDurable(data); err != nil {
+			return err
+		}
+		log.Printf("mviewd: recovered durable database in %s", data)
+	} else {
+		db = mview.Open()
+	}
+	defer db.Close()
+
+	var opts []httpapi.Option
+	var reg *obs.Registry
+	var tr obs.Tracer
+	if slowlog > 0 {
+		tr = &obs.SlowLogger{Threshold: slowlog, Logf: log.Printf}
+	}
+	if metrics {
+		reg = obs.NewRegistry()
+	}
+	if reg != nil || tr != nil {
+		db.Instrument(reg, tr)
+		opts = append(opts, httpapi.WithObs(reg, tr))
+	} else {
+		opts = append(opts, httpapi.WithoutObs())
+	}
+	handler := httpapi.NewWith(db, opts...)
+
+	// The signal context doubles as the base context of every request,
+	// so long-lived SSE watch streams observe r.Context().Done() and
+	// drain when shutdown starts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	log.Printf("mviewd listening on %s (data=%q metrics=%v slowlog=%v)", addr, data, metrics, slowlog)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process immediately
+	log.Printf("mviewd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("mviewd: shutdown: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		return err
+	}
+	if reg != nil {
+		log.Printf("mviewd: final stats\n%s", reg.Dump())
+	}
+	log.Printf("mviewd: bye")
+	return nil
 }

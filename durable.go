@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"mview/internal/db"
 	"mview/internal/wal"
@@ -84,7 +85,9 @@ func OpenDurable(dir string) (*DB, error) {
 		return nil, err
 	}
 
-	// Replay committed statements past the checkpoint.
+	// Replay committed statements past the checkpoint, timing the pass
+	// so Instrument can expose recovery cost (mview_wal_replay_*).
+	replayStart := time.Now()
 	err := wal.Replay(logPath, snapLSN, func(r wal.Record) error {
 		if r.Kind != walKindStmt {
 			return fmt.Errorf("mview: unknown log record kind %d at LSN %d", r.Kind, r.LSN)
@@ -96,11 +99,13 @@ func OpenDurable(dir string) (*DB, error) {
 		if err := d.applyStmt(st); err != nil {
 			return fmt.Errorf("mview: replaying log record %d: %w", r.LSN, err)
 		}
+		d.replayRecords++
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	d.replayDur = time.Since(replayStart)
 
 	log, err := wal.Open(logPath)
 	if err != nil {
@@ -198,6 +203,13 @@ func (d *DB) Checkpoint() error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.reg != nil {
+		defer func(t0 time.Time) {
+			d.reg.Histogram("mview_checkpoint_seconds",
+				"Checkpoint duration: snapshot write, fsync, rename, log truncate.", nil, nil).
+				ObserveDuration(time.Since(t0))
+		}(time.Now())
+	}
 	lsn := d.wal.LastLSN()
 
 	tmp := filepath.Join(d.dir, snapshotFile+".tmp")

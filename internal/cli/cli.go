@@ -11,11 +11,14 @@ import (
 	"strings"
 
 	"mview"
+	"mview/internal/obs"
 )
 
 // Session interprets commands against one database.
 type Session struct {
 	db *mview.DB
+	// reg collects engine metrics for the bare "stats" command.
+	reg *obs.Registry
 	// pending batches operations between "begin" and "commit".
 	pending []mview.Op
 	inTx    bool
@@ -23,7 +26,7 @@ type Session struct {
 
 // NewSession returns a session over a fresh in-memory database.
 func NewSession() *Session {
-	return &Session{db: mview.Open()}
+	return newSession(mview.Open())
 }
 
 // NewDurableSession returns a session over a durable database rooted
@@ -33,7 +36,13 @@ func NewDurableSession(dir string) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{db: db}, nil
+	return newSession(db), nil
+}
+
+func newSession(db *mview.DB) *Session {
+	s := &Session{db: db, reg: obs.NewRegistry()}
+	db.Instrument(s.reg, nil)
+	return s
 }
 
 // Close releases the database (flushes and closes a durable commit
@@ -54,7 +63,7 @@ const Help = `commands:
   begin | commit | abort                   group updates into one transaction
   show <name>                              print a relation or view
   schema <view>                            print a view's output attributes
-  stats <view>                             print maintenance statistics
+  stats [<view>]                           maintenance statistics (bare: all engine metrics)
   explain <view>                           describe definition and maintenance plan
   refresh <view> | refresh all             bring deferred views up to date (§6)
   relevant <view> <rel> (<v>, ...)         §4 irrelevance test for an update
@@ -403,7 +412,11 @@ func (s *Session) schema(name string) (string, error) {
 }
 
 func (s *Session) stats(name string) (string, error) {
-	st, err := s.db.Stats(strings.TrimSpace(name))
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return strings.TrimRight(s.reg.Dump(), "\n"), nil
+	}
+	st, err := s.db.Stats(name)
 	if err != nil {
 		return "", err
 	}
@@ -486,6 +499,7 @@ func (s *Session) load(rest string) (string, error) {
 		return "", fmt.Errorf("cannot load inside a transaction")
 	}
 	s.db = db
+	db.Instrument(s.reg, nil)
 	return "loaded " + path, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mview/internal/delta"
@@ -23,6 +24,7 @@ import (
 	"mview/internal/eval"
 	"mview/internal/expr"
 	"mview/internal/irrelevance"
+	"mview/internal/obs"
 	"mview/internal/pred"
 	"mview/internal/relation"
 	"mview/internal/schema"
@@ -97,6 +99,7 @@ type viewState struct {
 	data    *relation.Counted
 	pending map[string]delta.Update // composed net updates since last refresh
 	stats   ViewStats
+	vo      *viewObs // per-view metric handles; nil when obs is off
 	// checkers caches one §4 irrelevance checker per operand for the
 	// Relevant API (built lazily; the Prepare step is O(n³) per
 	// conjunct and must not run per call).
@@ -136,6 +139,9 @@ func (st *viewState) notifications(view string, ins, del *relation.Counted) []no
 	out := make([]notification, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, notification{sub: st.subscribers[id], view: view, ins: ins, del: del})
+	}
+	if st.vo != nil {
+		st.vo.notifications.Add(int64(len(out)))
 	}
 	return out
 }
@@ -191,6 +197,115 @@ type Engine struct {
 	// maintained incrementally at commit. Differential maintenance
 	// probes them so per-transaction work scales with the delta.
 	indexes map[string]map[int]*relation.Index
+	// o carries the attached observability sinks (SetObs). Atomic so
+	// the commit hot path can check it without taking the engine lock;
+	// nil means instrumentation is off and costs one pointer load.
+	o atomic.Pointer[engineObs]
+}
+
+// engineObs bundles the engine-wide metric handles, resolved once at
+// SetObs so hot paths never take the registry lock. Per-view handles
+// live on viewState.vo.
+type engineObs struct {
+	reg           *obs.Registry
+	tr            obs.Tracer
+	commits       *obs.Counter
+	commitSeconds *obs.Histogram
+}
+
+// viewObs holds one view's metric handles. All fields are created
+// eagerly except the per-decision refresh histograms, which are cached
+// on first use (callers hold the engine lock).
+type viewObs struct {
+	reg           *obs.Registry
+	view          string
+	refresh       map[string]*obs.Histogram // decision → latency
+	filterOut     *obs.Counter
+	filterPass    *obs.Counter
+	pending       *obs.Gauge
+	rows          *obs.Counter
+	joinSteps     *obs.Counter
+	notifications *obs.Counter
+}
+
+func newViewObs(reg *obs.Registry, view string) *viewObs {
+	l := obs.Labels{"view": view}
+	return &viewObs{
+		reg:     reg,
+		view:    view,
+		refresh: make(map[string]*obs.Histogram, 4),
+		filterOut: reg.Counter("mview_filter_discarded_total",
+			"Update tuples discarded by the §4 irrelevance filter.", l),
+		filterPass: reg.Counter("mview_filter_passed_total",
+			"Update tuples checked by the §4 irrelevance filter and kept.", l),
+		pending: reg.Gauge("mview_view_pending_tx",
+			"Transactions queued for a deferred (§6) refresh.", l),
+		rows: reg.Counter("mview_diffeval_rows_total",
+			"Truth-table rows completed by differential maintenance (§5.3).", l),
+		joinSteps: reg.Counter("mview_diffeval_join_steps_total",
+			"Join steps executed by differential maintenance.", l),
+		notifications: reg.Counter("mview_subscriber_notifications_total",
+			"Subscriber callbacks fanned out after refreshes.", l),
+	}
+}
+
+// refreshHist returns the refresh-latency histogram for one
+// maintenance decision. Callers hold the engine lock.
+func (v *viewObs) refreshHist(decision string) *obs.Histogram {
+	h := v.refresh[decision]
+	if h == nil {
+		h = v.reg.Histogram("mview_view_refresh_seconds",
+			"View refresh latency by maintenance decision.", nil,
+			obs.Labels{"view": v.view, "decision": decision})
+		v.refresh[decision] = h
+	}
+	return h
+}
+
+// decisionLabel names the refresh decision for metrics: what ran
+// (differential or recompute) and whether the adaptive cost model
+// chose it.
+func decisionLabel(cfg ViewConfig, chosen Policy) string {
+	s := "differential"
+	if chosen == PolicyRecompute {
+		s = "recompute"
+	}
+	if cfg.Policy == PolicyAdaptive {
+		return "adaptive_" + s
+	}
+	return s
+}
+
+// SetObs attaches a metrics registry and an optional tracer to the
+// engine (either may be nil; both nil detaches). Existing and future
+// views get per-view series; the differential maintainers forward
+// spans and per-operand delta events to the tracer. With obs detached
+// the commit path costs a single atomic pointer load.
+func (e *Engine) SetObs(reg *obs.Registry, tr obs.Tracer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if reg == nil && tr == nil {
+		e.o.Store(nil)
+		for _, name := range e.viewOrder {
+			e.views[name].vo = nil
+			e.views[name].maint.Tracer = nil
+		}
+		return
+	}
+	o := &engineObs{
+		reg: reg,
+		tr:  tr,
+		commits: reg.Counter("mview_commits_total",
+			"Transactions committed.", nil),
+		commitSeconds: reg.Histogram("mview_commit_seconds",
+			"End-to-end transaction commit latency (net effects, immediate view refresh, index upkeep).", nil, nil),
+	}
+	e.o.Store(o)
+	for _, name := range e.viewOrder {
+		st := e.views[name]
+		st.vo = newViewObs(reg, name)
+		st.maint.Tracer = tr
+	}
 }
 
 // New returns an empty engine.
@@ -357,6 +472,10 @@ func (e *Engine) CreateView(v expr.View, cfg ViewConfig) error {
 		data:    data,
 		pending: make(map[string]delta.Update),
 	}
+	if o := e.o.Load(); o != nil {
+		st.vo = newViewObs(o.reg, v.Name)
+		maint.Tracer = o.tr
+	}
 	e.views[v.Name] = st
 	e.viewOrder = append(e.viewOrder, v.Name)
 	return nil
@@ -436,7 +555,28 @@ type TxResult struct {
 // as the last step of the commit, and deferred views accumulate the
 // composed net change for a later refresh.
 func (e *Engine) Execute(tx *delta.Tx) (TxResult, error) {
+	o := e.o.Load()
+	var t0 time.Time
+	var span obs.Span
+	if o != nil {
+		t0 = time.Now()
+		if o.tr != nil {
+			span = o.tr.Start("db.commit")
+		}
+	}
 	res, ns, err := e.executeLocked(tx)
+	if o != nil {
+		if err == nil {
+			o.commits.Inc()
+			o.commitSeconds.ObserveDuration(time.Since(t0))
+		}
+		if span != nil {
+			span.End(obs.KV{K: "updates", V: len(res.Updates)},
+				obs.KV{K: "views_refreshed", V: res.ViewsRefreshed},
+				obs.KV{K: "views_deferred", V: res.ViewsDeferred},
+				obs.KV{K: "err", V: err != nil})
+		}
+	}
 	if err != nil {
 		return TxResult{}, err
 	}
@@ -468,9 +608,11 @@ func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
 	// the pre-state (nothing applied yet, so a failure leaves the
 	// engine untouched).
 	type refreshed struct {
-		st *viewState
-		d  *diffeval.ViewDelta
-		vc *relation.Counted // recompute result (PolicyRecompute)
+		st         *viewState
+		d          *diffeval.ViewDelta
+		vc         *relation.Counted // recompute result (PolicyRecompute)
+		decision   string            // metrics label; "" when obs is off
+		computeDur time.Duration     // phase-1 delta computation time
 	}
 	var work []refreshed
 	for _, name := range e.viewOrder {
@@ -484,6 +626,9 @@ func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
 				return TxResult{}, nil, err
 			}
 			st.stats.PendingTx++
+			if st.vo != nil {
+				st.vo.pending.Set(float64(st.stats.PendingTx))
+			}
 			res.ViewsDeferred++
 			continue
 		}
@@ -494,13 +639,21 @@ func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
 		switch policy {
 		case PolicyRecompute:
 			// Recompute needs the post-state; defer to phase 3.
-			work = append(work, refreshed{st: st})
+			work = append(work, refreshed{st: st, decision: decisionLabel(st.cfg, PolicyRecompute)})
 		default:
+			var t0 time.Time
+			if st.vo != nil {
+				t0 = time.Now()
+			}
 			d, err := st.maint.ComputeDeltaWith(e.operandInstances(st.bound), updates, provider{e: e})
 			if err != nil {
 				return TxResult{}, nil, err
 			}
-			work = append(work, refreshed{st: st, d: d})
+			w := refreshed{st: st, d: d, decision: decisionLabel(st.cfg, PolicyDifferential)}
+			if st.vo != nil {
+				w.computeDur = time.Since(t0)
+			}
+			work = append(work, w)
 		}
 	}
 
@@ -519,6 +672,10 @@ func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
 	var ns []notification
 	for _, w := range work {
 		name := w.st.name
+		var t0 time.Time
+		if w.st.vo != nil {
+			t0 = time.Now()
+		}
 		if w.d != nil {
 			if err := diffeval.Apply(w.st.data, w.d); err != nil {
 				return TxResult{}, nil, err
@@ -537,6 +694,9 @@ func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
 			w.st.data = vc
 			w.st.stats.Recomputes++
 		}
+		if w.st.vo != nil {
+			w.st.vo.refreshHist(w.decision).ObserveDuration(w.computeDur + time.Since(t0))
+		}
 		res.ViewsRefreshed++
 	}
 	return res, ns, nil
@@ -549,6 +709,12 @@ func (st *viewState) noteDelta(d *diffeval.ViewDelta) {
 	st.stats.FilteredOut += d.Stats.FilteredOut
 	st.stats.DeltaInserts += d.Stats.DeltaInserts
 	st.stats.DeltaDeletes += d.Stats.DeltaDeletes
+	if st.vo != nil {
+		st.vo.rows.Add(int64(d.Stats.RowsEvaluated))
+		st.vo.joinSteps.Add(int64(d.Stats.JoinSteps))
+		st.vo.filterOut.Add(int64(d.Stats.FilteredOut))
+		st.vo.filterPass.Add(int64(d.Stats.FilterChecked - d.Stats.FilteredOut))
+	}
 }
 
 // chooseAdaptive resolves PolicyAdaptive for one refresh: differential
@@ -633,7 +799,14 @@ func cloneUpdate(u delta.Update) delta.Update {
 // recompute under PolicyRecompute), clearing the backlog. Refreshing
 // an immediate or already-fresh view is a no-op.
 func (e *Engine) RefreshView(name string) error {
+	var span obs.Span
+	if o := e.o.Load(); o != nil && o.tr != nil {
+		span = o.tr.Start("db.refresh", obs.KV{K: "view", V: name})
+	}
 	ns, err := e.refreshLocked(name)
+	if span != nil {
+		span.End(obs.KV{K: "err", V: err != nil})
+	}
 	if err != nil {
 		return err
 	}
@@ -650,6 +823,10 @@ func (e *Engine) refreshLocked(name string) ([]notification, error) {
 	}
 	if len(st.pending) == 0 {
 		return nil, nil
+	}
+	var t0 time.Time
+	if st.vo != nil {
+		t0 = time.Now()
 	}
 	policy := st.cfg.Policy
 	if policy == PolicyAdaptive {
@@ -673,6 +850,10 @@ func (e *Engine) refreshLocked(name string) ([]notification, error) {
 		st.stats.Recomputes++
 		st.pending = make(map[string]delta.Update)
 		st.stats.PendingTx = 0
+		if st.vo != nil {
+			st.vo.pending.Set(0)
+			st.vo.refreshHist(decisionLabel(st.cfg, PolicyRecompute)).ObserveDuration(time.Since(t0))
+		}
 		return ns, nil
 	}
 
@@ -721,6 +902,10 @@ func (e *Engine) refreshLocked(name string) ([]notification, error) {
 	st.noteDelta(d)
 	st.pending = make(map[string]delta.Update)
 	st.stats.PendingTx = 0
+	if st.vo != nil {
+		st.vo.pending.Set(0)
+		st.vo.refreshHist(decisionLabel(st.cfg, PolicyDifferential)).ObserveDuration(time.Since(t0))
+	}
 	return st.notifications(name, d.Inserts, d.Deletes), nil
 }
 

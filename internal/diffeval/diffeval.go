@@ -36,6 +36,7 @@ import (
 	"mview/internal/eval"
 	"mview/internal/expr"
 	"mview/internal/irrelevance"
+	"mview/internal/obs"
 	"mview/internal/relation"
 	"mview/internal/schema"
 	"mview/internal/tuple"
@@ -97,6 +98,7 @@ type Stats struct {
 	RowsEvaluated int
 	JoinSteps     int // join steps executed (hash or probe batches)
 	IndexProbes   int // individual index probes issued
+	FilterChecked int // delta tuples examined by the irrelevance filter
 	FilteredOut   int // delta tuples removed by the irrelevance filter
 	DeltaInserts  int // distinct inserted view tuples
 	DeltaDeletes  int // distinct deleted view tuples
@@ -116,6 +118,12 @@ type Maintainer struct {
 	plans    []*eval.Plan // fixed-order plan per conjunct
 	conjs    []conjInfo   // resolved atom info per conjunct (indexed path)
 	checkers []*irrelevance.Checker
+
+	// Tracer, when non-nil, receives a span per ComputeDelta call plus
+	// one diffeval.operand_delta event per modified operand. Callers
+	// that share the maintainer across goroutines must set it before
+	// concurrent use (the engine sets it under its own lock).
+	Tracer obs.Tracer
 }
 
 // NewMaintainer prepares a maintainer for the bound view.
@@ -260,6 +268,15 @@ func (m *Maintainer) ComputeDeltaWith(insts []*relation.Relation, updates []delt
 	}
 
 	var stats Stats
+	if m.Tracer != nil {
+		span := m.Tracer.Start("diffeval.compute", obs.KV{K: "view", V: b.Name})
+		defer func() {
+			span.End(obs.KV{K: "rows", V: stats.RowsEvaluated},
+				obs.KV{K: "join_steps", V: stats.JoinSteps},
+				obs.KV{K: "inserts", V: stats.DeltaInserts},
+				obs.KV{K: "deletes", V: stats.DeltaDeletes})
+		}()
+	}
 	sl := make([]*slot, len(b.Operands))
 	for i := range b.Operands {
 		op := &b.Operands[i]
@@ -277,12 +294,18 @@ func (m *Maintainer) ComputeDeltaWith(insts []*relation.Relation, updates []delt
 					return nil, err
 				}
 				u = fu
+				stats.FilterChecked += before
 				stats.FilteredOut += before - u.Size()
 			}
 			s.ins, s.del = u.Inserts, u.Deletes
 			s.modified = s.deltaSize() > 0
 			if s.modified {
 				stats.ModifiedOperands++
+			}
+			if m.Tracer != nil {
+				m.Tracer.Event("diffeval.operand_delta",
+					obs.KV{K: "view", V: b.Name}, obs.KV{K: "operand", V: op.Alias},
+					obs.KV{K: "rel", V: op.Rel}, obs.KV{K: "size", V: s.deltaSize()})
 			}
 		}
 		sl[i] = s

@@ -13,6 +13,28 @@
 //	POST /exec                      {"ops":[{"op":"insert","rel":"r","values":[1,2]}, ...]}
 //	GET  /catalog                   relation and view names
 //	POST /checkpoint                durable mode: snapshot + truncate the commit log
+//	GET  /metrics                   Prometheus text exposition of all registered metrics
+//	GET  /debug/stats               JSON snapshot: uptime, every metric series, per-view stats
+//
+// # Observability
+//
+// Unless disabled (WithoutObs), the handler owns a metrics registry —
+// its own by default, or a shared one via WithObs — instruments the
+// database with it (DB.Instrument), and wraps every endpoint in
+// middleware recording per-endpoint counters and latencies:
+//
+//	mview_http_requests_total{endpoint,code}   requests by route and status
+//	mview_http_request_seconds{endpoint}       latency histogram by route
+//	mview_http_in_flight                       gauge of running requests
+//
+// Engine metrics use a `view` label and, for refresh latency, a
+// `decision` label naming what ran and who chose it (differential,
+// recompute, adaptive_differential, adaptive_recompute). GET /metrics
+// serves the registry in Prometheus text format; GET /debug/stats
+// serves the same data as JSON plus per-view maintenance statistics.
+// A tracer passed via WithObs (typically an obs.SlowLogger, wired to
+// mviewd's -slowlog flag) receives an `http.request` span per call,
+// so slow requests and slow refreshes land in one structured log.
 package httpapi
 
 import (
@@ -21,40 +43,159 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"mview"
+	"mview/internal/obs"
 )
 
 // Handler serves the API for one database.
 type Handler struct {
-	db  *mview.DB
-	mux *http.ServeMux
+	db    *mview.DB
+	mux   *http.ServeMux
+	start time.Time
+
+	// Observability; reg is nil only under WithoutObs.
+	reg      *obs.Registry
+	tr       obs.Tracer
+	inflight *obs.Gauge
+	noObs    bool
+	ownObs   bool // registry defaulted here → this handler instruments the DB
+}
+
+// Option configures a Handler.
+type Option func(*Handler)
+
+// WithObs makes the handler record into reg and emit request spans to
+// tr (either may be nil). The handler instruments the database with
+// the same pair unless the caller already did.
+func WithObs(reg *obs.Registry, tr obs.Tracer) Option {
+	return func(h *Handler) { h.reg, h.tr = reg, tr }
+}
+
+// WithoutObs disables instrumentation entirely: no middleware
+// recording, and /metrics and /debug/stats answer 404.
+func WithoutObs() Option {
+	return func(h *Handler) { h.noObs = true }
 }
 
 // New returns a handler over a fresh database.
-func New() *Handler { return NewWith(mview.Open()) }
+func New(opts ...Option) *Handler { return NewWith(mview.Open(), opts...) }
 
 // NewWith returns a handler over an existing database.
-func NewWith(db *mview.DB) *Handler {
-	h := &Handler{db: db, mux: http.NewServeMux()}
-	h.mux.HandleFunc("POST /relations", h.createRelation)
-	h.mux.HandleFunc("GET /relations/{name}", h.getRelation)
-	h.mux.HandleFunc("POST /views", h.createView)
-	h.mux.HandleFunc("GET /views/{name}", h.getView)
-	h.mux.HandleFunc("GET /views/{name}/stats", h.getStats)
-	h.mux.HandleFunc("GET /views/{name}/explain", h.explain)
-	h.mux.HandleFunc("GET /views/{name}/watch", h.watch)
-	h.mux.HandleFunc("POST /views/{name}/refresh", h.refresh)
-	h.mux.HandleFunc("GET /views/{name}/relevant", h.relevant)
-	h.mux.HandleFunc("POST /exec", h.exec)
-	h.mux.HandleFunc("GET /catalog", h.catalog)
-	h.mux.HandleFunc("POST /checkpoint", h.checkpoint)
+func NewWith(db *mview.DB, opts ...Option) *Handler {
+	h := &Handler{db: db, mux: http.NewServeMux(), start: time.Now()}
+	for _, o := range opts {
+		o(h)
+	}
+	if h.noObs {
+		h.reg, h.tr = nil, nil
+	} else if h.reg == nil {
+		if h.reg = db.Metrics(); h.reg == nil {
+			h.reg = obs.NewRegistry()
+		}
+		h.ownObs = true
+	}
+	if h.reg != nil {
+		h.inflight = h.reg.Gauge("mview_http_in_flight", "HTTP requests currently being served.", nil)
+		if db.Metrics() == nil {
+			db.Instrument(h.reg, h.tr)
+		}
+	}
+	h.handle("POST /relations", h.createRelation)
+	h.handle("GET /relations/{name}", h.getRelation)
+	h.handle("POST /views", h.createView)
+	h.handle("GET /views/{name}", h.getView)
+	h.handle("GET /views/{name}/stats", h.getStats)
+	h.handle("GET /views/{name}/explain", h.explain)
+	h.handle("GET /views/{name}/watch", h.watch)
+	h.handle("POST /views/{name}/refresh", h.refresh)
+	h.handle("GET /views/{name}/relevant", h.relevant)
+	h.handle("POST /exec", h.exec)
+	h.handle("GET /catalog", h.catalog)
+	h.handle("POST /checkpoint", h.checkpoint)
+	if h.reg != nil {
+		h.handle("GET /metrics", h.metrics)
+		h.handle("GET /debug/stats", h.debugStats)
+	}
 	return h
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
+}
+
+// statusWriter records the response code for metrics without hiding
+// the Flusher the SSE watch endpoint needs.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handle registers an endpoint, wrapped in the metrics/tracing
+// middleware. The route pattern is the `endpoint` label, so
+// cardinality stays bounded by the route table, not by request paths.
+func (h *Handler) handle(pattern string, fn http.HandlerFunc) {
+	if h.reg == nil && h.tr == nil {
+		h.mux.HandleFunc(pattern, fn)
+		return
+	}
+	hist := h.reg.Histogram("mview_http_request_seconds",
+		"HTTP request latency by endpoint.", nil, obs.Labels{"endpoint": pattern})
+	h.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		if h.inflight != nil {
+			h.inflight.Add(1)
+			defer h.inflight.Add(-1)
+		}
+		var span obs.Span
+		if h.tr != nil {
+			span = h.tr.Start("http.request", obs.KV{K: "endpoint", V: pattern})
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r)
+		hist.ObserveDuration(time.Since(t0))
+		h.reg.Counter("mview_http_requests_total",
+			"HTTP requests by endpoint and status code.",
+			obs.Labels{"endpoint": pattern, "code": strconv.Itoa(sw.code)}).Inc()
+		if span != nil {
+			span.End(obs.KV{K: "code", V: sw.code})
+		}
+	})
+}
+
+// metrics serves the Prometheus text exposition.
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = h.reg.WritePrometheus(w)
+}
+
+// debugStats serves a JSON snapshot of every registered metric plus
+// per-view maintenance statistics.
+func (h *Handler) debugStats(w http.ResponseWriter, r *http.Request) {
+	views := make(map[string]mview.Stats)
+	for _, name := range h.db.Views() {
+		if st, err := h.db.Stats(name); err == nil {
+			views[name] = st
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(h.start).Seconds(),
+		"metrics":        h.reg.Snapshot(),
+		"views":          views,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,478 @@
+// Package obs is the engine's observability substrate: a
+// dependency-free metrics registry (atomic counters, gauges, and
+// bucketed latency histograms with a Prometheus-text exposition
+// writer) plus a lightweight tracing interface (Tracer) that the
+// engine, the durability path, and the HTTP surface emit spans and
+// structured events into.
+//
+// Everything here is stdlib-only and safe for concurrent use. The hot
+// paths (Counter.Add, Gauge.Set, Histogram.Observe) are lock-free;
+// only series creation takes the registry lock, so callers cache
+// handles.
+//
+// Metric naming follows Prometheus conventions: `mview_` prefix,
+// `_total` suffix on counters, `_seconds` on latency histograms, and
+// lower-snake label keys (`view`, `decision`, `endpoint`, `code`).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Labels attaches dimensions to a metric series. A nil map means an
+// unlabeled series.
+type Labels map[string]string
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; negative deltas are ignored so a
+// counter can never decrease).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Values are float64 so
+// gauges can carry durations in seconds.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets is the default latency histogram layout: exponential-ish
+// bounds from 1µs to 10s, matching the spread between a delta=1
+// differential refresh (~µs) and a full recompute (~100ms).
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram. Observations are float64
+// (seconds, for latency histograms). The last implicit bucket is +Inf.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending
+	counts  []atomic.Int64
+	inf     atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	if idx < len(h.bounds) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// metric type tags, also used in snapshots and exposition.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one labeled instance within a family.
+type series struct {
+	labels Labels
+	key    string // rendered, sorted label string (no braces)
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	series map[string]*series
+	order  []string // insertion-independent: sorted at exposition
+}
+
+// Registry holds metric families and hands out series handles.
+// A nil *Registry is valid: all lookups return handles that record
+// into nowhere-registered metrics, so callers may instrument
+// unconditionally.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey renders labels sorted by key, e.g. `a="1",b="2"`.
+func labelKey(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, escapeLabel(l[k]))
+	}
+	return sb.String()
+}
+
+// escapeLabel escapes backslash and newline per the exposition format
+// (double quotes are handled by %q above — note %q also escapes
+// backslashes, so we only normalize newlines here).
+func escapeLabel(v string) string {
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// lookup returns the series for (name, labels), creating family and
+// series as needed. Panics when name is reused with a different type —
+// that is a programming error, not a runtime condition.
+func (r *Registry) lookup(name, help, typ string, labels Labels, buckets []float64) *series {
+	key := labelKey(labels)
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok {
+		if s, ok := f.series[key]; ok {
+			t := f.typ
+			r.mu.RUnlock()
+			if t != typ {
+				panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, t, typ))
+			}
+			return s
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: cloneLabels(labels), key: key}
+		switch typ {
+		case typeCounter:
+			s.c = &Counter{}
+		case typeGauge:
+			s.g = &Gauge{}
+		case typeHistogram:
+			s.h = newHistogram(buckets)
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+func cloneLabels(l Labels) Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// Counter returns (creating if needed) the counter series for
+// (name, labels). On a nil registry it returns a detached counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.lookup(name, help, typeCounter, labels, nil).c
+}
+
+// Gauge returns (creating if needed) the gauge series for
+// (name, labels). On a nil registry it returns a detached gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.lookup(name, help, typeGauge, labels, nil).g
+}
+
+// Histogram returns (creating if needed) the histogram series for
+// (name, labels). buckets is used only on first creation; nil means
+// DefBuckets. On a nil registry it returns a detached histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if r == nil {
+		return newHistogram(buckets)
+	}
+	return r.lookup(name, help, typeHistogram, labels, buckets).h
+}
+
+// formatFloat renders a value the way Prometheus text format expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedFamilies snapshots family pointers in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	sort.Strings(names)
+	out := make([]*family, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.families[n])
+	}
+	return out
+}
+
+// seriesSorted snapshots a family's series in label-key order. The
+// registry lock must not be required for reading counts: handles are
+// atomic, and series maps only grow, so we copy under the lock.
+func (r *Registry) seriesSorted(f *family) []*series {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	keys := make([]string, len(f.order))
+	copy(keys, f.order)
+	sort.Strings(keys)
+	out := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.series[k])
+	}
+	return out
+}
+
+// WritePrometheus writes every registered metric in the Prometheus
+// text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range r.seriesSorted(f) {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	braced := func(extra string) string {
+		switch {
+		case s.key == "" && extra == "":
+			return ""
+		case s.key == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + s.key + "}"
+		}
+		return "{" + s.key + "," + extra + "}"
+	}
+	switch f.typ {
+	case typeCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, braced(""), s.c.Value())
+		return err
+	case typeGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, braced(""), formatFloat(s.g.Value()))
+		return err
+	case typeHistogram:
+		h := s.h
+		var cum int64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(`le="`+formatFloat(b)+`"`), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.inf.Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(`le="+Inf"`), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(""), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(""), h.Count())
+		return err
+	}
+	return fmt.Errorf("obs: unknown metric type %q", f.typ)
+}
+
+// Bucket is one histogram bucket in a snapshot. LE is the upper bound
+// rendered as a string ("+Inf" for the last bucket) because JSON has
+// no infinity literal. Count is cumulative, as in the exposition
+// format.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// SeriesSnapshot is one metric series in a point-in-time snapshot.
+type SeriesSnapshot struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value,omitempty"`   // counter, gauge
+	Count   int64             `json:"count,omitempty"`   // histogram
+	Sum     float64           `json:"sum,omitempty"`     // histogram
+	Buckets []Bucket          `json:"buckets,omitempty"` // histogram
+}
+
+// Snapshot returns every registered series, sorted by name then
+// labels. Safe to call concurrently with writers; values are read
+// atomically per series (not as a global atomic cut).
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	if r == nil {
+		return nil
+	}
+	var out []SeriesSnapshot
+	for _, f := range r.sortedFamilies() {
+		for _, s := range r.seriesSorted(f) {
+			ss := SeriesSnapshot{Name: f.name, Type: f.typ, Labels: s.labels}
+			switch f.typ {
+			case typeCounter:
+				ss.Value = float64(s.c.Value())
+			case typeGauge:
+				ss.Value = s.g.Value()
+			case typeHistogram:
+				h := s.h
+				ss.Count = h.Count()
+				ss.Sum = h.Sum()
+				var cum int64
+				for i, b := range h.bounds {
+					cum += h.counts[i].Load()
+					ss.Buckets = append(ss.Buckets, Bucket{LE: formatFloat(b), Count: cum})
+				}
+				cum += h.inf.Load()
+				ss.Buckets = append(ss.Buckets, Bucket{LE: "+Inf", Count: cum})
+			}
+			out = append(out, ss)
+		}
+	}
+	return out
+}
+
+// MarshalJSON lets a *Registry be embedded directly in JSON payloads
+// (it renders as the Snapshot list).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// Dump pretty-prints the registry for humans (the CLI `stats`
+// command): one line per series, histograms summarized as
+// count/sum/avg.
+func (r *Registry) Dump() string {
+	if r == nil {
+		return "(no metrics registry attached)"
+	}
+	var sb strings.Builder
+	for _, f := range r.sortedFamilies() {
+		for _, s := range r.seriesSorted(f) {
+			name := f.name
+			if s.key != "" {
+				name += "{" + s.key + "}"
+			}
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(&sb, "%-64s %d\n", name, s.c.Value())
+			case typeGauge:
+				fmt.Fprintf(&sb, "%-64s %s\n", name, formatFloat(s.g.Value()))
+			case typeHistogram:
+				h := s.h
+				n := h.Count()
+				avg := time.Duration(0)
+				if n > 0 {
+					avg = time.Duration(h.Sum() / float64(n) * float64(time.Second))
+				}
+				fmt.Fprintf(&sb, "%-64s count=%d sum=%s avg=%s\n",
+					name, n, time.Duration(h.Sum()*float64(time.Second)), avg)
+			}
+		}
+	}
+	if sb.Len() == 0 {
+		return "(no metrics recorded yet)"
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

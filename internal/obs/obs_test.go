@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "a counter", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("t_total", "a counter", nil); again != c {
+		t.Fatal("same (name, labels) must return the same handle")
+	}
+
+	g := r.Gauge("t_gauge", "a gauge", Labels{"k": "v"})
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+
+	h := r.Histogram("t_seconds", "a histogram", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5) // lands in +Inf
+	h.ObserveDuration(50 * time.Millisecond)
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() < 5.59 || h.Sum() > 5.61 {
+		t.Fatalf("sum = %v, want ~5.6", h.Sum())
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total", "", nil).Inc()
+	r.Gauge("x", "", nil).Set(1)
+	r.Histogram("x_seconds", "", nil, nil).Observe(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry exposition: %q, %v", sb.String(), err)
+	}
+	if s := r.Snapshot(); s != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", s)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_commits_total", "Committed transactions.", nil).Add(3)
+	r.Gauge("m_pending", "Pending.", Labels{"view": "v1"}).Set(2)
+	h := r.Histogram("m_commit_seconds", "Commit latency.", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP m_commits_total Committed transactions.\n",
+		"# TYPE m_commits_total counter\n",
+		"m_commits_total 3\n",
+		"# TYPE m_pending gauge\n",
+		`m_pending{view="v1"} 2` + "\n",
+		"# TYPE m_commit_seconds histogram\n",
+		`m_commit_seconds_bucket{le="0.1"} 2` + "\n",
+		`m_commit_seconds_bucket{le="1"} 2` + "\n",
+		`m_commit_seconds_bucket{le="+Inf"} 3` + "\n",
+		"m_commit_seconds_sum 3.1\n",
+		"m_commit_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name.
+	if strings.Index(out, "m_commit_seconds") > strings.Index(out, "m_commits_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s_total", "", Labels{"a": "1"}).Add(7)
+	r.Histogram("s_seconds", "", []float64{1}, nil).Observe(0.5)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d series, want 2", len(snap))
+	}
+	// Sorted by name: s_seconds before s_total.
+	if snap[0].Name != "s_seconds" || snap[0].Type != "histogram" {
+		t.Fatalf("snap[0] = %+v", snap[0])
+	}
+	if snap[0].Count != 1 || len(snap[0].Buckets) != 2 || snap[0].Buckets[1].LE != "+Inf" {
+		t.Fatalf("histogram snapshot = %+v", snap[0])
+	}
+	if snap[1].Name != "s_total" || snap[1].Value != 7 || snap[1].Labels["a"] != "1" {
+		t.Fatalf("snap[1] = %+v", snap[1])
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mix", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on counter-vs-gauge name reuse")
+		}
+	}()
+	r.Gauge("mix", "", nil)
+}
+
+// TestConcurrentRegistry exercises handle creation, recording, and
+// exposition from many goroutines; run with -race.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			labels := Labels{"worker": string(rune('a' + id%4))}
+			for i := 0; i < iters; i++ {
+				r.Counter("c_total", "c", labels).Inc()
+				r.Gauge("g", "g", labels).Add(1)
+				r.Histogram("h_seconds", "h", nil, labels).Observe(float64(i) / 1000)
+				if i%50 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Errorf("exposition: %v", err)
+						return
+					}
+					_ = r.Snapshot()
+					_ = r.Dump()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range r.Snapshot() {
+		if s.Name == "c_total" {
+			total += int64(s.Value)
+		}
+	}
+	if total != workers*iters {
+		t.Fatalf("counter total = %d, want %d", total, workers*iters)
+	}
+}
+
+func TestSlowLoggerThreshold(t *testing.T) {
+	var lines []string
+	l := &SlowLogger{Threshold: time.Millisecond, Logf: func(f string, a ...any) {
+		lines = append(lines, fmt.Sprintf(f, a...))
+	}}
+	l.Start("fast.op").End() // under threshold: dropped
+	sp := l.Start("slow.op", KV{"view", "v"})
+	time.Sleep(3 * time.Millisecond)
+	sp.End(KV{"rows", 7})
+	if len(lines) != 1 {
+		t.Fatalf("logged %d lines, want 1: %v", len(lines), lines)
+	}
+	line := lines[0]
+	for _, want := range []string{"slow span=slow.op", "dur=", "view=v", "rows=7"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow log line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestCollectingAndMultiTracer(t *testing.T) {
+	a, b := &CollectingTracer{}, &CollectingTracer{}
+	tr := MultiTracer{a, b}
+	tr.Start("op", KV{"k", 1}).End(KV{"k2", 2})
+	tr.Event("ev")
+	for _, c := range []*CollectingTracer{a, b} {
+		if len(c.Spans) != 1 || c.Spans[0].Name != "op" || len(c.Spans[0].KVs) != 2 {
+			t.Fatalf("spans = %+v", c.Spans)
+		}
+		if len(c.Events) != 1 || c.Events[0].Name != "ev" {
+			t.Fatalf("events = %+v", c.Events)
+		}
+	}
+}

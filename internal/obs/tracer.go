@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// KV is one structured key/value attached to a span or event.
+type KV struct {
+	K string
+	V any
+}
+
+// Span is an in-flight traced operation. End closes it; extra KVs are
+// appended to those given at Start.
+type Span interface {
+	End(kv ...KV)
+}
+
+// Tracer receives span-style Start/End pairs and point-in-time
+// structured events from the engine, the durability path, and the
+// HTTP surface. Implementations must be safe for concurrent use.
+//
+// Span names are dotted, stable identifiers: `db.commit`,
+// `db.refresh`, `diffeval.compute`, `http.request`. Events use the
+// same convention (`diffeval.operand_delta`).
+type Tracer interface {
+	Start(name string, kv ...KV) Span
+	Event(name string, kv ...KV)
+}
+
+// NopTracer discards everything. The engine also accepts a nil Tracer
+// and skips all tracing work entirely; NopTracer exists for callers
+// that want a non-nil placeholder (and for overhead benchmarks).
+type NopTracer struct{}
+
+type nopSpan struct{}
+
+func (nopSpan) End(...KV) {}
+
+// Start implements Tracer.
+func (NopTracer) Start(string, ...KV) Span { return nopSpan{} }
+
+// Event implements Tracer.
+func (NopTracer) Event(string, ...KV) {}
+
+// formatKVs renders KVs as a logfmt-style suffix: `k=v k2="v 2"`.
+func formatKVs(kv []KV) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, f := range kv {
+		sb.WriteByte(' ')
+		v := fmt.Sprint(f.V)
+		if strings.ContainsAny(v, " \t\"") {
+			v = fmt.Sprintf("%q", v)
+		}
+		sb.WriteString(f.K)
+		sb.WriteByte('=')
+		sb.WriteString(v)
+	}
+	return sb.String()
+}
+
+// SlowLogger is a Tracer that logs only spans whose duration meets a
+// threshold — the slow-refresh / slow-request structured log. Lines
+// are logfmt-style:
+//
+//	slow span=db.refresh dur=312.4ms view=big decision=recompute
+//
+// Logf is typically log.Printf. Events are ignored; a SlowLogger is
+// for latency outliers, not the full event firehose.
+type SlowLogger struct {
+	Threshold time.Duration
+	Logf      func(format string, args ...any)
+}
+
+type slowSpan struct {
+	l     *SlowLogger
+	name  string
+	start time.Time
+	kv    []KV
+}
+
+// Start implements Tracer.
+func (l *SlowLogger) Start(name string, kv ...KV) Span {
+	return &slowSpan{l: l, name: name, start: time.Now(), kv: kv}
+}
+
+// Event implements Tracer.
+func (l *SlowLogger) Event(string, ...KV) {}
+
+func (s *slowSpan) End(kv ...KV) {
+	d := time.Since(s.start)
+	if d < s.l.Threshold || s.l.Logf == nil {
+		return
+	}
+	all := append(append([]KV{}, s.kv...), kv...)
+	s.l.Logf("slow span=%s dur=%s%s", s.name, d.Round(time.Microsecond), formatKVs(all))
+}
+
+// MultiTracer fans out to several tracers.
+type MultiTracer []Tracer
+
+type multiSpan []Span
+
+func (m multiSpan) End(kv ...KV) {
+	for _, s := range m {
+		s.End(kv...)
+	}
+}
+
+// Start implements Tracer.
+func (m MultiTracer) Start(name string, kv ...KV) Span {
+	spans := make(multiSpan, len(m))
+	for i, t := range m {
+		spans[i] = t.Start(name, kv...)
+	}
+	return spans
+}
+
+// Event implements Tracer.
+func (m MultiTracer) Event(name string, kv ...KV) {
+	for _, t := range m {
+		t.Event(name, kv...)
+	}
+}
+
+// CollectingTracer records spans and events in memory, for tests.
+// The zero value is ready to use.
+type CollectingTracer struct {
+	mu     sync.Mutex
+	Spans  []CollectedSpan
+	Events []CollectedEvent
+}
+
+// CollectedSpan is one finished span.
+type CollectedSpan struct {
+	Name string
+	Dur  time.Duration
+	KVs  []KV
+}
+
+// CollectedEvent is one recorded event.
+type CollectedEvent struct {
+	Name string
+	KVs  []KV
+}
+
+type collectSpan struct {
+	c     *CollectingTracer
+	name  string
+	start time.Time
+	kv    []KV
+}
+
+// Start implements Tracer.
+func (c *CollectingTracer) Start(name string, kv ...KV) Span {
+	return &collectSpan{c: c, name: name, start: time.Now(), kv: kv}
+}
+
+// Event implements Tracer.
+func (c *CollectingTracer) Event(name string, kv ...KV) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Events = append(c.Events, CollectedEvent{Name: name, KVs: kv})
+}
+
+func (s *collectSpan) End(kv ...KV) {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.c.Spans = append(s.c.Spans, CollectedSpan{
+		Name: s.name,
+		Dur:  time.Since(s.start),
+		KVs:  append(append([]KV{}, s.kv...), kv...),
+	})
+}

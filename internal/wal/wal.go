@@ -18,6 +18,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
+
+	"mview/internal/obs"
 )
 
 // Record is one logged entry.
@@ -43,6 +46,38 @@ type Log struct {
 	// against OS crashes). Defaults to true; tests and bulk loads may
 	// disable it.
 	Sync bool
+	// o holds metric handles once SetObs attaches a registry; nil
+	// keeps appends untimed.
+	o *logObs
+}
+
+// logObs bundles the log's metric handles, resolved once at SetObs.
+type logObs struct {
+	appendSeconds *obs.Histogram
+	fsyncSeconds  *obs.Histogram
+	bytesWritten  *obs.Counter
+	appends       *obs.Counter
+}
+
+// SetObs attaches a metrics registry to the log: append and fsync
+// latency histograms plus byte/record counters. Pass nil to detach.
+// Not safe to call concurrently with Append; callers attach it right
+// after Open (the durable DB does so under its statement lock).
+func (l *Log) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		l.o = nil
+		return
+	}
+	l.o = &logObs{
+		appendSeconds: reg.Histogram("mview_wal_append_seconds",
+			"Commit-log append latency including fsync.", nil, nil),
+		fsyncSeconds: reg.Histogram("mview_wal_fsync_seconds",
+			"Commit-log fsync latency.", nil, nil),
+		bytesWritten: reg.Counter("mview_wal_bytes_written_total",
+			"Bytes appended to the commit log (framing included).", nil),
+		appends: reg.Counter("mview_wal_appends_total",
+			"Records appended to the commit log.", nil),
+	}
 }
 
 // Open opens (or creates) a log, scans it to find the end of the valid
@@ -117,6 +152,10 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 	if len(payload) > MaxPayload {
 		return 0, fmt.Errorf("wal: payload of %d bytes exceeds limit", len(payload))
 	}
+	var t0 time.Time
+	if l.o != nil {
+		t0 = time.Now()
+	}
 	lsn := l.nextLSN
 	buf := make([]byte, headerLen+len(payload)+crcLen)
 	binary.BigEndian.PutUint64(buf[0:8], lsn)
@@ -129,11 +168,23 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 		return 0, err
 	}
 	if l.Sync {
+		var ts time.Time
+		if l.o != nil {
+			ts = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			return 0, err
 		}
+		if l.o != nil {
+			l.o.fsyncSeconds.ObserveDuration(time.Since(ts))
+		}
 	}
 	l.nextLSN++
+	if l.o != nil {
+		l.o.appendSeconds.ObserveDuration(time.Since(t0))
+		l.o.bytesWritten.Add(int64(len(buf)))
+		l.o.appends.Inc()
+	}
 	return lsn, nil
 }
 

@@ -5,12 +5,14 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"mview/internal/db"
 	"mview/internal/delta"
 	"mview/internal/diffeval"
 	"mview/internal/eval"
 	"mview/internal/expr"
+	"mview/internal/obs"
 	"mview/internal/pred"
 	"mview/internal/relation"
 	"mview/internal/schema"
@@ -27,7 +29,43 @@ type DB struct {
 	wal *wal.Log
 	dir string
 	mu  sync.Mutex // serializes logged statements so log order = apply order
+	// Observability (Instrument); nil until attached.
+	reg    *obs.Registry
+	tracer obs.Tracer
+	// Recovery cost measured by OpenDurable, exposed by Instrument.
+	replayDur     time.Duration
+	replayRecords int
 }
+
+// Instrument attaches a metrics registry and an optional tracer to
+// the database and every layer beneath it: the engine (commit and
+// refresh latency, §4 filter counts, pending-delta gauges), the
+// differential evaluator (spans and per-operand delta events), and —
+// for durable databases — the commit log (append/fsync latency, bytes
+// written) plus the recovery cost of the last open. Either argument
+// may be nil; calling with both nil detaches instrumentation.
+//
+// Call it once, before serving traffic. Handles are cached, so
+// re-instrumenting with the same registry is idempotent.
+func (d *DB) Instrument(reg *obs.Registry, tr obs.Tracer) {
+	defer d.lockIfDurable()()
+	d.reg = reg
+	d.tracer = tr
+	d.eng.SetObs(reg, tr)
+	if d.wal != nil {
+		d.wal.SetObs(reg)
+	}
+	if reg != nil && d.dir != "" {
+		reg.Gauge("mview_wal_replay_seconds",
+			"Commit-log replay duration at the last open.", nil).Set(d.replayDur.Seconds())
+		reg.Gauge("mview_wal_replay_records",
+			"Commit-log records replayed at the last open.", nil).Set(float64(d.replayRecords))
+	}
+}
+
+// Metrics returns the registry attached by Instrument (nil when the
+// database is uninstrumented).
+func (d *DB) Metrics() *obs.Registry { return d.reg }
 
 // Open creates an empty database.
 func Open() *DB {
