@@ -7,6 +7,7 @@
 //
 //	mviewcli                 # interactive prompt, in-memory database
 //	mviewcli -data ./mydb    # durable database (commit log + checkpoints)
+//	mviewcli -maint-workers 4  # bound the parallel maintenance pool
 //	mviewcli < script        # batch mode
 //
 // Type "help" at the prompt for the command language.
@@ -23,6 +24,7 @@ import (
 
 func main() {
 	data := flag.String("data", "", "durable database directory (empty = in-memory)")
+	workers := flag.Int("maint-workers", 0, "per-view maintenance worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	interactive := isTerminal()
@@ -38,6 +40,9 @@ func main() {
 		s = cli.NewSession()
 	}
 	defer s.Close()
+	if *workers > 0 {
+		s.SetMaintWorkers(*workers)
+	}
 	if interactive {
 		fmt.Println("mview — materialized views with efficient differential maintenance (SIGMOD 1986)")
 		fmt.Println("type 'help' for the command language")

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	mviewd [-addr :8080] [-data ./mydb] [-metrics=true] [-slowlog 100ms]
+//	mviewd [-addr :8080] [-data ./mydb] [-metrics=true] [-slowlog 100ms] [-maint-workers N]
 //
 // See package mview/internal/httpapi for the endpoint reference. A
 // minimal session:
@@ -18,6 +18,10 @@
 // -slowlog enables a structured log line ("slow span=db.refresh
 // dur=... view=v ...") for any commit, view refresh, or HTTP request
 // slower than the given threshold; 0 disables it.
+//
+// -maint-workers bounds the worker pool that computes per-view
+// maintenance concurrently inside each commit (0 = GOMAXPROCS, the
+// default).
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests get a grace period, SSE watchers are disconnected, and the
@@ -46,14 +50,15 @@ func main() {
 	data := flag.String("data", "", "durable database directory (empty = in-memory)")
 	metrics := flag.Bool("metrics", true, "serve /metrics and /debug/stats")
 	slowlog := flag.Duration("slowlog", 0, "log spans (commits, refreshes, requests) slower than this; 0 disables")
+	workers := flag.Int("maint-workers", 0, "per-view maintenance worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*addr, *data, *metrics, *slowlog); err != nil {
+	if err := run(*addr, *data, *metrics, *slowlog, *workers); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, data string, metrics bool, slowlog time.Duration) error {
+func run(addr, data string, metrics bool, slowlog time.Duration, workers int) error {
 	var db *mview.DB
 	if data != "" {
 		var err error
@@ -65,6 +70,7 @@ func run(addr, data string, metrics bool, slowlog time.Duration) error {
 		db = mview.Open()
 	}
 	defer db.Close()
+	db.SetMaintWorkers(workers)
 
 	var opts []httpapi.Option
 	var reg *obs.Registry
@@ -101,7 +107,8 @@ func run(addr, data string, metrics bool, slowlog time.Duration) error {
 			errc <- err
 		}
 	}()
-	log.Printf("mviewd listening on %s (data=%q metrics=%v slowlog=%v)", addr, data, metrics, slowlog)
+	log.Printf("mviewd listening on %s (data=%q metrics=%v slowlog=%v maint-workers=%d)",
+		addr, data, metrics, slowlog, db.MaintWorkers())
 
 	select {
 	case err := <-errc:

@@ -29,6 +29,11 @@ func NewSession() *Session {
 	return newSession(mview.Open())
 }
 
+// SetMaintWorkers forwards to mview.DB.SetMaintWorkers (the
+// -maint-workers flag of cmd/mviewcli; interactively, the "workers"
+// command).
+func (s *Session) SetMaintWorkers(n int) { s.db.SetMaintWorkers(n) }
+
 // NewDurableSession returns a session over a durable database rooted
 // at dir (created or recovered via its commit log and checkpoints).
 func NewDurableSession(dir string) (*Session, error) {
@@ -70,6 +75,7 @@ const Help = `commands:
   save <file> | load <file>                snapshot the database / restore one
   checkpoint                               durable mode: snapshot + truncate the commit log
   relations | views                        list catalog entries
+  workers [<n>]                            show or set the maintenance worker pool (0 = GOMAXPROCS)
   help                                     this text
   quit | exit                              leave`
 
@@ -128,6 +134,8 @@ func (s *Session) Exec(line string) (string, bool) {
 		out = strings.Join(s.db.Relations(), "\n")
 	case "views":
 		out = strings.Join(s.db.Views(), "\n")
+	case "workers":
+		out, err = s.workers(rest)
 	default:
 		err = fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -435,6 +443,21 @@ func (s *Session) refresh(rest string) (string, error) {
 		return "", err
 	}
 	return "refreshed " + rest, nil
+}
+
+// workers shows ("workers") or sets ("workers <n>") the maintenance
+// worker-pool size; 0 restores the GOMAXPROCS default.
+func (s *Session) workers(rest string) (string, error) {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return fmt.Sprintf("maintenance workers: %d", s.db.MaintWorkers()), nil
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return "", fmt.Errorf("workers wants a non-negative integer, got %q", rest)
+	}
+	s.db.SetMaintWorkers(n)
+	return fmt.Sprintf("maintenance workers: %d", s.db.MaintWorkers()), nil
 }
 
 // relevant parses "<view> <rel> (<v>, ...)".

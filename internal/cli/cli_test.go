@@ -310,3 +310,21 @@ func TestCaseInsensitiveKeywords(t *testing.T) {
 		t.Errorf("show = %q", out)
 	}
 }
+
+func TestWorkersCommand(t *testing.T) {
+	s := NewSession()
+	defer s.Close()
+	if out := run(t, s, "workers 3"); out != "maintenance workers: 3" {
+		t.Errorf("workers 3 = %q", out)
+	}
+	if out := run(t, s, "workers"); out != "maintenance workers: 3" {
+		t.Errorf("workers = %q", out)
+	}
+	// 0 restores the GOMAXPROCS default; just confirm it is accepted
+	// and reports a positive pool.
+	if out := run(t, s, "workers 0"); !strings.HasPrefix(out, "maintenance workers: ") {
+		t.Errorf("workers 0 = %q", out)
+	}
+	expectErr(t, s, "workers -1")
+	expectErr(t, s, "workers many")
+}

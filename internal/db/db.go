@@ -13,6 +13,7 @@ package db
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -201,6 +202,11 @@ type Engine struct {
 	// the commit hot path can check it without taking the engine lock;
 	// nil means instrumentation is off and costs one pointer load.
 	o atomic.Pointer[engineObs]
+	// maintWorkers bounds the worker pool that runs per-view
+	// maintenance concurrently (phase-1 delta computation and
+	// recompute staging at commit, deferred refreshes in RefreshAll).
+	// 0 means GOMAXPROCS. Guarded by mu.
+	maintWorkers int
 }
 
 // engineObs bundles the engine-wide metric handles, resolved once at
@@ -211,7 +217,17 @@ type engineObs struct {
 	tr            obs.Tracer
 	commits       *obs.Counter
 	commitSeconds *obs.Histogram
+	// workers gauges the maintenance worker-pool size; speedup records
+	// serialized-over-wall compute time whenever a commit fans two or
+	// more view computations out to the pool (1 = no overlap, k = the
+	// pool kept k computations in flight).
+	workers *obs.Gauge
+	speedup *obs.Histogram
 }
+
+// speedupBuckets spans the useful range of the parallel-speedup ratio
+// (obs.DefBuckets are latency buckets and stop at the wrong scale).
+var speedupBuckets = []float64{0.5, 0.75, 1, 1.5, 2, 3, 4, 6, 8, 12, 16}
 
 // viewObs holds one view's metric handles. All fields are created
 // eagerly except the per-decision refresh histograms, which are cached
@@ -226,6 +242,7 @@ type viewObs struct {
 	rows          *obs.Counter
 	joinSteps     *obs.Counter
 	notifications *obs.Counter
+	computeWait   *obs.Histogram
 }
 
 func newViewObs(reg *obs.Registry, view string) *viewObs {
@@ -246,6 +263,8 @@ func newViewObs(reg *obs.Registry, view string) *viewObs {
 			"Join steps executed by differential maintenance.", l),
 		notifications: reg.Counter("mview_subscriber_notifications_total",
 			"Subscriber callbacks fanned out after refreshes.", l),
+		computeWait: reg.Histogram("mview_view_compute_wait_seconds",
+			"Queue wait before a view's phase-1 delta computation starts on the maintenance worker pool.", nil, l),
 	}
 }
 
@@ -299,7 +318,13 @@ func (e *Engine) SetObs(reg *obs.Registry, tr obs.Tracer) {
 			"Transactions committed.", nil),
 		commitSeconds: reg.Histogram("mview_commit_seconds",
 			"End-to-end transaction commit latency (net effects, immediate view refresh, index upkeep).", nil, nil),
+		workers: reg.Gauge("mview_maint_workers",
+			"Size of the per-view maintenance worker pool.", nil),
+		speedup: reg.Histogram("mview_commit_parallel_speedup",
+			"Serialized-over-wall compute time of parallel phase-1 view maintenance (1 = no overlap).",
+			speedupBuckets, nil),
 	}
+	o.workers.Set(float64(e.poolSize()))
 	e.o.Store(o)
 	for _, name := range e.viewOrder {
 		st := e.views[name]
@@ -308,18 +333,107 @@ func (e *Engine) SetObs(reg *obs.Registry, tr obs.Tracer) {
 	}
 }
 
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithMaintWorkers bounds the maintenance worker pool at construction;
+// see SetMaintWorkers for the semantics.
+func WithMaintWorkers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.maintWorkers = n
+		}
+	}
+}
+
 // New returns an empty engine.
-func New() *Engine {
+func New(opts ...Option) *Engine {
 	db, err := schema.NewDatabase()
 	if err != nil {
 		panic(err) // unreachable: empty database scheme is valid
 	}
-	return &Engine{
+	e := &Engine{
 		scheme:  db,
 		base:    make(map[string]*relation.Relation),
 		views:   make(map[string]*viewState),
 		indexes: make(map[string]map[int]*relation.Index),
 	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// SetMaintWorkers bounds the worker pool that parallelizes per-view
+// maintenance: phase-1 delta computation and recompute staging inside
+// Execute, and deferred refreshes in RefreshAll. Each view's delta
+// depends only on the frozen pre-state and the transaction's net
+// updates, so independent views compute concurrently while the commit
+// lock holder waits on the pool. n <= 0 restores the default,
+// GOMAXPROCS. Values above GOMAXPROCS are honored as given: they
+// cannot speed up CPU-bound maintenance but let blocking per-view work
+// (tracing sinks, future IO) overlap.
+func (e *Engine) SetMaintWorkers(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	e.maintWorkers = n
+	if o := e.o.Load(); o != nil {
+		o.workers.Set(float64(e.poolSize()))
+	}
+}
+
+// MaintWorkers reports the effective maintenance worker-pool size.
+func (e *Engine) MaintWorkers() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.poolSize()
+}
+
+// poolSize resolves the configured pool size. Callers hold the engine
+// lock.
+func (e *Engine) poolSize() int {
+	if e.maintWorkers > 0 {
+		return e.maintWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachParallel runs fn(i) for every i in [0, n) on the maintenance
+// worker pool, returning when all calls have finished. With a single
+// worker or a single job it runs inline on the caller's goroutine.
+// Callers hold the engine lock for the whole call; fn must only read
+// engine state (the Maintainer concurrency contract) and write to its
+// own per-index result slot.
+func (e *Engine) forEachParallel(n int, fn func(int)) {
+	w := e.poolSize()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // provider adapts the engine's index map to diffeval.IndexProvider.
@@ -604,32 +718,27 @@ func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
 		touched[u.Rel] = true
 	}
 
-	// Phase 1: compute deltas for immediate differential views against
-	// the pre-state (nothing applied yet, so a failure leaves the
-	// engine untouched).
-	type refreshed struct {
-		st         *viewState
-		d          *diffeval.ViewDelta
-		vc         *relation.Counted // recompute result (PolicyRecompute)
-		decision   string            // metrics label; "" when obs is off
-		computeDur time.Duration     // phase-1 delta computation time
-	}
-	var work []refreshed
+	// Phase 1: classify the touched views, then compute the deltas of
+	// the immediate differential views against the pre-state. Each
+	// delta depends only on the frozen pre-state and the net updates
+	// (the Maintainer concurrency contract), so independent views fan
+	// out to the maintenance worker pool while the lock holder waits.
+	// Classification mutates nothing — deferred backlogs are staged,
+	// not installed — so a failure anywhere before phase 3b leaves the
+	// engine untouched.
+	var work []*refreshed
+	var diff []*refreshed // the differential subset, computed in parallel
 	for _, name := range e.viewOrder {
 		st := e.views[name]
 		if !e.viewTouched(st, touched) {
 			continue
 		}
-		st.stats.Transactions++
 		if st.cfg.Mode == Deferred {
-			if err := e.queuePending(st, updates); err != nil {
+			pend, err := e.stagePending(st, updates)
+			if err != nil {
 				return TxResult{}, nil, err
 			}
-			st.stats.PendingTx++
-			if st.vo != nil {
-				st.vo.pending.Set(float64(st.stats.PendingTx))
-			}
-			res.ViewsDeferred++
+			work = append(work, &refreshed{st: st, deferred: true, pend: pend})
 			continue
 		}
 		policy := st.cfg.Policy
@@ -638,68 +747,168 @@ func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
 		}
 		switch policy {
 		case PolicyRecompute:
-			// Recompute needs the post-state; defer to phase 3.
-			work = append(work, refreshed{st: st, decision: decisionLabel(st.cfg, PolicyRecompute)})
+			// Recompute needs the post-state; stage in phase 3.
+			work = append(work, &refreshed{st: st, decision: decisionLabel(st.cfg, PolicyRecompute)})
 		default:
-			var t0 time.Time
-			if st.vo != nil {
-				t0 = time.Now()
-			}
-			d, err := st.maint.ComputeDeltaWith(e.operandInstances(st.bound), updates, provider{e: e})
-			if err != nil {
-				return TxResult{}, nil, err
-			}
-			w := refreshed{st: st, d: d, decision: decisionLabel(st.cfg, PolicyDifferential)}
-			if st.vo != nil {
-				w.computeDur = time.Since(t0)
-			}
+			w := &refreshed{st: st, insts: e.operandInstances(st.bound),
+				decision: decisionLabel(st.cfg, PolicyDifferential)}
 			work = append(work, w)
+			diff = append(diff, w)
+		}
+	}
+	if len(diff) > 0 {
+		prov := provider{e: e}
+		submit := time.Now()
+		e.forEachParallel(len(diff), func(i int) {
+			w := diff[i]
+			start := time.Now()
+			w.wait = start.Sub(submit)
+			w.d, w.err = w.st.maint.ComputeDeltaWith(w.insts, updates, prov)
+			w.computeDur = time.Since(start)
+		})
+		for _, w := range diff {
+			if w.err != nil {
+				return TxResult{}, nil, w.err
+			}
+		}
+		if o := e.o.Load(); o != nil && len(diff) > 1 {
+			if wall := time.Since(submit); wall > 0 {
+				var sum time.Duration
+				for _, w := range diff {
+					sum += w.computeDur
+				}
+				o.speedup.Observe(sum.Seconds() / wall.Seconds())
+			}
 		}
 	}
 
 	// Phase 2: apply base updates (and keep the persistent indexes in
-	// step with the base relations).
+	// step with the base relations). Net effects are disjoint by
+	// construction (delta.Tx.Net), so forward application cannot fail
+	// on a consistent engine; the undo log makes the remaining error
+	// paths atomic — phase 3 rolls the bases back instead of returning
+	// a half-committed state.
+	applied := 0
+	rollback := func() {
+		for i := applied - 1; i >= 0; i-- {
+			inv := invertUpdate(updates[i])
+			_ = inv.Apply(e.base[inv.Rel]) // inverting a clean forward apply cannot fail
+			e.applyToIndexes(inv)
+		}
+	}
 	for _, u := range updates {
 		if err := u.Apply(e.base[u.Rel]); err != nil {
+			rollback()
 			return TxResult{}, nil, err
 		}
 		e.applyToIndexes(u)
+		applied++
 	}
 
-	// Phase 3: fold deltas into the immediate views (and recompute the
-	// full-re-evaluation views from the post-state), queueing
-	// subscriber notifications to fire after the lock is released.
+	// Phase 3a: stage. Recompute views materialize into shadow states
+	// from the post-state (read-only over the bases, so they too run on
+	// the worker pool), and every differential delta is validated
+	// against its view. Nothing is installed yet: on any failure the
+	// bases and indexes roll back and the commit returns with the
+	// engine exactly as it was.
+	var recs []*refreshed
+	for _, w := range work {
+		if !w.deferred && w.d == nil {
+			w.insts = e.operandInstances(w.st.bound)
+			recs = append(recs, w)
+		}
+	}
+	e.forEachParallel(len(recs), func(i int) {
+		w := recs[i]
+		start := time.Now()
+		w.vc, w.err = eval.Materialize(w.st.bound, w.insts, w.st.cfg.EvalOpt)
+		w.computeDur = time.Since(start)
+	})
+	for _, w := range work {
+		if w.err == nil && w.d != nil {
+			w.err = diffeval.Validate(w.st.data, w.d)
+		}
+		if w.err != nil {
+			rollback()
+			return TxResult{}, nil, w.err
+		}
+	}
+
+	// Phase 3b: install. Every delta validated and every recompute
+	// succeeded, so nothing below can fail: fold the deltas, swap the
+	// shadow states in, install the staged deferred backlogs, and
+	// queue subscriber notifications to fire after the lock is
+	// released.
 	var ns []notification
 	for _, w := range work {
 		name := w.st.name
+		w.st.stats.Transactions++
+		if w.deferred {
+			for rel, u := range w.pend {
+				w.st.pending[rel] = u
+			}
+			w.st.stats.PendingTx++
+			if w.st.vo != nil {
+				w.st.vo.pending.Set(float64(w.st.stats.PendingTx))
+			}
+			res.ViewsDeferred++
+			continue
+		}
 		var t0 time.Time
 		if w.st.vo != nil {
 			t0 = time.Now()
 		}
 		if w.d != nil {
 			if err := diffeval.Apply(w.st.data, w.d); err != nil {
-				return TxResult{}, nil, err
+				// Unreachable: phase 3a validated this delta and Apply
+				// re-validates before mutating, so the view is intact.
+				return TxResult{}, nil, fmt.Errorf("db: internal: staged delta failed to install on %q: %w", name, err)
 			}
 			w.st.noteDelta(w.d)
 			ns = append(ns, w.st.notifications(name, w.d.Inserts, w.d.Deletes)...)
 		} else {
-			vc, err := eval.Materialize(w.st.bound, e.operandInstances(w.st.bound), w.st.cfg.EvalOpt)
-			if err != nil {
-				return TxResult{}, nil, err
-			}
 			if len(w.st.subscribers) > 0 {
-				ins, del := countedDiff(w.st.data, vc)
+				ins, del := countedDiff(w.st.data, w.vc)
 				ns = append(ns, w.st.notifications(name, ins, del)...)
 			}
-			w.st.data = vc
+			w.st.data = w.vc
 			w.st.stats.Recomputes++
 		}
 		if w.st.vo != nil {
 			w.st.vo.refreshHist(w.decision).ObserveDuration(w.computeDur + time.Since(t0))
+			if w.d != nil {
+				w.st.vo.computeWait.ObserveDuration(w.wait)
+			}
 		}
 		res.ViewsRefreshed++
 	}
 	return res, ns, nil
+}
+
+// refreshed carries one touched view through the commit pipeline:
+// phase 1 fills d (differential) on the worker pool, phase 3a fills vc
+// (recompute shadow) and validates, phase 3b installs — including the
+// staged deferred backlogs, so a failed commit queues nothing.
+type refreshed struct {
+	st         *viewState
+	deferred   bool                    // backlog staging only; no computation
+	pend       map[string]delta.Update // staged composed backlog (deferred)
+	insts      []*relation.Relation    // operand instances for the computation
+	d          *diffeval.ViewDelta     // differential result
+	vc         *relation.Counted       // recompute shadow (PolicyRecompute)
+	err        error                   // compute/validate failure
+	decision   string                  // metrics label
+	computeDur time.Duration           // delta or recompute computation time
+	wait       time.Duration           // queue wait before compute started
+}
+
+// invertUpdate returns the net update that undoes u: the tuples u
+// inserted are deleted and vice versa. Because net effects are
+// disjoint from the pre-state (delta.Tx.Net), applying the inverse
+// right after a successful forward apply restores the relation
+// exactly.
+func invertUpdate(u delta.Update) delta.Update {
+	return delta.Update{Rel: u.Rel, Inserts: u.Deletes, Deletes: u.Inserts}
 }
 
 func (st *viewState) noteDelta(d *diffeval.ViewDelta) {
@@ -729,7 +938,16 @@ func (e *Engine) chooseAdaptive(st *viewState, updates []delta.Update) Policy {
 		threshold = DefaultAdaptiveThreshold
 	}
 	deltaSize, baseSize := 0, 0
+	counted := make(map[string]bool, len(st.bound.Operands))
 	for _, op := range st.bound.Operands {
+		// A self-join references the same relation through several
+		// operands; the cost model counts each touched relation once —
+		// per-occurrence summing would inflate the ratio and flip to
+		// recompute below the configured threshold.
+		if counted[op.Rel] {
+			continue
+		}
+		counted[op.Rel] = true
 		baseSize += e.base[op.Rel].Len()
 		for _, u := range updates {
 			if u.Rel == op.Rel {
@@ -753,25 +971,28 @@ func (e *Engine) viewTouched(st *viewState, touched map[string]bool) bool {
 	return false
 }
 
-// queuePending composes the transaction's updates into the view's
-// pending set. Callers hold the engine lock.
-func (e *Engine) queuePending(st *viewState, updates []delta.Update) error {
+// stagePending composes the transaction's updates with the view's
+// pending backlog WITHOUT installing them: the caller installs the
+// returned entries only once the whole commit is known to succeed, so
+// a failed commit queues nothing. Callers hold the engine lock.
+func (e *Engine) stagePending(st *viewState, updates []delta.Update) (map[string]delta.Update, error) {
+	out := make(map[string]delta.Update)
 	for _, u := range updates {
 		if !e.relUsedBy(st, u.Rel) {
 			continue
 		}
 		prev, ok := st.pending[u.Rel]
 		if !ok {
-			st.pending[u.Rel] = cloneUpdate(u)
+			out[u.Rel] = cloneUpdate(u)
 			continue
 		}
 		comp, err := delta.Compose(prev, u)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		st.pending[u.Rel] = comp
+		out[u.Rel] = comp
 	}
-	return nil
+	return out, nil
 }
 
 func (e *Engine) relUsedBy(st *viewState, rel string) bool {
@@ -821,12 +1042,38 @@ func (e *Engine) refreshLocked(name string) ([]notification, error) {
 	if !ok {
 		return nil, fmt.Errorf("db: unknown view %q", name)
 	}
+	j, err := e.buildRefreshJob(st)
+	if err != nil || j == nil {
+		return nil, err
+	}
+	j.run()
+	return e.installRefreshJob(j)
+}
+
+// refreshJob carries one deferred view's refresh through the
+// build/compute/install steps shared by RefreshView and RefreshAll.
+type refreshJob struct {
+	st      *viewState
+	policy  Policy               // resolved policy (adaptive already decided)
+	insts   []*relation.Relation // operand instances; reconstructed pre-state for differential
+	updates []delta.Update       // composed pending net updates (differential)
+	t0      time.Time            // set iff st.vo != nil
+	d       *diffeval.ViewDelta
+	vc      *relation.Counted
+	err     error
+}
+
+// buildRefreshJob resolves the refresh policy and reconstructs the
+// pre-refresh operand state (B0 = B_now − I ∪ D) for one deferred
+// view. It returns (nil, nil) when the view has no pending updates.
+// Callers hold the engine lock.
+func (e *Engine) buildRefreshJob(st *viewState) (*refreshJob, error) {
 	if len(st.pending) == 0 {
 		return nil, nil
 	}
-	var t0 time.Time
+	j := &refreshJob{st: st}
 	if st.vo != nil {
-		t0 = time.Now()
+		j.t0 = time.Now()
 	}
 	policy := st.cfg.Policy
 	if policy == PolicyAdaptive {
@@ -836,29 +1083,12 @@ func (e *Engine) refreshLocked(name string) ([]notification, error) {
 		}
 		policy = e.chooseAdaptive(st, pend)
 	}
+	j.policy = policy
 	if policy == PolicyRecompute {
-		vc, err := eval.Materialize(st.bound, e.operandInstances(st.bound), st.cfg.EvalOpt)
-		if err != nil {
-			return nil, err
-		}
-		var ns []notification
-		if len(st.subscribers) > 0 {
-			ins, del := countedDiff(st.data, vc)
-			ns = st.notifications(name, ins, del)
-		}
-		st.data = vc
-		st.stats.Recomputes++
-		st.pending = make(map[string]delta.Update)
-		st.stats.PendingTx = 0
-		if st.vo != nil {
-			st.vo.pending.Set(0)
-			st.vo.refreshHist(decisionLabel(st.cfg, PolicyRecompute)).ObserveDuration(time.Since(t0))
-		}
-		return ns, nil
+		j.insts = e.operandInstances(st.bound)
+		return j, nil
 	}
-
-	// Reconstruct the pre-refresh state of each touched operand:
-	// B0 = B_now − I ∪ D.
+	// Reconstruct the pre-refresh state of each touched operand.
 	insts := make([]*relation.Relation, len(st.bound.Operands))
 	var updates []delta.Update
 	seen := make(map[string]bool)
@@ -889,43 +1119,113 @@ func (e *Engine) refreshLocked(name string) ([]notification, error) {
 			updates = append(updates, u)
 		}
 	}
+	j.insts, j.updates = insts, updates
+	return j, nil
+}
+
+// run computes the refresh result. It only reads engine state (the
+// reconstructed instances are private clones), so jobs for distinct
+// views may run concurrently on the worker pool while the lock holder
+// waits — the engine must not be mutated during the call.
+func (j *refreshJob) run() {
+	if j.policy == PolicyRecompute {
+		j.vc, j.err = eval.Materialize(j.st.bound, j.insts, j.st.cfg.EvalOpt)
+		return
+	}
 	// No index provider here: the persistent indexes reflect the
 	// CURRENT base state, while this delta is computed against the
 	// reconstructed pre-refresh state.
-	d, err := st.maint.ComputeDelta(insts, updates)
-	if err != nil {
+	j.d, j.err = j.st.maint.ComputeDelta(j.insts, j.updates)
+}
+
+// installRefreshJob folds a computed refresh into the view and clears
+// its backlog; on error the view and its backlog are untouched
+// (diffeval.Apply validates before mutating). Callers hold the engine
+// lock.
+func (e *Engine) installRefreshJob(j *refreshJob) ([]notification, error) {
+	st := j.st
+	if j.err != nil {
+		return nil, j.err
+	}
+	if j.policy == PolicyRecompute {
+		var ns []notification
+		if len(st.subscribers) > 0 {
+			ins, del := countedDiff(st.data, j.vc)
+			ns = st.notifications(st.name, ins, del)
+		}
+		st.data = j.vc
+		st.stats.Recomputes++
+		st.pending = make(map[string]delta.Update)
+		st.stats.PendingTx = 0
+		if st.vo != nil {
+			st.vo.pending.Set(0)
+			st.vo.refreshHist(decisionLabel(st.cfg, PolicyRecompute)).ObserveDuration(time.Since(j.t0))
+		}
+		return ns, nil
+	}
+	if err := diffeval.Apply(st.data, j.d); err != nil {
 		return nil, err
 	}
-	if err := diffeval.Apply(st.data, d); err != nil {
-		return nil, err
-	}
-	st.noteDelta(d)
+	st.noteDelta(j.d)
 	st.pending = make(map[string]delta.Update)
 	st.stats.PendingTx = 0
 	if st.vo != nil {
 		st.vo.pending.Set(0)
-		st.vo.refreshHist(decisionLabel(st.cfg, PolicyDifferential)).ObserveDuration(time.Since(t0))
+		st.vo.refreshHist(decisionLabel(st.cfg, PolicyDifferential)).ObserveDuration(time.Since(j.t0))
 	}
-	return st.notifications(name, d.Inserts, d.Deletes), nil
+	return st.notifications(st.name, j.d.Inserts, j.d.Deletes), nil
 }
 
-// RefreshAll refreshes every deferred view, in name order.
+// RefreshAll refreshes every deferred view with pending changes under
+// a single lock acquisition, fanning the per-view computations out to
+// the maintenance worker pool: each job reconstructs its own
+// pre-refresh operand state and only reads the engine, so independent
+// views refresh concurrently. Results install in name order; the
+// first error is returned after the remaining successful views have
+// installed (a failed view keeps its backlog and can be retried).
 func (e *Engine) RefreshAll() error {
-	for _, name := range e.sortedViewNames() {
-		if err := e.RefreshView(name); err != nil {
-			return err
-		}
+	var span obs.Span
+	if o := e.o.Load(); o != nil && o.tr != nil {
+		span = o.tr.Start("db.refresh_all")
 	}
-	return nil
+	ns, err := e.refreshAllLocked()
+	if span != nil {
+		span.End(obs.KV{K: "err", V: err != nil})
+	}
+	fire(ns)
+	return err
 }
 
-func (e *Engine) sortedViewNames() []string {
-	e.mu.RLock()
+func (e *Engine) refreshAllLocked() ([]notification, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	names := make([]string, len(e.viewOrder))
 	copy(names, e.viewOrder)
-	e.mu.RUnlock()
 	sort.Strings(names)
-	return names
+	var jobs []*refreshJob
+	for _, name := range names {
+		j, err := e.buildRefreshJob(e.views[name])
+		if err != nil {
+			return nil, err
+		}
+		if j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	e.forEachParallel(len(jobs), func(i int) { jobs[i].run() })
+	var ns []notification
+	var firstErr error
+	for _, j := range jobs {
+		n, err := e.installRefreshJob(j)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ns = append(ns, n...)
+	}
+	return ns, firstErr
 }
 
 // Relevant applies Theorem 4.1: it reports whether inserting or
@@ -1088,8 +1388,11 @@ func (e *Engine) Unsubscribe(view string, id int) error {
 
 // RefreshPeriodically refreshes a deferred view on a fixed interval
 // until the returned stop function is called — §6's "materialized
-// views are updated periodically" regime. Refresh errors terminate the
-// loop and are reported through the optional onErr callback.
+// views are updated periodically" regime. Refresh errors are reported
+// through the optional onErr callback and do NOT terminate the loop:
+// a transient failure (the view dropped and re-created, a delta that
+// does not fold) must not silently end periodic refresh forever. Only
+// stop() ends the ticker.
 func (e *Engine) RefreshPeriodically(name string, interval time.Duration, onErr func(error)) (stop func(), err error) {
 	e.mu.RLock()
 	_, ok := e.views[name]
@@ -1110,11 +1413,8 @@ func (e *Engine) RefreshPeriodically(name string, interval time.Duration, onErr 
 			case <-done:
 				return
 			case <-ticker.C:
-				if err := e.RefreshView(name); err != nil {
-					if onErr != nil {
-						onErr(err)
-					}
-					return
+				if err := e.RefreshView(name); err != nil && onErr != nil {
+					onErr(err)
 				}
 			}
 		}

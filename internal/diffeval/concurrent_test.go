@@ -1,0 +1,140 @@
+package diffeval
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mview/internal/delta"
+	"mview/internal/eval"
+	"mview/internal/relation"
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+// TestMaintainerConcurrentComputeDelta exercises the Maintainer
+// concurrency contract the engine's parallel pipeline relies on: all
+// per-call state lives on the call stack, so concurrent ComputeDelta
+// calls on ONE maintainer over frozen instances must be race-free
+// (run with -race) and give identical results. Filter is on so the
+// shared irrelevance checkers (atomic stats) are exercised too.
+func TestMaintainerConcurrentComputeDelta(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S")
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"),
+		tuple.New(1, 2), tuple.New(3, 5), tuple.New(4, 2))
+	s := relation.MustFromTuples(schema.MustScheme("B", "C"),
+		tuple.New(2, 10), tuple.New(5, 20))
+	insts := []*relation.Relation{r, s}
+	ups := []delta.Update{{
+		Rel:     "R",
+		Inserts: relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(7, 5), tuple.New(8, 99)),
+		Deletes: relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2)),
+	}}
+
+	m, err := NewMaintainer(b, Options{Filter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.ComputeDelta(insts, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, iters = 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				d, err := m.ComputeDelta(insts, ups)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !d.Inserts.Equal(ref.Inserts) || !d.Deletes.Equal(ref.Deletes) {
+					t.Errorf("concurrent delta diverged: %v/%v vs %v/%v",
+						d.Inserts, d.Deletes, ref.Inserts, ref.Deletes)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateAndAtomicApply pins down the staged-commit contract:
+// Validate predicts exactly whether a delta folds, and a failing Apply
+// leaves the view untouched.
+func TestValidateAndAtomicApply(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S")
+	r := relation.MustFromTuples(schema.MustScheme("A", "B"), tuple.New(1, 2))
+	s := relation.MustFromTuples(schema.MustScheme("B", "C"), tuple.New(2, 10))
+	view, err := eval.Materialize(b, []*relation.Relation{r, s}, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := view.Scheme()
+
+	mk := func(ins, del []tuple.Tuple) *ViewDelta {
+		d := &ViewDelta{Inserts: relation.NewCounted(out), Deletes: relation.NewCounted(out)}
+		for _, t := range ins {
+			_ = d.Inserts.Add(t, 1)
+		}
+		for _, t := range del {
+			_ = d.Deletes.Add(t, 1)
+		}
+		return d
+	}
+
+	// A delta matching the view state validates and applies.
+	ok := mk([]tuple.Tuple{tuple.New(9, 9, 9)}, []tuple.Tuple{tuple.New(1, 2, 10)})
+	if err := Validate(view, ok); err != nil {
+		t.Fatalf("Validate(ok) = %v", err)
+	}
+	// An insert in the same delta funds a delete of the same tuple.
+	funded := mk([]tuple.Tuple{tuple.New(5, 5, 5)}, []tuple.Tuple{tuple.New(5, 5, 5)})
+	if err := Validate(view, funded); err != nil {
+		t.Fatalf("Validate(insert-funded delete) = %v", err)
+	}
+
+	// Deleting a derivation the view does not hold must fail — and
+	// leave the view unchanged even though the delta also has inserts.
+	bad := mk([]tuple.Tuple{tuple.New(9, 9, 9)}, []tuple.Tuple{tuple.New(404, 0, 0)})
+	if err := Validate(view, bad); err == nil {
+		t.Fatal("Validate(bad) = nil, want error")
+	}
+	before := view.Clone()
+	if err := Apply(view, bad); err == nil {
+		t.Fatal("Apply(bad) = nil, want error")
+	} else if !strings.Contains(err.Error(), "derivations") {
+		t.Errorf("Apply(bad) error = %v", err)
+	}
+	if !view.Equal(before) {
+		t.Errorf("failed Apply mutated the view: %v vs %v", view, before)
+	}
+
+	// Scheme mismatch is caught before any fold.
+	wrong := &ViewDelta{
+		Inserts: relation.NewCounted(schema.MustScheme("X")),
+		Deletes: relation.NewCounted(schema.MustScheme("X")),
+	}
+	if err := Validate(view, wrong); err == nil {
+		t.Fatal("Validate(wrong scheme) = nil, want error")
+	}
+
+	// The good delta still applies after the failures.
+	if err := Apply(view, ok); err != nil {
+		t.Fatal(err)
+	}
+	if view.Has(tuple.New(1, 2, 10)) || !view.Has(tuple.New(9, 9, 9)) {
+		t.Errorf("view after good apply = %v", view)
+	}
+}

@@ -112,6 +112,19 @@ type ViewDelta struct {
 }
 
 // Maintainer differentially maintains one bound view.
+//
+// Concurrency: after NewMaintainer returns, a Maintainer holds no
+// mutable state of its own — plans, conjunct info, and irrelevance
+// checkers are immutable (checker stats are atomic), and every
+// ComputeDelta/ComputeDeltaWith call builds its scratch state (the
+// per-operand slots) on the call stack. Concurrent ComputeDelta calls
+// on one Maintainer are therefore safe provided (a) Tracer is set
+// before the first concurrent use and is itself concurrency-safe (the
+// obs.Tracer contract), and (b) the operand instances and index
+// provider passed in are not mutated during the call. The engine's
+// parallel commit pipeline and RefreshAll rely on exactly this: the
+// lock holder freezes the database state, fans per-view computations
+// out to workers, and mutates nothing until all of them return.
 type Maintainer struct {
 	bound    *expr.Bound
 	opts     Options
@@ -467,11 +480,41 @@ func (m *Maintainer) runRows(sl []*slot, out *relation.Tagged, stats *Stats, gre
 	return nil
 }
 
+// Validate reports whether Apply(view, d) would succeed, without
+// mutating the view. A delta folds cleanly iff the schemes line up and
+// every deleted derivation is covered by the view's current counter
+// plus the delta's own inserts (Merge runs before Subtract, so inserts
+// may fund deletes of the same tuple). An error indicates the delta
+// was computed against a different view state — the §5.2 counters
+// would go negative.
+func Validate(view *relation.Counted, d *ViewDelta) error {
+	if !view.Scheme().Equal(d.Inserts.Scheme()) || !view.Scheme().Equal(d.Deletes.Scheme()) {
+		return fmt.Errorf("diffeval: delta schemes (%s ⊎ / %s ⊖) do not match view scheme %s",
+			d.Inserts.Scheme(), d.Deletes.Scheme(), view.Scheme())
+	}
+	var err error
+	d.Deletes.Each(func(t tuple.Tuple, n int64) {
+		if err != nil {
+			return
+		}
+		if avail := view.Count(t) + d.Inserts.Count(t); avail < n {
+			err = fmt.Errorf("diffeval: delta deletes %d × %v but only %d derivations exist", n, t, avail)
+		}
+	})
+	return err
+}
+
 // Apply folds a computed delta into the stored view:
-// v' = v ⊎ inserts ⊖ deletes. An error indicates the delta does not
-// match the view state (for example, deleting a derivation the view
-// does not hold).
+// v' = v ⊎ inserts ⊖ deletes. The delta is validated first (see
+// Validate), so on error the view is unchanged — Apply is atomic per
+// view. An error indicates the delta does not match the view state
+// (for example, deleting a derivation the view does not hold).
 func Apply(view *relation.Counted, d *ViewDelta) error {
+	if err := Validate(view, d); err != nil {
+		return err
+	}
+	// Validate proved both folds succeed: schemes match and no counter
+	// can go negative.
 	if err := view.Merge(d.Inserts); err != nil {
 		return err
 	}

@@ -72,6 +72,74 @@ func TestWatchStreamsChanges(t *testing.T) {
 	}
 }
 
+// TestWatchSlowConsumerDropsEvents: a watcher that stays connected but
+// stops reading must not stall commits — events past the stream buffer
+// are dropped, and the stream keeps working once the consumer resumes.
+func TestWatchSlowConsumerDropsEvents(t *testing.T) {
+	db := mview.Open()
+	if err := db.CreateRelation("r", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("v", mview.ViewSpec{From: []string{"r"}}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewWith(db))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/views/v/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	reader := bufio.NewReader(resp.Body)
+	if line, err := reader.ReadString('\n'); err != nil || !strings.HasPrefix(line, "event: ready") {
+		t.Fatalf("handshake = %q, %v", line, err)
+	}
+
+	// The consumer now reads nothing. Push far more events than the
+	// watch buffer (16) holds; every commit must complete promptly.
+	const commits = 200
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < commits; i++ {
+			if _, err := db.Exec(mview.Insert("r", int64(i))); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("commits stalled behind a slow watch consumer")
+	}
+
+	// Resuming the read still yields events (the buffered head of the
+	// stream); the dropped middle is the documented trade-off.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("no event readable after consumer resumed")
+		default:
+		}
+		line, err := reader.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream read after resume: %v", err)
+		}
+		if strings.HasPrefix(line, "data: {\"View\"") {
+			if !strings.Contains(line, `"View":"v"`) {
+				t.Fatalf("unexpected event %q", line)
+			}
+			return
+		}
+	}
+}
+
 func TestWatchUnknownView(t *testing.T) {
 	srv := httptest.NewServer(New())
 	defer srv.Close()

@@ -19,6 +19,7 @@ package irrelevance
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mview/internal/delta"
 	"mview/internal/expr"
@@ -50,6 +51,12 @@ type preparedConj struct {
 
 // Checker decides relevance of single-tuple updates against one
 // operand of a bound view.
+//
+// After NewChecker returns, the prepared state is immutable; the only
+// mutation Relevant and the Filter* methods perform is on the atomic
+// stats counters, so a Checker is safe for concurrent use. The engine
+// relies on this when maintenance of independent views runs on a
+// worker pool.
 type Checker struct {
 	bound *expr.Bound
 	opIdx int
@@ -60,8 +67,9 @@ type Checker struct {
 	// the decidable class; every update is then reported relevant.
 	conservative bool
 
-	// stats
-	tested, irrelevant int
+	// stats (atomic: Relevant may be called from concurrent
+	// maintenance workers)
+	tested, irrelevant atomic.Int64
 }
 
 // NewChecker prepares an irrelevance checker for updates to operand
@@ -113,7 +121,7 @@ func (c *Checker) Conservative() bool { return c.conservative }
 // view in any database state. The same test covers insertions and
 // deletions (§4).
 func (c *Checker) Relevant(t tuple.Tuple) (bool, error) {
-	c.tested++
+	c.tested.Add(1)
 	if c.conservative {
 		return true, nil
 	}
@@ -132,7 +140,7 @@ func (c *Checker) Relevant(t tuple.Tuple) (bool, error) {
 			return true, nil
 		}
 	}
-	c.irrelevant++
+	c.irrelevant.Add(1)
 	return false, nil
 }
 
@@ -284,7 +292,7 @@ func (c *Checker) FilterUpdate(u delta.Update) (delta.Update, error) {
 // Stats reports how many tuples were tested and how many were proven
 // irrelevant since the checker was created.
 func (c *Checker) Stats() (tested, irrelevant int) {
-	return c.tested, c.irrelevant
+	return int(c.tested.Load()), int(c.irrelevant.Load())
 }
 
 // SetRelevant applies Theorem 4.2: given one tuple per distinct

@@ -122,6 +122,69 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 }
 
+// TestTornTailAtEveryOffset simulates a crash at every possible point
+// during the last append: the file is truncated to each length between
+// the end of the second record and the end of the third (mid-header,
+// mid-payload, and mid-CRC tears). Recovery must always stop at the
+// last intact record, and a reopened log must continue with the torn
+// record's LSN.
+func TestTornTailAtEveryOffset(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Sync = false
+	for i, p := range [][]byte{[]byte("aaaa"), []byte("bb"), []byte("cccccccc")} {
+		if _, err := l.Append(uint8(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End of record 2: two records of headerLen + payload + CRC.
+	validEnd := 2*(headerLen+crcLen) + len("aaaa") + len("bb")
+	if len(full) <= validEnd {
+		t.Fatalf("file too short: %d <= %d", len(full), validEnd)
+	}
+	for cut := validEnd + 1; cut < len(full); cut++ {
+		torn := filepath.Join(t.TempDir(), "torn.log")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs := collect(t, torn, 0)
+		if len(recs) != 2 || recs[1].LSN != 2 {
+			t.Fatalf("cut=%d: replay = %+v, want records 1-2", cut, recs)
+		}
+		// Reopen discards the tear and reuses the torn record's LSN.
+		l2, err := Open(torn)
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		l2.Sync = false
+		lsn, err := l2.Append(9, []byte("replacement"))
+		if err != nil {
+			t.Fatalf("cut=%d: append: %v", cut, err)
+		}
+		if lsn != 3 {
+			t.Fatalf("cut=%d: post-tear lsn = %d, want 3", cut, lsn)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		recs = collect(t, torn, 0)
+		if len(recs) != 3 || recs[2].LSN != 3 || recs[2].Kind != 9 ||
+			!bytes.Equal(recs[2].Payload, []byte("replacement")) {
+			t.Fatalf("cut=%d: replay after repair = %+v", cut, recs)
+		}
+	}
+}
+
 func TestCorruptChecksumStopsReplay(t *testing.T) {
 	path := tempLog(t)
 	l, _ := Open(path)

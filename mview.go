@@ -72,6 +72,16 @@ func Open() *DB {
 	return &DB{eng: db.New()}
 }
 
+// SetMaintWorkers bounds the worker pool that parallelizes per-view
+// maintenance inside each commit and RefreshAll. n <= 0 restores the
+// default, GOMAXPROCS. Independent views compute their deltas
+// concurrently while the commit holds the engine lock, so multi-view
+// catalogs stop paying single-core commit latency.
+func (d *DB) SetMaintWorkers(n int) { d.eng.SetMaintWorkers(n) }
+
+// MaintWorkers reports the effective maintenance worker-pool size.
+func (d *DB) MaintWorkers() int { return d.eng.MaintWorkers() }
+
 // CreateRelation adds a base relation with the named attributes.
 func (d *DB) CreateRelation(name string, attrs ...string) error {
 	defer d.lockIfDurable()()
