@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench lint clean
+.PHONY: all build test race bench crash lint clean
 
 all: lint build test
 
@@ -20,6 +20,11 @@ race:
 BENCH ?= .
 bench:
 	$(GO) test -run=NONE -bench=$(BENCH) -benchmem .
+
+# Checkpoint fault injection: kill the checkpoint at every step and
+# prove recovery loses no committed transaction (durable_crash_test.go).
+crash:
+	$(GO) test -race -count=1 -run 'CheckpointCrash|CheckpointFault' -v .
 
 lint:
 	$(GO) vet ./...

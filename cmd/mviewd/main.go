@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	mviewd [-addr :8080] [-data ./mydb] [-metrics=true] [-slowlog 100ms] [-maint-workers N]
+//	mviewd [-addr :8080] [-data ./mydb] [-metrics=true] [-slowlog 100ms] [-maint-workers N] [-checkpoint-interval 5m]
 //
 // See package mview/internal/httpapi for the endpoint reference. A
 // minimal session:
@@ -23,6 +23,10 @@
 // maintenance concurrently inside each commit (0 = GOMAXPROCS, the
 // default).
 //
+// -checkpoint-interval makes a durable server checkpoint periodically
+// (snapshot + commit-log truncate), bounding recovery replay time. It
+// requires -data; 0 (the default) leaves checkpointing to the operator.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests get a grace period, SSE watchers are disconnected, and the
 // commit log is closed so every acknowledged transaction is on disk.
@@ -37,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -51,14 +56,15 @@ func main() {
 	metrics := flag.Bool("metrics", true, "serve /metrics and /debug/stats")
 	slowlog := flag.Duration("slowlog", 0, "log spans (commits, refreshes, requests) slower than this; 0 disables")
 	workers := flag.Int("maint-workers", 0, "per-view maintenance worker pool size (0 = GOMAXPROCS)")
+	ckptEvery := flag.Duration("checkpoint-interval", 0, "checkpoint a durable database this often (0 disables; requires -data)")
 	flag.Parse()
 
-	if err := run(*addr, *data, *metrics, *slowlog, *workers); err != nil {
+	if err := run(*addr, *data, *metrics, *slowlog, *workers, *ckptEvery); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, data string, metrics bool, slowlog time.Duration, workers int) error {
+func run(addr, data string, metrics bool, slowlog time.Duration, workers int, ckptEvery time.Duration) error {
 	var db *mview.DB
 	if data != "" {
 		var err error
@@ -95,6 +101,32 @@ func run(addr, data string, metrics bool, slowlog time.Duration, workers int) er
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Periodic checkpointing bounds commit-log growth and recovery
+	// replay. The goroutine is joined before db.Close so a checkpoint
+	// never races the log teardown.
+	var ckptWG sync.WaitGroup
+	if ckptEvery > 0 {
+		if data == "" {
+			return errors.New("mviewd: -checkpoint-interval requires -data")
+		}
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			tick := time.NewTicker(ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := db.Checkpoint(); err != nil {
+						log.Printf("mviewd: checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,
@@ -122,6 +154,7 @@ func run(addr, data string, metrics bool, slowlog time.Duration, workers int) er
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("mviewd: shutdown: %v", err)
 	}
+	ckptWG.Wait()
 	if err := db.Close(); err != nil {
 		return err
 	}

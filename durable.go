@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -56,6 +57,12 @@ type walStmt struct {
 // the commit log.
 func OpenDurable(dir string) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// A crash mid-checkpoint can leave a half-written snapshot tmp
+	// behind. It was never renamed into place, so it holds nothing
+	// durable; remove it rather than leak one per crash.
+	if err := os.Remove(filepath.Join(dir, snapshotFile+".tmp")); err != nil && !os.IsNotExist(err) {
 		return nil, err
 	}
 	snapPath := filepath.Join(dir, snapshotFile)
@@ -194,9 +201,51 @@ func (d *DB) logStmt(st walStmt) error {
 	return err
 }
 
+// checkpointHook, when non-nil, runs between checkpoint steps so
+// tests can inject faults. Steps, in order: "write-tmp" (tmp file
+// written, synced, and closed; before rename), "rename" (snapshot
+// renamed into place; before the directory fsync), "dirsync"
+// (directory entry durable; before the log truncate). Returning
+// errSimulatedCrash aborts with no cleanup — the process died at that
+// instant — while any other error takes the normal cleanup path.
+var checkpointHook func(step string) error
+
+// errSimulatedCrash marks a fault-injection abort (see checkpointHook).
+var errSimulatedCrash = errors.New("mview: simulated crash")
+
+func hookStep(step string) error {
+	if checkpointHook == nil {
+		return nil
+	}
+	return checkpointHook(step)
+}
+
+// syncDir fsyncs a directory so a preceding rename's new entry is on
+// disk before anything that depends on it.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // Checkpoint writes a snapshot of the full database state and
 // truncates the commit log. It returns an error on in-memory
 // databases.
+//
+// Crash safety: the snapshot is written to a tmp file, fsynced,
+// renamed over the previous snapshot, and the directory entry is
+// fsynced — only then is the log truncated. A crash at any point
+// leaves either the old snapshot with the full log or the new
+// snapshot (log content then redundant), so replay always recovers
+// every committed transaction. Truncating before the directory fsync
+// would let a power loss surface the old snapshot next to an
+// already-empty log, silently dropping commits.
 func (d *DB) Checkpoint() error {
 	if d.wal == nil {
 		return fmt.Errorf("mview: Checkpoint on an in-memory database (use OpenDurable)")
@@ -206,13 +255,39 @@ func (d *DB) Checkpoint() error {
 	if d.reg != nil {
 		defer func(t0 time.Time) {
 			d.reg.Histogram("mview_checkpoint_seconds",
-				"Checkpoint duration: snapshot write, fsync, rename, log truncate.", nil, nil).
+				"Checkpoint duration: snapshot write, fsync, rename, directory fsync, log truncate.", nil, nil).
 				ObserveDuration(time.Since(t0))
 		}(time.Now())
 	}
 	lsn := d.wal.LastLSN()
 
 	tmp := filepath.Join(d.dir, snapshotFile+".tmp")
+	if err := d.writeSnapshotTmp(tmp, lsn); err != nil {
+		if !errors.Is(err, errSimulatedCrash) {
+			os.Remove(tmp) // don't leak a half-written tmp on error
+		}
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, snapshotFile)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := hookStep("rename"); err != nil {
+		return err
+	}
+	if err := syncDir(d.dir); err != nil {
+		return err
+	}
+	if err := hookStep("dirsync"); err != nil {
+		return err
+	}
+	// Safe even if we crash before this: replay skips LSNs ≤ the
+	// snapshot's.
+	return d.wal.Truncate()
+}
+
+// writeSnapshotTmp writes and fsyncs the checkpoint snapshot to tmp.
+func (d *DB) writeSnapshotTmp(tmp string, lsn uint64) error {
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
@@ -238,12 +313,7 @@ func (d *DB) Checkpoint() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(d.dir, snapshotFile)); err != nil {
-		return err
-	}
-	// Safe even if we crash before this: replay skips LSNs ≤ the
-	// snapshot's.
-	return d.wal.Truncate()
+	return hookStep("write-tmp")
 }
 
 // SetLogSync controls whether each logged statement is fsynced before

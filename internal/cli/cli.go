@@ -67,6 +67,8 @@ const Help = `commands:
   update <rel> (<old>, ...) to (<new>, ...)  modify a tuple in place
   begin | commit | abort                   group updates into one transaction
   show <name>                              print a relation or view
+  select <attrs|*> from <rel>, ... [where <condition>]
+                                           one-shot query over the current snapshot
   schema <view>                            print a view's output attributes
   stats [<view>]                           maintenance statistics (bare: all engine metrics)
   explain <view>                           describe definition and maintenance plan
@@ -112,6 +114,8 @@ func (s *Session) Exec(line string) (string, bool) {
 		err = s.abort()
 	case "show":
 		out, err = s.show(rest)
+	case "select":
+		out, err = s.query(rest)
 	case "schema":
 		out, err = s.schema(rest)
 	case "stats":
@@ -406,6 +410,40 @@ func (s *Session) show(name string) (string, error) {
 	fmt.Fprintf(&sb, "%s:\n", name)
 	for _, r := range rows {
 		fmt.Fprintf(&sb, "  %v\n", r)
+	}
+	fmt.Fprintf(&sb, "%d row(s)", len(rows))
+	return sb.String(), nil
+}
+
+// query runs a one-shot ad-hoc query against the current read
+// snapshot: "select <attrs|*> from <rel>, ... [where <condition>]".
+// Nothing is materialized or registered in the catalog.
+func (s *Session) query(rest string) (string, error) {
+	lower := strings.ToLower(rest)
+	fromPos := indexWord(lower, "from")
+	if fromPos < 0 {
+		return "", fmt.Errorf("expected <attrs|*> from <relations> [where <condition>]")
+	}
+	attrs := strings.TrimSpace(rest[:fromPos])
+	tail := rest[fromPos+len("from"):]
+	wherePos := indexWord(strings.ToLower(tail), "where")
+	from := tail
+	var where string
+	if wherePos >= 0 {
+		where = strings.TrimSpace(tail[wherePos+len("where"):])
+		from = tail[:wherePos]
+	}
+	spec := mview.ViewSpec{From: splitList(from), Where: where}
+	if attrs != "" && attrs != "*" {
+		spec.Select = splitList(attrs)
+	}
+	rows, err := s.db.Query(spec)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %v ×%d\n", r.Values, r.Count)
 	}
 	fmt.Fprintf(&sb, "%d row(s)", len(rows))
 	return sb.String(), nil

@@ -328,3 +328,29 @@ func TestWorkersCommand(t *testing.T) {
 	expectErr(t, s, "workers -1")
 	expectErr(t, s, "workers many")
 }
+
+func TestSelectCommand(t *testing.T) {
+	s := NewSession()
+	run(t, s,
+		"create relation r(A, B)",
+		"create relation s(C, D)",
+		"insert r (1, 5)",
+		"insert r (9, 5)",
+		"insert s (5, 20)",
+	)
+	out := run(t, s, "select A, D from r, s where B = C && A < 5")
+	if !strings.Contains(out, "[1 20]") || !strings.Contains(out, "1 row(s)") {
+		t.Errorf("select = %q", out)
+	}
+	// "*" keeps every attribute of the join.
+	out = run(t, s, "select * from r where A > 5")
+	if !strings.Contains(out, "[9 5]") || !strings.Contains(out, "1 row(s)") {
+		t.Errorf("select * = %q", out)
+	}
+	// A query registers nothing in the catalog.
+	if out := run(t, s, "views"); strings.TrimSpace(out) != "" {
+		t.Errorf("ad-hoc select leaked a view: %q", out)
+	}
+	expectErr(t, s, "select A, B")
+	expectErr(t, s, "select A from nosuch")
+}

@@ -24,7 +24,6 @@ import (
 	"mview/internal/diffeval"
 	"mview/internal/eval"
 	"mview/internal/expr"
-	"mview/internal/irrelevance"
 	"mview/internal/obs"
 	"mview/internal/pred"
 	"mview/internal/relation"
@@ -101,10 +100,16 @@ type viewState struct {
 	pending map[string]delta.Update // composed net updates since last refresh
 	stats   ViewStats
 	vo      *viewObs // per-view metric handles; nil when obs is off
-	// checkers caches one §4 irrelevance checker per operand for the
-	// Relevant API (built lazily; the Prepare step is O(n³) per
-	// conjunct and must not run per call).
-	checkers []*irrelevance.Checker
+	// ck caches the §4 irrelevance checkers for the Relevant API; it is
+	// shared with every published snapshot of the view (see snapshot.go).
+	ck *checkerCache
+	// dataShared marks data as referenced by a published snapshot:
+	// maintenance must clone it before the next in-place mutation
+	// (copy-on-write). snapDirty marks any change — data, stats, or
+	// backlog — since the last publish; a clean view's snapView is
+	// carried into the next snapshot as a single pointer.
+	dataShared bool
+	snapDirty  bool
 	// subscribers receive the view's deltas after each refresh — the
 	// alerter mechanism of Buneman & Clemons that §1–2 cite as a
 	// motivating application: the §4 filter suppresses wake-ups for
@@ -171,22 +176,10 @@ func countedDiff(old, new *relation.Counted) (ins, del *relation.Counted) {
 	return ins, del
 }
 
-func (st *viewState) checker(opIdx int) (*irrelevance.Checker, error) {
-	if st.checkers == nil {
-		st.checkers = make([]*irrelevance.Checker, len(st.bound.Operands))
-	}
-	if st.checkers[opIdx] == nil {
-		c, err := irrelevance.NewChecker(st.bound, opIdx, st.cfg.Maint.FilterOptions)
-		if err != nil {
-			return nil, err
-		}
-		st.checkers[opIdx] = c
-	}
-	return st.checkers[opIdx], nil
-}
-
 // Engine is a main-memory database with materialized views. All
-// methods are safe for concurrent use; writes are serialized.
+// methods are safe for concurrent use; writes are serialized. Reads
+// are served from an immutable copy-on-write snapshot (snapshot.go)
+// and never contend with the commit pipeline.
 type Engine struct {
 	mu        sync.RWMutex
 	scheme    *schema.Database
@@ -202,6 +195,12 @@ type Engine struct {
 	// the commit hot path can check it without taking the engine lock;
 	// nil means instrumentation is off and costs one pointer load.
 	o atomic.Pointer[engineObs]
+	// snap is the published read snapshot (never nil after New);
+	// baseShared marks base relations referenced by it, which phase 2
+	// must clone before applying updates in place. Guarded by mu for
+	// writes; snap is loaded lock-free by every read path.
+	snap       atomic.Pointer[Snapshot]
+	baseShared map[string]bool
 	// maintWorkers bounds the worker pool that runs per-view
 	// maintenance concurrently (phase-1 delta computation and
 	// recompute staging at commit, deferred refreshes in RefreshAll).
@@ -223,6 +222,11 @@ type engineObs struct {
 	// pool kept k computations in flight).
 	workers *obs.Gauge
 	speedup *obs.Histogram
+	// Read-snapshot instrumentation: reads served lock-free, staleness
+	// of the published snapshot at the last read, and publish cost.
+	snapReads   *obs.Counter
+	snapAge     *obs.Gauge
+	snapPublish *obs.Histogram
 }
 
 // speedupBuckets spans the useful range of the parallel-speedup ratio
@@ -323,6 +327,12 @@ func (e *Engine) SetObs(reg *obs.Registry, tr obs.Tracer) {
 		speedup: reg.Histogram("mview_commit_parallel_speedup",
 			"Serialized-over-wall compute time of parallel phase-1 view maintenance (1 = no overlap).",
 			speedupBuckets, nil),
+		snapReads: reg.Counter("mview_snapshot_reads_total",
+			"Reads served from the lock-free copy-on-write snapshot.", nil),
+		snapAge: reg.Gauge("mview_snapshot_age_seconds",
+			"Age of the published read snapshot at the last read (0 right after a publish).", nil),
+		snapPublish: reg.Histogram("mview_snapshot_publish_seconds",
+			"Time to build and publish a read snapshot at the end of a commit, refresh, or DDL statement.", nil, nil),
 	}
 	o.workers.Set(float64(e.poolSize()))
 	e.o.Store(o)
@@ -353,14 +363,16 @@ func New(opts ...Option) *Engine {
 		panic(err) // unreachable: empty database scheme is valid
 	}
 	e := &Engine{
-		scheme:  db,
-		base:    make(map[string]*relation.Relation),
-		views:   make(map[string]*viewState),
-		indexes: make(map[string]map[int]*relation.Index),
+		scheme:     db,
+		base:       make(map[string]*relation.Relation),
+		views:      make(map[string]*viewState),
+		indexes:    make(map[string]map[int]*relation.Index),
+		baseShared: make(map[string]bool),
 	}
 	for _, opt := range opts {
 		opt(e)
 	}
+	e.publishLocked() // the engine is born with an empty snapshot
 	return e
 }
 
@@ -512,45 +524,50 @@ func (e *Engine) CreateRelation(name string, attrs ...schema.Attribute) error {
 		return err
 	}
 	rs := &schema.RelScheme{Name: name, Scheme: s}
-	if err := e.scheme.Add(rs); err != nil {
+	// Copy-on-write: published snapshots reference e.scheme, so DDL
+	// swaps in an extended clone instead of mutating it.
+	next := e.scheme.Clone()
+	if err := next.Add(rs); err != nil {
 		return err
 	}
+	e.scheme = next
 	e.base[name] = relation.New(s)
+	e.publishLocked()
 	return nil
 }
 
-// Scheme exposes the database scheme (for binding ad-hoc expressions).
+// Scheme exposes the database scheme (for binding ad-hoc
+// expressions). The result is the current snapshot's scheme and is
+// immutable: DDL copies-on-write, so holding it across a concurrent
+// CreateRelation is safe.
 func (e *Engine) Scheme() *schema.Database {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.scheme
+	return e.currentSnapshot().scheme
 }
 
 // Relations returns the base relation names in creation order.
 func (e *Engine) Relations() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.scheme.Names()
+	return e.currentSnapshot().scheme.Names()
 }
 
 // Views returns the view names in creation order.
 func (e *Engine) Views() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	out := make([]string, len(e.viewOrder))
-	copy(out, e.viewOrder)
+	s := e.currentSnapshot()
+	out := make([]string, len(s.viewOrder))
+	copy(out, s.viewOrder)
 	return out
 }
 
-// Relation returns a snapshot (clone) of a base relation.
+// Relation returns a base relation as of the current read snapshot.
+// The result is immutable — shared with the snapshot, not cloned —
+// and must not be modified; it never changes once returned (writers
+// copy-on-write), so iterating it requires no lock.
 func (e *Engine) Relation(name string) (*relation.Relation, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	r, ok := e.base[name]
+	s := e.currentSnapshot()
+	r, ok := s.base[name]
 	if !ok {
 		return nil, fmt.Errorf("db: unknown relation %q", name)
 	}
-	return r.Clone(), nil
+	return r, nil
 }
 
 // CreateView defines and immediately materializes a view.
@@ -585,6 +602,7 @@ func (e *Engine) CreateView(v expr.View, cfg ViewConfig) error {
 		maint:   maint,
 		data:    data,
 		pending: make(map[string]delta.Update),
+		ck:      newCheckerCache(bound, cfg),
 	}
 	if o := e.o.Load(); o != nil {
 		st.vo = newViewObs(o.reg, v.Name)
@@ -592,6 +610,7 @@ func (e *Engine) CreateView(v expr.View, cfg ViewConfig) error {
 	}
 	e.views[v.Name] = st
 	e.viewOrder = append(e.viewOrder, v.Name)
+	e.publishLocked()
 	return nil
 }
 
@@ -609,42 +628,45 @@ func (e *Engine) DropView(name string) error {
 			break
 		}
 	}
+	e.publishLocked()
 	return nil
 }
 
-// View returns a snapshot (clone) of a view's current materialization.
-// For deferred views this may lag the base relations; call RefreshView
-// first for an up-to-date answer.
+// View returns a view's materialization as of the current read
+// snapshot. The result is immutable — shared with the snapshot, not
+// cloned — and must not be modified; concurrent commits publish new
+// snapshots instead of mutating it, so a reader iterating the result
+// never observes a commit. For deferred views it may lag the base
+// relations; call RefreshView first for an up-to-date answer.
 func (e *Engine) View(name string) (*relation.Counted, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	st, ok := e.views[name]
+	s := e.currentSnapshot()
+	sv, ok := s.views[name]
 	if !ok {
 		return nil, fmt.Errorf("db: unknown view %q", name)
 	}
-	return st.data.Clone(), nil
+	return sv.data, nil
 }
 
-// ViewStats returns a view's maintenance counters.
+// ViewStats returns a view's maintenance counters as of the current
+// read snapshot — a consistent copy taken at publish time, so it
+// cannot race with maintenance mutating the live counters.
 func (e *Engine) ViewStats(name string) (ViewStats, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	st, ok := e.views[name]
+	s := e.currentSnapshot()
+	sv, ok := s.views[name]
 	if !ok {
 		return ViewStats{}, fmt.Errorf("db: unknown view %q", name)
 	}
-	return st.stats, nil
+	return sv.stats, nil
 }
 
 // ViewDef returns the bound definition of a view.
 func (e *Engine) ViewDef(name string) (*expr.Bound, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	st, ok := e.views[name]
+	s := e.currentSnapshot()
+	sv, ok := s.views[name]
 	if !ok {
 		return nil, fmt.Errorf("db: unknown view %q", name)
 	}
-	return st.bound, nil
+	return sv.bound, nil
 }
 
 // operandInstances gathers the live base instances for a bound view.
@@ -764,6 +786,13 @@ func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
 			start := time.Now()
 			w.wait = start.Sub(submit)
 			w.d, w.err = w.st.maint.ComputeDeltaWith(w.insts, updates, prov)
+			if w.err == nil && w.st.dataShared {
+				// Pre-clone the view for the copy-on-write install in
+				// phase 3b while we are already fanned out on the pool
+				// (reads the frozen view state, writes only this slot —
+				// within the Maintainer concurrency contract).
+				w.cow = w.st.data.Clone()
+			}
 			w.computeDur = time.Since(start)
 		})
 		for _, w := range diff {
@@ -797,6 +826,14 @@ func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
 		}
 	}
 	for _, u := range updates {
+		if e.baseShared[u.Rel] {
+			// Copy-on-write: the published snapshot references this
+			// relation, so apply to a clone and swap the map entry. The
+			// phase-1 operand instances keep pointing at the frozen
+			// pre-state original; a rollback mutates only the clone.
+			e.base[u.Rel] = e.base[u.Rel].Clone()
+			e.baseShared[u.Rel] = false
+		}
 		if err := u.Apply(e.base[u.Rel]); err != nil {
 			rollback()
 			return TxResult{}, nil, err
@@ -843,6 +880,7 @@ func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
 	for _, w := range work {
 		name := w.st.name
 		w.st.stats.Transactions++
+		w.st.snapDirty = true
 		if w.deferred {
 			for rel, u := range w.pend {
 				w.st.pending[rel] = u
@@ -859,6 +897,16 @@ func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
 			t0 = time.Now()
 		}
 		if w.d != nil {
+			if w.st.dataShared {
+				// Copy-on-write: fold the delta into a private clone
+				// (usually pre-built in phase 1) so the published
+				// snapshot's view state stays frozen.
+				if w.cow == nil {
+					w.cow = w.st.data.Clone()
+				}
+				w.st.data = w.cow
+				w.st.dataShared = false
+			}
 			if err := diffeval.Apply(w.st.data, w.d); err != nil {
 				// Unreachable: phase 3a validated this delta and Apply
 				// re-validates before mutating, so the view is intact.
@@ -871,7 +919,8 @@ func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
 				ins, del := countedDiff(w.st.data, w.vc)
 				ns = append(ns, w.st.notifications(name, ins, del)...)
 			}
-			w.st.data = w.vc
+			w.st.data = w.vc // fresh shadow state, not yet in any snapshot
+			w.st.dataShared = false
 			w.st.stats.Recomputes++
 		}
 		if w.st.vo != nil {
@@ -882,6 +931,8 @@ func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
 		}
 		res.ViewsRefreshed++
 	}
+	// The commit is complete; make it visible to lock-free readers.
+	e.publishLocked()
 	return res, ns, nil
 }
 
@@ -896,6 +947,7 @@ type refreshed struct {
 	insts      []*relation.Relation    // operand instances for the computation
 	d          *diffeval.ViewDelta     // differential result
 	vc         *relation.Counted       // recompute shadow (PolicyRecompute)
+	cow        *relation.Counted       // phase-1 clone for the copy-on-write install
 	err        error                   // compute/validate failure
 	decision   string                  // metrics label
 	computeDur time.Duration           // delta or recompute computation time
@@ -1047,7 +1099,12 @@ func (e *Engine) refreshLocked(name string) ([]notification, error) {
 		return nil, err
 	}
 	j.run()
-	return e.installRefreshJob(j)
+	ns, err := e.installRefreshJob(j)
+	if err != nil {
+		return nil, err
+	}
+	e.publishLocked()
+	return ns, nil
 }
 
 // refreshJob carries one deferred view's refresh through the
@@ -1060,6 +1117,7 @@ type refreshJob struct {
 	t0      time.Time            // set iff st.vo != nil
 	d       *diffeval.ViewDelta
 	vc      *relation.Counted
+	cow     *relation.Counted // private clone for the copy-on-write install
 	err     error
 }
 
@@ -1136,6 +1194,11 @@ func (j *refreshJob) run() {
 	// CURRENT base state, while this delta is computed against the
 	// reconstructed pre-refresh state.
 	j.d, j.err = j.st.maint.ComputeDelta(j.insts, j.updates)
+	if j.err == nil && j.st.dataShared {
+		// Pre-clone for the copy-on-write install while still on the
+		// worker pool (reads frozen view state, writes only this job).
+		j.cow = j.st.data.Clone()
+	}
 }
 
 // installRefreshJob folds a computed refresh into the view and clears
@@ -1153,7 +1216,9 @@ func (e *Engine) installRefreshJob(j *refreshJob) ([]notification, error) {
 			ins, del := countedDiff(st.data, j.vc)
 			ns = st.notifications(st.name, ins, del)
 		}
-		st.data = j.vc
+		st.data = j.vc // fresh shadow state, not yet in any snapshot
+		st.dataShared = false
+		st.snapDirty = true
 		st.stats.Recomputes++
 		st.pending = make(map[string]delta.Update)
 		st.stats.PendingTx = 0
@@ -1163,9 +1228,22 @@ func (e *Engine) installRefreshJob(j *refreshJob) ([]notification, error) {
 		}
 		return ns, nil
 	}
+	if st.dataShared {
+		// Copy-on-write: fold the delta into a private clone (usually
+		// pre-built by run on the worker pool) so the published
+		// snapshot's view state stays frozen. Apply validates before
+		// mutating, so a failure leaves the clone equal to the original
+		// and the backlog intact.
+		if j.cow == nil {
+			j.cow = st.data.Clone()
+		}
+		st.data = j.cow
+		st.dataShared = false
+	}
 	if err := diffeval.Apply(st.data, j.d); err != nil {
 		return nil, err
 	}
+	st.snapDirty = true
 	st.noteDelta(j.d)
 	st.pending = make(map[string]delta.Update)
 	st.stats.PendingTx = 0
@@ -1225,27 +1303,31 @@ func (e *Engine) refreshAllLocked() ([]notification, error) {
 		}
 		ns = append(ns, n...)
 	}
+	if len(jobs) > 0 {
+		e.publishLocked()
+	}
 	return ns, firstErr
 }
 
 // Relevant applies Theorem 4.1: it reports whether inserting or
 // deleting tuple t in base relation rel could affect the named view in
 // ANY database state. The per-operand checkers (including their O(n³)
-// invariant-graph preparation) are cached on the view.
+// invariant-graph preparation) are cached on the view's checkerCache,
+// which is shared with the read snapshot — so Relevant runs lock-free
+// and never blocks a commit.
 func (e *Engine) Relevant(view, rel string, t tuple.Tuple) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	st, ok := e.views[view]
+	s := e.currentSnapshot()
+	sv, ok := s.views[view]
 	if !ok {
 		return false, fmt.Errorf("db: unknown view %q", view)
 	}
 	found := false
-	for i, op := range st.bound.Operands {
+	for i, op := range sv.bound.Operands {
 		if op.Rel != rel {
 			continue
 		}
 		found = true
-		c, err := st.checker(i)
+		c, err := sv.ck.get(i)
 		if err != nil {
 			return false, err
 		}
@@ -1265,11 +1347,12 @@ func (e *Engine) Relevant(view, rel string, t tuple.Tuple) (bool, error) {
 
 // Explain describes how a view is defined and maintained: operands,
 // condition, projection, refresh mode and policy, strategy, and the
-// persistent indexes its equi-join columns can probe.
+// persistent indexes its equi-join columns can probe. It reads the
+// current snapshot, so the reported tuple counts are one consistent
+// cut.
 func (e *Engine) Explain(name string) (string, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	st, ok := e.views[name]
+	s := e.currentSnapshot()
+	st, ok := s.views[name]
 	if !ok {
 		return "", fmt.Errorf("db: unknown view %q", name)
 	}
@@ -1278,7 +1361,7 @@ func (e *Engine) Explain(name string) (string, error) {
 	fmt.Fprintf(&sb, "view %s\n", name)
 	fmt.Fprintf(&sb, "  operands:\n")
 	for _, op := range b.Operands {
-		fmt.Fprintf(&sb, "    %s = %s%s  (%d tuples)\n", op.Alias, op.Rel, op.Scheme, e.base[op.Rel].Len())
+		fmt.Fprintf(&sb, "    %s = %s%s  (%d tuples)\n", op.Alias, op.Rel, op.Scheme, s.base[op.Rel].Len())
 	}
 	fmt.Fprintf(&sb, "  where:   %s\n", b.Where)
 	proj := make([]string, len(b.Project))
@@ -1319,7 +1402,7 @@ func (e *Engine) Explain(name string) (string, error) {
 	var idx []string
 	for _, op := range b.Operands {
 		for pos := 0; pos < op.Scheme.Arity(); pos++ {
-			if e.indexes[op.Rel][pos] != nil {
+			if s.indexed[op.Rel][pos] {
 				idx = append(idx, fmt.Sprintf("%s.%s", op.Rel, op.Scheme.Attr(pos)))
 			}
 		}
@@ -1422,14 +1505,15 @@ func (e *Engine) RefreshPeriodically(name string, interval time.Duration, onErr 
 	return func() { once.Do(func() { close(done) }) }, nil
 }
 
-// Query evaluates an ad-hoc SPJ expression against the current base
-// relations without materializing it.
+// Query evaluates an ad-hoc SPJ expression against the current read
+// snapshot without materializing it. Binding and evaluation run
+// lock-free over one consistent cut of the base relations, so a long
+// query neither blocks nor is torn by concurrent commits.
 func (e *Engine) Query(v expr.View, opts eval.Options) (*relation.Counted, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	bound, err := expr.Bind(v, e.scheme)
+	s := e.currentSnapshot()
+	bound, err := expr.Bind(v, s.scheme)
 	if err != nil {
 		return nil, err
 	}
-	return eval.Materialize(bound, e.operandInstances(bound), opts)
+	return eval.Materialize(bound, s.operandInstances(bound), opts)
 }

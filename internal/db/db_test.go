@@ -536,19 +536,28 @@ func TestRefreshAllAndQueryIsolation(t *testing.T) {
 			t.Errorf("%s = %v", n, v)
 		}
 	}
-	// View snapshots are isolated from engine state.
+	// View and Relation results are immutable snapshots: a later
+	// commit publishes a new snapshot instead of mutating them, so a
+	// previously returned result never changes.
 	v, _ := e.View("v1")
-	_ = v.Add(tuple.New(9, 9, 9), 5)
-	v2, _ := e.View("v1")
-	if v2.Has(tuple.New(9, 9, 9)) {
-		t.Error("View must return a clone")
-	}
-	// Relation snapshots likewise.
 	r, _ := e.Relation("R")
-	_ = r.Insert(tuple.New(77, 77))
-	r2, _ := e.Relation("R")
-	if r2.Has(tuple.New(77, 77)) {
-		t.Error("Relation must return a clone")
+	var tx2 delta.Tx
+	tx2.Insert("R", tuple.New(9, 2)).Insert("S", tuple.New(77, 77))
+	exec(t, e, &tx2)
+	if err := e.RefreshAll(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 1 {
+		t.Errorf("View result mutated by a later commit: %v", v)
+	}
+	if r.Has(tuple.New(9, 2)) || r.Len() != 1 {
+		t.Errorf("Relation result mutated by a later commit: %v", r)
+	}
+	if v2, _ := e.View("v1"); v2.Len() != 2 {
+		t.Errorf("fresh View read missed the commit: %v", v2)
+	}
+	if r2, _ := e.Relation("R"); !r2.Has(tuple.New(9, 2)) {
+		t.Error("fresh Relation read missed the commit")
 	}
 }
 

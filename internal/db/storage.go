@@ -342,5 +342,12 @@ func Load(in io.Reader) (*Engine, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
+	// The tuple loads above inserted directly into relations that the
+	// interim snapshots (published by CreateRelation/CreateView)
+	// already reference; no readers exist while Load owns the engine,
+	// so republishing here is enough to freeze the final state.
+	e.mu.Lock()
+	e.publishLocked()
+	e.mu.Unlock()
 	return e, nil
 }

@@ -7,7 +7,7 @@
 //	GET  /views/{name}              view contents (with counters)
 //	GET  /views/{name}/stats        maintenance statistics
 //	GET  /views/{name}/explain      definition and maintenance plan
-//	GET  /views/{name}/watch        change stream (Server-Sent Events)
+//	GET  /views/{name}/watch        change stream (SSE; the ready event carries the current rows)
 //	POST /views/{name}/refresh      snapshot refresh (§6)
 //	GET  /views/{name}/relevant     ?rel=r&values=9,10 → §4 verdict
 //	POST /exec                      {"ops":[{"op":"insert","rel":"r","values":[1,2]}, ...]}
@@ -322,8 +322,13 @@ func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"explain": out})
 }
 
-// watch streams a view's changes as Server-Sent Events: one
-// `data: {"View":…,"Inserts":…,"Deletes":…}` event per refresh that
+// watch streams a view's changes as Server-Sent Events. The opening
+// `ready` event carries the view's current rows (read from the
+// lock-free snapshot after the subscription is registered, so nothing
+// between the two is lost — a commit racing the handshake may appear
+// both in the initial rows and as a change event, i.e. delivery is
+// at-least-once). After that, one `data:
+// {"View":…,"Inserts":…,"Deletes":…}` event follows per refresh that
 // changed the view. Slow consumers are tolerated by dropping events
 // past a small buffer rather than stalling commits.
 func (h *Handler) watch(w http.ResponseWriter, r *http.Request) {
@@ -346,10 +351,29 @@ func (h *Handler) watch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
+	// Initial state: subscribed first, then read, so no change can fall
+	// between the snapshot and the stream. Keys are lowercase to stay
+	// distinguishable from the Change events that follow.
+	rows, err := h.db.View(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	attrs, err := h.db.ViewSchema(name)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	ready, err := json.Marshal(map[string]any{"view": name, "schema": attrs, "rows": rows})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintf(w, "event: ready\ndata: {}\n\n")
+	fmt.Fprintf(w, "event: ready\ndata: %s\n\n", ready)
 	flusher.Flush()
 
 	for {

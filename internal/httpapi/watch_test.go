@@ -22,6 +22,11 @@ func TestWatchStreamsChanges(t *testing.T) {
 	if err := db.CreateView("low", mview.ViewSpec{From: []string{"r"}, Where: "A < 5"}); err != nil {
 		t.Fatal(err)
 	}
+	// Pre-existing state must arrive with the ready event, so a
+	// subscriber needs no separate racy GET to catch up.
+	if _, err := db.Exec(mview.Insert("r", 1, 10)); err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(NewWith(db))
 	defer srv.Close()
 
@@ -35,10 +40,17 @@ func TestWatchStreamsChanges(t *testing.T) {
 	}
 	reader := bufio.NewReader(resp.Body)
 
-	// The ready handshake arrives first.
+	// The ready handshake arrives first, carrying the current rows.
 	line, err := reader.ReadString('\n')
 	if err != nil || !strings.HasPrefix(line, "event: ready") {
 		t.Fatalf("handshake = %q, %v", line, err)
+	}
+	line, err = reader.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "data: ") {
+		t.Fatalf("ready payload = %q, %v", line, err)
+	}
+	if !strings.Contains(line, `"view":"low"`) || !strings.Contains(line, `[1,10]`) {
+		t.Fatalf("ready payload missing initial state: %q", line)
 	}
 
 	// Commit a relevant change once the subscriber is attached.

@@ -230,6 +230,20 @@ func (db *Database) Add(r *RelScheme) error {
 	return nil
 }
 
+// Clone returns a copy of the database scheme sharing the (immutable)
+// relation schemes. DDL copies-on-write through Clone so previously
+// published read snapshots keep an unchanging scheme.
+func (db *Database) Clone() *Database {
+	out := &Database{
+		rels:  make(map[string]*RelScheme, len(db.rels)),
+		order: append([]string(nil), db.order...),
+	}
+	for name, r := range db.rels {
+		out.rels[name] = r
+	}
+	return out
+}
+
 // Rel returns the relation scheme with the given name.
 func (db *Database) Rel(name string) (*RelScheme, bool) {
 	r, ok := db.rels[name]

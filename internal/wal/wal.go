@@ -219,8 +219,26 @@ func (l *Log) Truncate() error {
 // replay skips them.
 const KindNoop uint8 = 0
 
-// Close closes the underlying file.
-func (l *Log) Close() error { return l.f.Close() }
+// Close flushes and closes the underlying file. When per-append Sync
+// is disabled, buffered appends are fsynced first, so a clean Close
+// never loses acknowledged records — disabling Sync only trades
+// durability against OS crashes, not clean shutdowns. Close is
+// idempotent.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	var syncErr error
+	if !l.Sync {
+		syncErr = l.f.Sync()
+	}
+	closeErr := l.f.Close()
+	l.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
 
 // Replay invokes fn for every valid record with LSN > fromLSN, in
 // order. Torn or corrupt tails end the replay silently (they were

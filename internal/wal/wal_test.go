@@ -250,3 +250,28 @@ func TestAppendPayloadLimit(t *testing.T) {
 		t.Error("oversized payload must fail")
 	}
 }
+
+// TestCloseFlushesWhenSyncDisabled: with per-append fsync turned off,
+// Close must still sync buffered appends before closing, so a clean
+// shutdown never loses acknowledged records. Close is idempotent.
+func TestCloseFlushesWhenSyncDisabled(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Sync = false
+	if _, err := l.Append(1, []byte("unsynced payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // second Close is a no-op
+		t.Fatal(err)
+	}
+	recs := collect(t, path, 0)
+	if len(recs) != 1 || !bytes.Equal(recs[0].Payload, []byte("unsynced payload")) {
+		t.Fatalf("records after unsynced Close = %+v", recs)
+	}
+}
