@@ -10,21 +10,25 @@ build:
 test:
 	$(GO) test ./...
 
-# Full suite under the race detector; the obs registry and the engine's
-# notification fan-out are exercised concurrently.
+# Full suite under the race detector; the obs registry, the engine's
+# notification fan-out, and the group-commit scheduler (including the
+# group-vs-serial oracle) are exercised concurrently.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 -run 'Group' ./internal/db .
 
 # The quantitative-shape benchmarks behind bench_results.txt. Narrow
-# with BENCH, e.g. `make bench BENCH=ObsOverhead`.
+# with BENCH, e.g. `make bench BENCH=GroupCommit` for the C-GROUP
+# group-commit throughput sweep, or BENCH=ObsOverhead.
 BENCH ?= .
 bench:
 	$(GO) test -run=NONE -bench=$(BENCH) -benchmem .
 
-# Checkpoint fault injection: kill the checkpoint at every step and
-# prove recovery loses no committed transaction (durable_crash_test.go).
+# Fault injection: kill the checkpoint at every step, and a group
+# commit at every torn-batch byte offset, and prove recovery loses no
+# committed transaction (durable_crash_test.go).
 crash:
-	$(GO) test -race -count=1 -run 'CheckpointCrash|CheckpointFault' -v .
+	$(GO) test -race -count=1 -run 'CheckpointCrash|CheckpointFault|GroupCrash|GroupCommitCrash' -v .
 
 lint:
 	$(GO) vet ./...

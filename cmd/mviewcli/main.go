@@ -8,6 +8,7 @@
 //	mviewcli                 # interactive prompt, in-memory database
 //	mviewcli -data ./mydb    # durable database (commit log + checkpoints)
 //	mviewcli -maint-workers 4  # bound the parallel maintenance pool
+//	mviewcli -group-commit [-group-max N] [-group-window 2ms]  # commit-group scheduler
 //	mviewcli < script        # batch mode
 //
 // Type "help" at the prompt for the command language.
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mview/internal/cli"
 )
@@ -25,6 +27,9 @@ import (
 func main() {
 	data := flag.String("data", "", "durable database directory (empty = in-memory)")
 	workers := flag.Int("maint-workers", 0, "per-view maintenance worker pool size (0 = GOMAXPROCS)")
+	groupCommit := flag.Bool("group-commit", false, "coalesce concurrent transactions into commit groups")
+	groupMax := flag.Int("group-max", 0, "maximum transactions per commit group (0 = default)")
+	groupWindow := flag.Duration("group-window", 2*time.Millisecond, "group leader's wait for followers under concurrency (0 = no wait)")
 	flag.Parse()
 
 	interactive := isTerminal()
@@ -42,6 +47,9 @@ func main() {
 	defer s.Close()
 	if *workers > 0 {
 		s.SetMaintWorkers(*workers)
+	}
+	if *groupCommit {
+		s.EnableGroupCommit(*groupMax, *groupWindow)
 	}
 	if interactive {
 		fmt.Println("mview — materialized views with efficient differential maintenance (SIGMOD 1986)")

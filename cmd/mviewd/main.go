@@ -3,6 +3,7 @@
 // Usage:
 //
 //	mviewd [-addr :8080] [-data ./mydb] [-metrics=true] [-slowlog 100ms] [-maint-workers N] [-checkpoint-interval 5m]
+//	       [-group-commit] [-group-max N] [-group-window 2ms]
 //
 // See package mview/internal/httpapi for the endpoint reference. A
 // minimal session:
@@ -26,6 +27,14 @@
 // -checkpoint-interval makes a durable server checkpoint periodically
 // (snapshot + commit-log truncate), bounding recovery replay time. It
 // requires -data; 0 (the default) leaves checkpointing to the operator.
+//
+// -group-commit coalesces concurrent POST /exec transactions into
+// commit groups: one batched commit-log fsync, one composed
+// maintenance pass, and one snapshot publish cover the whole group,
+// while each request keeps its own atomicity and per-transaction SSE
+// notifications. -group-max caps the group size and -group-window sets
+// how long a leader waits for followers once writers are observed to
+// be concurrent (solo writers never wait).
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests get a grace period, SSE watchers are disconnected, and the
@@ -57,14 +66,17 @@ func main() {
 	slowlog := flag.Duration("slowlog", 0, "log spans (commits, refreshes, requests) slower than this; 0 disables")
 	workers := flag.Int("maint-workers", 0, "per-view maintenance worker pool size (0 = GOMAXPROCS)")
 	ckptEvery := flag.Duration("checkpoint-interval", 0, "checkpoint a durable database this often (0 disables; requires -data)")
+	groupCommit := flag.Bool("group-commit", false, "coalesce concurrent transactions into commit groups (one fsync, one maintenance pass, one snapshot publish per group)")
+	groupMax := flag.Int("group-max", 0, "maximum transactions per commit group (0 = default)")
+	groupWindow := flag.Duration("group-window", 2*time.Millisecond, "how long a group leader waits for followers once writers are concurrent (0 = no wait)")
 	flag.Parse()
 
-	if err := run(*addr, *data, *metrics, *slowlog, *workers, *ckptEvery); err != nil {
+	if err := run(*addr, *data, *metrics, *slowlog, *workers, *ckptEvery, *groupCommit, *groupMax, *groupWindow); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, data string, metrics bool, slowlog time.Duration, workers int, ckptEvery time.Duration) error {
+func run(addr, data string, metrics bool, slowlog time.Duration, workers int, ckptEvery time.Duration, groupCommit bool, groupMax int, groupWindow time.Duration) error {
 	var db *mview.DB
 	if data != "" {
 		var err error
@@ -77,6 +89,9 @@ func run(addr, data string, metrics bool, slowlog time.Duration, workers int, ck
 	}
 	defer db.Close()
 	db.SetMaintWorkers(workers)
+	if groupCommit {
+		db.EnableGroupCommit(groupMax, groupWindow)
+	}
 
 	var opts []httpapi.Option
 	var reg *obs.Registry
@@ -139,8 +154,8 @@ func run(addr, data string, metrics bool, slowlog time.Duration, workers int, ck
 			errc <- err
 		}
 	}()
-	log.Printf("mviewd listening on %s (data=%q metrics=%v slowlog=%v maint-workers=%d)",
-		addr, data, metrics, slowlog, db.MaintWorkers())
+	log.Printf("mviewd listening on %s (data=%q metrics=%v slowlog=%v maint-workers=%d group-commit=%v)",
+		addr, data, metrics, slowlog, db.MaintWorkers(), db.GroupCommitEnabled())
 
 	select {
 	case err := <-errc:

@@ -189,15 +189,37 @@ func optionsByName(names []string) ([]ViewOption, error) {
 // successfully; the append is fsynced before the public method
 // returns, so an acknowledged commit can only be lost if the process
 // dies between the in-memory apply and the append.
+// encodeStmt gob-encodes a statement into a commit-log payload.
+func encodeStmt(st walStmt) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 func (d *DB) logStmt(st walStmt) error {
 	if d.wal == nil {
 		return nil
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+	p, err := encodeStmt(st)
+	if err != nil {
 		return err
 	}
-	_, err := d.wal.Append(walKindStmt, buf.Bytes())
+	_, err = d.wal.Append(walKindStmt, p)
+	return err
+}
+
+// logPayloadBatch appends one already-encoded statement per member of
+// a commit group, framed at consecutive LSNs and flushed with a single
+// fsync. Recovery needs no group framing: each record replays as its
+// own transaction, in the order the group applied them.
+func (d *DB) logPayloadBatch(payloads [][]byte) error {
+	entries := make([]wal.Entry, len(payloads))
+	for i, p := range payloads {
+		entries[i] = wal.Entry{Kind: walKindStmt, Payload: p}
+	}
+	_, err := d.wal.AppendBatch(entries)
 	return err
 }
 
@@ -250,6 +272,11 @@ func (d *DB) Checkpoint() error {
 	if d.wal == nil {
 		return fmt.Errorf("mview: Checkpoint on an in-memory database (use OpenDurable)")
 	}
+	// Fence out grouped commits first: the truncate below must not race
+	// a leader mid-AppendBatch, and the snapshot must sit at a group
+	// boundary.
+	d.gmu.Lock()
+	defer d.gmu.Unlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.reg != nil {
@@ -328,6 +355,12 @@ func (d *DB) SetLogSync(sync bool) {
 
 // Close releases the commit log. In-memory databases need no Close.
 func (d *DB) Close() error {
+	// Stop the group scheduler first (drains queued transactions and
+	// waits out in-flight Exec calls) so no leader can touch the log
+	// once it is closed.
+	d.gmu.Lock()
+	defer d.gmu.Unlock()
+	d.eng.DisableGroupCommit()
 	if d.wal == nil {
 		return nil
 	}

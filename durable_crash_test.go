@@ -9,7 +9,12 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"mview/internal/wal"
 )
 
 // TestCheckpointCrashConsistency simulates the process dying at each
@@ -111,4 +116,195 @@ func TestCheckpointFaultCleansTmp(t *testing.T) {
 	d2 := openDur(t, dir)
 	defer d2.Close()
 	verifySeeded(t, d2)
+}
+
+// TestGroupCrashMidBatch kills the process (via wal.AppendBatchHook)
+// after a commit group's records hit the log but before the append is
+// acknowledged, then recovers from every byte-level cut of the doomed
+// batch. Each group member writes one r row AND one s row in a single
+// transaction, so any recovery that split a transaction would surface
+// as an r row without its s mate. The invariant: recovery yields a
+// whole-transaction prefix of the group — all of a member's effects or
+// none of them.
+func TestGroupCrashMidBatch(t *testing.T) {
+	dir := t.TempDir()
+	d := openDur(t, dir)
+	seedDurable(t, d)
+
+	walPath := filepath.Join(dir, logFile)
+	before, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Encode a four-member group exactly as the scheduler's leader
+	// would: one statement payload per transaction, appended through
+	// logPayloadBatch (one framed write, one fsync).
+	const groupSize = 4
+	payloads := make([][]byte, groupSize)
+	for i := range payloads {
+		p, err := encodeStmt(walStmt{Kind: "tx", Ops: []walOp{
+			{Rel: "r", Vals: []int64{int64(i), 10}},
+			{Rel: "s", Vals: []int64{10, int64(100 + i)}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads[i] = p
+	}
+
+	wal.AppendBatchHook = func(stage string) error {
+		if stage == "synced" {
+			return errSimulatedCrash
+		}
+		return nil
+	}
+	err = d.logPayloadBatch(payloads)
+	wal.AppendBatchHook = nil
+	if !errors.Is(err, errSimulatedCrash) {
+		t.Fatalf("logPayloadBatch err = %v, want simulated crash", err)
+	}
+	after, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) <= len(before) {
+		t.Fatalf("doomed batch left no bytes in the log (%d <= %d)", len(after), len(before))
+	}
+
+	// The process dies here. Recover from every possible torn tail.
+	prevK := -1
+	for cut := len(before); cut <= len(after); cut++ {
+		dir2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir2, logFile), after[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d2, err := OpenDurable(dir2)
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		rrows, err := d2.Rows("r")
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		srows, err := d2.Rows("s")
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// k = recovered group members; the seed contributes one row to
+		// each base. Members must form a prefix, each one whole.
+		k := len(rrows) - 1
+		if len(srows)-1 != k {
+			t.Fatalf("cut %d: recovered %d r rows but %d s rows — a transaction was split",
+				cut, len(rrows)-1, len(srows)-1)
+		}
+		if k < prevK {
+			t.Fatalf("cut %d: recovered %d members, previous cut had %d", cut, k, prevK)
+		}
+		prevK = k
+		have := make(map[int64]bool)
+		for _, row := range rrows {
+			if row[1] == 10 && row[0] < groupSize {
+				have[row[0]] = true
+			}
+		}
+		for i := 0; i < groupSize; i++ {
+			if have[int64(i)] != (i < k) {
+				t.Fatalf("cut %d: member %d present=%v, want prefix of length %d",
+					cut, i, have[int64(i)], k)
+			}
+		}
+		// The recovered view must equal its recompute: (1+k) r rows
+		// joining (1+k) s rows on B = C = 10.
+		rows, err := d2.View("v")
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if want := (1 + k) * (1 + k); len(rows) != want {
+			t.Fatalf("cut %d: recovered view has %d rows, want %d (k=%d)", cut, len(rows), want, k)
+		}
+		if err := d2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if prevK != groupSize {
+		t.Fatalf("full batch recovered only %d of %d members", prevK, groupSize)
+	}
+}
+
+// TestGroupCommitCrashNeverAcksLostTx drives the real Exec group path
+// into a log failure: every grouped transaction must be reported
+// failed (log-before-visible), the live engine must stay untouched,
+// and a recovery of the directory may surface a whole-transaction
+// prefix of the doomed group but never an inconsistent state.
+func TestGroupCommitCrashNeverAcksLostTx(t *testing.T) {
+	dir := t.TempDir()
+	d := openDur(t, dir)
+	seedDurable(t, d)
+	d.EnableGroupCommit(8, 5*time.Millisecond)
+
+	walPath := filepath.Join(dir, logFile)
+	// The hook fires on every append attempt (the process is "dead"
+	// after the first), and records the log size at the first failure:
+	// bytes past that mark were written by retries that a real crash
+	// would never have run.
+	var firstLen atomic.Int64
+	firstLen.Store(-1)
+	wal.AppendBatchHook = func(stage string) error {
+		if stage != "written" {
+			return nil
+		}
+		if fi, err := os.Stat(walPath); err == nil {
+			firstLen.CompareAndSwap(-1, fi.Size())
+		}
+		return errSimulatedCrash
+	}
+	defer func() { wal.AppendBatchHook = nil }()
+
+	const writers = 6
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := d.Exec(Insert("r", int64(i), 10)); err == nil {
+				t.Errorf("writer %d: Exec acked a transaction the log never accepted", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wal.AppendBatchHook = nil
+
+	// Log-before-visible: none of the failed transactions may have
+	// reached the live engine.
+	verifySeeded(t, d)
+
+	// Simulate the crash at the first failed append: discard retry
+	// bytes, reopen, and check the recovered state is consistent. The
+	// unacked transactions may legitimately be durable (crash landed
+	// between write and ack) — what is forbidden is a torn one.
+	if n := firstLen.Load(); n < 0 {
+		t.Fatal("hook never fired")
+	} else if err := os.Truncate(walPath, n); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openDur(t, dir)
+	defer d2.Close()
+	rrows, err := d2.Rows("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := d2.View("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed: one r row, one s row, one view row. Each recovered member
+	// adds one r row joining the single s row.
+	if len(rows) != len(rrows) {
+		t.Fatalf("recovered view has %d rows for %d r rows — view inconsistent with bases",
+			len(rows), len(rrows))
+	}
+	if len(rrows)-1 > writers {
+		t.Fatalf("recovered %d members from %d writers", len(rrows)-1, writers)
+	}
 }

@@ -27,6 +27,7 @@ import (
 	"mview/internal/obs"
 	"mview/internal/pred"
 	"mview/internal/relation"
+	"mview/internal/satgraph"
 	"mview/internal/schema"
 	"mview/internal/tuple"
 )
@@ -206,6 +207,10 @@ type Engine struct {
 	// recompute staging at commit, deferred refreshes in RefreshAll).
 	// 0 means GOMAXPROCS. Guarded by mu.
 	maintWorkers int
+	// group is the group-commit scheduler (group.go); nil means every
+	// Execute commits solo. Atomic so the Execute hot path routes
+	// without taking the engine lock.
+	group atomic.Pointer[group]
 }
 
 // engineObs bundles the engine-wide metric handles, resolved once at
@@ -227,7 +232,15 @@ type engineObs struct {
 	snapReads   *obs.Counter
 	snapAge     *obs.Gauge
 	snapPublish *obs.Histogram
+	// Group commit: transactions per group, and how long the scheduler
+	// held a batch open waiting for stragglers.
+	groupSize *obs.Histogram
+	groupWait *obs.Histogram
 }
+
+// groupSizeBuckets spans the useful batch sizes (DefaultGroupMaxBatch
+// is 64; obs.DefBuckets are latency buckets at the wrong scale).
+var groupSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
 
 // speedupBuckets spans the useful range of the parallel-speedup ratio
 // (obs.DefBuckets are latency buckets and stop at the wrong scale).
@@ -333,6 +346,11 @@ func (e *Engine) SetObs(reg *obs.Registry, tr obs.Tracer) {
 			"Age of the published read snapshot at the last read (0 right after a publish).", nil),
 		snapPublish: reg.Histogram("mview_snapshot_publish_seconds",
 			"Time to build and publish a read snapshot at the end of a commit, refresh, or DDL statement.", nil, nil),
+		groupSize: reg.Histogram("mview_group_commit_size",
+			"Transactions coalesced into one group commit (one fsync, one maintenance pass, one snapshot publish).",
+			groupSizeBuckets, nil),
+		groupWait: reg.Histogram("mview_group_wait_seconds",
+			"Time the group-commit scheduler held a batch open waiting for stragglers (0 for solo commits).", nil, nil),
 	}
 	o.workers.Set(float64(e.poolSize()))
 	e.o.Store(o)
@@ -691,6 +709,17 @@ type TxResult struct {
 // as the last step of the commit, and deferred views accumulate the
 // composed net change for a later refresh.
 func (e *Engine) Execute(tx *delta.Tx) (TxResult, error) {
+	return e.ExecuteLogged(tx, nil)
+}
+
+// ExecuteLogged is Execute with a pre-encoded commit-log record that
+// must become durable before the transaction is visible. With group
+// commit enabled the transaction rides a group — its record is
+// appended with the whole batch under one fsync; otherwise (or while
+// the scheduler is shutting down) it commits solo and the payload is
+// ignored: the serial durable path logs after applying, under the
+// caller's statement lock, exactly as before.
+func (e *Engine) ExecuteLogged(tx *delta.Tx, payload []byte) (TxResult, error) {
 	o := e.o.Load()
 	var t0 time.Time
 	var span obs.Span
@@ -700,7 +729,23 @@ func (e *Engine) Execute(tx *delta.Tx) (TxResult, error) {
 			span = o.tr.Start("db.commit")
 		}
 	}
-	res, ns, err := e.executeLocked(tx)
+	var res TxResult
+	var ns []notification
+	var err error
+	grouped := false
+	if g := e.group.Load(); g != nil {
+		res, err, grouped = g.submit(tx, payload) // notifications fired by the scheduler
+	}
+	if !grouped {
+		if payload != nil {
+			// Unreachable when the caller serializes ExecuteLogged
+			// against DisableGroupCommit (the durable layer's gmu):
+			// refuse rather than commit without durably logging.
+			err = fmt.Errorf("db: group commit stopped mid-transaction")
+		} else {
+			res, ns, err = e.executeLocked(tx)
+		}
+	}
 	if o != nil {
 		if err == nil {
 			o.commits.Inc()
@@ -720,220 +765,20 @@ func (e *Engine) Execute(tx *delta.Tx) (TxResult, error) {
 	return res, nil
 }
 
+// executeLocked commits one transaction through the batch pipeline
+// (group.go): the serial path is a group of one, so both paths share
+// every phase — net effects, §6 composition (a no-op for one tx),
+// classification, pooled maintenance, validation, install, publish.
 func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-
-	updates, err := tx.Net(func(name string) (*relation.Relation, bool) {
-		r, ok := e.base[name]
-		return r, ok
-	})
+	req := &groupReq{tx: tx}
+	ns, err := e.executeBatchLocked([]*groupReq{req}, nil)
 	if err != nil {
 		return TxResult{}, nil, err
 	}
-	res := TxResult{Updates: updates}
-	if len(updates) == 0 {
-		return res, nil, nil
+	if req.err != nil {
+		return TxResult{}, nil, req.err
 	}
-	touched := make(map[string]bool, len(updates))
-	for _, u := range updates {
-		touched[u.Rel] = true
-	}
-
-	// Phase 1: classify the touched views, then compute the deltas of
-	// the immediate differential views against the pre-state. Each
-	// delta depends only on the frozen pre-state and the net updates
-	// (the Maintainer concurrency contract), so independent views fan
-	// out to the maintenance worker pool while the lock holder waits.
-	// Classification mutates nothing — deferred backlogs are staged,
-	// not installed — so a failure anywhere before phase 3b leaves the
-	// engine untouched.
-	var work []*refreshed
-	var diff []*refreshed // the differential subset, computed in parallel
-	for _, name := range e.viewOrder {
-		st := e.views[name]
-		if !e.viewTouched(st, touched) {
-			continue
-		}
-		if st.cfg.Mode == Deferred {
-			pend, err := e.stagePending(st, updates)
-			if err != nil {
-				return TxResult{}, nil, err
-			}
-			work = append(work, &refreshed{st: st, deferred: true, pend: pend})
-			continue
-		}
-		policy := st.cfg.Policy
-		if policy == PolicyAdaptive {
-			policy = e.chooseAdaptive(st, updates)
-		}
-		switch policy {
-		case PolicyRecompute:
-			// Recompute needs the post-state; stage in phase 3.
-			work = append(work, &refreshed{st: st, decision: decisionLabel(st.cfg, PolicyRecompute)})
-		default:
-			w := &refreshed{st: st, insts: e.operandInstances(st.bound),
-				decision: decisionLabel(st.cfg, PolicyDifferential)}
-			work = append(work, w)
-			diff = append(diff, w)
-		}
-	}
-	if len(diff) > 0 {
-		prov := provider{e: e}
-		submit := time.Now()
-		e.forEachParallel(len(diff), func(i int) {
-			w := diff[i]
-			start := time.Now()
-			w.wait = start.Sub(submit)
-			w.d, w.err = w.st.maint.ComputeDeltaWith(w.insts, updates, prov)
-			if w.err == nil && w.st.dataShared {
-				// Pre-clone the view for the copy-on-write install in
-				// phase 3b while we are already fanned out on the pool
-				// (reads the frozen view state, writes only this slot —
-				// within the Maintainer concurrency contract).
-				w.cow = w.st.data.Clone()
-			}
-			w.computeDur = time.Since(start)
-		})
-		for _, w := range diff {
-			if w.err != nil {
-				return TxResult{}, nil, w.err
-			}
-		}
-		if o := e.o.Load(); o != nil && len(diff) > 1 {
-			if wall := time.Since(submit); wall > 0 {
-				var sum time.Duration
-				for _, w := range diff {
-					sum += w.computeDur
-				}
-				o.speedup.Observe(sum.Seconds() / wall.Seconds())
-			}
-		}
-	}
-
-	// Phase 2: apply base updates (and keep the persistent indexes in
-	// step with the base relations). Net effects are disjoint by
-	// construction (delta.Tx.Net), so forward application cannot fail
-	// on a consistent engine; the undo log makes the remaining error
-	// paths atomic — phase 3 rolls the bases back instead of returning
-	// a half-committed state.
-	applied := 0
-	rollback := func() {
-		for i := applied - 1; i >= 0; i-- {
-			inv := invertUpdate(updates[i])
-			_ = inv.Apply(e.base[inv.Rel]) // inverting a clean forward apply cannot fail
-			e.applyToIndexes(inv)
-		}
-	}
-	for _, u := range updates {
-		if e.baseShared[u.Rel] {
-			// Copy-on-write: the published snapshot references this
-			// relation, so apply to a clone and swap the map entry. The
-			// phase-1 operand instances keep pointing at the frozen
-			// pre-state original; a rollback mutates only the clone.
-			e.base[u.Rel] = e.base[u.Rel].Clone()
-			e.baseShared[u.Rel] = false
-		}
-		if err := u.Apply(e.base[u.Rel]); err != nil {
-			rollback()
-			return TxResult{}, nil, err
-		}
-		e.applyToIndexes(u)
-		applied++
-	}
-
-	// Phase 3a: stage. Recompute views materialize into shadow states
-	// from the post-state (read-only over the bases, so they too run on
-	// the worker pool), and every differential delta is validated
-	// against its view. Nothing is installed yet: on any failure the
-	// bases and indexes roll back and the commit returns with the
-	// engine exactly as it was.
-	var recs []*refreshed
-	for _, w := range work {
-		if !w.deferred && w.d == nil {
-			w.insts = e.operandInstances(w.st.bound)
-			recs = append(recs, w)
-		}
-	}
-	e.forEachParallel(len(recs), func(i int) {
-		w := recs[i]
-		start := time.Now()
-		w.vc, w.err = eval.Materialize(w.st.bound, w.insts, w.st.cfg.EvalOpt)
-		w.computeDur = time.Since(start)
-	})
-	for _, w := range work {
-		if w.err == nil && w.d != nil {
-			w.err = diffeval.Validate(w.st.data, w.d)
-		}
-		if w.err != nil {
-			rollback()
-			return TxResult{}, nil, w.err
-		}
-	}
-
-	// Phase 3b: install. Every delta validated and every recompute
-	// succeeded, so nothing below can fail: fold the deltas, swap the
-	// shadow states in, install the staged deferred backlogs, and
-	// queue subscriber notifications to fire after the lock is
-	// released.
-	var ns []notification
-	for _, w := range work {
-		name := w.st.name
-		w.st.stats.Transactions++
-		w.st.snapDirty = true
-		if w.deferred {
-			for rel, u := range w.pend {
-				w.st.pending[rel] = u
-			}
-			w.st.stats.PendingTx++
-			if w.st.vo != nil {
-				w.st.vo.pending.Set(float64(w.st.stats.PendingTx))
-			}
-			res.ViewsDeferred++
-			continue
-		}
-		var t0 time.Time
-		if w.st.vo != nil {
-			t0 = time.Now()
-		}
-		if w.d != nil {
-			if w.st.dataShared {
-				// Copy-on-write: fold the delta into a private clone
-				// (usually pre-built in phase 1) so the published
-				// snapshot's view state stays frozen.
-				if w.cow == nil {
-					w.cow = w.st.data.Clone()
-				}
-				w.st.data = w.cow
-				w.st.dataShared = false
-			}
-			if err := diffeval.Apply(w.st.data, w.d); err != nil {
-				// Unreachable: phase 3a validated this delta and Apply
-				// re-validates before mutating, so the view is intact.
-				return TxResult{}, nil, fmt.Errorf("db: internal: staged delta failed to install on %q: %w", name, err)
-			}
-			w.st.noteDelta(w.d)
-			ns = append(ns, w.st.notifications(name, w.d.Inserts, w.d.Deletes)...)
-		} else {
-			if len(w.st.subscribers) > 0 {
-				ins, del := countedDiff(w.st.data, w.vc)
-				ns = append(ns, w.st.notifications(name, ins, del)...)
-			}
-			w.st.data = w.vc // fresh shadow state, not yet in any snapshot
-			w.st.dataShared = false
-			w.st.stats.Recomputes++
-		}
-		if w.st.vo != nil {
-			w.st.vo.refreshHist(w.decision).ObserveDuration(w.computeDur + time.Since(t0))
-			if w.d != nil {
-				w.st.vo.computeWait.ObserveDuration(w.wait)
-			}
-		}
-		res.ViewsRefreshed++
-	}
-	// The commit is complete; make it visible to lock-free readers.
-	e.publishLocked()
-	return res, ns, nil
+	return req.res, ns, nil
 }
 
 // refreshed carries one touched view through the commit pipeline:
@@ -952,6 +797,14 @@ type refreshed struct {
 	decision   string                  // metrics label
 	computeDur time.Duration           // delta or recompute computation time
 	wait       time.Duration           // queue wait before compute started
+	// Group-commit fields (group.go). touchCount is how many of the
+	// group's transactions touch this view — the serial-equivalent
+	// increment for Transactions/PendingTx. noop marks a view whose
+	// composed delta cancelled to nothing; perTx marks a subscribed
+	// view whose state installs from folded per-transaction deltas.
+	touchCount int
+	noop       bool
+	perTx      bool
 }
 
 // invertUpdate returns the net update that undoes u: the tuples u
@@ -1399,6 +1252,20 @@ func (e *Engine) Explain(name string) (string, error) {
 	}
 	fmt.Fprintf(&sb, "  rows:    %s\n", strategy)
 	fmt.Fprintf(&sb, "  filter:  §4 irrelevance pre-filter %s\n", onOff(st.cfg.Maint.Filter))
+	m := st.cfg.Maint.FilterOptions.Method
+	// Largest conjunct decides the detector under MethodAdaptive; +1
+	// accounts for the distinguished '0' node of the constraint graph.
+	nodes := 1
+	for _, c := range b.Where.Conjuncts {
+		if n := len(c.Vars()) + 1; n > nodes {
+			nodes = n
+		}
+	}
+	if r := m.Resolve(nodes); r != m {
+		fmt.Fprintf(&sb, "  sat:     %s (%s at %d vars, threshold %d)\n", m, r, nodes-1, satgraph.AdaptiveSatThreshold)
+	} else {
+		fmt.Fprintf(&sb, "  sat:     %s negative-cycle detection\n", m)
+	}
 	var idx []string
 	for _, op := range b.Operands {
 		for pos := 0; pos < op.Scheme.Arity(); pos++ {

@@ -1,0 +1,665 @@
+// Group commit: concurrent Execute callers enqueue their transactions
+// and a single scheduler goroutine drains the queue in batches. Each
+// batch pays ONE log fsync (wal.Log.AppendBatch via the logBatch
+// callback), ONE composed 3-phase maintenance pass (§6 composition
+// cancels insert/delete churn before it reaches the views), and ONE
+// snapshot publish, then fans the per-transaction results back out to
+// the waiting callers.
+//
+// The serial path is the same pipeline with a batch of one:
+// executeLocked wraps executeBatchLocked, so group-on and group-off
+// share every invariant (atomicity, COW discipline, §4 filtering).
+package db
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mview/internal/delta"
+	"mview/internal/diffeval"
+	"mview/internal/eval"
+	"mview/internal/expr"
+	"mview/internal/relation"
+)
+
+// DefaultGroupMaxBatch bounds a group when EnableGroupCommit is given
+// a non-positive size.
+const DefaultGroupMaxBatch = 64
+
+// groupReq is one caller's transaction riding a group.
+type groupReq struct {
+	tx      *delta.Tx
+	payload []byte // pre-encoded commit-log record; nil when not durable
+
+	// Filled by the pipeline.
+	touched    map[string]bool                // relations in this tx's net effect
+	viewDeltas map[string]*diffeval.ViewDelta // per-tx deltas for subscribed views
+	res        TxResult
+	err        error
+	done       chan struct{} // closed when res/err are final
+}
+
+// group is the scheduler state. One goroutine (loop) owns batching;
+// callers only append to the queue and wait.
+type group struct {
+	e        *Engine
+	maxBatch int
+	window   time.Duration
+	logBatch func(payloads [][]byte) error // one fsync per call; nil when not durable
+
+	mu       sync.Mutex
+	queue    []*groupReq
+	lastSize int  // size of the last batch: evidence of concurrency
+	closing  bool // reject new submissions; drain what is queued
+
+	wake    chan struct{} // cap 1: queue went non-empty
+	full    chan struct{} // cap 1: queue reached maxBatch, cut the window short
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// EnableGroupCommit starts the group-commit scheduler: Execute calls
+// enqueue and a leader goroutine commits batches of up to maxBatch
+// transactions (non-positive: DefaultGroupMaxBatch), waiting up to
+// window for stragglers only when there is evidence of concurrency — a
+// solo writer never pays the window. logBatch, when non-nil, must
+// persist all payloads with a single fsync (wal.Log.AppendBatch);
+// it is called before the batch becomes visible.
+func (e *Engine) EnableGroupCommit(maxBatch int, window time.Duration, logBatch func([][]byte) error) {
+	e.DisableGroupCommit()
+	if maxBatch <= 0 {
+		maxBatch = DefaultGroupMaxBatch
+	}
+	if window < 0 {
+		window = 0
+	}
+	g := &group{
+		e:        e,
+		maxBatch: maxBatch,
+		window:   window,
+		logBatch: logBatch,
+		wake:     make(chan struct{}, 1),
+		full:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	e.group.Store(g)
+	go g.loop()
+}
+
+// DisableGroupCommit stops the scheduler after draining queued
+// transactions; later Execute calls take the serial path. No-op when
+// group commit is off.
+func (e *Engine) DisableGroupCommit() {
+	g := e.group.Swap(nil)
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.closing = true
+	g.mu.Unlock()
+	close(g.stop)
+	<-g.stopped
+}
+
+// GroupCommitEnabled reports whether the scheduler is running.
+func (e *Engine) GroupCommitEnabled() bool { return e.group.Load() != nil }
+
+// submit enqueues a transaction and blocks until its group commits.
+// ok=false means the scheduler is shutting down and the caller must
+// take the serial path.
+func (g *group) submit(tx *delta.Tx, payload []byte) (TxResult, error, bool) {
+	req := &groupReq{tx: tx, payload: payload, done: make(chan struct{})}
+	g.mu.Lock()
+	if g.closing {
+		g.mu.Unlock()
+		return TxResult{}, nil, false
+	}
+	g.queue = append(g.queue, req)
+	n := len(g.queue)
+	target := g.lastSize
+	g.mu.Unlock()
+	if n == 1 {
+		select {
+		case g.wake <- struct{}{}:
+		default:
+		}
+	}
+	// Cut the leader's window short once the expected cohort is in:
+	// writers released by one group re-enqueue together, so the last
+	// batch size predicts how many are coming. Without the cut every
+	// group would pay the full window; with it the steady-state wait is
+	// just the cohort's re-arrival time (microseconds).
+	if n >= g.maxBatch || (target > 1 && n >= target) {
+		select {
+		case g.full <- struct{}{}:
+		default:
+		}
+	}
+	<-req.done
+	return req.res, req.err, true
+}
+
+func (g *group) loop() {
+	defer close(g.stopped)
+	for {
+		select {
+		case <-g.wake:
+			g.drainAdaptive()
+		case <-g.stop:
+			g.drain()
+			return
+		}
+	}
+}
+
+// drainAdaptive processes batches until the queue is empty. The window
+// wait runs only with evidence of concurrency (more than one queued,
+// or the previous batch had more than one member): a lone writer
+// commits immediately, a burst accumulates into one fsync.
+func (g *group) drainAdaptive() {
+	for {
+		g.mu.Lock()
+		n, last := len(g.queue), g.lastSize
+		g.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		// Wait only with evidence that more members are coming: either
+		// the previous batch was concurrent and its cohort has not fully
+		// re-arrived (n < last), or concurrency just appeared (n > 1
+		// after a serial batch). A lone writer never waits, and once the
+		// expected cohort is in, neither does anyone else — submit's
+		// early-wake on g.full ends the window immediately, so the
+		// window is a straggler ceiling, not a tax.
+		var waited time.Duration
+		if g.window > 0 && n < g.maxBatch && ((last > 1 && n < last) || (last <= 1 && n > 1)) {
+			t := time.NewTimer(g.window)
+			start := time.Now()
+			select {
+			case <-g.full:
+			case <-t.C:
+			case <-g.stop:
+				// Shutting down: commit what is queued without waiting.
+			}
+			t.Stop()
+			waited = time.Since(start)
+		}
+		batch := g.pop()
+		if len(batch) == 0 {
+			continue
+		}
+		if o := g.e.o.Load(); o != nil && o.groupSize != nil {
+			o.groupSize.Observe(float64(len(batch)))
+			o.groupWait.ObserveDuration(waited)
+		}
+		g.run(batch)
+	}
+}
+
+// drain commits everything queued with no window waits (shutdown).
+func (g *group) drain() {
+	for {
+		batch := g.pop()
+		if len(batch) == 0 {
+			return
+		}
+		g.run(batch)
+	}
+}
+
+// pop takes up to maxBatch requests off the queue.
+func (g *group) pop() []*groupReq {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := len(g.queue)
+	if n > g.maxBatch {
+		n = g.maxBatch
+	}
+	batch := g.queue[:n:n]
+	g.queue = append([]*groupReq(nil), g.queue[n:]...)
+	g.lastSize = n
+	select {
+	case <-g.full: // consume a stale early-wake from the served burst
+	default:
+	}
+	return batch
+}
+
+// run commits one batch and releases its callers.
+func (g *group) run(batch []*groupReq) {
+	g.runOnce(batch)
+	for _, r := range batch {
+		close(r.done)
+	}
+}
+
+// runOnce runs the batch pipeline. A shared-phase failure in a batch
+// of several transactions cannot be attributed to one member, so each
+// remaining member retries solo — per-transaction atomicity holds and
+// one poisoned transaction never takes the group down with it. A solo
+// run's shared failure IS attributable and lands on the request.
+func (g *group) runOnce(batch []*groupReq) {
+	ns, err := g.e.executeBatchLocked(batch, g.logBatch)
+	if err != nil {
+		if len(batch) == 1 {
+			if batch[0].err == nil {
+				batch[0].err = err
+			}
+			return
+		}
+		for _, r := range batch {
+			if r.err != nil {
+				continue // per-tx failure already attributed in the failed run
+			}
+			r.res, r.viewDeltas, r.touched = TxResult{}, nil, nil
+			g.runOnce([]*groupReq{r})
+		}
+		return
+	}
+	fire(ns)
+}
+
+// executeBatchLocked is the commit pipeline, generalized from one
+// transaction to an ordered group. Per-transaction failures (unknown
+// relation, arity, a failing per-tx view delta) are recorded on the
+// request and the transaction is excluded from the group; a failure in
+// a shared phase returns an error with the engine untouched — nothing
+// is installed until every delta is validated and the whole batch is
+// durably logged.
+//
+// Phases:
+//  1. net effects: each transaction's delta.Tx.Net runs against an
+//     overlay of cloned base relations that accumulates the earlier
+//     members' effects, so later members see their predecessors.
+//  2. composition (§6): delta.ComposeTxs folds the per-tx nets into
+//     one net delta per relation; intra-group churn cancels here and
+//     never reaches maintenance.
+//  3. maintenance: ONE 3-phase pass over the composed delta — the
+//     serial pipeline's classify / compute-on-pool / validate, with
+//     recomputes materialized from the overlay post-state.
+//  4. log: all payloads appended with a single fsync (logBatch).
+//  5. install + publish: bases swap to the overlay clones, indexes
+//     advance by the composed delta, view states install, ONE COW
+//     snapshot publishes. Nothing in this phase can fail.
+func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) error) ([]notification, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	batchMode := len(reqs) > 1
+
+	// Phase 1: per-tx net effects against the evolving overlay. e.base
+	// stays frozen at the pre-group state B0 — maintenance deltas and
+	// the persistent indexes are defined against it.
+	work := make(map[string]*relation.Relation)
+	lookup := func(name string) (*relation.Relation, bool) {
+		if r, ok := work[name]; ok {
+			return r, true
+		}
+		r, ok := e.base[name]
+		return r, ok
+	}
+	overlayInst := func(b *expr.Bound) []*relation.Relation {
+		insts := make([]*relation.Relation, len(b.Operands))
+		for i, op := range b.Operands {
+			r, _ := lookup(op.Rel)
+			insts[i] = r
+		}
+		return insts
+	}
+
+	live := make([]*groupReq, 0, len(reqs))
+	nets := make([][]delta.Update, 0, len(reqs))
+	for _, r := range reqs {
+		updates, err := r.tx.Net(lookup)
+		if err != nil {
+			r.err = err
+			continue
+		}
+		r.res = TxResult{Updates: updates}
+		r.touched = make(map[string]bool, len(updates))
+		for _, u := range updates {
+			r.touched[u.Rel] = true
+		}
+		// Per-tx view deltas for subscribed views (batch only): each
+		// subscriber sees one alert per transaction, not one per group.
+		// Computed against the overlay BEFORE this tx applies; indexes
+		// are only consulted for relations still at their pre-group
+		// state (dirty ones fall back to scans).
+		if batchMode {
+			if err := e.perTxViewDeltas(r, updates, overlayInst, work); err != nil {
+				r.err = err
+				continue
+			}
+		}
+		for _, u := range updates {
+			if _, ok := work[u.Rel]; !ok {
+				work[u.Rel] = e.base[u.Rel].Clone()
+			}
+			if err := u.Apply(work[u.Rel]); err != nil {
+				// Unreachable: Net guarantees disjointness against the
+				// very state the update applies to. Poison the batch
+				// rather than risk a torn overlay.
+				return nil, fmt.Errorf("db: internal: overlay apply failed: %w", err)
+			}
+		}
+		live = append(live, r)
+		nets = append(nets, updates)
+	}
+	if len(live) == 0 {
+		return nil, nil
+	}
+
+	// Phase 2: §6 composition of the group's net effects.
+	composed, err := delta.ComposeTxs(nets)
+	if err != nil {
+		return nil, err
+	}
+	composedTouched := make(map[string]bool, len(composed))
+	for _, u := range composed {
+		composedTouched[u.Rel] = true
+	}
+	unionTouched := make(map[string]bool)
+	for _, r := range live {
+		for rel := range r.touched {
+			unionTouched[rel] = true
+		}
+	}
+
+	// Phase 3: classify the touched views. Counters follow the per-tx
+	// touch union so ViewStats.Transactions and PendingTx match the
+	// serial path even when composition cancels the data change.
+	var work3 []*refreshed
+	var diff []*refreshed
+	var recs []*refreshed
+	for _, name := range e.viewOrder {
+		st := e.views[name]
+		if !e.viewTouched(st, unionTouched) {
+			continue
+		}
+		touchCount := 0
+		for _, r := range live {
+			if e.viewTouched(st, r.touched) {
+				touchCount++
+			}
+		}
+		if st.cfg.Mode == Deferred {
+			pend, err := e.stagePending(st, composed)
+			if err != nil {
+				return nil, err
+			}
+			work3 = append(work3, &refreshed{st: st, deferred: true, pend: pend, touchCount: touchCount})
+			continue
+		}
+		if batchMode && perTxView(st) {
+			w := &refreshed{st: st, perTx: true, touchCount: touchCount,
+				decision: decisionLabel(st.cfg, PolicyDifferential)}
+			work3 = append(work3, w)
+			continue
+		}
+		if !e.viewTouched(st, composedTouched) {
+			// The group's churn cancelled before reaching this view: no
+			// data change, but the touch counters still advance.
+			work3 = append(work3, &refreshed{st: st, noop: true, touchCount: touchCount})
+			continue
+		}
+		policy := st.cfg.Policy
+		if policy == PolicyAdaptive {
+			policy = e.chooseAdaptive(st, composed)
+		}
+		switch policy {
+		case PolicyRecompute:
+			w := &refreshed{st: st, touchCount: touchCount, decision: decisionLabel(st.cfg, PolicyRecompute)}
+			work3 = append(work3, w)
+			recs = append(recs, w)
+		default:
+			w := &refreshed{st: st, touchCount: touchCount, insts: e.operandInstances(st.bound),
+				decision: decisionLabel(st.cfg, PolicyDifferential)}
+			work3 = append(work3, w)
+			diff = append(diff, w)
+		}
+	}
+
+	// Differential deltas of the composed net change, computed against
+	// the frozen pre-group state on the worker pool (same contract as
+	// the serial phase 1).
+	if len(diff) > 0 {
+		prov := provider{e: e}
+		submit := time.Now()
+		e.forEachParallel(len(diff), func(i int) {
+			w := diff[i]
+			start := time.Now()
+			w.wait = start.Sub(submit)
+			w.d, w.err = w.st.maint.ComputeDeltaWith(w.insts, composed, prov)
+			if w.err == nil && w.st.dataShared {
+				w.cow = w.st.data.Clone()
+			}
+			w.computeDur = time.Since(start)
+		})
+		for _, w := range diff {
+			if w.err != nil {
+				return nil, w.err
+			}
+		}
+		if o := e.o.Load(); o != nil && len(diff) > 1 {
+			if wall := time.Since(submit); wall > 0 {
+				var sum time.Duration
+				for _, w := range diff {
+					sum += w.computeDur
+				}
+				o.speedup.Observe(sum.Seconds() / wall.Seconds())
+			}
+		}
+	}
+
+	// Recompute shadows materialize from the overlay post-state (the
+	// serial pipeline applied the bases first for the same effect).
+	for _, w := range recs {
+		w.insts = overlayInst(w.st.bound)
+	}
+	e.forEachParallel(len(recs), func(i int) {
+		w := recs[i]
+		start := time.Now()
+		w.vc, w.err = eval.Materialize(w.st.bound, w.insts, w.st.cfg.EvalOpt)
+		w.computeDur = time.Since(start)
+	})
+
+	// Validate every delta before anything becomes visible. Per-tx
+	// delta chains fold onto a private clone, each step re-validated by
+	// diffeval.Apply; the clone becomes the view's next state.
+	for _, w := range work3 {
+		if w.err == nil && w.d != nil {
+			w.err = diffeval.Validate(w.st.data, w.d)
+		}
+		if w.err == nil && w.perTx {
+			w.cow = w.st.data.Clone()
+			for _, r := range live {
+				if d := r.viewDeltas[w.st.name]; d != nil {
+					if err := diffeval.Apply(w.cow, d); err != nil {
+						w.err = err
+						break
+					}
+				}
+			}
+		}
+		if w.err != nil {
+			return nil, w.err
+		}
+	}
+
+	// Phase 4: durably log the whole group with one fsync, before any
+	// of it becomes visible. A log failure aborts with the engine
+	// untouched (AppendBatch truncates a torn batch back out).
+	if logBatch != nil {
+		payloads := make([][]byte, 0, len(live))
+		for _, r := range live {
+			if r.payload != nil {
+				payloads = append(payloads, r.payload)
+			}
+		}
+		if len(payloads) > 0 {
+			if err := logBatch(payloads); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Phase 5: install. Nothing below can fail.
+	for rel, r := range work {
+		e.base[rel] = r
+		e.baseShared[rel] = false
+	}
+	for _, u := range composed {
+		e.applyToIndexes(u)
+	}
+	var ns []notification
+	for _, w := range work3 {
+		name := w.st.name
+		w.st.stats.Transactions += w.touchCount
+		w.st.snapDirty = true
+		if w.deferred {
+			for rel, u := range w.pend {
+				w.st.pending[rel] = u
+			}
+			w.st.stats.PendingTx += w.touchCount
+			if w.st.vo != nil {
+				w.st.vo.pending.Set(float64(w.st.stats.PendingTx))
+			}
+			continue
+		}
+		if w.noop {
+			continue
+		}
+		var t0 time.Time
+		if w.st.vo != nil {
+			t0 = time.Now()
+		}
+		switch {
+		case w.perTx:
+			w.st.data = w.cow
+			w.st.dataShared = false
+			for _, r := range live {
+				if d := r.viewDeltas[name]; d != nil {
+					w.st.noteDelta(d)
+				}
+			}
+		case w.d != nil:
+			if w.st.dataShared {
+				if w.cow == nil {
+					w.cow = w.st.data.Clone()
+				}
+				w.st.data = w.cow
+				w.st.dataShared = false
+			}
+			if err := diffeval.Apply(w.st.data, w.d); err != nil {
+				// Unreachable: validated above and Apply re-validates
+				// before mutating, so the view is intact.
+				return nil, fmt.Errorf("db: internal: staged delta failed to install on %q: %w", name, err)
+			}
+			w.st.noteDelta(w.d)
+			ns = append(ns, w.st.notifications(name, w.d.Inserts, w.d.Deletes)...)
+		default:
+			if len(w.st.subscribers) > 0 {
+				ins, del := countedDiff(w.st.data, w.vc)
+				ns = append(ns, w.st.notifications(name, ins, del)...)
+			}
+			w.st.data = w.vc
+			w.st.dataShared = false
+			w.st.stats.Recomputes++
+		}
+		if w.st.vo != nil {
+			w.st.vo.refreshHist(w.decision).ObserveDuration(w.computeDur + time.Since(t0))
+			if w.d != nil {
+				w.st.vo.computeWait.ObserveDuration(w.wait)
+			}
+		}
+	}
+	// Per-tx subscriber notifications, transaction-major: subscribers
+	// observe the same per-transaction alert stream the serial path
+	// produces (batch mode only; a batch of one rode the w.d path).
+	if batchMode {
+		for _, r := range live {
+			for _, w := range work3 {
+				if !w.perTx {
+					continue
+				}
+				if d := r.viewDeltas[w.st.name]; d != nil {
+					ns = append(ns, w.st.notifications(w.st.name, d.Inserts, d.Deletes)...)
+				}
+			}
+		}
+	}
+
+	// Per-request view counters follow each transaction's own touch
+	// set, exactly as if it had committed alone.
+	for _, r := range live {
+		for _, w := range work3 {
+			if !e.viewTouched(w.st, r.touched) {
+				continue
+			}
+			if w.deferred {
+				r.res.ViewsDeferred++
+			} else {
+				r.res.ViewsRefreshed++
+			}
+		}
+	}
+
+	if len(work) > 0 || len(work3) > 0 {
+		e.publishLocked()
+	}
+	return ns, nil
+}
+
+// perTxView reports whether a view gets per-transaction differential
+// deltas inside a batch: it has subscribers, refreshes immediately,
+// and is not pinned to recompute (a pinned-recompute subscribed view
+// notifies once per group via the recompute diff — documented in
+// ARCHITECTURE.md). Adaptive views commit to differential here so the
+// alert stream stays per-transaction.
+func perTxView(st *viewState) bool {
+	return len(st.subscribers) > 0 && st.cfg.Mode == Immediate && st.cfg.Policy != PolicyRecompute
+}
+
+// perTxViewDeltas computes r's differential deltas for every
+// subscribed view it touches, against the overlay state BEFORE r
+// applies. Indexes reflect the pre-group state, so the provider blanks
+// them for relations already dirtied by earlier group members.
+func (e *Engine) perTxViewDeltas(r *groupReq, updates []delta.Update,
+	overlayInst func(*expr.Bound) []*relation.Relation, work map[string]*relation.Relation) error {
+	for _, name := range e.viewOrder {
+		st := e.views[name]
+		if !perTxView(st) || !e.viewTouched(st, r.touched) {
+			continue
+		}
+		dirty := make(map[string]bool, len(work))
+		for rel := range work {
+			dirty[rel] = true
+		}
+		d, err := st.maint.ComputeDeltaWith(overlayInst(st.bound), updates, batchProvider{e: e, dirty: dirty})
+		if err != nil {
+			return err
+		}
+		if r.viewDeltas == nil {
+			r.viewDeltas = make(map[string]*diffeval.ViewDelta)
+		}
+		r.viewDeltas[name] = d
+	}
+	return nil
+}
+
+// batchProvider serves persistent indexes only for relations still at
+// their pre-group state; relations already modified by earlier group
+// members return nil (diffeval falls back to scans for them).
+type batchProvider struct {
+	e     *Engine
+	dirty map[string]bool
+}
+
+func (p batchProvider) Index(rel string, pos int) *relation.Index {
+	if p.dirty[rel] {
+		return nil
+	}
+	return provider{e: p.e}.Index(rel, pos)
+}

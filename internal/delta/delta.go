@@ -120,6 +120,49 @@ func Compose(base, next Update) (Update, error) {
 	return Update{Rel: base.Rel, Inserts: ins, Deletes: del}, nil
 }
 
+// ComposeTxs folds an ordered slice of per-transaction update slices
+// into one net update per relation, in first-touch order. Each element
+// of txs must be the net effect of one transaction against the state
+// produced by all earlier elements (exactly what group commit has
+// after computing each transaction's Net against the evolving batch
+// overlay); the result is the net effect of the whole group against
+// the pre-group state.
+//
+// This is the §6 cancellation step of group commit: a tuple inserted
+// by one transaction and deleted by a later one in the same group
+// vanishes entirely and never reaches maintenance. Relations whose
+// composition cancels to empty are dropped from the result.
+//
+// Updates touched by only one transaction are returned as-is (not
+// cloned); callers must treat the result as frozen, the same contract
+// the serial commit path already has with Tx.Net output.
+func ComposeTxs(txs [][]Update) ([]Update, error) {
+	acc := make(map[string]Update)
+	order := make([]string, 0, 4)
+	for _, tx := range txs {
+		for _, u := range tx {
+			prev, seen := acc[u.Rel]
+			if !seen {
+				acc[u.Rel] = u
+				order = append(order, u.Rel)
+				continue
+			}
+			c, err := Compose(prev, u)
+			if err != nil {
+				return nil, err
+			}
+			acc[u.Rel] = c
+		}
+	}
+	out := make([]Update, 0, len(order))
+	for _, rel := range order {
+		if u := acc[rel]; !u.IsEmpty() {
+			out = append(out, u)
+		}
+	}
+	return out, nil
+}
+
 // orEmpty substitutes an empty relation (with a scheme borrowed from
 // the sibling update) for a nil set so Compose can treat all four sets
 // uniformly.

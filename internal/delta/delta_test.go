@@ -322,3 +322,128 @@ func TestTxLen(t *testing.T) {
 		t.Errorf("Len = %d", tx.Len())
 	}
 }
+
+func TestComposeTxsCancellationAndOrder(t *testing.T) {
+	sch := schema.MustScheme("A")
+	upd := func(rel string, ins, del []int64) Update {
+		u := Update{Rel: rel, Inserts: relation.New(sch), Deletes: relation.New(sch)}
+		for _, v := range ins {
+			if err := u.Inserts.Insert(tuple.New(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, v := range del {
+			if err := u.Deletes.Insert(tuple.New(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return u
+	}
+
+	// tx1 inserts 1,2 into R and deletes 9 from S; tx2 deletes 1 from R
+	// (cancels half of tx1) and re-inserts 9 into S (cancels tx1's S
+	// delta entirely); tx3 touches T.
+	net, err := ComposeTxs([][]Update{
+		{upd("R", []int64{1, 2}, nil), upd("S", nil, []int64{9})},
+		{upd("R", nil, []int64{1}), upd("S", []int64{9}, nil)},
+		{upd("T", []int64{7}, nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net) != 2 {
+		t.Fatalf("net = %v, want R and T only", net)
+	}
+	if net[0].Rel != "R" || net[1].Rel != "T" {
+		t.Errorf("first-touch order violated: %s, %s", net[0].Rel, net[1].Rel)
+	}
+	r := net[0]
+	if r.Inserts.Len() != 1 || !r.Inserts.Has(tuple.New(2)) || r.Deletes.Len() != 0 {
+		t.Errorf("R net = +%v -%v, want +{2} -{}", r.Inserts, r.Deletes)
+	}
+}
+
+func TestComposeTxsSingleTouchPassthrough(t *testing.T) {
+	sch := schema.MustScheme("A")
+	ins := relation.MustFromTuples(sch, tuple.New(5))
+	u := Update{Rel: "R", Inserts: ins, Deletes: relation.New(sch)}
+	net, err := ComposeTxs([][]Update{{u}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net) != 1 || net[0].Inserts != ins {
+		t.Errorf("single-touch update was not passed through unchanged")
+	}
+}
+
+func TestComposeTxsEquivalentToSequentialApply(t *testing.T) {
+	// Random-ish op streams: composing per-tx nets must equal applying
+	// the transactions one after another.
+	sch := schema.MustScheme("A")
+	base := relation.MustFromTuples(sch, tuple.New(1), tuple.New(2), tuple.New(3))
+	oracle := base.Clone()
+	overlay := base.Clone()
+
+	var nets [][]Update
+	streams := [][][2]int64{ // {op(0=ins,1=del), value}
+		{{0, 4}, {1, 1}, {0, 5}},
+		{{1, 4}, {0, 6}, {1, 2}},
+		{{0, 1}, {1, 5}, {0, 7}},
+	}
+	for _, ops := range streams {
+		var tx Tx
+		for _, o := range ops {
+			if o[0] == 0 {
+				tx.Insert("R", tuple.New(o[1]))
+			} else {
+				tx.Delete("R", tuple.New(o[1]))
+			}
+		}
+		net, err := tx.Net(lookupOne("R", overlay))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range net {
+			if err := u.Apply(overlay); err != nil {
+				t.Fatal(err)
+			}
+			if err := u.Apply(oracle); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nets = append(nets, net)
+	}
+
+	composed, err := ComposeTxs(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := base.Clone()
+	for _, u := range composed {
+		// Disjointness against the pre-group state must hold for the
+		// composed net (i ∩ B0 = ∅, d ⊆ B0).
+		u.Inserts.Each(func(tp tuple.Tuple) {
+			if base.Has(tp) {
+				t.Errorf("composed insert %v already in pre-group state", tp)
+			}
+		})
+		u.Deletes.Each(func(tp tuple.Tuple) {
+			if !base.Has(tp) {
+				t.Errorf("composed delete %v not in pre-group state", tp)
+			}
+		})
+		if err := u.Apply(got); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !got.Equal(oracle) {
+		t.Errorf("composed apply = %v, sequential apply = %v", got, oracle)
+	}
+}
+
+func TestComposeTxsEmpty(t *testing.T) {
+	net, err := ComposeTxs(nil)
+	if err != nil || len(net) != 0 {
+		t.Errorf("ComposeTxs(nil) = %v, %v", net, err)
+	}
+}

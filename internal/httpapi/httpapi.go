@@ -35,6 +35,20 @@
 // A tracer passed via WithObs (typically an obs.SlowLogger, wired to
 // mviewd's -slowlog flag) receives an `http.request` span per call,
 // so slow requests and slow refreshes land in one structured log.
+//
+// # Group commit
+//
+// When the database runs with group commit (mviewd -group-commit),
+// concurrent POST /exec requests coalesce into commit groups — one
+// commit-log fsync, one composed maintenance pass, one snapshot
+// publish — while each request is answered with its own TxInfo and
+// error. SSE watch streams keep per-transaction granularity: every
+// member of a group that changes a watched view produces its own
+// change event (a subscribed view pinned to recompute is the one
+// exception — it notifies once per group, with the group's combined
+// diff). GET /debug/stats reports whether group commit is active
+// ("group_commit") alongside the mview_group_commit_size,
+// mview_group_wait_seconds, and mview_wal_fsyncs_total series.
 package httpapi
 
 import (
@@ -193,6 +207,7 @@ func (h *Handler) debugStats(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(h.start).Seconds(),
+		"group_commit":   h.db.GroupCommitEnabled(),
 		"metrics":        h.reg.Snapshot(),
 		"views":          views,
 	})

@@ -2,10 +2,13 @@ package httpapi
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"mview"
 )
@@ -173,5 +176,50 @@ func TestErrors(t *testing.T) {
 		if resp["error"] == "" {
 			t.Errorf("%s %s: missing error body", c.method, c.path)
 		}
+	}
+}
+
+// TestExecRidesGroupCommit runs concurrent POST /exec requests against
+// a database with the group-commit scheduler enabled: every request
+// must be answered individually (its own TxInfo), the view must end up
+// with every row, and /debug/stats must report the scheduler active.
+func TestExecRidesGroupCommit(t *testing.T) {
+	db := mview.Open()
+	db.EnableGroupCommit(8, 2*time.Millisecond)
+	defer db.DisableGroupCommit()
+	h := NewWith(db)
+	if code, _ := do(t, h, "POST", "/relations", `{"name":"r","attrs":["A","B"]}`); code != http.StatusCreated {
+		t.Fatal("create r")
+	}
+	if code, _ := do(t, h, "POST", "/views", `{"name":"v","from":["r"],"where":"B = 10"}`); code != http.StatusCreated {
+		t.Fatal("create v")
+	}
+
+	const writers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"ops":[{"op":"insert","rel":"r","values":[%d,10]}]}`, i)
+			code, resp := do(t, h, "POST", "/exec", body)
+			if code != http.StatusOK {
+				t.Errorf("writer %d: code %d %v", i, code, resp)
+				return
+			}
+			if resp["Inserted"].(float64) != 1 {
+				t.Errorf("writer %d: resp %v", i, resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	code, resp := do(t, h, "GET", "/views/v", "")
+	if code != http.StatusOK || resp["count"].(float64) != writers {
+		t.Fatalf("view after group commits: %d %v", code, resp)
+	}
+	code, resp = do(t, h, "GET", "/debug/stats", "")
+	if code != http.StatusOK || resp["group_commit"] != true {
+		t.Fatalf("debug/stats: %d group_commit=%v", code, resp["group_commit"])
 	}
 }

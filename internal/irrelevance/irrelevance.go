@@ -32,8 +32,10 @@ import (
 
 // Options tunes a Checker.
 type Options struct {
-	// Method selects the negative-cycle detector (default: Floyd, as
-	// in the paper).
+	// Method selects the negative-cycle detector. The zero value is
+	// the paper's Floyd; satgraph.MethodAdaptive (the engine default
+	// via buildConfig) resolves per conjunction size — Floyd below
+	// satgraph.AdaptiveSatThreshold variables, Bellman–Ford above.
 	Method satgraph.Method
 	// NELimit caps the DNF expansion of ≠ atoms (0 means 64). When an
 	// expansion would exceed the cap the checker becomes conservative

@@ -1,0 +1,34 @@
+package satgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mview/internal/pred"
+)
+
+// BenchmarkSatCrossover measures Floyd vs Bellman–Ford across
+// conjunction widths to validate AdaptiveSatThreshold (C-SAT-N3's
+// companion: the same shapes the irrelevance checker sees).
+func BenchmarkSatCrossover(b *testing.B) {
+	for _, nv := range []int{4, 8, 16, 24, 32, 48, 64} {
+		rng := rand.New(rand.NewSource(int64(nv)))
+		g := NewGraph()
+		for i := 0; i < nv; i++ {
+			g.AddVar(pred.Var(fmt.Sprintf("V%d", i)))
+		}
+		for i := 0; i < 2*nv; i++ {
+			x := pred.Var(fmt.Sprintf("V%d", rng.Intn(nv)))
+			y := pred.Var(fmt.Sprintf("V%d", rng.Intn(nv)))
+			g.AddConstraint(pred.Constraint{X: x, Y: y, C: int64(rng.Intn(9) - 3)})
+		}
+		for _, m := range []Method{MethodFloyd, MethodBellmanFord} {
+			b.Run(fmt.Sprintf("n=%d/%s", nv, m), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g.Satisfiable(m)
+				}
+			})
+		}
+	}
+}

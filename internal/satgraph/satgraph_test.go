@@ -1,6 +1,7 @@
 package satgraph
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -255,3 +256,66 @@ func TestExtremeConstantsNoOverflow(t *testing.T) {
 }
 
 func math62() int64 { return int64(1) << 60 }
+
+func TestMethodAdaptiveResolve(t *testing.T) {
+	cases := []struct {
+		m     Method
+		nodes int
+		want  Method
+	}{
+		{MethodFloyd, 1000, MethodFloyd},
+		{MethodBellmanFord, 2, MethodBellmanFord},
+		{MethodAdaptive, AdaptiveSatThreshold - 1, MethodFloyd},
+		{MethodAdaptive, AdaptiveSatThreshold, MethodBellmanFord},
+		{MethodAdaptive, AdaptiveSatThreshold + 100, MethodBellmanFord},
+	}
+	for _, c := range cases {
+		if got := c.m.Resolve(c.nodes); got != c.want {
+			t.Errorf("%s.Resolve(%d) = %s, want %s", c.m, c.nodes, got, c.want)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodFloyd.String() != "floyd" || MethodBellmanFord.String() != "bellman-ford" ||
+		MethodAdaptive.String() != "adaptive" {
+		t.Errorf("method names: %s %s %s", MethodFloyd, MethodBellmanFord, MethodAdaptive)
+	}
+}
+
+// TestAdaptiveAgreesAcrossThreshold verifies MethodAdaptive returns the
+// same verdicts as both concrete detectors on graphs straddling the
+// cut-over point, including wide conjunctions that force Bellman–Ford.
+func TestAdaptiveAgreesAcrossThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	ops := []pred.Op{pred.OpEQ, pred.OpLT, pred.OpLE, pred.OpGT, pred.OpGE}
+	for trial := 0; trial < 200; trial++ {
+		nv := 2 + rng.Intn(2*AdaptiveSatThreshold) // 2 .. ~2× threshold vars
+		vars := make([]pred.Var, nv)
+		for i := range vars {
+			vars[i] = pred.Var(fmt.Sprintf("V%d", i))
+		}
+		atoms := make([]pred.Atom, nv+rng.Intn(nv))
+		for i := range atoms {
+			x := vars[rng.Intn(nv)]
+			op := ops[rng.Intn(len(ops))]
+			if rng.Intn(3) == 0 {
+				atoms[i] = pred.VarConst(x, op, int64(rng.Intn(21)-10))
+			} else {
+				atoms[i] = pred.VarVar(x, op, vars[rng.Intn(nv)], int64(rng.Intn(21)-10))
+			}
+		}
+		c := pred.And(atoms...)
+		a, err := SatisfiableConjunction(c, MethodAdaptive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := SatisfiableConjunction(c, MethodFloyd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != f {
+			t.Fatalf("adaptive=%v floyd=%v for %d vars", a, f, nv)
+		}
+	}
+}

@@ -275,3 +275,157 @@ func TestCloseFlushesWhenSyncDisabled(t *testing.T) {
 		t.Fatalf("records after unsynced Close = %+v", recs)
 	}
 }
+
+// TestAppendBatchRoundTrip checks the group-commit contract: a batch
+// appends consecutive-LSN records that replay as individual records,
+// and numbering continues seamlessly across batch and single appends.
+func TestAppendBatchRoundTrip(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(1, []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	first, err := l.AppendBatch([]Entry{
+		{Kind: 2, Payload: []byte("g1")},
+		{Kind: 3, Payload: nil},
+		{Kind: 4, Payload: []byte("g3")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 2 {
+		t.Errorf("batch first LSN = %d, want 2", first)
+	}
+	if l.LastLSN() != 4 {
+		t.Errorf("LastLSN = %d, want 4", l.LastLSN())
+	}
+	if lsn, err := l.Append(5, []byte("after")); err != nil || lsn != 5 {
+		t.Errorf("post-batch append = (%d, %v), want (5, nil)", lsn, err)
+	}
+	_ = l.Close()
+
+	recs := collect(t, path, 0)
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || r.Kind != uint8(i+1) {
+			t.Errorf("record %d = %+v", i, r)
+		}
+	}
+	if string(recs[1].Payload) != "g1" || string(recs[3].Payload) != "g3" {
+		t.Errorf("batch payloads corrupted: %q %q", recs[1].Payload, recs[3].Payload)
+	}
+}
+
+// TestAppendBatchEmptyAndOversized pins the argument contract.
+func TestAppendBatchEmptyAndOversized(t *testing.T) {
+	l, err := Open(tempLog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.AppendBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	big := Entry{Kind: 1, Payload: make([]byte, MaxPayload+1)}
+	if _, err := l.AppendBatch([]Entry{big}); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if l.LastLSN() != 0 {
+		t.Errorf("rejected batches advanced the LSN to %d", l.LastLSN())
+	}
+}
+
+// TestAppendBatchTornAtEveryOffset simulates a crash at every byte
+// inside a 3-record batch: recovery must recover a prefix of whole
+// records (never a torn one) and a reopened log must append cleanly.
+func TestAppendBatchTornAtEveryOffset(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Sync = false
+	if _, err := l.Append(1, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	preInfo, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preLen := preInfo.Size()
+	if _, err := l.AppendBatch([]Entry{
+		{Kind: 2, Payload: []byte("alpha")},
+		{Kind: 3, Payload: []byte("beta")},
+		{Kind: 4, Payload: []byte("gamma")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := preLen; cut <= int64(len(full)); cut++ {
+		p2 := filepath.Join(t.TempDir(), "torn.log")
+		if err := os.WriteFile(p2, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs := collect(t, p2, 0)
+		if len(recs) < 1 || len(recs) > 4 {
+			t.Fatalf("cut %d: %d records recovered", cut, len(recs))
+		}
+		for i, r := range recs {
+			if r.LSN != uint64(i+1) || r.Kind != uint8(i+1) {
+				t.Fatalf("cut %d: record %d torn: %+v", cut, i, r)
+			}
+		}
+		l2, err := Open(p2)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		l2.Sync = false
+		want := uint64(len(recs) + 1)
+		if lsn, _ := l2.Append(9, []byte("resume")); lsn != want {
+			t.Fatalf("cut %d: resumed at LSN %d, want %d", cut, lsn, want)
+		}
+		_ = l2.Close()
+	}
+}
+
+// TestAppendBatchHookSimulatedCrash pins the fault-injection contract:
+// a hook error at "written" aborts with the batch bytes still in the
+// file (the process died there) and without advancing the LSN.
+func TestAppendBatchHookSimulatedCrash(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := os.ErrClosed
+	AppendBatchHook = func(stage string) error {
+		if stage == "written" {
+			return boom
+		}
+		return nil
+	}
+	defer func() { AppendBatchHook = nil }()
+	if _, err := l.AppendBatch([]Entry{{Kind: 1, Payload: []byte("doomed")}}); err != boom {
+		t.Fatalf("AppendBatch error = %v, want injected %v", err, boom)
+	}
+	if l.LastLSN() != 0 {
+		t.Errorf("simulated crash advanced LSN to %d", l.LastLSN())
+	}
+	_ = l.Close()
+	// The unsynced, unacknowledged record may or may not survive a real
+	// crash; here the bytes are intact, so recovery sees one record —
+	// which is fine: it was fully written, never torn.
+	if recs := collect(t, path, 0); len(recs) > 1 {
+		t.Errorf("recovered %d records from a 1-record torn batch", len(recs))
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"mview/internal/obs"
 	"mview/internal/pred"
 	"mview/internal/relation"
+	"mview/internal/satgraph"
 	"mview/internal/schema"
 	"mview/internal/tuple"
 	"mview/internal/wal"
@@ -29,6 +30,14 @@ type DB struct {
 	wal *wal.Log
 	dir string
 	mu  sync.Mutex // serializes logged statements so log order = apply order
+	// gmu fences group commit against structural change: every grouped
+	// Exec holds it shared for the duration of its submit, while DDL,
+	// Checkpoint, Close, and the Enable/DisableGroupCommit toggles hold
+	// it exclusively. That keeps log order equal to apply order across
+	// the two logging disciplines (groups log-before-visible inside the
+	// engine; statements here apply-then-log) and guarantees the
+	// scheduler never stops with a durable transaction in flight.
+	gmu sync.RWMutex
 	// Observability (Instrument); nil until attached.
 	reg    *obs.Registry
 	tracer obs.Tracer
@@ -107,10 +116,19 @@ func toAttrs(attrs []string) []schema.Attribute {
 // paths free of contention.
 func (d *DB) lockIfDurable() func() {
 	if d.wal == nil {
-		return func() {}
+		// In-memory databases still fence structural statements against
+		// in-flight grouped transactions; the engine lock alone orders
+		// them, but draining the group first keeps DDL from interleaving
+		// with a batch mid-pipeline.
+		d.gmu.Lock()
+		return d.gmu.Unlock
 	}
+	d.gmu.Lock()
 	d.mu.Lock()
-	return d.mu.Unlock
+	return func() {
+		d.mu.Unlock()
+		d.gmu.Unlock()
+	}
 }
 
 // ViewSpec describes an SPJ view: V = π_Select(σ_Where(From₁ × … ×
@@ -245,6 +263,10 @@ func optionNames(opts []ViewOption) []string {
 func buildConfig(opts []ViewOption) db.ViewConfig {
 	var cfg db.ViewConfig
 	cfg.EvalOpt.Greedy = true
+	// Adaptive satisfiability: the paper's Floyd for small conjunctions,
+	// Bellman–Ford once the variable count makes O(n³) dominate
+	// (C-SAT-N3). Options may still pin a concrete method.
+	cfg.Maint.FilterOptions.Method = satgraph.MethodAdaptive
 	for _, o := range opts {
 		o.apply(&cfg)
 	}
@@ -313,24 +335,97 @@ type TxInfo struct {
 // no-op, and churn that cancels within the transaction never reaches
 // the views.
 func (d *DB) Exec(ops ...Op) (TxInfo, error) {
+	d.gmu.RLock()
+	if d.eng.GroupCommitEnabled() {
+		defer d.gmu.RUnlock()
+		return d.execGrouped(ops)
+	}
+	d.gmu.RUnlock()
 	defer d.lockIfDurable()()
 	info, err := d.execCore(ops)
 	if err != nil {
 		return TxInfo{}, err
 	}
 	if d.wal != nil {
-		wops := make([]walOp, len(ops))
-		for i, o := range ops {
-			wops[i] = walOp{Del: o.del, Rel: o.rel, Vals: o.vals}
-		}
-		if err := d.logStmt(walStmt{Kind: "tx", Ops: wops}); err != nil {
+		if err := d.logStmt(walStmt{Kind: "tx", Ops: opsToWal(ops)}); err != nil {
 			return TxInfo{}, err
 		}
 	}
 	return info, nil
 }
 
+// execGrouped rides the group-commit path: the statement is encoded up
+// front, and the engine's leader logs it (one batched fsync for the
+// whole group) before the transaction becomes visible, so — unlike the
+// serial apply-then-log path above — a logging failure aborts the
+// transaction instead of surfacing after the fact.
+func (d *DB) execGrouped(ops []Op) (TxInfo, error) {
+	var payload []byte
+	if d.wal != nil {
+		p, err := encodeStmt(walStmt{Kind: "tx", Ops: opsToWal(ops)})
+		if err != nil {
+			return TxInfo{}, err
+		}
+		payload = p
+	}
+	tx := buildTx(ops)
+	res, err := d.eng.ExecuteLogged(&tx, payload)
+	if err != nil {
+		return TxInfo{}, err
+	}
+	return txInfoFrom(res), nil
+}
+
+func opsToWal(ops []Op) []walOp {
+	wops := make([]walOp, len(ops))
+	for i, o := range ops {
+		wops[i] = walOp{Del: o.del, Rel: o.rel, Vals: o.vals}
+	}
+	return wops
+}
+
+// EnableGroupCommit coalesces concurrent Exec calls into commit
+// groups: one batched log append (a single fsync covers every member),
+// one composed maintenance pass over the group's net delta, and one
+// snapshot publish. maxBatch caps the group size (<= 0 selects the
+// default); window is how long the leader waits for followers once
+// there is evidence of concurrency (0 disables the wait — groups form
+// only from what has already queued). Transactions keep their
+// individual atomicity: a member that fails validation is excluded and
+// retried alone without poisoning the rest of its group.
+func (d *DB) EnableGroupCommit(maxBatch int, window time.Duration) {
+	d.gmu.Lock()
+	defer d.gmu.Unlock()
+	var logBatch func([][]byte) error
+	if d.wal != nil {
+		logBatch = d.logPayloadBatch
+	}
+	d.eng.EnableGroupCommit(maxBatch, window, logBatch)
+}
+
+// DisableGroupCommit drains any queued transactions and restores the
+// serial commit path. It blocks until in-flight grouped Exec calls
+// have completed.
+func (d *DB) DisableGroupCommit() {
+	d.gmu.Lock()
+	defer d.gmu.Unlock()
+	d.eng.DisableGroupCommit()
+}
+
+// GroupCommitEnabled reports whether Exec currently rides the
+// group-commit scheduler.
+func (d *DB) GroupCommitEnabled() bool { return d.eng.GroupCommitEnabled() }
+
 func (d *DB) execCore(ops []Op) (TxInfo, error) {
+	tx := buildTx(ops)
+	res, err := d.eng.Execute(&tx)
+	if err != nil {
+		return TxInfo{}, err
+	}
+	return txInfoFrom(res), nil
+}
+
+func buildTx(ops []Op) delta.Tx {
 	var tx delta.Tx
 	for _, o := range ops {
 		t := tuple.New(o.vals...)
@@ -340,10 +435,10 @@ func (d *DB) execCore(ops []Op) (TxInfo, error) {
 			tx.Insert(o.rel, t)
 		}
 	}
-	res, err := d.eng.Execute(&tx)
-	if err != nil {
-		return TxInfo{}, err
-	}
+	return tx
+}
+
+func txInfoFrom(res db.TxResult) TxInfo {
 	info := TxInfo{ViewsRefreshed: res.ViewsRefreshed, ViewsDeferred: res.ViewsDeferred}
 	for _, u := range res.Updates {
 		if u.Inserts != nil {
@@ -353,7 +448,7 @@ func (d *DB) execCore(ops []Op) (TxInfo, error) {
 			info.Deleted += u.Deletes.Len()
 		}
 	}
-	return info, nil
+	return info
 }
 
 // Row is one view tuple with its §5.2 multiplicity counter (the number
