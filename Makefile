@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race bench crash lint clean
+.PHONY: all build test race bench crash lint apicheck apilock clean
 
-all: lint build test
+all: lint apicheck build test
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,7 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 -run 'Group' ./internal/db .
+	$(GO) test -race -count=2 -run 'Shard|SplitUpdate|MergeDeltas' ./internal/db ./internal/relation ./internal/delta ./internal/diffeval .
 
 # The quantitative-shape benchmarks behind bench_results.txt. Narrow
 # with BENCH, e.g. `make bench BENCH=GroupCommit` for the C-GROUP
@@ -33,6 +34,17 @@ crash:
 lint:
 	$(GO) vet ./...
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+# The exported Go surface of the root package, pinned. apicheck fails
+# on any drift from docs/api.lock; after an intentional API change,
+# review the diff and re-record with `make apilock`.
+apicheck:
+	@$(GO) doc -all . > /tmp/api.current
+	@diff -u docs/api.lock /tmp/api.current \
+		|| { echo "exported API drifted from docs/api.lock (run 'make apilock' if intended)"; exit 1; }
+
+apilock:
+	$(GO) doc -all . > docs/api.lock
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@
 //	mviewcli                 # interactive prompt, in-memory database
 //	mviewcli -data ./mydb    # durable database (commit log + checkpoints)
 //	mviewcli -maint-workers 4  # bound the parallel maintenance pool
+//	mviewcli -shards 8       # hash-shard base relations for shard-parallel maintenance
 //	mviewcli -group-commit [-group-max N] [-group-window 2ms]  # commit-group scheduler
 //	mviewcli < script        # batch mode
 //
@@ -21,36 +22,43 @@ import (
 	"os"
 	"time"
 
+	"mview"
 	"mview/internal/cli"
 )
 
 func main() {
 	data := flag.String("data", "", "durable database directory (empty = in-memory)")
 	workers := flag.Int("maint-workers", 0, "per-view maintenance worker pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "hash shards per base relation (1 = monolithic)")
 	groupCommit := flag.Bool("group-commit", false, "coalesce concurrent transactions into commit groups")
 	groupMax := flag.Int("group-max", 0, "maximum transactions per commit group (0 = default)")
 	groupWindow := flag.Duration("group-window", 2*time.Millisecond, "group leader's wait for followers under concurrency (0 = no wait)")
 	flag.Parse()
 
+	var opts []mview.Option
+	if *workers > 0 {
+		opts = append(opts, mview.WithMaintWorkers(*workers))
+	}
+	if *shards > 1 {
+		opts = append(opts, mview.WithShards(*shards))
+	}
+	if *groupCommit {
+		opts = append(opts, mview.WithGroupCommit(*groupMax, *groupWindow))
+	}
+
 	interactive := isTerminal()
 	var s *cli.Session
 	if *data != "" {
 		var err error
-		s, err = cli.NewDurableSession(*data)
+		s, err = cli.NewDurableSession(*data, opts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mviewcli: %v\n", err)
 			os.Exit(1)
 		}
 	} else {
-		s = cli.NewSession()
+		s = cli.NewSession(opts...)
 	}
 	defer s.Close()
-	if *workers > 0 {
-		s.SetMaintWorkers(*workers)
-	}
-	if *groupCommit {
-		s.EnableGroupCommit(*groupMax, *groupWindow)
-	}
 	if interactive {
 		fmt.Println("mview — materialized views with efficient differential maintenance (SIGMOD 1986)")
 		fmt.Println("type 'help' for the command language")

@@ -2,8 +2,8 @@
 //
 // Usage:
 //
-//	mviewd [-addr :8080] [-data ./mydb] [-metrics=true] [-slowlog 100ms] [-maint-workers N] [-checkpoint-interval 5m]
-//	       [-group-commit] [-group-max N] [-group-window 2ms]
+//	mviewd [-addr :8080] [-data ./mydb] [-metrics=true] [-slowlog 100ms] [-maint-workers N] [-shards N]
+//	       [-checkpoint-interval 5m] [-group-commit] [-group-max N] [-group-window 2ms]
 //
 // See package mview/internal/httpapi for the endpoint reference. A
 // minimal session:
@@ -23,6 +23,14 @@
 // -maint-workers bounds the worker pool that computes per-view
 // maintenance concurrently inside each commit (0 = GOMAXPROCS, the
 // default).
+//
+// -shards hash-partitions every base relation into N shards so one
+// transaction's maintenance fans out shard-parallel tasks onto that
+// pool, and the §4 irrelevance checker can prune whole shards whose
+// key bounds cannot satisfy a view's condition. 1 (the default) keeps
+// relations monolithic. The shard count is engine configuration, not
+// persisted state: restarting with a different -shards value reshards
+// the recovered database.
 //
 // -checkpoint-interval makes a durable server checkpoint periodically
 // (snapshot + commit-log truncate), bounding recovery replay time. It
@@ -65,35 +73,19 @@ func main() {
 	metrics := flag.Bool("metrics", true, "serve /metrics and /debug/stats")
 	slowlog := flag.Duration("slowlog", 0, "log spans (commits, refreshes, requests) slower than this; 0 disables")
 	workers := flag.Int("maint-workers", 0, "per-view maintenance worker pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "hash shards per base relation (1 = monolithic)")
 	ckptEvery := flag.Duration("checkpoint-interval", 0, "checkpoint a durable database this often (0 disables; requires -data)")
 	groupCommit := flag.Bool("group-commit", false, "coalesce concurrent transactions into commit groups (one fsync, one maintenance pass, one snapshot publish per group)")
 	groupMax := flag.Int("group-max", 0, "maximum transactions per commit group (0 = default)")
 	groupWindow := flag.Duration("group-window", 2*time.Millisecond, "how long a group leader waits for followers once writers are concurrent (0 = no wait)")
 	flag.Parse()
 
-	if err := run(*addr, *data, *metrics, *slowlog, *workers, *ckptEvery, *groupCommit, *groupMax, *groupWindow); err != nil {
+	if err := run(*addr, *data, *metrics, *slowlog, *workers, *shards, *ckptEvery, *groupCommit, *groupMax, *groupWindow); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, data string, metrics bool, slowlog time.Duration, workers int, ckptEvery time.Duration, groupCommit bool, groupMax int, groupWindow time.Duration) error {
-	var db *mview.DB
-	if data != "" {
-		var err error
-		if db, err = mview.OpenDurable(data); err != nil {
-			return err
-		}
-		log.Printf("mviewd: recovered durable database in %s", data)
-	} else {
-		db = mview.Open()
-	}
-	defer db.Close()
-	db.SetMaintWorkers(workers)
-	if groupCommit {
-		db.EnableGroupCommit(groupMax, groupWindow)
-	}
-
-	var opts []httpapi.Option
+func run(addr, data string, metrics bool, slowlog time.Duration, workers, shards int, ckptEvery time.Duration, groupCommit bool, groupMax int, groupWindow time.Duration) error {
 	var reg *obs.Registry
 	var tr obs.Tracer
 	if slowlog > 0 {
@@ -102,8 +94,35 @@ func run(addr, data string, metrics bool, slowlog time.Duration, workers int, ck
 	if metrics {
 		reg = obs.NewRegistry()
 	}
+
+	var dbOpts []mview.Option
+	if workers > 0 {
+		dbOpts = append(dbOpts, mview.WithMaintWorkers(workers))
+	}
+	if shards > 1 {
+		dbOpts = append(dbOpts, mview.WithShards(shards))
+	}
+	if groupCommit {
+		dbOpts = append(dbOpts, mview.WithGroupCommit(groupMax, groupWindow))
+	}
 	if reg != nil || tr != nil {
-		db.Instrument(reg, tr)
+		dbOpts = append(dbOpts, mview.WithObs(reg, tr))
+	}
+
+	var db *mview.DB
+	if data != "" {
+		var err error
+		if db, err = mview.OpenDurable(data, dbOpts...); err != nil {
+			return err
+		}
+		log.Printf("mviewd: recovered durable database in %s", data)
+	} else {
+		db = mview.Open(dbOpts...)
+	}
+	defer db.Close()
+
+	var opts []httpapi.Option
+	if reg != nil || tr != nil {
 		opts = append(opts, httpapi.WithObs(reg, tr))
 	} else {
 		opts = append(opts, httpapi.WithoutObs())
@@ -154,8 +173,8 @@ func run(addr, data string, metrics bool, slowlog time.Duration, workers int, ck
 			errc <- err
 		}
 	}()
-	log.Printf("mviewd listening on %s (data=%q metrics=%v slowlog=%v maint-workers=%d group-commit=%v)",
-		addr, data, metrics, slowlog, db.MaintWorkers(), db.GroupCommitEnabled())
+	log.Printf("mviewd listening on %s (data=%q metrics=%v slowlog=%v maint-workers=%d shards=%d group-commit=%v)",
+		addr, data, metrics, slowlog, db.MaintWorkers(), db.Shards(), db.GroupCommitEnabled())
 
 	select {
 	case err := <-errc:

@@ -53,9 +53,14 @@ type walStmt struct {
 }
 
 // OpenDurable opens (creating if necessary) a durable database rooted
-// at dir. State is recovered from the latest checkpoint snapshot plus
-// the commit log.
-func OpenDurable(dir string) (*DB, error) {
+// at dir, configured by the given options. State is recovered from the
+// latest checkpoint snapshot plus the commit log. Engine-level options
+// (WithShards) shape the recovered state itself; the runtime options
+// (WithGroupCommit, WithObs, WithMaintWorkers) are applied after the
+// log is attached, so instrumentation covers the log and group commit
+// batches its appends from the first transaction.
+func OpenDurable(dir string, opts ...Option) (*DB, error) {
+	cfg := buildOpenConfig(opts)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -68,7 +73,7 @@ func OpenDurable(dir string) (*DB, error) {
 	snapPath := filepath.Join(dir, snapshotFile)
 	logPath := filepath.Join(dir, logFile)
 
-	d := Open()
+	d := &DB{eng: db.New(cfg.engineOptions()...)}
 	var snapLSN uint64
 	if f, err := os.Open(snapPath); err == nil {
 		magic := make([]byte, len(snapshotMagic))
@@ -82,7 +87,7 @@ func OpenDurable(dir string) (*DB, error) {
 			return nil, fmt.Errorf("mview: corrupt snapshot header: %w", err)
 		}
 		snapLSN = binary.BigEndian.Uint64(lsnBuf[:])
-		eng, err := db.Load(f)
+		eng, err := db.Load(f, cfg.engineOptions()...)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("mview: loading snapshot: %w", err)
@@ -121,6 +126,7 @@ func OpenDurable(dir string) (*DB, error) {
 	log.EnsureLSN(snapLSN + 1)
 	d.wal = log
 	d.dir = dir
+	d.applyRuntime(cfg)
 	return d, nil
 }
 

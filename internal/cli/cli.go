@@ -26,8 +26,10 @@ type Session struct {
 }
 
 // NewSession returns a session over a fresh in-memory database.
-func NewSession() *Session {
-	return newSession(mview.Open())
+// Construction options (mview.WithShards, mview.WithMaintWorkers, ...)
+// are forwarded to mview.Open.
+func NewSession(opts ...mview.Option) *Session {
+	return newSession(mview.Open(opts...))
 }
 
 // SetMaintWorkers forwards to mview.DB.SetMaintWorkers (the
@@ -46,8 +48,10 @@ func (s *Session) EnableGroupCommit(maxBatch int, window time.Duration) {
 
 // NewDurableSession returns a session over a durable database rooted
 // at dir (created or recovered via its commit log and checkpoints).
-func NewDurableSession(dir string) (*Session, error) {
-	db, err := mview.OpenDurable(dir)
+// Construction options are forwarded to mview.OpenDurable, so e.g.
+// mview.WithShards reshards the recovered state.
+func NewDurableSession(dir string, opts ...mview.Option) (*Session, error) {
+	db, err := mview.OpenDurable(dir, opts...)
 	if err != nil {
 		return nil, err
 	}

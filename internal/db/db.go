@@ -12,6 +12,7 @@
 package db
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -90,6 +91,12 @@ type ViewStats struct {
 	DeltaInserts  int // view tuples inserted by deltas
 	DeltaDeletes  int // view tuples deleted by deltas
 	PendingTx     int // transactions awaiting a deferred refresh
+	// Shard fan-out counters (shard.go). ShardTasks counts per-shard
+	// maintenance tasks executed on the pool (0 when a refresh ran as
+	// one unsharded task); ShardsPruned counts shard sub-deltas skipped
+	// entirely by the §4 key-range test.
+	ShardTasks   int
+	ShardsPruned int
 }
 
 type viewState struct {
@@ -211,6 +218,10 @@ type Engine struct {
 	// Execute commits solo. Atomic so the Execute hot path routes
 	// without taking the engine lock.
 	group atomic.Pointer[group]
+	// shards is the hash-shard count applied to every base relation at
+	// creation (shard.go). Engine configuration, immutable after New;
+	// <= 1 means monolithic relations.
+	shards int
 }
 
 // engineObs bundles the engine-wide metric handles, resolved once at
@@ -236,6 +247,8 @@ type engineObs struct {
 	// held a batch open waiting for stragglers.
 	groupSize *obs.Histogram
 	groupWait *obs.Histogram
+	// shards gauges the configured hash-shard count of base relations.
+	shards *obs.Gauge
 }
 
 // groupSizeBuckets spans the useful batch sizes (DefaultGroupMaxBatch
@@ -260,6 +273,8 @@ type viewObs struct {
 	joinSteps     *obs.Counter
 	notifications *obs.Counter
 	computeWait   *obs.Histogram
+	shardTasks    *obs.Counter
+	shardPruned   *obs.Counter
 }
 
 func newViewObs(reg *obs.Registry, view string) *viewObs {
@@ -282,6 +297,10 @@ func newViewObs(reg *obs.Registry, view string) *viewObs {
 			"Subscriber callbacks fanned out after refreshes.", l),
 		computeWait: reg.Histogram("mview_view_compute_wait_seconds",
 			"Queue wait before a view's phase-1 delta computation starts on the maintenance worker pool.", nil, l),
+		shardTasks: reg.Counter("mview_shard_tasks_total",
+			"Per-shard maintenance tasks executed for this view on the worker pool.", l),
+		shardPruned: reg.Counter("mview_shard_pruned_total",
+			"Shard sub-deltas skipped entirely by the §4 key-range irrelevance test.", l),
 	}
 }
 
@@ -351,8 +370,11 @@ func (e *Engine) SetObs(reg *obs.Registry, tr obs.Tracer) {
 			groupSizeBuckets, nil),
 		groupWait: reg.Histogram("mview_group_wait_seconds",
 			"Time the group-commit scheduler held a batch open waiting for stragglers (0 for solo commits).", nil, nil),
+		shards: reg.Gauge("mview_shards",
+			"Configured hash-shard count of base relations (1 = unsharded).", nil),
 	}
 	o.workers.Set(float64(e.poolSize()))
+	o.shards.Set(float64(e.Shards()))
 	e.o.Store(o)
 	for _, name := range e.viewOrder {
 		st := e.views[name]
@@ -549,7 +571,15 @@ func (e *Engine) CreateRelation(name string, attrs ...schema.Attribute) error {
 		return err
 	}
 	e.scheme = next
-	e.base[name] = relation.New(s)
+	if e.shards > 1 && s.Arity() > 0 {
+		r, err := relation.NewSharded(s, 0, e.shards)
+		if err != nil {
+			return err
+		}
+		e.base[name] = r
+	} else {
+		e.base[name] = relation.New(s)
+	}
 	e.publishLocked()
 	return nil
 }
@@ -712,6 +742,15 @@ func (e *Engine) Execute(tx *delta.Tx) (TxResult, error) {
 	return e.ExecuteLogged(tx, nil)
 }
 
+// ExecuteCtx is Execute with cancellation: the context is checked
+// before the commit starts, and — under group commit — while the
+// transaction waits in the scheduler queue. A transaction a leader
+// has claimed always runs to its verdict; cancellation never tears a
+// committed member back out of a batch.
+func (e *Engine) ExecuteCtx(ctx context.Context, tx *delta.Tx) (TxResult, error) {
+	return e.ExecuteLoggedCtx(ctx, tx, nil)
+}
+
 // ExecuteLogged is Execute with a pre-encoded commit-log record that
 // must become durable before the transaction is visible. With group
 // commit enabled the transaction rides a group — its record is
@@ -720,6 +759,15 @@ func (e *Engine) Execute(tx *delta.Tx) (TxResult, error) {
 // ignored: the serial durable path logs after applying, under the
 // caller's statement lock, exactly as before.
 func (e *Engine) ExecuteLogged(tx *delta.Tx, payload []byte) (TxResult, error) {
+	return e.ExecuteLoggedCtx(context.Background(), tx, payload)
+}
+
+// ExecuteLoggedCtx is ExecuteLogged with cancellation (see
+// ExecuteCtx). The commit itself is not interruptible once started.
+func (e *Engine) ExecuteLoggedCtx(ctx context.Context, tx *delta.Tx, payload []byte) (TxResult, error) {
+	if err := ctx.Err(); err != nil {
+		return TxResult{}, err
+	}
 	o := e.o.Load()
 	var t0 time.Time
 	var span obs.Span
@@ -734,7 +782,7 @@ func (e *Engine) ExecuteLogged(tx *delta.Tx, payload []byte) (TxResult, error) {
 	var err error
 	grouped := false
 	if g := e.group.Load(); g != nil {
-		res, err, grouped = g.submit(tx, payload) // notifications fired by the scheduler
+		res, err, grouped = g.submitCtx(ctx, tx, payload) // notifications fired by the scheduler
 	}
 	if !grouped {
 		if payload != nil {
@@ -805,6 +853,11 @@ type refreshed struct {
 	touchCount int
 	noop       bool
 	perTx      bool
+	// Shard fan-out fields (shard.go): per-shard partial deltas merged
+	// into d after the pool drains, plus the fan-out counters.
+	parts        []*diffeval.ViewDelta
+	shardTasks   int
+	shardsPruned int
 }
 
 // invertUpdate returns the net update that undoes u: the tuples u
@@ -1280,6 +1333,11 @@ func (e *Engine) Explain(name string) (string, error) {
 		fmt.Fprintf(&sb, "  indexes: none\n")
 	} else {
 		fmt.Fprintf(&sb, "  indexes: %s\n", strings.Join(idx, ", "))
+	}
+	if s.shards > 1 {
+		fmt.Fprintf(&sb, "  shards:  %d hash shards per base relation (key: first attribute; single-operand deltas fan out per shard with §4 range pruning)\n", s.shards)
+	} else {
+		fmt.Fprintf(&sb, "  shards:  1 (monolithic base relations)\n")
 	}
 	return sb.String(), nil
 }

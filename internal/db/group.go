@@ -12,6 +12,7 @@
 package db
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -110,6 +111,15 @@ func (e *Engine) GroupCommitEnabled() bool { return e.group.Load() != nil }
 // ok=false means the scheduler is shutting down and the caller must
 // take the serial path.
 func (g *group) submit(tx *delta.Tx, payload []byte) (TxResult, error, bool) {
+	return g.submitCtx(context.Background(), tx, payload)
+}
+
+// submitCtx is submit with cancellation while queued: if ctx ends
+// before a leader claims the request, the transaction is withdrawn and
+// ctx's error returned. Once a leader has popped the request the
+// commit is in flight and its outcome stands — cancellation can skip
+// the wait for a batch, never tear a committed member back out.
+func (g *group) submitCtx(ctx context.Context, tx *delta.Tx, payload []byte) (TxResult, error, bool) {
 	req := &groupReq{tx: tx, payload: payload, done: make(chan struct{})}
 	g.mu.Lock()
 	if g.closing {
@@ -137,8 +147,34 @@ func (g *group) submit(tx *delta.Tx, payload []byte) (TxResult, error, bool) {
 		default:
 		}
 	}
-	<-req.done
+	if done := ctx.Done(); done != nil {
+		select {
+		case <-req.done:
+		case <-done:
+			if g.tryRemove(req) {
+				return TxResult{}, ctx.Err(), true
+			}
+			// A leader already claimed the request: await its verdict.
+			<-req.done
+		}
+	} else {
+		<-req.done
+	}
 	return req.res, req.err, true
+}
+
+// tryRemove withdraws a still-queued request; false means a leader has
+// already taken it.
+func (g *group) tryRemove(req *groupReq) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, r := range g.queue {
+		if r == req {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 func (g *group) loop() {
@@ -423,30 +459,57 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 
 	// Differential deltas of the composed net change, computed against
 	// the frozen pre-group state on the worker pool (same contract as
-	// the serial phase 1).
+	// the serial phase 1). With sharding, an eligible view expands into
+	// one task per surviving shard of its modified operand's delta
+	// (shard.go); the composed delta is split by shard once per
+	// relation for the whole group, and the per-shard partial deltas
+	// are ⊎-merged after the pool drains.
 	if len(diff) > 0 {
+		splits := make(map[string][]delta.ShardUpdate)
+		var tasks []*commitTask
+		for _, w := range diff {
+			tasks = e.planShardTasks(w, composed, composedTouched, splits, tasks)
+		}
 		prov := provider{e: e}
 		submit := time.Now()
-		e.forEachParallel(len(diff), func(i int) {
-			w := diff[i]
+		e.forEachParallel(len(tasks), func(i int) {
+			t := tasks[i]
 			start := time.Now()
-			w.wait = start.Sub(submit)
-			w.d, w.err = w.st.maint.ComputeDeltaWith(w.insts, composed, prov)
-			if w.err == nil && w.st.dataShared {
-				w.cow = w.st.data.Clone()
+			t.wait = start.Sub(submit)
+			t.d, t.err = t.w.st.maint.ComputeDeltaWith(t.w.insts, t.upd, prov)
+			if t.err == nil && t.clone && t.w.st.dataShared {
+				t.w.cow = t.w.st.data.Clone()
 			}
-			w.computeDur = time.Since(start)
+			t.dur = time.Since(start)
 		})
-		for _, w := range diff {
-			if w.err != nil {
-				return nil, w.err
+		for _, t := range tasks {
+			if t.err != nil {
+				return nil, t.err
+			}
+			w := t.w
+			if t.part < 0 {
+				w.d, w.computeDur, w.wait = t.d, t.dur, t.wait
+				continue
+			}
+			w.parts[t.part] = t.d
+			w.computeDur += t.dur
+			if t.part == 0 || t.wait < w.wait {
+				w.wait = t.wait
 			}
 		}
-		if o := e.o.Load(); o != nil && len(diff) > 1 {
+		for _, w := range diff {
+			if w.d == nil {
+				var err error
+				if w.d, err = diffeval.MergeDeltas(w.parts); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if o := e.o.Load(); o != nil && len(tasks) > 1 {
 			if wall := time.Since(submit); wall > 0 {
 				var sum time.Duration
-				for _, w := range diff {
-					sum += w.computeDur
+				for _, t := range tasks {
+					sum += t.dur
 				}
 				o.speedup.Observe(sum.Seconds() / wall.Seconds())
 			}
@@ -558,6 +621,14 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 				return nil, fmt.Errorf("db: internal: staged delta failed to install on %q: %w", name, err)
 			}
 			w.st.noteDelta(w.d)
+			if w.shardTasks > 0 || w.shardsPruned > 0 {
+				w.st.stats.ShardTasks += w.shardTasks
+				w.st.stats.ShardsPruned += w.shardsPruned
+				if w.st.vo != nil {
+					w.st.vo.shardTasks.Add(int64(w.shardTasks))
+					w.st.vo.shardPruned.Add(int64(w.shardsPruned))
+				}
+			}
 			ns = append(ns, w.st.notifications(name, w.d.Inserts, w.d.Deletes)...)
 		default:
 			if len(w.st.subscribers) > 0 {

@@ -255,8 +255,11 @@ func readDNF(r *reader) pred.DNF {
 }
 
 // Load reads a snapshot produced by Save and returns a fresh engine
-// with all relations restored and all views re-materialized.
-func Load(in io.Reader) (*Engine, error) {
+// with all relations restored and all views re-materialized. The
+// snapshot format is shard-independent (Save writes plain tuple sets),
+// so the options — notably WithShards — configure the fresh engine and
+// the restored relations re-shard to the configured count.
+func Load(in io.Reader, opts ...Option) (*Engine, error) {
 	r := &reader{r: bufio.NewReader(in)}
 	if magic := r.str(); r.err != nil || magic != storageMagic {
 		if r.err != nil {
@@ -265,7 +268,7 @@ func Load(in io.Reader) (*Engine, error) {
 		return nil, fmt.Errorf("db: not an mview snapshot (magic %q)", magic)
 	}
 
-	e := New()
+	e := New(opts...)
 	nRel := r.u32()
 	if nRel > maxStr {
 		return nil, fmt.Errorf("db: corrupt snapshot: %d relations", nRel)

@@ -1,0 +1,104 @@
+package delta
+
+import (
+	"mview/internal/relation"
+	"mview/internal/tuple"
+)
+
+// ShardUpdate is the restriction of an Update to one hash shard of its
+// base relation, annotated with the observed range of the shard-key
+// attribute over the restricted tuples. The bounds feed the §4 shard
+// pruning test: if the view condition is unsatisfiable for every key in
+// [KeyLo, KeyHi], no tuple of this sub-delta can contribute to the view
+// and the whole shard task is skipped.
+type ShardUpdate struct {
+	Shard int
+	Update
+	KeyPos       int // shard-key attribute position in the base scheme
+	KeyLo, KeyHi tuple.Value
+}
+
+// SplitUpdate partitions u by hashing the attribute at keyPos into n
+// shards, returning only the non-empty sub-updates in shard order.
+// Because the partition is disjoint and the §5 differential operators
+// are linear in the delta when a single operand is modified, the merged
+// per-shard view deltas equal the unsharded delta exactly.
+func SplitUpdate(u Update, keyPos, n int) []ShardUpdate {
+	if n <= 1 {
+		lo, hi, ok := keyBounds(u, keyPos)
+		if !ok {
+			return nil
+		}
+		return []ShardUpdate{{Shard: 0, Update: u, KeyPos: keyPos, KeyLo: lo, KeyHi: hi}}
+	}
+	parts := make([]*ShardUpdate, n)
+	route := func(t tuple.Tuple, insert bool) {
+		s := relation.ShardOf(t[keyPos], n)
+		p := parts[s]
+		if p == nil {
+			p = &ShardUpdate{
+				Shard:  s,
+				Update: Update{Rel: u.Rel},
+				KeyPos: keyPos,
+				KeyLo:  t[keyPos],
+				KeyHi:  t[keyPos],
+			}
+			parts[s] = p
+		}
+		if v := t[keyPos]; v < p.KeyLo {
+			p.KeyLo = v
+		} else if v > p.KeyHi {
+			p.KeyHi = v
+		}
+		if insert {
+			if p.Inserts == nil {
+				p.Inserts = relation.New(u.Inserts.Scheme())
+			}
+			p.Inserts.Insert(t)
+		} else {
+			if p.Deletes == nil {
+				p.Deletes = relation.New(u.Deletes.Scheme())
+			}
+			p.Deletes.Insert(t)
+		}
+	}
+	if u.Inserts != nil {
+		u.Inserts.Each(func(t tuple.Tuple) { route(t, true) })
+	}
+	if u.Deletes != nil {
+		u.Deletes.Each(func(t tuple.Tuple) { route(t, false) })
+	}
+	out := make([]ShardUpdate, 0, n)
+	for _, p := range parts {
+		if p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// keyBounds returns the min and max of the attribute at keyPos across
+// the update's inserts and deletes; ok is false for an empty update.
+func keyBounds(u Update, keyPos int) (lo, hi tuple.Value, ok bool) {
+	scan := func(r *relation.Relation) {
+		if r == nil {
+			return
+		}
+		r.Each(func(t tuple.Tuple) {
+			v := t[keyPos]
+			if !ok {
+				lo, hi, ok = v, v, true
+				return
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		})
+	}
+	scan(u.Inserts)
+	scan(u.Deletes)
+	return lo, hi, ok
+}

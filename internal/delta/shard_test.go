@@ -1,0 +1,111 @@
+package delta
+
+import (
+	"testing"
+
+	"mview/internal/relation"
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+func shardTestUpdate(t *testing.T) Update {
+	t.Helper()
+	s := schema.MustScheme("A", "B")
+	ins := relation.New(s)
+	del := relation.New(s)
+	for i := int64(0); i < 20; i++ {
+		if err := ins.Insert(tuple.New(i, i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(100); i < 110; i++ {
+		if err := del.Insert(tuple.New(i, i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return Update{Rel: "R", Inserts: ins, Deletes: del}
+}
+
+// TestSplitUpdatePartition pins that SplitUpdate is an exact disjoint
+// partition: every tuple lands in the shard its key hashes to, the
+// parts reassemble the original update, and the key bounds cover
+// exactly the observed keys.
+func TestSplitUpdatePartition(t *testing.T) {
+	u := shardTestUpdate(t)
+	const n = 4
+	parts := SplitUpdate(u, 0, n)
+	if len(parts) == 0 {
+		t.Fatal("no parts")
+	}
+	s := schema.MustScheme("A", "B")
+	gotIns, gotDel := relation.New(s), relation.New(s)
+	last := -1
+	for _, p := range parts {
+		if p.Shard <= last {
+			t.Errorf("parts out of shard order: %d after %d", p.Shard, last)
+		}
+		last = p.Shard
+		if p.KeyPos != 0 {
+			t.Errorf("KeyPos = %d, want 0", p.KeyPos)
+		}
+		if p.Rel != "R" {
+			t.Errorf("Rel = %q, want R", p.Rel)
+		}
+		check := func(r *relation.Relation) {
+			if r == nil {
+				return
+			}
+			r.Each(func(tu tuple.Tuple) {
+				if relation.ShardOf(tu[0], n) != p.Shard {
+					t.Errorf("tuple %v routed to shard %d", tu, p.Shard)
+				}
+				if tu[0] < p.KeyLo || tu[0] > p.KeyHi {
+					t.Errorf("tuple %v outside bounds [%d,%d]", tu, p.KeyLo, p.KeyHi)
+				}
+			})
+		}
+		check(p.Inserts)
+		check(p.Deletes)
+		if p.Inserts != nil {
+			p.Inserts.Each(func(tu tuple.Tuple) { gotIns.Insert(tu) })
+		}
+		if p.Deletes != nil {
+			p.Deletes.Each(func(tu tuple.Tuple) { gotDel.Insert(tu) })
+		}
+	}
+	if !gotIns.Equal(u.Inserts) {
+		t.Errorf("reassembled inserts diverged:\n got: %v\n want: %v", gotIns, u.Inserts)
+	}
+	if !gotDel.Equal(u.Deletes) {
+		t.Errorf("reassembled deletes diverged:\n got: %v\n want: %v", gotDel, u.Deletes)
+	}
+}
+
+// TestSplitUpdateSinglePart pins the n<=1 fast path: one part carrying
+// the whole update with bounds over inserts and deletes combined.
+func TestSplitUpdateSinglePart(t *testing.T) {
+	u := shardTestUpdate(t)
+	parts := SplitUpdate(u, 0, 1)
+	if len(parts) != 1 {
+		t.Fatalf("got %d parts, want 1", len(parts))
+	}
+	p := parts[0]
+	if p.Shard != 0 || p.Inserts != u.Inserts || p.Deletes != u.Deletes {
+		t.Error("single part must carry the update unchanged")
+	}
+	if p.KeyLo != 0 || p.KeyHi != 109 {
+		t.Errorf("bounds [%d,%d], want [0,109]", p.KeyLo, p.KeyHi)
+	}
+}
+
+// TestSplitUpdateEmpty pins that an empty update yields no parts, for
+// any shard count.
+func TestSplitUpdateEmpty(t *testing.T) {
+	u := Update{Rel: "R"}
+	if parts := SplitUpdate(u, 0, 1); parts != nil {
+		t.Errorf("empty update, n=1: got %v", parts)
+	}
+	if parts := SplitUpdate(u, 0, 8); len(parts) != 0 {
+		t.Errorf("empty update, n=8: got %v", parts)
+	}
+}

@@ -1,0 +1,107 @@
+package diffeval
+
+import (
+	"math/rand"
+	"testing"
+
+	"mview/internal/delta"
+	"mview/internal/relation"
+	"mview/internal/tuple"
+)
+
+// TestMergeDeltasMatchesUnsharded is the algebraic core of shard
+// fan-out: splitting a single-operand update by hash shard, computing
+// each sub-delta independently, and ⊎-merging the parts must equal the
+// unsharded delta exactly — contents and the semantic counters.
+func TestMergeDeltasMatchesUnsharded(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S")
+	m, err := NewMaintainer(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	r := relation.New(b.Operands[0].Scheme)
+	s := relation.New(b.Operands[1].Scheme)
+	for i := 0; i < 60; i++ {
+		r.Insert(tuple.New(int64(rng.Intn(50)), int64(rng.Intn(8))))
+		s.Insert(tuple.New(int64(rng.Intn(8)), int64(rng.Intn(20))))
+	}
+	insts := []*relation.Relation{r, s}
+
+	ins := relation.New(b.Operands[0].Scheme)
+	del := relation.New(b.Operands[0].Scheme)
+	for i := 0; i < 25; i++ {
+		tu := tuple.New(int64(rng.Intn(50)), int64(rng.Intn(8)))
+		if r.Has(tu) {
+			if !ins.Has(tu) {
+				del.Insert(tu)
+			}
+		} else if !del.Has(tu) {
+			ins.Insert(tu)
+		}
+	}
+	u := delta.Update{Rel: "R", Inserts: ins, Deletes: del}
+
+	whole, err := m.ComputeDelta(insts, []delta.Update{u})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{2, 4, 8} {
+		sus := delta.SplitUpdate(u, 0, n)
+		parts := make([]*ViewDelta, 0, len(sus))
+		for _, su := range sus {
+			d, err := m.ComputeDelta(insts, []delta.Update{su.Update})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts = append(parts, d)
+		}
+		merged, err := MergeDeltas(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !merged.Inserts.Equal(whole.Inserts) {
+			t.Errorf("n=%d: merged inserts diverged:\n got: %v\n want: %v", n, merged.Inserts, whole.Inserts)
+		}
+		if !merged.Deletes.Equal(whole.Deletes) {
+			t.Errorf("n=%d: merged deletes diverged:\n got: %v\n want: %v", n, merged.Deletes, whole.Deletes)
+		}
+		if merged.Stats.DeltaInserts != whole.Stats.DeltaInserts ||
+			merged.Stats.DeltaDeletes != whole.Stats.DeltaDeletes {
+			t.Errorf("n=%d: merged delta counters (%d,%d), want (%d,%d)", n,
+				merged.Stats.DeltaInserts, merged.Stats.DeltaDeletes,
+				whole.Stats.DeltaInserts, whole.Stats.DeltaDeletes)
+		}
+	}
+}
+
+// TestMergeDeltasSingleAndEmpty pins the edge cases: merging one part
+// is a pass-through with recomputed counters; merging none is an
+// error; EmptyDelta carries the view scheme and zero stats.
+func TestMergeDeltasSingleAndEmpty(t *testing.T) {
+	db := testDB(t)
+	b := joinView(t, db, "R", "S")
+	m, err := NewMaintainer(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeDeltas(nil); err == nil {
+		t.Error("MergeDeltas(nil) must fail")
+	}
+	e := m.EmptyDelta()
+	if e.Inserts.Len() != 0 || e.Deletes.Len() != 0 {
+		t.Errorf("EmptyDelta not empty: %v / %v", e.Inserts, e.Deletes)
+	}
+	if e.Stats.DeltaInserts != 0 || e.Stats.DeltaDeletes != 0 {
+		t.Error("EmptyDelta has non-zero counters")
+	}
+	single, err := MergeDeltas([]*ViewDelta{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Inserts.Len() != 0 || single.Deletes.Len() != 0 {
+		t.Error("single-part merge not a pass-through")
+	}
+}

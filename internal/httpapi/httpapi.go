@@ -1,20 +1,34 @@
 // Package httpapi exposes the mview engine over a small JSON/HTTP
 // API, used by cmd/mviewd. One handler serves one database.
 //
-//	POST /relations                 {"name":"r","attrs":["A","B"]}
-//	GET  /relations/{name}          base relation contents
-//	POST /views                     {"name":"v","from":["r","s"],"where":"...","select":["A"],"options":["deferred"]}
-//	GET  /views/{name}              view contents (with counters)
-//	GET  /views/{name}/stats        maintenance statistics
-//	GET  /views/{name}/explain      definition and maintenance plan
-//	GET  /views/{name}/watch        change stream (SSE; the ready event carries the current rows)
-//	POST /views/{name}/refresh      snapshot refresh (§6)
-//	GET  /views/{name}/relevant     ?rel=r&values=9,10 → §4 verdict
-//	POST /exec                      {"ops":[{"op":"insert","rel":"r","values":[1,2]}, ...]}
-//	GET  /catalog                   relation and view names
-//	POST /checkpoint                durable mode: snapshot + truncate the commit log
+// The canonical routes live under the /v1 prefix:
+//
+//	POST /v1/relations              {"name":"r","attrs":["A","B"]}
+//	GET  /v1/relations/{name}       base relation contents
+//	POST /v1/views                  {"name":"v","from":["r","s"],"where":"...","select":["A"],"options":["deferred"]}
+//	GET  /v1/views/{name}           view contents (with counters)
+//	GET  /v1/views/{name}/stats     maintenance statistics
+//	GET  /v1/views/{name}/explain   definition and maintenance plan
+//	GET  /v1/views/{name}/watch     change stream (SSE; the ready event carries the current rows)
+//	POST /v1/views/{name}/refresh   snapshot refresh (§6)
+//	GET  /v1/views/{name}/relevant  ?rel=r&values=9,10 → §4 verdict
+//	POST /v1/exec                   {"ops":[{"op":"insert","rel":"r","values":[1,2]}, ...]}
+//	GET  /v1/catalog                relation and view names
+//	POST /v1/checkpoint             durable mode: snapshot + truncate the commit log
 //	GET  /metrics                   Prometheus text exposition of all registered metrics
 //	GET  /debug/stats               JSON snapshot: uptime, every metric series, per-view stats
+//
+// Every API route is also served at its historical unversioned path
+// (POST /exec, GET /views/{name}, …) with byte-identical responses
+// plus an RFC 9745 `Deprecation: true` header and a `Link:
+// </v1/...>; rel="successor-version"` pointing at the canonical
+// route. /metrics and /debug/stats are operational endpoints, not
+// API: they stay unversioned by Prometheus convention and carry no
+// deprecation.
+//
+// POST /exec honors request cancellation: a client that disconnects
+// while its transaction waits in a commit group abandons the wait and
+// releases the slot (mview.ExecContext semantics).
 //
 // # Observability
 //
@@ -116,23 +130,46 @@ func NewWith(db *mview.DB, opts ...Option) *Handler {
 			db.Instrument(h.reg, h.tr)
 		}
 	}
-	h.handle("POST /relations", h.createRelation)
-	h.handle("GET /relations/{name}", h.getRelation)
-	h.handle("POST /views", h.createView)
-	h.handle("GET /views/{name}", h.getView)
-	h.handle("GET /views/{name}/stats", h.getStats)
-	h.handle("GET /views/{name}/explain", h.explain)
-	h.handle("GET /views/{name}/watch", h.watch)
-	h.handle("POST /views/{name}/refresh", h.refresh)
-	h.handle("GET /views/{name}/relevant", h.relevant)
-	h.handle("POST /exec", h.exec)
-	h.handle("GET /catalog", h.catalog)
-	h.handle("POST /checkpoint", h.checkpoint)
+	// Each API route is registered twice: canonically under /v1, and at
+	// its historical unversioned path as a deprecated alias. /metrics
+	// and /debug/stats are operational endpoints and stay unversioned.
+	routes := []struct {
+		method, path string
+		fn           http.HandlerFunc
+	}{
+		{"POST", "/relations", h.createRelation},
+		{"GET", "/relations/{name}", h.getRelation},
+		{"POST", "/views", h.createView},
+		{"GET", "/views/{name}", h.getView},
+		{"GET", "/views/{name}/stats", h.getStats},
+		{"GET", "/views/{name}/explain", h.explain},
+		{"GET", "/views/{name}/watch", h.watch},
+		{"POST", "/views/{name}/refresh", h.refresh},
+		{"GET", "/views/{name}/relevant", h.relevant},
+		{"POST", "/exec", h.exec},
+		{"GET", "/catalog", h.catalog},
+		{"POST", "/checkpoint", h.checkpoint},
+	}
+	for _, rt := range routes {
+		h.handle(rt.method+" /v1"+rt.path, rt.fn)
+		h.handle(rt.method+" "+rt.path, deprecatedAlias(rt.fn))
+	}
 	if h.reg != nil {
 		h.handle("GET /metrics", h.metrics)
 		h.handle("GET /debug/stats", h.debugStats)
 	}
 	return h
+}
+
+// deprecatedAlias serves a legacy unversioned route: identical
+// behavior and body, plus the RFC 9745 deprecation header and a Link
+// to the canonical /v1 path.
+func deprecatedAlias(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		fn(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -208,6 +245,7 @@ func (h *Handler) debugStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(h.start).Seconds(),
 		"group_commit":   h.db.GroupCommitEnabled(),
+		"shards":         h.db.Shards(),
 		"metrics":        h.reg.Snapshot(),
 		"views":          views,
 	})
@@ -468,7 +506,9 @@ func (h *Handler) exec(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	info, err := h.db.Exec(ops...)
+	// The request context rides into the commit: a client that
+	// disconnects while queued in a commit group abandons the wait.
+	info, err := h.db.ExecContext(r.Context(), ops...)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

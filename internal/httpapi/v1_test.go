@@ -1,0 +1,112 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mview"
+)
+
+func raw(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestV1AndLegacyRoutesIdentical drives every read route through both
+// its canonical /v1 path and its legacy alias: the JSON bodies must be
+// byte-identical, the legacy response must carry the deprecation
+// headers, and the canonical one must not.
+func TestV1AndLegacyRoutesIdentical(t *testing.T) {
+	h := setup(t) // r(A,B), s(C,D), view v — created via legacy routes
+	if code, _ := do(t, h, "POST", "/v1/exec",
+		`{"ops":[{"op":"insert","rel":"r","values":[9,10]},{"op":"insert","rel":"s","values":[10,20]}]}`); code != http.StatusOK {
+		t.Fatalf("v1 exec: %d", code)
+	}
+
+	gets := []struct {
+		path string
+		code int
+	}{
+		{"/relations/r", http.StatusOK},
+		{"/views/v", http.StatusOK},
+		{"/views/v/stats", http.StatusOK},
+		{"/views/v/explain", http.StatusOK},
+		{"/views/v/relevant?rel=r&values=9,10", http.StatusOK},
+		{"/catalog", http.StatusOK},
+		{"/relations/nope", http.StatusNotFound},
+	}
+	for _, g := range gets {
+		legacy := raw(t, h, "GET", g.path, "")
+		v1 := raw(t, h, "GET", "/v1"+g.path, "")
+		if legacy.Code != g.code || v1.Code != g.code {
+			t.Errorf("%s: codes legacy=%d v1=%d, want %d", g.path, legacy.Code, v1.Code, g.code)
+		}
+		if legacy.Body.String() != v1.Body.String() {
+			t.Errorf("%s: bodies diverge:\n legacy: %s\n v1:     %s", g.path, legacy.Body, v1.Body)
+		}
+		if legacy.Header().Get("Deprecation") != "true" {
+			t.Errorf("%s: legacy route lacks Deprecation header", g.path)
+		}
+		wantLink := `</v1` + strings.SplitN(g.path, "?", 2)[0] + `>; rel="successor-version"`
+		if got := legacy.Header().Get("Link"); got != wantLink {
+			t.Errorf("%s: Link = %q, want %q", g.path, got, wantLink)
+		}
+		if v1.Header().Get("Deprecation") != "" {
+			t.Errorf("%s: canonical /v1 route carries Deprecation header", g.path)
+		}
+	}
+}
+
+// TestV1WriteRoutes pins the canonical write paths end to end: DDL,
+// exec, refresh all work under /v1, and the legacy POST /exec alias
+// still commits (with the deprecation header).
+func TestV1WriteRoutes(t *testing.T) {
+	h := New()
+	if code, _ := do(t, h, "POST", "/v1/relations", `{"name":"r","attrs":["A","B"]}`); code != http.StatusCreated {
+		t.Fatalf("v1 create relation: %d", code)
+	}
+	body := `{"name":"v","from":["r"],"where":"A < 10","options":["deferred"]}`
+	if code, _ := do(t, h, "POST", "/v1/views", body); code != http.StatusCreated {
+		t.Fatalf("v1 create view: %d", code)
+	}
+	if code, _ := do(t, h, "POST", "/v1/exec", `{"ops":[{"op":"insert","rel":"r","values":[1,2]}]}`); code != http.StatusOK {
+		t.Fatalf("v1 exec: %d", code)
+	}
+	rec := raw(t, h, "POST", "/exec", `{"ops":[{"op":"insert","rel":"r","values":[3,4]}]}`)
+	if rec.Code != http.StatusOK || rec.Header().Get("Deprecation") != "true" {
+		t.Fatalf("legacy exec: code %d, Deprecation %q", rec.Code, rec.Header().Get("Deprecation"))
+	}
+	if code, _ := do(t, h, "POST", "/v1/views/v/refresh", ""); code != http.StatusOK {
+		t.Fatal("v1 refresh failed")
+	}
+	code, resp := do(t, h, "GET", "/v1/views/v", "")
+	if code != http.StatusOK || resp["count"].(float64) != 2 {
+		t.Errorf("v1 view read = %d %v, want both committed rows", code, resp)
+	}
+}
+
+// TestDebugStatsReportsShards pins the operational endpoint additions:
+// shards in /debug/stats, and no /v1 alias or deprecation for it.
+func TestDebugStatsReportsShards(t *testing.T) {
+	h := NewWith(mviewOpenSharded())
+	code, resp := do(t, h, "GET", "/debug/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("debug/stats: %d", code)
+	}
+	if resp["shards"].(float64) != 4 {
+		t.Errorf("shards = %v, want 4", resp["shards"])
+	}
+	if rec := raw(t, h, "GET", "/debug/stats", ""); rec.Header().Get("Deprecation") != "" {
+		t.Error("/debug/stats must not be deprecated")
+	}
+	if rec := raw(t, h, "GET", "/v1/debug/stats", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("/v1/debug/stats = %d, want 404 (operational endpoints stay unversioned)", rec.Code)
+	}
+}
+
+func mviewOpenSharded() *mview.DB { return mview.Open(mview.WithShards(4)) }

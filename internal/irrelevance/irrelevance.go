@@ -19,6 +19,7 @@ package irrelevance
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"mview/internal/delta"
@@ -72,6 +73,12 @@ type Checker struct {
 	// stats (atomic: Relevant may be called from concurrent
 	// maintenance workers)
 	tested, irrelevant atomic.Int64
+
+	// rangePreps caches, per shard-key variable, the full-conjunct
+	// closures used by RangeRelevant (shard pruning). Lazily built; the
+	// mutex keeps concurrent pruning calls safe.
+	rangeMu    sync.Mutex
+	rangePreps map[pred.Var]*rangePrep
 }
 
 // NewChecker prepares an irrelevance checker for updates to operand

@@ -1,0 +1,117 @@
+package irrelevance
+
+import (
+	"mview/internal/pred"
+	"mview/internal/satgraph"
+	"mview/internal/tuple"
+)
+
+// Shard pruning (§4 applied to a key interval instead of a single
+// tuple). When the engine splits a transaction's delta by hash shard it
+// knows, for each shard, the observed [lo, hi] range of the shard-key
+// attribute over that shard's tuples. If the view condition conjoined
+// with key ∈ [lo, hi] is unsatisfiable, then by Theorem 4.1 every
+// tuple of the sub-delta is irrelevant — substituting a concrete tuple
+// only adds constraints to an already-unsatisfiable system — and the
+// whole shard task is skipped before any tuple is scanned.
+//
+// Unlike the per-tuple path, the interval test cannot split the
+// conjunct into invariant and ground parts: the key is bounded, not
+// fixed. Each conjunct is therefore normalized in full into its own
+// prepared closure (built once per key attribute and cached), with the
+// key variable registered so the two interval bounds probe it as
+// variant constraints.
+
+// rangePrep holds, per conjunct, the closure of all the conjunct's
+// atoms with the key variable registered.
+type rangePrep struct {
+	preps []*satgraph.Prepared
+	// conservative marks a condition that could not be normalized; the
+	// range test then reports every interval relevant.
+	conservative bool
+}
+
+// RangeRelevant reports whether some tuple whose shard-key attribute
+// (position pos of the checked operand's scheme) lies in [lo, hi]
+// could be relevant to the view. A false result proves the whole key
+// interval irrelevant in every database state. Errors never make an
+// interval irrelevant; callers may treat an error as "relevant".
+func (c *Checker) RangeRelevant(pos int, lo, hi tuple.Value) (bool, error) {
+	if c.conservative {
+		return true, nil
+	}
+	q := c.bound.Operands[c.opIdx].QScheme
+	if pos < 0 || pos >= q.Arity() {
+		return true, nil
+	}
+	key := pred.Var(q.Attr(pos))
+	rp := c.rangePrepared(key)
+	if rp.conservative {
+		return true, nil
+	}
+	variant := []pred.Constraint{
+		{X: key, Y: pred.ZeroVar, C: hi},  // key ≤ hi
+		{X: pred.ZeroVar, Y: key, C: -lo}, // key ≥ lo
+	}
+	for _, prep := range rp.preps {
+		sat, err := prep.SatisfiableWith(variant)
+		if err != nil {
+			return true, err
+		}
+		if sat {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// rangePrepared returns the per-conjunct full closures for the given
+// key variable, building and caching them on first use.
+func (c *Checker) rangePrepared(key pred.Var) *rangePrep {
+	c.rangeMu.Lock()
+	defer c.rangeMu.Unlock()
+	if c.rangePreps == nil {
+		c.rangePreps = make(map[pred.Var]*rangePrep)
+	}
+	if rp, ok := c.rangePreps[key]; ok {
+		return rp
+	}
+	rp := c.buildRangePrep(key)
+	c.rangePreps[key] = rp
+	return rp
+}
+
+func (c *Checker) buildRangePrep(key pred.Var) *rangePrep {
+	where := c.bound.Where
+	if where.HasNE() {
+		expanded, err := pred.ExpandNEDNF(where, c.opts.NELimit)
+		if err != nil {
+			return &rangePrep{conservative: true}
+		}
+		where = expanded
+	}
+	rp := &rangePrep{}
+	for _, conj := range where.Conjuncts {
+		cons, err := pred.NormalizeConjunction(pred.And(conj.Atoms...))
+		if err != nil {
+			return &rangePrep{conservative: true}
+		}
+		vars := conj.Vars()
+		seen := false
+		for _, v := range vars {
+			if v == key {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			vars = append(append([]pred.Var(nil), vars...), key)
+		}
+		prep, err := satgraph.Prepare(cons, vars)
+		if err != nil {
+			return &rangePrep{conservative: true}
+		}
+		rp.preps = append(rp.preps, prep)
+	}
+	return rp
+}

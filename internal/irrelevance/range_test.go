@@ -1,0 +1,109 @@
+package irrelevance
+
+import (
+	"testing"
+
+	"mview/internal/expr"
+	"mview/internal/pred"
+	"mview/internal/schema"
+)
+
+// TestRangeRelevant pins the §4 shard-prune probe on Example 4.1's
+// view (A < 10 && C > 5 && B = C, operand R): a key range entirely
+// above the A < 10 bound is irrelevant; any range intersecting it is
+// relevant, including when the decision rides on the transitive
+// B = C, C > 5 chain.
+func TestRangeRelevant(t *testing.T) {
+	b := example41View(t)
+	c, err := NewChecker(b, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		lo, hi int64
+		want   bool
+	}{
+		{0, 5, true},    // inside A < 10
+		{9, 50, true},   // straddles the bound
+		{10, 20, false}, // entirely outside A < 10
+		{100, 100, false},
+		{-5, 9, true},
+	}
+	for _, tc := range cases {
+		got, err := c.RangeRelevant(0, tc.lo, tc.hi)
+		if err != nil {
+			t.Fatalf("RangeRelevant(0, %d, %d): %v", tc.lo, tc.hi, err)
+		}
+		if got != tc.want {
+			t.Errorf("RangeRelevant(0, %d, %d) = %v, want %v", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+
+	// An out-of-range position is answered conservatively.
+	if got, err := c.RangeRelevant(99, 0, 1); err != nil || !got {
+		t.Errorf("out-of-range pos = %v, %v; want true, nil", got, err)
+	}
+}
+
+// TestRangeRelevantKeyOnlyCondition pins a condition constraining only
+// non-key attributes: the key range alone can never refute it, so
+// every range is relevant.
+func TestRangeRelevantKeyOnlyCondition(t *testing.T) {
+	db := testDB(t)
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}},
+		Where:    pred.MustParse("B > 3"),
+		Project:  []schema.Attribute{"A"},
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(b, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int64{{0, 0}, {-100, 100}, {1 << 40, 1 << 41}} {
+		if got, err := c.RangeRelevant(0, r[0], r[1]); err != nil || !got {
+			t.Errorf("RangeRelevant(0, %d, %d) = %v, %v; want true", r[0], r[1], got, err)
+		}
+	}
+}
+
+// TestRangeRelevantDisjunction pins DNF handling: the range must be
+// kept when any conjunct is satisfiable.
+func TestRangeRelevantDisjunction(t *testing.T) {
+	db := testDB(t)
+	b, err := expr.Bind(expr.View{
+		Name:     "v",
+		Operands: []expr.Operand{{Rel: "R"}},
+		Where:    pred.MustParse("A < 10 || A > 100"),
+		Project:  []schema.Attribute{"A"},
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(b, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		lo, hi int64
+		want   bool
+	}{
+		{0, 5, true},
+		{200, 300, true}, // second conjunct
+		{20, 90, false},  // between the branches
+		{10, 100, false}, // closed gap exactly
+		{90, 110, true},  // reaches the second branch
+	}
+	for _, tc := range cases {
+		got, err := c.RangeRelevant(0, tc.lo, tc.hi)
+		if err != nil {
+			t.Fatalf("RangeRelevant(0, %d, %d): %v", tc.lo, tc.hi, err)
+		}
+		if got != tc.want {
+			t.Errorf("RangeRelevant(0, %d, %d) = %v, want %v", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}

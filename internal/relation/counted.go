@@ -43,10 +43,10 @@ func NewCounted(s *schema.Scheme) *Counted {
 // count equal to one.
 func FromRelation(r *Relation) *Counted {
 	c := NewCounted(r.scheme)
-	for k, t := range r.m {
-		c.m[k] = centry{t: t, n: 1}
-	}
-	c.total = int64(len(r.m))
+	r.Each(func(t tuple.Tuple) {
+		c.m[t.Key()] = centry{t: t, n: 1}
+	})
+	c.total = int64(r.Len())
 	return c
 }
 
@@ -143,8 +143,8 @@ func (c *Counted) Equal(o *Counted) bool {
 // ToRelation collapses multiplicities, returning the underlying set.
 func (c *Counted) ToRelation() *Relation {
 	out := New(c.scheme)
-	for k, e := range c.m {
-		out.m[k] = e.t
+	for _, e := range c.m {
+		out.put(e.t)
 	}
 	return out
 }

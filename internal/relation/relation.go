@@ -1,7 +1,8 @@
 // Package relation implements the three relation representations used
 // by the mview engine and the relational operators over them:
 //
-//   - Relation: a set of tuples (the paper's model for base relations).
+//   - Relation: a set of tuples (the paper's model for base relations),
+//     internally split into hash shards (see shard.go).
 //   - Counted: a relation whose tuples carry the multiplicity counter
 //     introduced in §5.2 to make projection distribute over difference.
 //     Materialized views are Counted relations.
@@ -21,15 +22,26 @@ import (
 	"mview/internal/tuple"
 )
 
-// Relation is a set of tuples over a fixed scheme.
+// Relation is a set of tuples over a fixed scheme, stored as one or
+// more hash shards keyed on one attribute. Clone shares the shard maps
+// copy-on-write; concurrent readers of a published relation are safe as
+// long as all mutation happens on clones under the engine's write lock
+// (the snapshot discipline in internal/db).
 type Relation struct {
 	scheme *schema.Scheme
-	m      map[string]tuple.Tuple
+	key    int // shard-key attribute position
+	parts  []map[string]tuple.Tuple
+	shared []bool // parts[i] is also referenced by a clone or snapshot
+	n      int
 }
 
-// New returns an empty relation over the given scheme.
+// New returns an empty unsharded relation over the given scheme.
 func New(s *schema.Scheme) *Relation {
-	return &Relation{scheme: s, m: make(map[string]tuple.Tuple)}
+	return &Relation{
+		scheme: s,
+		parts:  []map[string]tuple.Tuple{make(map[string]tuple.Tuple)},
+		shared: make([]bool, 1),
+	}
 }
 
 // FromTuples builds a relation from the given tuples, ignoring
@@ -59,11 +71,14 @@ func MustFromTuples(s *schema.Scheme, ts ...tuple.Tuple) *Relation {
 func (r *Relation) Scheme() *schema.Scheme { return r.scheme }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.m) }
+func (r *Relation) Len() int { return r.n }
 
 // Has reports whether t is in the relation.
 func (r *Relation) Has(t tuple.Tuple) bool {
-	_, ok := r.m[t.Key()]
+	if len(t) != r.scheme.Arity() {
+		return false
+	}
+	_, ok := r.parts[r.part(t)][t.Key()]
 	return ok
 }
 
@@ -81,22 +96,42 @@ func (r *Relation) Insert(t tuple.Tuple) error {
 	if err := r.checkArity(t); err != nil {
 		return err
 	}
+	p := r.part(t)
 	k := t.Key()
-	if _, ok := r.m[k]; !ok {
-		r.m[k] = t.Clone()
+	if _, ok := r.parts[p][k]; !ok {
+		r.writable(p)[k] = t.Clone()
+		r.n++
 	}
 	return nil
 }
 
 // Delete removes t; removing an absent tuple is a no-op.
 func (r *Relation) Delete(t tuple.Tuple) {
-	delete(r.m, t.Key())
+	if len(t) != r.scheme.Arity() {
+		return
+	}
+	p := r.part(t)
+	k := t.Key()
+	if _, ok := r.parts[p][k]; !ok {
+		return
+	}
+	delete(r.writable(p), k)
+	r.n--
 }
 
 // Each calls f for every tuple in unspecified order. The callback must
 // not retain or mutate the tuple.
 func (r *Relation) Each(f func(tuple.Tuple)) {
-	for _, t := range r.m {
+	for _, m := range r.parts {
+		for _, t := range m {
+			f(t)
+		}
+	}
+}
+
+// EachShard calls f for every tuple of shard i, in unspecified order.
+func (r *Relation) EachShard(i int, f func(tuple.Tuple)) {
+	for _, t := range r.parts[i] {
 		f(t)
 	}
 }
@@ -104,32 +139,42 @@ func (r *Relation) Each(f func(tuple.Tuple)) {
 // Tuples returns all tuples sorted lexicographically, for deterministic
 // iteration and display.
 func (r *Relation) Tuples() []tuple.Tuple {
-	out := make([]tuple.Tuple, 0, len(r.m))
-	for _, t := range r.m {
-		out = append(out, t)
-	}
+	out := make([]tuple.Tuple, 0, r.n)
+	r.Each(func(t tuple.Tuple) { out = append(out, t) })
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
-// Clone returns a deep copy.
+// Clone returns a copy sharing all shard maps copy-on-write: the copy
+// costs O(#shards), and a subsequent mutation of either side copies
+// only the shard it touches. Callers must serialize Clone with other
+// mutations of r (it marks r's parts shared).
 func (r *Relation) Clone() *Relation {
-	out := New(r.scheme)
-	for k, t := range r.m {
-		out.m[k] = t
+	out := &Relation{
+		scheme: r.scheme,
+		key:    r.key,
+		parts:  append([]map[string]tuple.Tuple(nil), r.parts...),
+		shared: make([]bool, len(r.parts)),
+		n:      r.n,
+	}
+	for i := range r.parts {
+		r.shared[i] = true
+		out.shared[i] = true
 	}
 	return out
 }
 
 // Equal reports whether two relations have equal schemes and tuple
-// sets.
+// sets; shard layout does not participate.
 func (r *Relation) Equal(o *Relation) bool {
-	if !r.scheme.Equal(o.scheme) || len(r.m) != len(o.m) {
+	if !r.scheme.Equal(o.scheme) || r.n != o.n {
 		return false
 	}
-	for k := range r.m {
-		if _, ok := o.m[k]; !ok {
-			return false
+	for _, m := range r.parts {
+		for k, t := range m {
+			if _, ok := o.parts[o.part(t)][k]; !ok {
+				return false
+			}
 		}
 	}
 	return true
@@ -161,9 +206,7 @@ func Union(r, o *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := r.Clone()
-	for k, t := range o.m {
-		out.m[k] = t
-	}
+	o.Each(out.put)
 	return out, nil
 }
 
@@ -173,11 +216,11 @@ func Diff(r, o *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := New(r.scheme)
-	for k, t := range r.m {
-		if _, drop := o.m[k]; !drop {
-			out.m[k] = t
+	r.Each(func(t tuple.Tuple) {
+		if !o.Has(t) {
+			out.put(t)
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -187,22 +230,22 @@ func Intersect(r, o *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := New(r.scheme)
-	for k, t := range r.m {
-		if _, keep := o.m[k]; keep {
-			out.m[k] = t
+	r.Each(func(t tuple.Tuple) {
+		if o.Has(t) {
+			out.put(t)
 		}
-	}
+	})
 	return out, nil
 }
 
 // Select returns σ_pred(r).
 func Select(r *Relation, pred func(tuple.Tuple) bool) *Relation {
 	out := New(r.scheme)
-	for k, t := range r.m {
+	r.Each(func(t tuple.Tuple) {
 		if pred(t) {
-			out.m[k] = t
+			out.put(t)
 		}
-	}
+	})
 	return out
 }
 
@@ -218,10 +261,7 @@ func Project(r *Relation, attrs []schema.Attribute) (*Relation, error) {
 		return nil, err
 	}
 	out := New(ps)
-	for _, t := range r.m {
-		pt := t.Project(pos)
-		out.m[pt.Key()] = pt
-	}
+	r.Each(func(t tuple.Tuple) { out.put(t.Project(pos)) })
 	return out, nil
 }
 
@@ -233,12 +273,11 @@ func Cross(r, o *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := New(cs)
-	for _, a := range r.m {
-		for _, b := range o.m {
-			t := a.Concat(b)
-			out.m[t.Key()] = t
-		}
-	}
+	r.Each(func(a tuple.Tuple) {
+		o.Each(func(b tuple.Tuple) {
+			out.put(a.Concat(b))
+		})
+	})
 	return out, nil
 }
 
@@ -295,17 +334,16 @@ func NaturalJoin(l, r *Relation) (*Relation, error) {
 	}
 	out := New(p.out)
 	// Hash join: build on the smaller side conceptually; here build on r.
-	idx := make(map[string][]tuple.Tuple, len(r.m))
-	for _, b := range r.m {
+	idx := make(map[string][]tuple.Tuple, r.n)
+	r.Each(func(b tuple.Tuple) {
 		k := b.Project(p.rightPos).Key()
 		idx[k] = append(idx[k], b)
-	}
-	for _, a := range l.m {
+	})
+	l.Each(func(a tuple.Tuple) {
 		k := a.Project(p.leftPos).Key()
 		for _, b := range idx[k] {
-			t := p.combine(a, b)
-			out.m[t.Key()] = t
+			out.put(p.combine(a, b))
 		}
-	}
+	})
 	return out, nil
 }

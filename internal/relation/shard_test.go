@@ -1,0 +1,156 @@
+package relation
+
+import (
+	"testing"
+
+	"mview/internal/schema"
+	"mview/internal/tuple"
+)
+
+func TestShardOf(t *testing.T) {
+	if got := ShardOf(42, 1); got != 0 {
+		t.Errorf("ShardOf(42, 1) = %d, want 0", got)
+	}
+	if got := ShardOf(42, 0); got != 0 {
+		t.Errorf("ShardOf(42, 0) = %d, want 0", got)
+	}
+	counts := make([]int, 8)
+	for v := int64(-500); v < 500; v++ {
+		s := ShardOf(v, 8)
+		if s < 0 || s >= 8 {
+			t.Fatalf("ShardOf(%d, 8) = %d, out of range", v, s)
+		}
+		if s != ShardOf(v, 8) {
+			t.Fatalf("ShardOf(%d, 8) not deterministic", v)
+		}
+		counts[s]++
+	}
+	// The finalizer mix must not degenerate: with 1000 sequential keys
+	// over 8 shards no shard should be empty.
+	for s, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d got no keys out of 1000 sequential values", s)
+		}
+	}
+}
+
+func TestNewShardedValidation(t *testing.T) {
+	s := schema.MustScheme("A", "B")
+	if _, err := NewSharded(s, 0, 0); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := NewSharded(s, 2, 4); err == nil {
+		t.Error("key out of range must fail")
+	}
+	if _, err := NewSharded(s, -1, 4); err == nil {
+		t.Error("negative key must fail")
+	}
+	r, err := NewSharded(s, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards() != 4 || r.ShardKey() != 0 {
+		t.Errorf("Shards/ShardKey = %d/%d, want 4/0", r.Shards(), r.ShardKey())
+	}
+}
+
+// TestShardedOpsMatchMonolithic runs the full operator set over a
+// sharded and a monolithic copy of the same contents: every derived
+// relation must be equal.
+func TestShardedOpsMatchMonolithic(t *testing.T) {
+	s := schema.MustScheme("A", "B")
+	mono := New(s)
+	shrd, err := NewSharded(s, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 30; i++ {
+		tu := tuple.New(i, i%5)
+		mono.Insert(tu)
+		shrd.Insert(tu)
+	}
+	for i := int64(0); i < 30; i += 3 {
+		tu := tuple.New(i, i%5)
+		mono.Delete(tu)
+		shrd.Delete(tu)
+	}
+	if !mono.Equal(shrd) || !shrd.Equal(mono) || mono.Len() != shrd.Len() {
+		t.Fatalf("contents diverged: mono %v, sharded %v", mono, shrd)
+	}
+
+	sum := 0
+	for i := 0; i < shrd.Shards(); i++ {
+		sum += shrd.ShardLen(i)
+		shrd.EachShard(i, func(tu tuple.Tuple) {
+			if ShardOf(tu[0], shrd.Shards()) != i {
+				t.Errorf("tuple %v in wrong shard %d", tu, i)
+			}
+		})
+	}
+	if sum != shrd.Len() {
+		t.Errorf("shard lengths sum to %d, Len = %d", sum, shrd.Len())
+	}
+
+	other := New(schema.MustScheme("B", "C"))
+	for i := int64(0); i < 5; i++ {
+		other.Insert(tuple.New(i, 100+i))
+	}
+	even := func(tu tuple.Tuple) bool { return tu[1] == 2 }
+	proj := []schema.Attribute{"B"}
+	pairs := []struct {
+		name       string
+		from, want *Relation
+	}{
+		{"Select", Select(shrd, even), Select(mono, even)},
+		{"Project", mustRel(Project(shrd, proj)), mustRel(Project(mono, proj))},
+		{"Union", mustRel(Union(shrd, mono)), mustRel(Union(mono, shrd))},
+		{"Diff", mustRel(Diff(shrd, mono)), New(s)},
+		{"Intersect", mustRel(Intersect(shrd, mono)), mono},
+		{"NaturalJoin", mustRel(NaturalJoin(shrd, other)), mustRel(NaturalJoin(mono, other))},
+	}
+	for _, p := range pairs {
+		if !p.from.Equal(p.want) {
+			t.Errorf("%s diverged on sharded operand:\n got: %v\n want: %v", p.name, p.from, p.want)
+		}
+	}
+}
+
+func mustRel(r *Relation, err error) *Relation {
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TestShardedCloneCOW pins per-shard copy-on-write: mutating one shard
+// of a clone leaves the original and the clone's other shards
+// untouched and still structurally shared.
+func TestShardedCloneCOW(t *testing.T) {
+	s := schema.MustScheme("A", "B")
+	orig, err := NewSharded(s, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 40; i++ {
+		orig.Insert(tuple.New(i, i))
+	}
+	frozen := orig.Clone()
+	want := frozen.Len()
+
+	// Mutate the original: the clone must not move.
+	orig.Insert(tuple.New(1000, 1))
+	orig.Delete(tuple.New(3, 3))
+	if frozen.Len() != want {
+		t.Fatalf("clone changed under original's mutation: len %d, want %d", frozen.Len(), want)
+	}
+	if !frozen.Has(tuple.New(3, 3)) || frozen.Has(tuple.New(1000, 1)) {
+		t.Error("clone observed the original's mutation")
+	}
+
+	// Mutate the clone: the original must not move either.
+	before := orig.Len()
+	frozen.Insert(tuple.New(2000, 2))
+	if orig.Len() != before || orig.Has(tuple.New(2000, 2)) {
+		t.Error("original observed the clone's mutation")
+	}
+}

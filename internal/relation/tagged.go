@@ -38,9 +38,9 @@ func NewTagged(s *schema.Scheme) *Tagged {
 // tuple carrying the given tag.
 func TagRelation(r *Relation, tag tuple.Tag) *Tagged {
 	g := NewTagged(r.scheme)
-	for k, t := range r.m {
-		g.m[k] = tentry{t: t, tag: tag}
-	}
+	r.Each(func(t tuple.Tuple) {
+		g.m[t.Key()] = tentry{t: t, tag: tag}
+	})
 	return g
 }
 
@@ -53,9 +53,9 @@ func TagRelationAs(r *Relation, s *schema.Scheme, tag tuple.Tag) (*Tagged, error
 		return nil, fmt.Errorf("relation: cannot rebind %s as %s: arity mismatch", r.scheme, s)
 	}
 	g := NewTagged(s)
-	for k, t := range r.m {
-		g.m[k] = tentry{t: t, tag: tag}
-	}
+	r.Each(func(t tuple.Tuple) {
+		g.m[t.Key()] = tentry{t: t, tag: tag}
+	})
 	return g, nil
 }
 

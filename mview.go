@@ -1,6 +1,7 @@
 package mview
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -56,6 +57,8 @@ type DB struct {
 //
 // Call it once, before serving traffic. Handles are cached, so
 // re-instrumenting with the same registry is idempotent.
+//
+// Deprecated: pass WithObs to Open or OpenDurable instead.
 func (d *DB) Instrument(reg *obs.Registry, tr obs.Tracer) {
 	defer d.lockIfDurable()()
 	d.reg = reg
@@ -76,9 +79,12 @@ func (d *DB) Instrument(reg *obs.Registry, tr obs.Tracer) {
 // database is uninstrumented).
 func (d *DB) Metrics() *obs.Registry { return d.reg }
 
-// Open creates an empty database.
-func Open() *DB {
-	return &DB{eng: db.New()}
+// Open creates an empty database configured by the given options.
+func Open(opts ...Option) *DB {
+	cfg := buildOpenConfig(opts)
+	d := &DB{eng: db.New(cfg.engineOptions()...)}
+	d.applyRuntime(cfg)
+	return d
 }
 
 // SetMaintWorkers bounds the worker pool that parallelizes per-view
@@ -86,6 +92,8 @@ func Open() *DB {
 // default, GOMAXPROCS. Independent views compute their deltas
 // concurrently while the commit holds the engine lock, so multi-view
 // catalogs stop paying single-core commit latency.
+//
+// Deprecated: pass WithMaintWorkers to Open or OpenDurable instead.
 func (d *DB) SetMaintWorkers(n int) { d.eng.SetMaintWorkers(n) }
 
 // MaintWorkers reports the effective maintenance worker-pool size.
@@ -335,13 +343,29 @@ type TxInfo struct {
 // no-op, and churn that cancels within the transaction never reaches
 // the views.
 func (d *DB) Exec(ops ...Op) (TxInfo, error) {
+	return d.ExecContext(context.Background(), ops...)
+}
+
+// ExecContext is Exec with cancellation: the context is checked before
+// the commit starts and — under group commit — while the transaction
+// waits in the scheduler queue, so a caller that disconnects abandons
+// its queued wait instead of holding a group slot. A transaction whose
+// group leader has already claimed it runs to its verdict; a commit is
+// never torn back out of a batch.
+func (d *DB) ExecContext(ctx context.Context, ops ...Op) (TxInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return TxInfo{}, err
+	}
 	d.gmu.RLock()
 	if d.eng.GroupCommitEnabled() {
 		defer d.gmu.RUnlock()
-		return d.execGrouped(ops)
+		return d.execGrouped(ctx, ops)
 	}
 	d.gmu.RUnlock()
 	defer d.lockIfDurable()()
+	if err := ctx.Err(); err != nil {
+		return TxInfo{}, err
+	}
 	info, err := d.execCore(ops)
 	if err != nil {
 		return TxInfo{}, err
@@ -359,7 +383,7 @@ func (d *DB) Exec(ops ...Op) (TxInfo, error) {
 // whole group) before the transaction becomes visible, so — unlike the
 // serial apply-then-log path above — a logging failure aborts the
 // transaction instead of surfacing after the fact.
-func (d *DB) execGrouped(ops []Op) (TxInfo, error) {
+func (d *DB) execGrouped(ctx context.Context, ops []Op) (TxInfo, error) {
 	var payload []byte
 	if d.wal != nil {
 		p, err := encodeStmt(walStmt{Kind: "tx", Ops: opsToWal(ops)})
@@ -369,7 +393,7 @@ func (d *DB) execGrouped(ops []Op) (TxInfo, error) {
 		payload = p
 	}
 	tx := buildTx(ops)
-	res, err := d.eng.ExecuteLogged(&tx, payload)
+	res, err := d.eng.ExecuteLoggedCtx(ctx, &tx, payload)
 	if err != nil {
 		return TxInfo{}, err
 	}
@@ -393,6 +417,8 @@ func opsToWal(ops []Op) []walOp {
 // only from what has already queued). Transactions keep their
 // individual atomicity: a member that fails validation is excluded and
 // retried alone without poisoning the rest of its group.
+//
+// Deprecated: pass WithGroupCommit to Open or OpenDurable instead.
 func (d *DB) EnableGroupCommit(maxBatch int, window time.Duration) {
 	d.gmu.Lock()
 	defer d.gmu.Unlock()
@@ -532,6 +558,8 @@ type Stats struct {
 	DeltaInserts  int // view tuples inserted by deltas
 	DeltaDeletes  int // view tuples deleted by deltas
 	PendingTx     int // transactions awaiting a deferred refresh
+	ShardTasks    int // per-shard maintenance tasks run on the pool (WithShards)
+	ShardsPruned  int // shard sub-deltas skipped by the §4 key-range test
 }
 
 // Stats returns a view's maintenance counters.
@@ -550,11 +578,24 @@ func (d *DB) Stats(name string) (Stats, error) {
 		DeltaInserts:  s.DeltaInserts,
 		DeltaDeletes:  s.DeltaDeletes,
 		PendingTx:     s.PendingTx,
+		ShardTasks:    s.ShardTasks,
+		ShardsPruned:  s.ShardsPruned,
 	}, nil
 }
 
 // Query evaluates an ad-hoc SPJ expression without materializing it.
 func (d *DB) Query(spec ViewSpec) ([]Row, error) {
+	return d.QueryContext(context.Background(), spec)
+}
+
+// QueryContext is Query with cancellation. Evaluation runs lock-free
+// against an immutable snapshot and is not interruptible once started;
+// the context gates entry, so an already-abandoned caller (e.g. a
+// disconnected HTTP client) skips the evaluation entirely.
+func (d *DB) QueryContext(ctx context.Context, spec ViewSpec) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	v, err := spec.build("(query)")
 	if err != nil {
 		return nil, err
@@ -596,13 +637,18 @@ func (d *DB) Subscribe(view string, fn func(Change)) (cancel func(), err error) 
 func (d *DB) Save(w io.Writer) error { return d.eng.Save(w) }
 
 // Load reads a snapshot produced by Save, returning a database with
-// all relations restored and all views re-materialized.
-func Load(r io.Reader) (*DB, error) {
-	eng, err := db.Load(r)
+// all relations restored and all views re-materialized. The snapshot
+// format is shard-independent, so a snapshot written by any database
+// loads under any WithShards setting.
+func Load(r io.Reader, opts ...Option) (*DB, error) {
+	cfg := buildOpenConfig(opts)
+	eng, err := db.Load(r, cfg.engineOptions()...)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng}, nil
+	d := &DB{eng: eng}
+	d.applyRuntime(cfg)
+	return d, nil
 }
 
 // Relevant applies the §4 test directly: it reports whether inserting
