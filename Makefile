@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench crash lint apicheck apilock clean
+.PHONY: all build test race bench crash trace-smoke lint apicheck apilock clean
 
 all: lint apicheck build test
 
@@ -30,6 +30,12 @@ bench:
 # committed transaction (durable_crash_test.go).
 crash:
 	$(GO) test -race -count=1 -run 'CheckpointCrash|CheckpointFault|GroupCrash|GroupCommitCrash' -v .
+
+# End-to-end flight-recorder check: boot mviewd with -trace-ring,
+# drive a commit over HTTP, and assert /v1/debug/traces captured a
+# full hierarchical trace (scripts/trace-smoke.sh).
+trace-smoke:
+	scripts/trace-smoke.sh
 
 lint:
 	$(GO) vet ./...

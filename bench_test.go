@@ -644,19 +644,24 @@ func BenchmarkDurableExec(b *testing.B) {
 // BenchmarkObsOverhead measures what metrics and tracing cost on the
 // commit hot path: the same single-insert transaction against an
 // immediate differential view, uninstrumented vs with a live registry
-// vs with registry plus a no-op tracer. The uninstrumented path must
-// stay within a few percent of the seed (one atomic pointer load per
-// commit).
+// vs registry plus each tracer the daemon can mount — a no-op tracer,
+// a quiet slow-logger (threshold never met, pooled spans), and a live
+// flight recorder capturing every commit's span tree. The
+// uninstrumented path must stay within a few percent of the seed (one
+// atomic pointer load per commit).
 func BenchmarkObsOverhead(b *testing.B) {
-	type mode struct {
+	for _, m := range []struct {
 		name string
 		reg  bool
-		tr   bool
-	}
-	for _, m := range []mode{
-		{"off", false, false},
-		{"registry", true, false},
-		{"registry+tracer", true, true},
+		tr   func() obs.Tracer
+	}{
+		{"off", false, nil},
+		{"registry", true, nil},
+		{"registry+tracer", true, func() obs.Tracer { return obs.NopTracer{} }},
+		{"registry+slowlog", true, func() obs.Tracer {
+			return &obs.SlowLogger{Threshold: time.Hour, Logf: func(string, ...any) {}}
+		}},
+		{"registry+recorder", true, func() obs.Tracer { return obs.NewFlightRecorder(16, 0) }},
 	} {
 		b.Run(m.name, func(b *testing.B) {
 			d := Open()
@@ -668,8 +673,8 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 			if m.reg {
 				var tr obs.Tracer
-				if m.tr {
-					tr = obs.NopTracer{}
+				if m.tr != nil {
+					tr = m.tr()
 				}
 				d.Instrument(obs.NewRegistry(), tr)
 			}

@@ -4,6 +4,7 @@
 //
 //	mviewd [-addr :8080] [-data ./mydb] [-metrics=true] [-slowlog 100ms] [-maint-workers N] [-shards N]
 //	       [-checkpoint-interval 5m] [-group-commit] [-group-max N] [-group-window 2ms]
+//	       [-trace-ring N] [-trace-slow 250ms] [-pprof]
 //
 // See package mview/internal/httpapi for the endpoint reference. A
 // minimal session:
@@ -15,10 +16,24 @@
 //	curl -N localhost:8080/views/v/watch   # SSE change stream
 //	curl localhost:8080/metrics            # Prometheus exposition
 //	curl localhost:8080/debug/stats        # JSON snapshot
+//	curl localhost:8080/v1/debug/traces    # flight-recorder catalog
 //
 // -slowlog enables a structured log line ("slow span=db.refresh
 // dur=... view=v ...") for any commit, view refresh, or HTTP request
 // slower than the given threshold; 0 disables it.
+//
+// -trace-ring keeps the last N complete commit traces in an in-memory
+// flight recorder, served at /v1/debug/traces (the catalog) and
+// /v1/debug/traces/{id} (one hierarchical trace with per-stage spans
+// and its computed critical path). Traces slower than -trace-slow are
+// pinned so one slow outlier survives the ring cycling past it.
+// -trace-ring 0 disables the recorder. The default (64 traces) costs
+// a few hundred kilobytes and a few microseconds per commit.
+//
+// -pprof mounts Go's net/http/pprof profiling endpoints at
+// /debug/pprof/ on the same listener — CPU and heap profiles, goroutine
+// dumps, and execution traces for drilling into whatever the flight
+// recorder attributes (see README "Profiling").
 //
 // -maint-workers bounds the worker pool that computes per-view
 // maintenance concurrently inside each commit (0 = GOMAXPROCS, the
@@ -56,6 +71,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -67,55 +83,90 @@ import (
 	"mview/internal/obs"
 )
 
+// config carries every flag; one struct so run stays callable from
+// tests without a twelve-argument signature.
+type config struct {
+	addr        string
+	data        string
+	metrics     bool
+	slowlog     time.Duration
+	workers     int
+	shards      int
+	ckptEvery   time.Duration
+	groupCommit bool
+	groupMax    int
+	groupWindow time.Duration
+	traceRing   int
+	traceSlow   time.Duration
+	pprof       bool
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	data := flag.String("data", "", "durable database directory (empty = in-memory)")
-	metrics := flag.Bool("metrics", true, "serve /metrics and /debug/stats")
-	slowlog := flag.Duration("slowlog", 0, "log spans (commits, refreshes, requests) slower than this; 0 disables")
-	workers := flag.Int("maint-workers", 0, "per-view maintenance worker pool size (0 = GOMAXPROCS)")
-	shards := flag.Int("shards", 1, "hash shards per base relation (1 = monolithic)")
-	ckptEvery := flag.Duration("checkpoint-interval", 0, "checkpoint a durable database this often (0 disables; requires -data)")
-	groupCommit := flag.Bool("group-commit", false, "coalesce concurrent transactions into commit groups (one fsync, one maintenance pass, one snapshot publish per group)")
-	groupMax := flag.Int("group-max", 0, "maximum transactions per commit group (0 = default)")
-	groupWindow := flag.Duration("group-window", 2*time.Millisecond, "how long a group leader waits for followers once writers are concurrent (0 = no wait)")
+	var c config
+	flag.StringVar(&c.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&c.data, "data", "", "durable database directory (empty = in-memory)")
+	flag.BoolVar(&c.metrics, "metrics", true, "serve /metrics and /debug/stats")
+	flag.DurationVar(&c.slowlog, "slowlog", 0, "log spans (commits, refreshes, requests) slower than this; 0 disables")
+	flag.IntVar(&c.workers, "maint-workers", 0, "per-view maintenance worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&c.shards, "shards", 1, "hash shards per base relation (1 = monolithic)")
+	flag.DurationVar(&c.ckptEvery, "checkpoint-interval", 0, "checkpoint a durable database this often (0 disables; requires -data)")
+	flag.BoolVar(&c.groupCommit, "group-commit", false, "coalesce concurrent transactions into commit groups (one fsync, one maintenance pass, one snapshot publish per group)")
+	flag.IntVar(&c.groupMax, "group-max", 0, "maximum transactions per commit group (0 = default)")
+	flag.DurationVar(&c.groupWindow, "group-window", 2*time.Millisecond, "how long a group leader waits for followers once writers are concurrent (0 = no wait)")
+	flag.IntVar(&c.traceRing, "trace-ring", 64, "commit traces kept in the flight recorder at /v1/debug/traces (0 disables)")
+	flag.DurationVar(&c.traceSlow, "trace-slow", 250*time.Millisecond, "pin traces slower than this so the ring cannot evict them")
+	flag.BoolVar(&c.pprof, "pprof", false, "serve net/http/pprof profiling endpoints at /debug/pprof/")
 	flag.Parse()
 
-	if err := run(*addr, *data, *metrics, *slowlog, *workers, *shards, *ckptEvery, *groupCommit, *groupMax, *groupWindow); err != nil {
+	if err := run(c); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, data string, metrics bool, slowlog time.Duration, workers, shards int, ckptEvery time.Duration, groupCommit bool, groupMax int, groupWindow time.Duration) error {
+func run(c config) error {
 	var reg *obs.Registry
-	var tr obs.Tracer
-	if slowlog > 0 {
-		tr = &obs.SlowLogger{Threshold: slowlog, Logf: log.Printf}
+	var fr *obs.FlightRecorder
+	var tracers obs.MultiTracer
+	if c.slowlog > 0 {
+		tracers = append(tracers, &obs.SlowLogger{Threshold: c.slowlog, Logf: log.Printf})
 	}
-	if metrics {
+	if c.traceRing > 0 {
+		fr = obs.NewFlightRecorder(c.traceRing, c.traceSlow)
+		tracers = append(tracers, fr)
+	}
+	var tr obs.Tracer
+	switch len(tracers) {
+	case 0:
+	case 1:
+		tr = tracers[0]
+	default:
+		tr = tracers
+	}
+	if c.metrics {
 		reg = obs.NewRegistry()
 	}
 
 	var dbOpts []mview.Option
-	if workers > 0 {
-		dbOpts = append(dbOpts, mview.WithMaintWorkers(workers))
+	if c.workers > 0 {
+		dbOpts = append(dbOpts, mview.WithMaintWorkers(c.workers))
 	}
-	if shards > 1 {
-		dbOpts = append(dbOpts, mview.WithShards(shards))
+	if c.shards > 1 {
+		dbOpts = append(dbOpts, mview.WithShards(c.shards))
 	}
-	if groupCommit {
-		dbOpts = append(dbOpts, mview.WithGroupCommit(groupMax, groupWindow))
+	if c.groupCommit {
+		dbOpts = append(dbOpts, mview.WithGroupCommit(c.groupMax, c.groupWindow))
 	}
 	if reg != nil || tr != nil {
 		dbOpts = append(dbOpts, mview.WithObs(reg, tr))
 	}
 
 	var db *mview.DB
-	if data != "" {
+	if c.data != "" {
 		var err error
-		if db, err = mview.OpenDurable(data, dbOpts...); err != nil {
+		if db, err = mview.OpenDurable(c.data, dbOpts...); err != nil {
 			return err
 		}
-		log.Printf("mviewd: recovered durable database in %s", data)
+		log.Printf("mviewd: recovered durable database in %s", c.data)
 	} else {
 		db = mview.Open(dbOpts...)
 	}
@@ -127,7 +178,24 @@ func run(addr, data string, metrics bool, slowlog time.Duration, workers, shards
 	} else {
 		opts = append(opts, httpapi.WithoutObs())
 	}
-	handler := httpapi.NewWith(db, opts...)
+	if fr != nil {
+		opts = append(opts, httpapi.WithFlightRecorder(fr))
+	}
+	var handler http.Handler = httpapi.NewWith(db, opts...)
+	if c.pprof {
+		// The API mux stays the default; pprof mounts beside it on the
+		// same listener (unversioned, an operational endpoint like
+		// /metrics). Explicit registrations — the package's init only
+		// touches http.DefaultServeMux, which is not served here.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 
 	// The signal context doubles as the base context of every request,
 	// so long-lived SSE watch streams observe r.Context().Done() and
@@ -139,14 +207,14 @@ func run(addr, data string, metrics bool, slowlog time.Duration, workers, shards
 	// replay. The goroutine is joined before db.Close so a checkpoint
 	// never races the log teardown.
 	var ckptWG sync.WaitGroup
-	if ckptEvery > 0 {
-		if data == "" {
+	if c.ckptEvery > 0 {
+		if c.data == "" {
 			return errors.New("mviewd: -checkpoint-interval requires -data")
 		}
 		ckptWG.Add(1)
 		go func() {
 			defer ckptWG.Done()
-			tick := time.NewTicker(ckptEvery)
+			tick := time.NewTicker(c.ckptEvery)
 			defer tick.Stop()
 			for {
 				select {
@@ -162,7 +230,7 @@ func run(addr, data string, metrics bool, slowlog time.Duration, workers, shards
 	}
 
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              c.addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return ctx },
@@ -173,8 +241,8 @@ func run(addr, data string, metrics bool, slowlog time.Duration, workers, shards
 			errc <- err
 		}
 	}()
-	log.Printf("mviewd listening on %s (data=%q metrics=%v slowlog=%v maint-workers=%d shards=%d group-commit=%v)",
-		addr, data, metrics, slowlog, db.MaintWorkers(), db.Shards(), db.GroupCommitEnabled())
+	log.Printf("mviewd listening on %s (data=%q metrics=%v slowlog=%v trace-ring=%d pprof=%v maint-workers=%d shards=%d group-commit=%v)",
+		c.addr, c.data, c.metrics, c.slowlog, c.traceRing, c.pprof, db.MaintWorkers(), db.Shards(), db.GroupCommitEnabled())
 
 	select {
 	case err := <-errc:

@@ -20,6 +20,8 @@ type Session struct {
 	db *mview.DB
 	// reg collects engine metrics for the bare "stats" command.
 	reg *obs.Registry
+	// fr records every commit's span tree for the "trace" command.
+	fr *obs.FlightRecorder
 	// pending batches operations between "begin" and "commit".
 	pending []mview.Op
 	inTx    bool
@@ -59,8 +61,10 @@ func NewDurableSession(dir string, opts ...mview.Option) (*Session, error) {
 }
 
 func newSession(db *mview.DB) *Session {
-	s := &Session{db: db, reg: obs.NewRegistry()}
-	db.Instrument(s.reg, nil)
+	// Threshold 0: the shell is single-user, so nothing needs pinning —
+	// the ring alone holds the last 64 commits.
+	s := &Session{db: db, reg: obs.NewRegistry(), fr: obs.NewFlightRecorder(64, 0)}
+	db.Instrument(s.reg, s.fr)
 	return s
 }
 
@@ -86,6 +90,9 @@ const Help = `commands:
   schema <view>                            print a view's output attributes
   stats [<view>]                           maintenance statistics (bare: all engine metrics)
   explain <view>                           describe definition and maintenance plan
+  explain analyze <view>                   the plan plus measured timings of the last maintenance
+  trace [<id>]                             flight recorder: list recent commit traces, or show
+                                           one trace's span tree and critical path
   refresh <view> | refresh all             bring deferred views up to date (§6)
   relevant <view> <rel> (<v>, ...)         §4 irrelevance test for an update
   save <file> | load <file>                snapshot the database / restore one
@@ -135,7 +142,9 @@ func (s *Session) Exec(line string) (string, bool) {
 	case "stats":
 		out, err = s.stats(rest)
 	case "explain":
-		out, err = s.db.Explain(strings.TrimSpace(rest))
+		out, err = s.explain(rest)
+	case "trace":
+		out, err = s.trace(rest)
 	case "refresh":
 		out, err = s.refresh(rest)
 	case "relevant":
@@ -483,6 +492,115 @@ func (s *Session) stats(name string) (string, error) {
 	return fmt.Sprintf("%+v", st), nil
 }
 
+// explain handles "explain <view>" and "explain analyze <view>".
+func (s *Session) explain(rest string) (string, error) {
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(strings.ToLower(rest), "analyze ") {
+		return s.db.ExplainAnalyze(strings.TrimSpace(rest[len("analyze "):]))
+	}
+	return s.db.Explain(rest)
+}
+
+// trace lists the flight recorder's contents ("trace") or renders one
+// recorded commit ("trace <id>"): the hierarchical span tree with
+// per-stage offsets and durations, then the computed critical path.
+func (s *Session) trace(rest string) (string, error) {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		sums := s.fr.Summaries()
+		if len(sums) == 0 {
+			return "no traces recorded yet (commit something first)", nil
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d trace(s) retained, newest first (%d completed since open):\n",
+			len(sums), s.fr.Total())
+		for _, t := range sums {
+			pin := ""
+			if t.Pinned {
+				pin = "  [pinned: slow]"
+			}
+			fmt.Fprintf(&sb, "  %6d  %-16s %10s  %d span(s)%s\n",
+				t.ID, t.Name, fdur(t.Seconds), t.Spans, pin)
+		}
+		sb.WriteString("trace <id> shows one span tree")
+		return sb.String(), nil
+	}
+	id, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return "", fmt.Errorf("trace wants a numeric id, got %q", rest)
+	}
+	t, ok := s.fr.Get(id)
+	if !ok {
+		return "", fmt.Errorf("trace %d not in the recorder (evicted or never completed)", id)
+	}
+	return renderTrace(t), nil
+}
+
+// renderTrace pretty-prints one trace: the span tree (children
+// indented under their parents, in start order) and the critical path.
+func renderTrace(t *obs.Trace) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %d  %s  %s  (%s ago)\n",
+		t.ID, t.Name, fdur(t.Seconds), time.Since(t.Start).Round(time.Millisecond))
+	kids := make(map[uint64][]obs.RecordedSpan)
+	var root *obs.RecordedSpan
+	for i := range t.Spans {
+		sp := t.Spans[i]
+		if sp.Parent == 0 {
+			root = &t.Spans[i]
+			continue
+		}
+		kids[sp.Parent] = append(kids[sp.Parent], sp)
+	}
+	var walk func(sp obs.RecordedSpan, depth int)
+	walk = func(sp obs.RecordedSpan, depth int) {
+		fmt.Fprintf(&sb, "  %s%s  +%s %s%s\n", strings.Repeat("  ", depth),
+			sp.Name, fdur(sp.Offset), fdur(sp.Seconds), fattrs(sp.Attrs))
+		for _, c := range kids[sp.ID] {
+			walk(c, depth+1)
+		}
+	}
+	if root != nil {
+		walk(*root, 0)
+	}
+	if len(t.Critical) > 0 {
+		sb.WriteString("critical path:\n")
+		for _, c := range t.Critical {
+			var share float64
+			if t.Seconds > 0 {
+				share = c.Seconds / t.Seconds * 100
+			}
+			fmt.Fprintf(&sb, "  %-18s %10s  %5.1f%%\n", c.Name, fdur(c.Seconds), share)
+		}
+	}
+	if t.Dropped > 0 {
+		fmt.Fprintf(&sb, "(%d span(s) dropped past the per-trace cap)\n", t.Dropped)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// fdur renders a span duration in seconds at microsecond precision.
+func fdur(seconds float64) string {
+	return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// fattrs renders span attributes as sorted " k=v" pairs.
+func fattrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, " %s=%v", k, attrs[k])
+	}
+	return sb.String()
+}
+
 func (s *Session) refresh(rest string) (string, error) {
 	rest = strings.TrimSpace(rest)
 	if strings.EqualFold(rest, "all") {
@@ -574,7 +692,7 @@ func (s *Session) load(rest string) (string, error) {
 		return "", fmt.Errorf("cannot load inside a transaction")
 	}
 	s.db = db
-	db.Instrument(s.reg, nil)
+	db.Instrument(s.reg, s.fr)
 	return "loaded " + path, nil
 }
 

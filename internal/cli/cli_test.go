@@ -354,3 +354,62 @@ func TestSelectCommand(t *testing.T) {
 	expectErr(t, s, "select A, B")
 	expectErr(t, s, "select A from nosuch")
 }
+
+func TestTraceCommand(t *testing.T) {
+	s := NewSession()
+	if out := run(t, s, "trace"); !strings.Contains(out, "no traces recorded yet") {
+		t.Errorf("empty recorder listing = %q", out)
+	}
+	run(t, s,
+		"create relation r(A, B)",
+		"create relation s(B, C)",
+		"create join view v from r, s",
+		"insert r (1, 2)",
+	)
+	list := run(t, s, "trace")
+	if !strings.Contains(list, "db.commit") {
+		t.Fatalf("trace listing missing db.commit:\n%s", list)
+	}
+	// Pull the newest trace's id off the first listing row and render it.
+	var id string
+	for _, line := range strings.Split(list, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) > 1 && fields[1] == "db.commit" {
+			id = fields[0]
+			break
+		}
+	}
+	if id == "" {
+		t.Fatalf("no trace id in listing:\n%s", list)
+	}
+	tree := run(t, s, "trace "+id)
+	for _, want := range []string{"trace " + id, "db.commit", "commit.install", "critical path:"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("trace tree missing %q:\n%s", want, tree)
+		}
+	}
+	expectErr(t, s, "trace bogus")
+	expectErr(t, s, "trace 999999999")
+}
+
+func TestExplainAnalyzeCommand(t *testing.T) {
+	s := NewSession()
+	run(t, s,
+		"create relation r(A, B)",
+		"create relation s(B, C)",
+		"create join view v from r, s",
+		"insert r (1, 2)",
+		"insert s (2, 5)",
+	)
+	out := run(t, s, "explain analyze v")
+	for _, want := range []string{"analyze:", "counters:", "last maintenance", "trace="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain analyze missing %q:\n%s", want, out)
+		}
+	}
+	// Plain explain still works and stays un-annotated.
+	if out := run(t, s, "explain v"); strings.Contains(out, "analyze:") {
+		t.Errorf("plain explain grew an analyze section:\n%s", out)
+	}
+	expectErr(t, s, "explain analyze nope")
+}

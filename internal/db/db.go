@@ -118,6 +118,14 @@ type viewState struct {
 	// carried into the next snapshot as a single pointer.
 	dataShared bool
 	snapDirty  bool
+	// pendingSince is when the view's oldest unapplied change was
+	// staged: set on the 0→nonzero backlog transition, cleared by
+	// refresh. Its age is the view's staleness (Staleness, trace.go).
+	// lastMaint records the most recent maintenance's actual stage
+	// timings, for ExplainAnalyze. Both are guarded by mu and copied
+	// into the view's snapView at publish.
+	pendingSince time.Time
+	lastMaint    maintRecord
 	// subscribers receive the view's deltas after each refresh — the
 	// alerter mechanism of Buneman & Clemons that §1–2 cite as a
 	// motivating application: the §4 filter suppresses wake-ups for
@@ -222,6 +230,10 @@ type Engine struct {
 	// creation (shard.go). Engine configuration, immutable after New;
 	// <= 1 means monolithic relations.
 	shards int
+	// crit accumulates per-stage commit time for critical-path
+	// attribution (trace.go). Lock-free: written by commitTrace.close,
+	// read by CriticalPath.
+	crit critAccum
 }
 
 // engineObs bundles the engine-wide metric handles, resolved once at
@@ -249,6 +261,11 @@ type engineObs struct {
 	groupWait *obs.Histogram
 	// shards gauges the configured hash-shard count of base relations.
 	shards *obs.Gauge
+	// stages are the mview_commit_stage_seconds{stage} histograms,
+	// indexed by the stage constants in trace.go. Every batch observes
+	// every stage (0 when a stage had no work), so per-stage sums give
+	// the workload's critical-path attribution.
+	stages [numStages]*obs.Histogram
 }
 
 // groupSizeBuckets spans the useful batch sizes (DefaultGroupMaxBatch
@@ -275,6 +292,7 @@ type viewObs struct {
 	computeWait   *obs.Histogram
 	shardTasks    *obs.Counter
 	shardPruned   *obs.Counter
+	staleness     *obs.Gauge
 }
 
 func newViewObs(reg *obs.Registry, view string) *viewObs {
@@ -301,6 +319,7 @@ func newViewObs(reg *obs.Registry, view string) *viewObs {
 			"Per-shard maintenance tasks executed for this view on the worker pool.", l),
 		shardPruned: reg.Counter("mview_shard_pruned_total",
 			"Shard sub-deltas skipped entirely by the §4 key-range irrelevance test.", l),
+		staleness: reg.Gauge("mview_view_staleness_seconds", stalenessHelp, l),
 	}
 }
 
@@ -372,6 +391,11 @@ func (e *Engine) SetObs(reg *obs.Registry, tr obs.Tracer) {
 			"Time the group-commit scheduler held a batch open waiting for stragglers (0 for solo commits).", nil, nil),
 		shards: reg.Gauge("mview_shards",
 			"Configured hash-shard count of base relations (1 = unsharded).", nil),
+	}
+	for i := 0; i < numStages; i++ {
+		o.stages[i] = reg.Histogram("mview_commit_stage_seconds",
+			"Commit pipeline stage latency (trace.go stage taxonomy). Every batch observes every stage, 0 when the stage had no work.",
+			nil, obs.Labels{"stage": stageNames[i]})
 	}
 	o.workers.Set(float64(e.poolSize()))
 	o.shards.Set(float64(e.Shards()))
@@ -732,6 +756,10 @@ type TxResult struct {
 	Updates        []delta.Update // net effects applied to base relations
 	ViewsRefreshed int            // immediate views brought up to date
 	ViewsDeferred  int            // deferred views that queued changes
+	// Trace is the trace id of the pipeline run that committed this
+	// transaction (the group's trace under group commit), 0 when
+	// tracing is off. Look it up in the flight recorder.
+	Trace uint64
 }
 
 // Execute atomically applies a transaction: net effects are computed
@@ -771,10 +799,11 @@ func (e *Engine) ExecuteLoggedCtx(ctx context.Context, tx *delta.Tx, payload []b
 	o := e.o.Load()
 	var t0 time.Time
 	var span obs.Span
+	var root obs.SpanContext
 	if o != nil {
 		t0 = time.Now()
 		if o.tr != nil {
-			span = o.tr.Start("db.commit")
+			span, root = obs.StartRoot(o.tr, "db.commit")
 		}
 	}
 	var res TxResult
@@ -791,7 +820,7 @@ func (e *Engine) ExecuteLoggedCtx(ctx context.Context, tx *delta.Tx, payload []b
 			// refuse rather than commit without durably logging.
 			err = fmt.Errorf("db: group commit stopped mid-transaction")
 		} else {
-			res, ns, err = e.executeLocked(tx)
+			res, ns, err = e.executeLocked(tx, root)
 		}
 	}
 	if o != nil {
@@ -800,10 +829,17 @@ func (e *Engine) ExecuteLoggedCtx(ctx context.Context, tx *delta.Tx, payload []b
 			o.commitSeconds.ObserveDuration(time.Since(t0))
 		}
 		if span != nil {
-			span.End(obs.KV{K: "updates", V: len(res.Updates)},
-				obs.KV{K: "views_refreshed", V: res.ViewsRefreshed},
-				obs.KV{K: "views_deferred", V: res.ViewsDeferred},
-				obs.KV{K: "err", V: err != nil})
+			kvs := []obs.KV{
+				{K: "updates", V: len(res.Updates)},
+				{K: "views_refreshed", V: res.ViewsRefreshed},
+				{K: "views_deferred", V: res.ViewsDeferred},
+				{K: "err", V: err != nil},
+			}
+			if grouped && res.Trace != 0 {
+				// The stage tree lives in the group's own trace; link it.
+				kvs = append(kvs, obs.KV{K: "group_trace", V: res.Trace})
+			}
+			span.End(kvs...)
 		}
 	}
 	if err != nil {
@@ -817,9 +853,13 @@ func (e *Engine) ExecuteLoggedCtx(ctx context.Context, tx *delta.Tx, payload []b
 // (group.go): the serial path is a group of one, so both paths share
 // every phase — net effects, §6 composition (a no-op for one tx),
 // classification, pooled maintenance, validation, install, publish.
-func (e *Engine) executeLocked(tx *delta.Tx) (TxResult, []notification, error) {
+// parent is the caller's db.commit span context; the pipeline's stage
+// spans become its children.
+func (e *Engine) executeLocked(tx *delta.Tx, parent obs.SpanContext) (TxResult, []notification, error) {
 	req := &groupReq{tx: tx}
-	ns, err := e.executeBatchLocked([]*groupReq{req}, nil)
+	ct := e.newCommitTrace(parent)
+	ns, err := e.executeBatchLocked([]*groupReq{req}, nil, ct)
+	ct.close(err)
 	if err != nil {
 		return TxResult{}, nil, err
 	}
@@ -979,10 +1019,11 @@ func cloneUpdate(u delta.Update) delta.Update {
 // an immediate or already-fresh view is a no-op.
 func (e *Engine) RefreshView(name string) error {
 	var span obs.Span
+	var root obs.SpanContext
 	if o := e.o.Load(); o != nil && o.tr != nil {
-		span = o.tr.Start("db.refresh", obs.KV{K: "view", V: name})
+		span, root = obs.StartRoot(o.tr, "db.refresh", obs.KV{K: "view", V: name})
 	}
-	ns, err := e.refreshLocked(name)
+	ns, err := e.refreshLocked(name, root)
 	if span != nil {
 		span.End(obs.KV{K: "err", V: err != nil})
 	}
@@ -993,7 +1034,7 @@ func (e *Engine) RefreshView(name string) error {
 	return nil
 }
 
-func (e *Engine) refreshLocked(name string) ([]notification, error) {
+func (e *Engine) refreshLocked(name string, parent obs.SpanContext) ([]notification, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st, ok := e.views[name]
@@ -1004,12 +1045,25 @@ func (e *Engine) refreshLocked(name string) ([]notification, error) {
 	if err != nil || j == nil {
 		return nil, err
 	}
+	if o := e.o.Load(); o != nil && o.tr != nil {
+		j.tr, j.parent = o.tr, parent
+	}
 	j.run()
+	var sp obs.Span
+	if j.tr != nil {
+		sp, _ = obs.StartChild(j.tr, parent, "refresh.install", obs.KV{K: "view", V: name})
+	}
 	ns, err := e.installRefreshJob(j)
 	if err != nil {
+		if sp != nil {
+			sp.End(obs.KV{K: "err", V: true})
+		}
 		return nil, err
 	}
 	e.publishLocked()
+	if sp != nil {
+		sp.End()
+	}
 	return ns, nil
 }
 
@@ -1020,11 +1074,17 @@ type refreshJob struct {
 	policy  Policy               // resolved policy (adaptive already decided)
 	insts   []*relation.Relation // operand instances; reconstructed pre-state for differential
 	updates []delta.Update       // composed pending net updates (differential)
-	t0      time.Time            // set iff st.vo != nil
+	t0      time.Time            // refresh start, for latency metrics and lastMaint
 	d       *diffeval.ViewDelta
 	vc      *relation.Counted
 	cow     *relation.Counted // private clone for the copy-on-write install
 	err     error
+	// tr/parent attach the job to a db.refresh (or db.refresh_all)
+	// trace: run emits a refresh.compute child span. computeDur is the
+	// pure compute time, for lastMaint.
+	tr         obs.Tracer
+	parent     obs.SpanContext
+	computeDur time.Duration
 }
 
 // buildRefreshJob resolves the refresh policy and reconstructs the
@@ -1035,10 +1095,7 @@ func (e *Engine) buildRefreshJob(st *viewState) (*refreshJob, error) {
 	if len(st.pending) == 0 {
 		return nil, nil
 	}
-	j := &refreshJob{st: st}
-	if st.vo != nil {
-		j.t0 = time.Now()
-	}
+	j := &refreshJob{st: st, t0: time.Now()}
 	policy := st.cfg.Policy
 	if policy == PolicyAdaptive {
 		pend := make([]delta.Update, 0, len(st.pending))
@@ -1092,6 +1149,18 @@ func (e *Engine) buildRefreshJob(st *viewState) (*refreshJob, error) {
 // views may run concurrently on the worker pool while the lock holder
 // waits — the engine must not be mutated during the call.
 func (j *refreshJob) run() {
+	var sp obs.Span
+	if j.tr != nil {
+		sp, _ = obs.StartChild(j.tr, j.parent, "refresh.compute",
+			obs.KV{K: "view", V: j.st.name})
+	}
+	start := time.Now()
+	defer func() {
+		j.computeDur = time.Since(start)
+		if sp != nil {
+			sp.End(obs.KV{K: "err", V: j.err != nil})
+		}
+	}()
 	if j.policy == PolicyRecompute {
 		j.vc, j.err = eval.Materialize(j.st.bound, j.insts, j.st.cfg.EvalOpt)
 		return
@@ -1116,6 +1185,7 @@ func (e *Engine) installRefreshJob(j *refreshJob) ([]notification, error) {
 	if j.err != nil {
 		return nil, j.err
 	}
+	install := time.Now()
 	if j.policy == PolicyRecompute {
 		var ns []notification
 		if len(st.subscribers) > 0 {
@@ -1128,8 +1198,17 @@ func (e *Engine) installRefreshJob(j *refreshJob) ([]notification, error) {
 		st.stats.Recomputes++
 		st.pending = make(map[string]delta.Update)
 		st.stats.PendingTx = 0
+		st.pendingSince = time.Time{}
+		st.lastMaint = maintRecord{
+			At:       time.Now(),
+			Decision: decisionLabel(st.cfg, PolicyRecompute),
+			Compute:  j.computeDur,
+			Install:  time.Since(install),
+			Trace:    j.parent.Trace,
+		}
 		if st.vo != nil {
 			st.vo.pending.Set(0)
+			st.vo.staleness.Set(0)
 			st.vo.refreshHist(decisionLabel(st.cfg, PolicyRecompute)).ObserveDuration(time.Since(j.t0))
 		}
 		return ns, nil
@@ -1153,8 +1232,19 @@ func (e *Engine) installRefreshJob(j *refreshJob) ([]notification, error) {
 	st.noteDelta(j.d)
 	st.pending = make(map[string]delta.Update)
 	st.stats.PendingTx = 0
+	st.pendingSince = time.Time{}
+	st.lastMaint = maintRecord{
+		At:       time.Now(),
+		Decision: decisionLabel(st.cfg, PolicyDifferential),
+		Compute:  j.computeDur,
+		Install:  time.Since(install),
+		Inserts:  j.d.Stats.DeltaInserts,
+		Deletes:  j.d.Stats.DeltaDeletes,
+		Trace:    j.parent.Trace,
+	}
 	if st.vo != nil {
 		st.vo.pending.Set(0)
+		st.vo.staleness.Set(0)
 		st.vo.refreshHist(decisionLabel(st.cfg, PolicyDifferential)).ObserveDuration(time.Since(j.t0))
 	}
 	return st.notifications(st.name, j.d.Inserts, j.d.Deletes), nil
@@ -1169,10 +1259,11 @@ func (e *Engine) installRefreshJob(j *refreshJob) ([]notification, error) {
 // installed (a failed view keeps its backlog and can be retried).
 func (e *Engine) RefreshAll() error {
 	var span obs.Span
+	var root obs.SpanContext
 	if o := e.o.Load(); o != nil && o.tr != nil {
-		span = o.tr.Start("db.refresh_all")
+		span, root = obs.StartRoot(o.tr, "db.refresh_all")
 	}
-	ns, err := e.refreshAllLocked()
+	ns, err := e.refreshAllLocked(root)
 	if span != nil {
 		span.End(obs.KV{K: "err", V: err != nil})
 	}
@@ -1180,7 +1271,7 @@ func (e *Engine) RefreshAll() error {
 	return err
 }
 
-func (e *Engine) refreshAllLocked() ([]notification, error) {
+func (e *Engine) refreshAllLocked(parent obs.SpanContext) ([]notification, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	names := make([]string, len(e.viewOrder))
@@ -1194,6 +1285,11 @@ func (e *Engine) refreshAllLocked() ([]notification, error) {
 		}
 		if j != nil {
 			jobs = append(jobs, j)
+		}
+	}
+	if o := e.o.Load(); o != nil && o.tr != nil {
+		for _, j := range jobs {
+			j.tr, j.parent = o.tr, parent
 		}
 	}
 	e.forEachParallel(len(jobs), func(i int) { jobs[i].run() })

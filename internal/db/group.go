@@ -21,6 +21,7 @@ import (
 	"mview/internal/diffeval"
 	"mview/internal/eval"
 	"mview/internal/expr"
+	"mview/internal/obs"
 	"mview/internal/relation"
 )
 
@@ -30,8 +31,9 @@ const DefaultGroupMaxBatch = 64
 
 // groupReq is one caller's transaction riding a group.
 type groupReq struct {
-	tx      *delta.Tx
-	payload []byte // pre-encoded commit-log record; nil when not durable
+	tx       *delta.Tx
+	payload  []byte    // pre-encoded commit-log record; nil when not durable
+	enqueued time.Time // when submit queued the request (queue_wait stage)
 
 	// Filled by the pipeline.
 	touched    map[string]bool                // relations in this tx's net effect
@@ -120,7 +122,7 @@ func (g *group) submit(tx *delta.Tx, payload []byte) (TxResult, error, bool) {
 // commit is in flight and its outcome stands — cancellation can skip
 // the wait for a batch, never tear a committed member back out.
 func (g *group) submitCtx(ctx context.Context, tx *delta.Tx, payload []byte) (TxResult, error, bool) {
-	req := &groupReq{tx: tx, payload: payload, done: make(chan struct{})}
+	req := &groupReq{tx: tx, payload: payload, enqueued: time.Now(), done: make(chan struct{})}
 	g.mu.Lock()
 	if g.closing {
 		g.mu.Unlock()
@@ -230,7 +232,7 @@ func (g *group) drainAdaptive() {
 			o.groupSize.Observe(float64(len(batch)))
 			o.groupWait.ObserveDuration(waited)
 		}
-		g.run(batch)
+		g.run(batch, waited)
 	}
 }
 
@@ -241,7 +243,7 @@ func (g *group) drain() {
 		if len(batch) == 0 {
 			return
 		}
-		g.run(batch)
+		g.run(batch, 0)
 	}
 }
 
@@ -263,21 +265,36 @@ func (g *group) pop() []*groupReq {
 	return batch
 }
 
-// run commits one batch and releases its callers.
-func (g *group) run(batch []*groupReq) {
-	g.runOnce(batch)
+// run commits one batch and releases its callers. window is how long
+// the leader held the batch open waiting for stragglers.
+func (g *group) run(batch []*groupReq, window time.Duration) {
+	g.runOnce(batch, window)
 	for _, r := range batch {
 		close(r.done)
 	}
 }
 
-// runOnce runs the batch pipeline. A shared-phase failure in a batch
-// of several transactions cannot be attributed to one member, so each
-// remaining member retries solo — per-transaction atomicity holds and
-// one poisoned transaction never takes the group down with it. A solo
-// run's shared failure IS attributable and lands on the request.
-func (g *group) runOnce(batch []*groupReq) {
-	ns, err := g.e.executeBatchLocked(batch, g.logBatch)
+// runOnce runs the batch pipeline under its own commit trace
+// (db.commit_group). A shared-phase failure in a batch of several
+// transactions cannot be attributed to one member, so each remaining
+// member retries solo — per-transaction atomicity holds and one
+// poisoned transaction never takes the group down with it; each retry
+// is its own pipeline run with its own trace. A solo run's shared
+// failure IS attributable and lands on the request.
+func (g *group) runOnce(batch []*groupReq, window time.Duration) {
+	var queueWait time.Duration
+	now := time.Now()
+	for _, r := range batch {
+		if r.enqueued.IsZero() {
+			continue
+		}
+		if w := now.Sub(r.enqueued); w > queueWait {
+			queueWait = w
+		}
+	}
+	ct := g.e.newGroupTrace(len(batch), queueWait, window)
+	ns, err := g.e.executeBatchLocked(batch, g.logBatch, ct)
+	ct.close(err)
 	if err != nil {
 		if len(batch) == 1 {
 			if batch[0].err == nil {
@@ -290,7 +307,7 @@ func (g *group) runOnce(batch []*groupReq) {
 				continue // per-tx failure already attributed in the failed run
 			}
 			r.res, r.viewDeltas, r.touched = TxResult{}, nil, nil
-			g.runOnce([]*groupReq{r})
+			g.runOnce([]*groupReq{r}, 0)
 		}
 		return
 	}
@@ -319,7 +336,11 @@ func (g *group) runOnce(batch []*groupReq) {
 //  5. install + publish: bases swap to the overlay clones, indexes
 //     advance by the composed delta, view states install, ONE COW
 //     snapshot publishes. Nothing in this phase can fail.
-func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) error) ([]notification, error) {
+//
+// ct (nil when obs is detached) times every phase as a pipeline stage
+// and, with a tracer attached, emits the stage and fan-out spans that
+// the flight recorder assembles into the commit's trace (trace.go).
+func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) error, ct *commitTrace) ([]notification, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -345,6 +366,7 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 		return insts
 	}
 
+	se := ct.begin(stageNet)
 	live := make([]*groupReq, 0, len(reqs))
 	nets := make([][]delta.Update, 0, len(reqs))
 	for _, r := range reqs {
@@ -353,7 +375,7 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 			r.err = err
 			continue
 		}
-		r.res = TxResult{Updates: updates}
+		r.res = TxResult{Updates: updates, Trace: ct.traceID()}
 		r.touched = make(map[string]bool, len(updates))
 		for _, u := range updates {
 			r.touched[u.Rel] = true
@@ -377,20 +399,33 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 				// Unreachable: Net guarantees disjointness against the
 				// very state the update applies to. Poison the batch
 				// rather than risk a torn overlay.
+				se.end(obs.KV{K: "err", V: true})
 				return nil, fmt.Errorf("db: internal: overlay apply failed: %w", err)
 			}
 		}
 		live = append(live, r)
 		nets = append(nets, updates)
 	}
+	if se.span != nil {
+		se.end(obs.KV{K: "txs", V: len(reqs)}, obs.KV{K: "live", V: len(live)})
+	} else {
+		se.end()
+	}
 	if len(live) == 0 {
 		return nil, nil
 	}
 
 	// Phase 2: §6 composition of the group's net effects.
+	se = ct.begin(stageCompose)
 	composed, err := delta.ComposeTxs(nets)
 	if err != nil {
+		se.end(obs.KV{K: "err", V: true})
 		return nil, err
+	}
+	if se.span != nil {
+		se.end(obs.KV{K: "relations", V: len(composed)})
+	} else {
+		se.end()
 	}
 	composedTouched := make(map[string]bool, len(composed))
 	for _, u := range composed {
@@ -464,6 +499,12 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 	// (shard.go); the composed delta is split by shard once per
 	// relation for the whole group, and the per-shard partial deltas
 	// are ⊎-merged after the pool drains.
+	//
+	// The whole fan-out — differential tasks and recompute shadows — is
+	// the maint stage; each unit of pool work gets its own child span,
+	// and the longest one is the slowest_task critical-path component.
+	maintSE := ct.begin(stageMaint)
+	var maxTask time.Duration
 	if len(diff) > 0 {
 		splits := make(map[string][]delta.ShardUpdate)
 		var tasks []*commitTask
@@ -474,6 +515,11 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 		submit := time.Now()
 		e.forEachParallel(len(tasks), func(i int) {
 			t := tasks[i]
+			var sp obs.Span
+			if ct.tracing() {
+				sp = ct.task(maintSE.ctx, "maint.task",
+					obs.KV{K: "view", V: t.w.st.name}, obs.KV{K: "shard", V: t.part})
+			}
 			start := time.Now()
 			t.wait = start.Sub(submit)
 			t.d, t.err = t.w.st.maint.ComputeDeltaWith(t.w.insts, t.upd, prov)
@@ -481,10 +527,17 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 				t.w.cow = t.w.st.data.Clone()
 			}
 			t.dur = time.Since(start)
+			if sp != nil {
+				sp.End(obs.KV{K: "err", V: t.err != nil})
+			}
 		})
 		for _, t := range tasks {
 			if t.err != nil {
+				maintSE.end(obs.KV{K: "err", V: true})
 				return nil, t.err
+			}
+			if t.dur > maxTask {
+				maxTask = t.dur
 			}
 			w := t.w
 			if t.part < 0 {
@@ -501,6 +554,7 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 			if w.d == nil {
 				var err error
 				if w.d, err = diffeval.MergeDeltas(w.parts); err != nil {
+					maintSE.end(obs.KV{K: "err", V: true})
 					return nil, err
 				}
 			}
@@ -523,14 +577,33 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 	}
 	e.forEachParallel(len(recs), func(i int) {
 		w := recs[i]
+		var sp obs.Span
+		if ct.tracing() {
+			sp = ct.task(maintSE.ctx, "maint.recompute", obs.KV{K: "view", V: w.st.name})
+		}
 		start := time.Now()
 		w.vc, w.err = eval.Materialize(w.st.bound, w.insts, w.st.cfg.EvalOpt)
 		w.computeDur = time.Since(start)
+		if sp != nil {
+			sp.End(obs.KV{K: "err", V: w.err != nil})
+		}
 	})
+	for _, w := range recs {
+		if w.computeDur > maxTask {
+			maxTask = w.computeDur
+		}
+	}
+	if maintSE.span != nil {
+		maintSE.end(obs.KV{K: "differential", V: len(diff)}, obs.KV{K: "recompute", V: len(recs)})
+	} else {
+		maintSE.end()
+	}
+	ct.note(stageSlowestTask, maxTask)
 
 	// Validate every delta before anything becomes visible. Per-tx
 	// delta chains fold onto a private clone, each step re-validated by
 	// diffeval.Apply; the clone becomes the view's next state.
+	se = ct.begin(stageValidate)
 	for _, w := range work3 {
 		if w.err == nil && w.d != nil {
 			w.err = diffeval.Validate(w.st.data, w.d)
@@ -547,13 +620,16 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 			}
 		}
 		if w.err != nil {
+			se.end(obs.KV{K: "err", V: true})
 			return nil, w.err
 		}
 	}
+	se.end()
 
 	// Phase 4: durably log the whole group with one fsync, before any
 	// of it becomes visible. A log failure aborts with the engine
 	// untouched (AppendBatch truncates a torn batch back out).
+	logged := false
 	if logBatch != nil {
 		payloads := make([][]byte, 0, len(live))
 		for _, r := range live {
@@ -562,13 +638,21 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 			}
 		}
 		if len(payloads) > 0 {
-			if err := logBatch(payloads); err != nil {
+			logged = true
+			se = ct.begin(stageFsync, obs.KV{K: "payloads", V: len(payloads)})
+			err := logBatch(payloads)
+			se.end(obs.KV{K: "err", V: err != nil})
+			if err != nil {
 				return nil, err
 			}
 		}
 	}
+	if !logged {
+		ct.note(stageFsync, 0) // in-memory batch: keep stage counts aligned
+	}
 
 	// Phase 5: install. Nothing below can fail.
+	se = ct.begin(stageInstall)
 	for rel, r := range work {
 		e.base[rel] = r
 		e.baseShared[rel] = false
@@ -582,6 +666,11 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 		w.st.stats.Transactions += w.touchCount
 		w.st.snapDirty = true
 		if w.deferred {
+			if w.st.stats.PendingTx == 0 && w.touchCount > 0 {
+				// 0→nonzero backlog: the view just went stale; its
+				// staleness clock starts at this commit.
+				w.st.pendingSince = time.Now()
+			}
 			for rel, u := range w.pend {
 				w.st.pending[rel] = u
 			}
@@ -594,10 +683,7 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 		if w.noop {
 			continue
 		}
-		var t0 time.Time
-		if w.st.vo != nil {
-			t0 = time.Now()
-		}
+		t0 := time.Now()
 		switch {
 		case w.perTx:
 			w.st.data = w.cow
@@ -639,6 +725,27 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 			w.st.dataShared = false
 			w.st.stats.Recomputes++
 		}
+		w.st.lastMaint = maintRecord{
+			At:           time.Now(),
+			Decision:     w.decision,
+			Wait:         w.wait,
+			Compute:      w.computeDur,
+			Install:      time.Since(t0),
+			ShardTasks:   w.shardTasks,
+			ShardsPruned: w.shardsPruned,
+			Trace:        ct.traceID(),
+		}
+		if w.d != nil {
+			w.st.lastMaint.Inserts = w.d.Stats.DeltaInserts
+			w.st.lastMaint.Deletes = w.d.Stats.DeltaDeletes
+		} else if w.perTx {
+			for _, r := range live {
+				if d := r.viewDeltas[name]; d != nil {
+					w.st.lastMaint.Inserts += d.Stats.DeltaInserts
+					w.st.lastMaint.Deletes += d.Stats.DeltaDeletes
+				}
+			}
+		}
 		if w.st.vo != nil {
 			w.st.vo.refreshHist(w.decision).ObserveDuration(w.computeDur + time.Since(t0))
 			if w.d != nil {
@@ -676,10 +783,17 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 			}
 		}
 	}
+	if se.span != nil {
+		se.end(obs.KV{K: "views", V: len(work3)})
+	} else {
+		se.end()
+	}
 
+	se = ct.begin(stagePublish)
 	if len(work) > 0 || len(work3) > 0 {
 		e.publishLocked()
 	}
+	se.end()
 	return ns, nil
 }
 

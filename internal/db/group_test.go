@@ -242,7 +242,7 @@ func TestGroupBatchExcludesFailingTx(t *testing.T) {
 		{tx: badTx, done: make(chan struct{})},
 		{tx: unknownTx, done: make(chan struct{})},
 	}
-	g.run(reqs)
+	g.run(reqs, 0)
 
 	if reqs[0].err != nil {
 		t.Errorf("healthy tx failed: %v", reqs[0].err)

@@ -62,6 +62,11 @@ type snapView struct {
 	data  *relation.Counted
 	stats ViewStats
 	ck    *checkerCache
+	// pendingSince and lastMaint are publish-time copies of the view's
+	// staleness clock and most recent maintenance record, read lock-free
+	// by Staleness and ExplainAnalyze (trace.go).
+	pendingSince time.Time
+	lastMaint    maintRecord
 }
 
 // checkerCache lazily builds and caches one §4 irrelevance checker
@@ -135,12 +140,14 @@ func (e *Engine) publishLocked() {
 		}
 		if sv == nil {
 			sv = &snapView{
-				name:  name,
-				bound: st.bound,
-				cfg:   st.cfg,
-				data:  st.data,
-				stats: st.stats,
-				ck:    st.ck,
+				name:         name,
+				bound:        st.bound,
+				cfg:          st.cfg,
+				data:         st.data,
+				stats:        st.stats,
+				ck:           st.ck,
+				pendingSince: st.pendingSince,
+				lastMaint:    st.lastMaint,
 			}
 		}
 		st.dataShared = true

@@ -15,16 +15,21 @@
 //	POST /v1/exec                   {"ops":[{"op":"insert","rel":"r","values":[1,2]}, ...]}
 //	GET  /v1/catalog                relation and view names
 //	POST /v1/checkpoint             durable mode: snapshot + truncate the commit log
+//	GET  /v1/views/{name}/analyze   explain + measured timings of the last maintenance
+//	GET  /v1/debug/traces           flight-recorder summaries (WithFlightRecorder)
+//	GET  /v1/debug/traces/{id}      one full trace: hierarchical spans + critical path
 //	GET  /metrics                   Prometheus text exposition of all registered metrics
-//	GET  /debug/stats               JSON snapshot: uptime, every metric series, per-view stats
+//	GET  /debug/stats               JSON snapshot: uptime, every metric series, per-view stats,
+//	                                critical-path attribution, per-view staleness
 //
-// Every API route is also served at its historical unversioned path
-// (POST /exec, GET /views/{name}, …) with byte-identical responses
-// plus an RFC 9745 `Deprecation: true` header and a `Link:
-// </v1/...>; rel="successor-version"` pointing at the canonical
-// route. /metrics and /debug/stats are operational endpoints, not
-// API: they stay unversioned by Prometheus convention and carry no
-// deprecation.
+// Every seed-era API route is also served at its historical
+// unversioned path (POST /exec, GET /views/{name}, …) with
+// byte-identical responses plus an RFC 9745 `Deprecation: true`
+// header and a `Link: </v1/...>; rel="successor-version"` pointing at
+// the canonical route. Routes added after versioning (the analyze and
+// debug/traces family) exist only under /v1 — no alias to deprecate.
+// /metrics and /debug/stats are operational endpoints, not API: they
+// stay unversioned by Prometheus convention and carry no deprecation.
 //
 // POST /exec honors request cancellation: a client that disconnects
 // while its transaction waits in a commit group abandons the wait and
@@ -86,6 +91,7 @@ type Handler struct {
 	// Observability; reg is nil only under WithoutObs.
 	reg      *obs.Registry
 	tr       obs.Tracer
+	fr       *obs.FlightRecorder
 	inflight *obs.Gauge
 	noObs    bool
 	ownObs   bool // registry defaulted here → this handler instruments the DB
@@ -105,6 +111,14 @@ func WithObs(reg *obs.Registry, tr obs.Tracer) Option {
 // recording, and /metrics and /debug/stats answer 404.
 func WithoutObs() Option {
 	return func(h *Handler) { h.noObs = true }
+}
+
+// WithFlightRecorder lets /v1/debug/traces serve fr's contents. The
+// recorder must also be wired into the database's tracer (typically as
+// one member of the obs.MultiTracer passed to WithObs or Instrument) —
+// this option only tells the handler where to read traces from.
+func WithFlightRecorder(fr *obs.FlightRecorder) Option {
+	return func(h *Handler) { h.fr = fr }
 }
 
 // New returns a handler over a fresh database.
@@ -154,6 +168,10 @@ func NewWith(db *mview.DB, opts ...Option) *Handler {
 		h.handle(rt.method+" /v1"+rt.path, rt.fn)
 		h.handle(rt.method+" "+rt.path, deprecatedAlias(rt.fn))
 	}
+	// Post-versioning routes: canonical /v1 only, no legacy alias.
+	h.handle("GET /v1/views/{name}/analyze", h.explainAnalyze)
+	h.handle("GET /v1/debug/traces", h.listTraces)
+	h.handle("GET /v1/debug/traces/{id}", h.getTrace)
 	if h.reg != nil {
 		h.handle("GET /metrics", h.metrics)
 		h.handle("GET /debug/stats", h.debugStats)
@@ -227,14 +245,18 @@ func (h *Handler) handle(pattern string, fn http.HandlerFunc) {
 	})
 }
 
-// metrics serves the Prometheus text exposition.
+// metrics serves the Prometheus text exposition. Staleness() runs
+// first so the per-view mview_view_staleness_seconds gauges are
+// current as of this scrape.
 func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	h.db.Staleness()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = h.reg.WritePrometheus(w)
 }
 
 // debugStats serves a JSON snapshot of every registered metric plus
-// per-view maintenance statistics.
+// per-view maintenance statistics, per-view staleness, and the
+// cumulative critical-path attribution of commit time.
 func (h *Handler) debugStats(w http.ResponseWriter, r *http.Request) {
 	views := make(map[string]mview.Stats)
 	for _, name := range h.db.Views() {
@@ -242,13 +264,62 @@ func (h *Handler) debugStats(w http.ResponseWriter, r *http.Request) {
 			views[name] = st
 		}
 	}
+	staleness := h.db.Staleness() // also refreshes the gauges below
 	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_seconds": time.Since(h.start).Seconds(),
-		"group_commit":   h.db.GroupCommitEnabled(),
-		"shards":         h.db.Shards(),
-		"metrics":        h.reg.Snapshot(),
-		"views":          views,
+		"uptime_seconds":       time.Since(h.start).Seconds(),
+		"group_commit":         h.db.GroupCommitEnabled(),
+		"shards":               h.db.Shards(),
+		"snapshot_age_seconds": h.db.SnapshotAge().Seconds(),
+		"critical_path":        h.db.CriticalPath(),
+		"staleness":            staleness,
+		"metrics":              h.reg.Snapshot(),
+		"views":                views,
 	})
+}
+
+// explainAnalyze serves Explain annotated with the measured stage
+// timings of the view's most recent maintenance pass.
+func (h *Handler) explainAnalyze(w http.ResponseWriter, r *http.Request) {
+	out, err := h.db.ExplainAnalyze(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"explain": out})
+}
+
+// listTraces serves the flight recorder's catalog: one summary per
+// retained trace, newest first, plus the lifetime count of completed
+// traces (so a scraper can tell "quiet" from "ring cycled").
+func (h *Handler) listTraces(w http.ResponseWriter, r *http.Request) {
+	if h.fr == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no flight recorder attached (mviewd: enable with -trace-ring)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":  h.fr.Total(),
+		"traces": h.fr.Summaries(),
+	})
+}
+
+// getTrace serves one complete trace: the hierarchical span tree with
+// offsets and attributes, and the computed critical path.
+func (h *Handler) getTrace(w http.ResponseWriter, r *http.Request) {
+	if h.fr == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no flight recorder attached (mviewd: enable with -trace-ring)"))
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad trace id %q", r.PathValue("id")))
+		return
+	}
+	t, ok := h.fr.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("trace %d not in the recorder (evicted or never completed)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,404 @@
+package obs
+
+// FlightRecorder keeps the last N complete traces in memory — a
+// "flight recorder" for the commit pipeline. Traces are assembled
+// from hierarchical spans (StartSpan); when a trace's root span ends
+// the trace is finalized: span offsets are fixed relative to the root,
+// the critical path is computed, and the trace is inserted into a
+// fixed-size ring. Traces slower than a pin threshold are additionally
+// copied into a bounded pinned set so one burst of fast commits cannot
+// evict the interesting outliers.
+//
+// Memory is bounded on every axis: ring size, pinned-set size, spans
+// per trace, and concurrently-active (unfinished) traces. When a cap
+// is hit the recorder drops spans or evicts the oldest active trace
+// and counts what it dropped rather than growing.
+//
+// The recorder ignores flat Start calls (they carry no trace identity,
+// so they would produce single-span junk traces); pair it with a
+// SlowLogger in a MultiTracer if flat spans should still be observed.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RecordedSpan is one finished (or root-truncated) span inside a
+// recorded Trace. Offset is the span's start relative to the trace
+// root's start.
+type RecordedSpan struct {
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	Offset  float64        `json:"offset_seconds"`
+	Seconds float64        `json:"seconds"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+
+	start, end time.Time
+}
+
+// StageCost is one step of a trace's critical path: the dominant span
+// of one sequential segment of the root's timeline.
+type StageCost struct {
+	Name    string  `json:"stage"`
+	Seconds float64 `json:"seconds"`
+	Span    uint64  `json:"span,omitempty"`
+}
+
+// Trace is one complete recorded trace.
+type Trace struct {
+	ID       uint64         `json:"id"`
+	Name     string         `json:"name"`
+	Start    time.Time      `json:"start"`
+	Seconds  float64        `json:"seconds"`
+	Pinned   bool           `json:"pinned,omitempty"`
+	Dropped  int            `json:"dropped_spans,omitempty"`
+	Spans    []RecordedSpan `json:"spans"`
+	Critical []StageCost    `json:"critical_path,omitempty"`
+}
+
+// TraceSummary is the list-view projection of a Trace (no span tree).
+type TraceSummary struct {
+	ID      uint64    `json:"id"`
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	Seconds float64   `json:"seconds"`
+	Spans   int       `json:"spans"`
+	Pinned  bool      `json:"pinned,omitempty"`
+}
+
+const (
+	defaultSpanCap   = 512 // spans kept per trace before dropping
+	defaultActiveCap = 128 // unfinished traces tracked at once
+	defaultPinnedCap = 32  // slow traces pinned alongside the ring
+)
+
+// FlightRecorder implements HierarchicalTracer. Use NewFlightRecorder;
+// the zero value is not usable.
+type FlightRecorder struct {
+	slow time.Duration // traces at least this slow are pinned; 0 pins nothing
+
+	mu     sync.Mutex
+	ring   []*Trace // fixed capacity, oldest overwritten
+	next   int      // ring write cursor
+	total  uint64   // completed traces ever recorded
+	pinned []*Trace
+	active map[uint64]*activeTrace
+}
+
+type activeTrace struct {
+	mu      sync.Mutex
+	id      uint64
+	name    string
+	start   time.Time
+	rootID  uint64
+	spans   []RecordedSpan
+	dropped int
+	done    bool
+}
+
+// NewFlightRecorder returns a recorder keeping the last ringSize
+// complete traces (minimum 1) plus up to defaultPinnedCap traces whose
+// total duration is at least slowThreshold. A zero slowThreshold
+// disables pinning.
+func NewFlightRecorder(ringSize int, slowThreshold time.Duration) *FlightRecorder {
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	return &FlightRecorder{
+		slow:   slowThreshold,
+		ring:   make([]*Trace, ringSize),
+		active: make(map[uint64]*activeTrace),
+	}
+}
+
+// Start implements Tracer. Flat spans carry no trace identity, so the
+// recorder ignores them (see the package comment).
+func (f *FlightRecorder) Start(string, ...KV) Span { return nopSpan{} }
+
+// Event implements Tracer. Point events are not recorded.
+func (f *FlightRecorder) Event(string, ...KV) {}
+
+// StartSpan implements HierarchicalTracer.
+func (f *FlightRecorder) StartSpan(ctx, parent SpanContext, name string, kv ...KV) Span {
+	if !ctx.Valid() {
+		return nopSpan{}
+	}
+	now := time.Now()
+	isRoot := parent.Span == 0
+
+	f.mu.Lock()
+	at := f.active[ctx.Trace]
+	if at == nil {
+		// First span of this trace (normally the root). Evict the
+		// oldest active trace if the table is full — an abandoned
+		// trace whose root never ended must not leak.
+		if len(f.active) >= defaultActiveCap {
+			var oldest *activeTrace
+			for _, a := range f.active {
+				if oldest == nil || a.start.Before(oldest.start) {
+					oldest = a
+				}
+			}
+			delete(f.active, oldest.id)
+		}
+		at = &activeTrace{id: ctx.Trace, name: name, start: now}
+		f.active[ctx.Trace] = at
+	}
+	f.mu.Unlock()
+
+	at.mu.Lock()
+	if isRoot && at.rootID == 0 {
+		at.rootID = ctx.Span
+		at.name = name
+		at.start = now
+	}
+	if len(at.spans) >= defaultSpanCap {
+		at.dropped++
+		at.mu.Unlock()
+		return nopSpan{}
+	}
+	at.spans = append(at.spans, RecordedSpan{
+		ID:     ctx.Span,
+		Parent: parent.Span,
+		Name:   name,
+		start:  now,
+	})
+	idx := len(at.spans) - 1
+	at.mu.Unlock()
+
+	return &recSpan{f: f, at: at, idx: idx, id: ctx.Span, startKV: kv, root: isRoot}
+}
+
+type recSpan struct {
+	f       *FlightRecorder
+	at      *activeTrace
+	idx     int
+	id      uint64
+	startKV []KV
+	root    bool
+}
+
+func (s *recSpan) End(kv ...KV) {
+	now := time.Now()
+	s.at.mu.Lock()
+	if s.idx < len(s.at.spans) && s.at.spans[s.idx].ID == s.id {
+		sp := &s.at.spans[s.idx]
+		sp.end = now
+		if len(s.startKV)+len(kv) > 0 {
+			sp.Attrs = kvMap(s.startKV, kv)
+		}
+	}
+	if !s.root || s.at.done {
+		s.at.mu.Unlock()
+		return
+	}
+	s.at.done = true
+	t := finalize(s.at, now)
+	s.at.mu.Unlock()
+
+	s.f.mu.Lock()
+	delete(s.f.active, s.at.id)
+	s.f.ring[s.f.next] = t
+	s.f.next = (s.f.next + 1) % len(s.f.ring)
+	s.f.total++
+	if s.f.slow > 0 && t.Seconds >= s.f.slow.Seconds() {
+		s.f.pin(t)
+	}
+	s.f.mu.Unlock()
+}
+
+// pin adds t to the pinned set, evicting the fastest pinned trace if
+// the set is full and t is slower. Caller holds f.mu.
+func (f *FlightRecorder) pin(t *Trace) {
+	t.Pinned = true
+	if len(f.pinned) < defaultPinnedCap {
+		f.pinned = append(f.pinned, t)
+		return
+	}
+	fastest := 0
+	for i, p := range f.pinned {
+		if p.Seconds < f.pinned[fastest].Seconds {
+			fastest = i
+		}
+	}
+	if t.Seconds > f.pinned[fastest].Seconds {
+		f.pinned[fastest] = t
+	}
+}
+
+// finalize turns an active trace into an immutable Trace. Caller holds
+// at.mu. Spans whose End never ran are truncated at the root's end.
+func finalize(at *activeTrace, rootEnd time.Time) *Trace {
+	spans := make([]RecordedSpan, len(at.spans))
+	copy(spans, at.spans)
+	for i := range spans {
+		sp := &spans[i]
+		if sp.end.IsZero() || sp.end.After(rootEnd) {
+			sp.end = rootEnd
+		}
+		if sp.end.Before(sp.start) {
+			sp.end = sp.start
+		}
+		sp.Offset = sp.start.Sub(at.start).Seconds()
+		sp.Seconds = sp.end.Sub(sp.start).Seconds()
+	}
+	t := &Trace{
+		ID:      at.id,
+		Name:    at.name,
+		Start:   at.start,
+		Seconds: rootEnd.Sub(at.start).Seconds(),
+		Dropped: at.dropped,
+		Spans:   spans,
+	}
+	t.Critical = ComputeCriticalPath(spans)
+	return t
+}
+
+// Get returns the recorded trace with the given ID, searching the ring
+// and the pinned set.
+func (f *FlightRecorder) Get(id uint64) (*Trace, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, t := range f.ring {
+		if t != nil && t.ID == id {
+			return t, true
+		}
+	}
+	for _, t := range f.pinned {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Traces returns every retained trace (ring plus pinned, deduplicated),
+// newest first.
+func (f *FlightRecorder) Traces() []*Trace {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	seen := make(map[uint64]bool, len(f.ring)+len(f.pinned))
+	out := make([]*Trace, 0, len(f.ring)+len(f.pinned))
+	for _, t := range f.ring {
+		if t != nil && !seen[t.ID] {
+			seen[t.ID] = true
+			out = append(out, t)
+		}
+	}
+	for _, t := range f.pinned {
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}
+
+// Summaries returns list-view summaries of every retained trace,
+// newest first.
+func (f *FlightRecorder) Summaries() []TraceSummary {
+	ts := f.Traces()
+	out := make([]TraceSummary, len(ts))
+	for i, t := range ts {
+		out[i] = TraceSummary{
+			ID:      t.ID,
+			Name:    t.Name,
+			Start:   t.Start,
+			Seconds: t.Seconds,
+			Spans:   len(t.Spans),
+			Pinned:  t.Pinned,
+		}
+	}
+	return out
+}
+
+// Total reports how many traces have completed since the recorder was
+// created (including ones since evicted from the ring).
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// ComputeCriticalPath walks a span tree and returns the sequence of
+// spans that dominates the root's wall time: at each level, children
+// are grouped into overlapping-in-time clusters; sequential clusters
+// all lie on the critical path, and within a cluster of parallel spans
+// only the longest does. The walk recurses into each chosen span, so a
+// parallel maintenance fan-out contributes its slowest task rather
+// than the fan-out wall. Spans are identified by RecordedSpan.Offset
+// and Seconds; the root is the first span with Parent == 0.
+func ComputeCriticalPath(spans []RecordedSpan) []StageCost {
+	if len(spans) == 0 {
+		return nil
+	}
+	children := make(map[uint64][]int)
+	root := -1
+	for i := range spans {
+		if spans[i].Parent == 0 {
+			if root < 0 {
+				root = i
+			}
+			continue
+		}
+		children[spans[i].Parent] = append(children[spans[i].Parent], i)
+	}
+	if root < 0 {
+		return nil
+	}
+	var out []StageCost
+	var walk func(i int)
+	walk = func(i int) {
+		kids := children[spans[i].ID]
+		if len(kids) == 0 {
+			out = append(out, StageCost{Name: spans[i].Name, Seconds: spans[i].Seconds, Span: spans[i].ID})
+			return
+		}
+		sort.SliceStable(kids, func(a, b int) bool { return spans[kids[a]].Offset < spans[kids[b]].Offset })
+		// Sweep the sorted children, clustering overlaps; the longest
+		// member of each cluster is the critical one.
+		best := kids[0]
+		clusterEnd := spans[best].Offset + spans[best].Seconds
+		for _, k := range kids[1:] {
+			if spans[k].Offset < clusterEnd {
+				if spans[k].Seconds > spans[best].Seconds {
+					best = k
+				}
+				if e := spans[k].Offset + spans[k].Seconds; e > clusterEnd {
+					clusterEnd = e
+				}
+				continue
+			}
+			walk(best)
+			best = k
+			clusterEnd = spans[k].Offset + spans[k].Seconds
+		}
+		walk(best)
+	}
+	walk(root)
+	return out
+}
+
+// kvMap flattens start- and end-time KVs into one attribute map.
+func kvMap(a, b []KV) map[string]any {
+	m := make(map[string]any, len(a)+len(b))
+	for _, f := range a {
+		m[f.K] = kvValue(f.V)
+	}
+	for _, f := range b {
+		m[f.K] = kvValue(f.V)
+	}
+	return m
+}
+
+// kvValue converts attribute values to JSON-stable types; durations
+// become seconds.
+func kvValue(v any) any {
+	if d, ok := v.(time.Duration); ok {
+		return d.Seconds()
+	}
+	return v
+}

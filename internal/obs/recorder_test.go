@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// commit records one synthetic trace with a child span and returns its
+// trace id.
+func commit(f *FlightRecorder, d time.Duration) uint64 {
+	root, rctx := StartRoot(f, "db.commit")
+	child, _ := StartChild(f, rctx, "commit.fsync")
+	if d > 0 {
+		time.Sleep(d)
+	}
+	child.End()
+	root.End(KV{K: "err", V: false})
+	return rctx.Trace
+}
+
+func TestFlightRecorderRingAndGet(t *testing.T) {
+	f := NewFlightRecorder(2, 0)
+	ids := []uint64{commit(f, 0), commit(f, 0), commit(f, 0)}
+
+	if got := f.Total(); got != 3 {
+		t.Fatalf("Total = %d, want 3", got)
+	}
+	ts := f.Traces()
+	if len(ts) != 2 {
+		t.Fatalf("ring holds %d traces, want 2", len(ts))
+	}
+	// Newest first; the first commit was evicted.
+	if ts[0].ID != ids[2] || ts[1].ID != ids[1] {
+		t.Errorf("ring order = %d,%d want %d,%d", ts[0].ID, ts[1].ID, ids[2], ids[1])
+	}
+	if _, ok := f.Get(ids[0]); ok {
+		t.Errorf("evicted trace still retrievable")
+	}
+	tr, ok := f.Get(ids[2])
+	if !ok {
+		t.Fatalf("latest trace not retrievable")
+	}
+	if len(tr.Spans) != 2 {
+		t.Fatalf("trace has %d spans, want 2", len(tr.Spans))
+	}
+	if tr.Spans[0].Parent != 0 || tr.Spans[1].Parent != tr.Spans[0].ID {
+		t.Errorf("span hierarchy broken: %+v", tr.Spans)
+	}
+	if tr.Spans[0].Attrs["err"] != false {
+		t.Errorf("root attrs missing: %+v", tr.Spans[0].Attrs)
+	}
+	if len(tr.Critical) == 0 {
+		t.Errorf("trace has no critical path")
+	}
+}
+
+func TestFlightRecorderPinsSlowTraces(t *testing.T) {
+	f := NewFlightRecorder(1, time.Millisecond)
+	slow := commit(f, 3*time.Millisecond)
+	fast := commit(f, 0)
+	_ = fast
+	// The fast commit overwrote the one-slot ring, but the slow trace
+	// stays pinned.
+	tr, ok := f.Get(slow)
+	if !ok {
+		t.Fatalf("slow trace was not pinned")
+	}
+	if !tr.Pinned {
+		t.Errorf("retained slow trace not marked pinned")
+	}
+	sums := f.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d entries, want 2 (ring latest + pinned)", len(sums))
+	}
+}
+
+func TestFlightRecorderPinnedSetBounded(t *testing.T) {
+	f := NewFlightRecorder(1, time.Nanosecond)
+	for i := 0; i < defaultPinnedCap+10; i++ {
+		commit(f, 0)
+	}
+	f.mu.Lock()
+	n := len(f.pinned)
+	f.mu.Unlock()
+	if n > defaultPinnedCap {
+		t.Fatalf("pinned set grew to %d, cap is %d", n, defaultPinnedCap)
+	}
+}
+
+func TestFlightRecorderBoundsSpansAndActive(t *testing.T) {
+	f := NewFlightRecorder(4, 0)
+	root, rctx := StartRoot(f, "db.commit")
+	for i := 0; i < defaultSpanCap+50; i++ {
+		sp, _ := StartChild(f, rctx, "commit.x")
+		sp.End()
+	}
+	root.End()
+	tr, ok := f.Get(rctx.Trace)
+	if !ok {
+		t.Fatalf("trace not recorded")
+	}
+	if len(tr.Spans) != defaultSpanCap {
+		t.Errorf("span cap not enforced: %d spans", len(tr.Spans))
+	}
+	if tr.Dropped != 51 {
+		t.Errorf("dropped = %d, want 51", tr.Dropped)
+	}
+
+	// Roots that never end must not leak: the active table evicts.
+	for i := 0; i < defaultActiveCap+20; i++ {
+		StartRoot(f, "abandoned")
+	}
+	f.mu.Lock()
+	n := len(f.active)
+	f.mu.Unlock()
+	if n > defaultActiveCap {
+		t.Fatalf("active table grew to %d, cap is %d", n, defaultActiveCap)
+	}
+}
+
+func TestFlightRecorderIgnoresFlatSpans(t *testing.T) {
+	f := NewFlightRecorder(4, 0)
+	f.Start("diffeval.compute").End()
+	if got := f.Total(); got != 0 {
+		t.Fatalf("flat span recorded a trace: total=%d", got)
+	}
+}
+
+// TestComputeCriticalPath builds the canonical commit-pipeline shape
+// by hand — sequential stages with a parallel maintenance fan-out —
+// and checks that the path picks every sequential stage plus only the
+// slowest parallel task.
+func TestComputeCriticalPath(t *testing.T) {
+	ms := func(v float64) float64 { return v / 1e3 }
+	spans := []RecordedSpan{
+		{ID: 1, Name: "db.commit_group", Offset: 0, Seconds: ms(100)},
+		{ID: 2, Parent: 1, Name: "commit.net", Offset: 0, Seconds: ms(10)},
+		{ID: 3, Parent: 1, Name: "commit.compose", Offset: ms(10), Seconds: ms(5)},
+		{ID: 4, Parent: 1, Name: "commit.maint", Offset: ms(15), Seconds: ms(50)},
+		{ID: 5, Parent: 4, Name: "maint.task", Offset: ms(15), Seconds: ms(20)},
+		{ID: 6, Parent: 4, Name: "maint.task", Offset: ms(15), Seconds: ms(45)},
+		{ID: 7, Parent: 1, Name: "commit.validate", Offset: ms(65), Seconds: ms(5)},
+		{ID: 8, Parent: 1, Name: "commit.fsync", Offset: ms(70), Seconds: ms(10)},
+		{ID: 9, Parent: 1, Name: "commit.install", Offset: ms(80), Seconds: ms(10)},
+		{ID: 10, Parent: 1, Name: "commit.publish", Offset: ms(90), Seconds: ms(10)},
+	}
+	got := ComputeCriticalPath(spans)
+	want := []StageCost{
+		{Name: "commit.net", Seconds: ms(10), Span: 2},
+		{Name: "commit.compose", Seconds: ms(5), Span: 3},
+		{Name: "maint.task", Seconds: ms(45), Span: 6}, // slowest parallel task, not the fan-out wall
+		{Name: "commit.validate", Seconds: ms(5), Span: 7},
+		{Name: "commit.fsync", Seconds: ms(10), Span: 8},
+		{Name: "commit.install", Seconds: ms(10), Span: 9},
+		{Name: "commit.publish", Seconds: ms(10), Span: 10},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("critical path has %d steps, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("step %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestComputeCriticalPathLeafRoot(t *testing.T) {
+	spans := []RecordedSpan{{ID: 1, Name: "db.commit", Seconds: 0.5}}
+	got := ComputeCriticalPath(spans)
+	if len(got) != 1 || got[0].Name != "db.commit" {
+		t.Fatalf("leaf root path = %+v", got)
+	}
+	if ComputeCriticalPath(nil) != nil {
+		t.Fatalf("empty input should yield nil")
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+// Hierarchical tracing on top of the flat Tracer interface.
+//
+// PR 1's Tracer gives spans no identity: Start/End pairs are disjoint
+// observations, so a sink cannot reconstruct which maintenance task
+// ran inside which commit, or which commit a slow fsync belonged to.
+// This file adds trace identity without changing Tracer:
+//
+//   - SpanContext names one span inside one trace (two uint64 IDs).
+//   - HierarchicalTracer is an optional extension interface; sinks
+//     that implement it (FlightRecorder, SlowLogger, MultiTracer,
+//     CollectingTracer) receive the IDs and the parent link.
+//   - StartRoot/StartChild are the producer-side helpers: they
+//     allocate IDs, detect HierarchicalTracer, and degrade to the
+//     flat Start call for legacy sinks — so instrumented code is
+//     written once and works against any Tracer.
+//
+// IDs are allocated from package-level atomics so that every member
+// of a MultiTracer sees the same IDs for the same span, and IDs stay
+// unique across engines in one process.
+
+import "sync/atomic"
+
+// SpanContext identifies one span within one trace. The zero value is
+// "no context": a root StartChild call with a zero parent begins a new
+// trace.
+type SpanContext struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Valid reports whether the context names a real trace.
+func (c SpanContext) Valid() bool { return c.Trace != 0 }
+
+var (
+	traceIDs atomic.Uint64
+	spanIDs  atomic.Uint64
+)
+
+// HierarchicalTracer is the optional extension a Tracer implements to
+// receive trace/span identity and parent links. StartSpan is Start
+// plus identity: ctx names the new span, parent is the enclosing span
+// (zero for a trace root). Implementations must be safe for
+// concurrent use.
+type HierarchicalTracer interface {
+	Tracer
+	StartSpan(ctx, parent SpanContext, name string, kv ...KV) Span
+}
+
+// StartRoot begins a new trace rooted at a span with the given name.
+// It returns the span and the context children should be parented to.
+// tr may be nil or a flat Tracer; both degrade gracefully (nil returns
+// a no-op span and a zero context).
+func StartRoot(tr Tracer, name string, kv ...KV) (Span, SpanContext) {
+	return StartChild(tr, SpanContext{}, name, kv...)
+}
+
+// StartChild begins a span under parent. With a zero parent it begins
+// a new trace (equivalent to StartRoot). Flat tracers receive a plain
+// Start call; the returned context is still populated so instrumented
+// code can keep propagating it.
+func StartChild(tr Tracer, parent SpanContext, name string, kv ...KV) (Span, SpanContext) {
+	if tr == nil {
+		return nopSpan{}, SpanContext{}
+	}
+	ctx := SpanContext{Trace: parent.Trace, Span: spanIDs.Add(1)}
+	if ctx.Trace == 0 {
+		ctx.Trace = traceIDs.Add(1)
+	}
+	if h, ok := tr.(HierarchicalTracer); ok {
+		return h.StartSpan(ctx, parent, name, kv...), ctx
+	}
+	return tr.Start(name, kv...), ctx
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartChildIdentity(t *testing.T) {
+	c := &CollectingTracer{}
+	root, rctx := StartRoot(c, "db.commit", KV{K: "txs", V: 2})
+	if !rctx.Valid() || rctx.Span == 0 {
+		t.Fatalf("root context not populated: %+v", rctx)
+	}
+	child, cctx := StartChild(c, rctx, "commit.fsync")
+	if cctx.Trace != rctx.Trace {
+		t.Fatalf("child trace %d != root trace %d", cctx.Trace, rctx.Trace)
+	}
+	if cctx.Span == rctx.Span {
+		t.Fatalf("child span id not unique")
+	}
+	child.End()
+	root.End()
+
+	if len(c.Spans) != 2 {
+		t.Fatalf("collected %d spans, want 2", len(c.Spans))
+	}
+	// Spans end child-first.
+	if c.Spans[0].Parent != rctx.Span {
+		t.Errorf("child parent = %d, want %d", c.Spans[0].Parent, rctx.Span)
+	}
+	if c.Spans[1].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", c.Spans[1].Parent)
+	}
+	if c.Spans[0].Trace != c.Spans[1].Trace {
+		t.Errorf("trace ids differ: %d vs %d", c.Spans[0].Trace, c.Spans[1].Trace)
+	}
+}
+
+func TestStartChildNilAndFlatTracers(t *testing.T) {
+	sp, ctx := StartChild(nil, SpanContext{}, "x")
+	sp.End()
+	if ctx.Valid() {
+		t.Fatalf("nil tracer produced a valid context")
+	}
+
+	// A flat tracer still gets a Start call and a populated context.
+	var logged []string
+	l := &SlowLogger{Threshold: 0, Logf: func(f string, a ...any) {
+		logged = append(logged, fmt.Sprintf(f, a...))
+	}}
+	sp, ctx = StartRoot(l, "db.commit")
+	sp.End()
+	if !ctx.Valid() {
+		t.Fatalf("flat tracer context not populated")
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "trace=") {
+		t.Fatalf("slow logger missed trace id: %q", logged)
+	}
+}
+
+func TestSlowLoggerSkipsWithoutSink(t *testing.T) {
+	l := &SlowLogger{Threshold: 0}
+	if _, ok := l.Start("x").(nopSpan); !ok {
+		t.Fatalf("SlowLogger without Logf should return nopSpan")
+	}
+}
+
+func TestMultiTracerHierarchy(t *testing.T) {
+	a, b := &CollectingTracer{}, &CollectingTracer{}
+	m := MultiTracer{a, b}
+	root, rctx := StartRoot(m, "db.commit")
+	child, _ := StartChild(m, rctx, "commit.fsync")
+	child.End()
+	root.End()
+	for i, c := range []*CollectingTracer{a, b} {
+		if len(c.Spans) != 2 {
+			t.Fatalf("tracer %d collected %d spans, want 2", i, len(c.Spans))
+		}
+		if c.Spans[0].Trace != rctx.Trace || c.Spans[1].Trace != rctx.Trace {
+			t.Errorf("tracer %d: members disagree on trace id", i)
+		}
+	}
+	if _, ok := (MultiTracer{}).Start("x").(nopSpan); !ok {
+		t.Errorf("empty MultiTracer should return nopSpan")
+	}
+}
+
+func TestSlowLoggerPooledSpanAllocs(t *testing.T) {
+	l := &SlowLogger{Threshold: time.Hour, Logf: func(string, ...any) {}}
+	kv := []KV{{K: "view", V: "v"}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Start("db.commit", kv...).End()
+	})
+	if allocs > 0.1 {
+		t.Errorf("pooled slowSpan allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestMultiTracerPooledSpanAllocs(t *testing.T) {
+	m := MultiTracer{NopTracer{}, NopTracer{}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Start("db.commit").End()
+	})
+	if allocs > 0.1 {
+		t.Errorf("pooled multiSpan allocates %.1f/op, want 0", allocs)
+	}
+}

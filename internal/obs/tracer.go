@@ -14,7 +14,7 @@ type KV struct {
 }
 
 // Span is an in-flight traced operation. End closes it; extra KVs are
-// appended to those given at Start.
+// appended to those given at Start. End must be called at most once.
 type Span interface {
 	End(kv ...KV)
 }
@@ -25,7 +25,10 @@ type Span interface {
 //
 // Span names are dotted, stable identifiers: `db.commit`,
 // `db.refresh`, `diffeval.compute`, `http.request`. Events use the
-// same convention (`diffeval.operand_delta`).
+// same convention (`diffeval.operand_delta`). Tracers that also
+// implement HierarchicalTracer (see trace.go) additionally receive
+// trace/span identity and parent links from instrumented code that
+// uses StartRoot/StartChild.
 type Tracer interface {
 	Start(name string, kv ...KV) Span
 	Event(name string, kv ...KV)
@@ -71,23 +74,47 @@ func formatKVs(kv []KV) string {
 //
 //	slow span=db.refresh dur=312.4ms view=big decision=recompute
 //
-// Logf is typically log.Printf. Events are ignored; a SlowLogger is
-// for latency outliers, not the full event firehose.
+// Hierarchical spans add a trace=<id> field so a slow line can be
+// cross-referenced against the flight recorder. Logf is typically
+// log.Printf. Events are ignored; a SlowLogger is for latency
+// outliers, not the full event firehose.
 type SlowLogger struct {
 	Threshold time.Duration
 	Logf      func(format string, args ...any)
 }
 
+// slowSpan instances are pooled: commits emit a dozen spans each, and
+// almost none cross the slow threshold, so the steady state is
+// get → End(below threshold) → put with zero allocations. The kv
+// backing array is reused across lives.
 type slowSpan struct {
 	l     *SlowLogger
 	name  string
 	start time.Time
+	trace uint64
 	kv    []KV
+}
+
+var slowSpanPool = sync.Pool{New: func() any { return new(slowSpan) }}
+
+func (l *SlowLogger) start(name string, trace uint64, kv []KV) Span {
+	if l.Logf == nil {
+		return nopSpan{} // no sink: skip span and KV capture entirely
+	}
+	s := slowSpanPool.Get().(*slowSpan)
+	s.l, s.name, s.start, s.trace = l, name, time.Now(), trace
+	s.kv = append(s.kv[:0], kv...)
+	return s
 }
 
 // Start implements Tracer.
 func (l *SlowLogger) Start(name string, kv ...KV) Span {
-	return &slowSpan{l: l, name: name, start: time.Now(), kv: kv}
+	return l.start(name, 0, kv)
+}
+
+// StartSpan implements HierarchicalTracer.
+func (l *SlowLogger) StartSpan(ctx, _ SpanContext, name string, kv ...KV) Span {
+	return l.start(name, ctx.Trace, kv)
 }
 
 // Event implements Tracer.
@@ -95,31 +122,77 @@ func (l *SlowLogger) Event(string, ...KV) {}
 
 func (s *slowSpan) End(kv ...KV) {
 	d := time.Since(s.start)
-	if d < s.l.Threshold || s.l.Logf == nil {
-		return
+	if d >= s.l.Threshold {
+		all := append(s.kv, kv...)
+		if s.trace != 0 {
+			s.l.Logf("slow span=%s dur=%s trace=%d%s", s.name, d.Round(time.Microsecond), s.trace, formatKVs(all))
+		} else {
+			s.l.Logf("slow span=%s dur=%s%s", s.name, d.Round(time.Microsecond), formatKVs(all))
+		}
+		s.kv = all
 	}
-	all := append(append([]KV{}, s.kv...), kv...)
-	s.l.Logf("slow span=%s dur=%s%s", s.name, d.Round(time.Microsecond), formatKVs(all))
+	s.l = nil
+	clear(s.kv) // drop KV references so pooled spans don't pin values
+	slowSpanPool.Put(s)
 }
 
-// MultiTracer fans out to several tracers.
+// MultiTracer fans out to several tracers. Hierarchical context is
+// forwarded to members that understand it and flattened for the rest.
 type MultiTracer []Tracer
 
-type multiSpan []Span
+// multiSpan instances are pooled; the spans backing array is reused.
+type multiSpan struct {
+	spans []Span
+}
 
-func (m multiSpan) End(kv ...KV) {
-	for _, s := range m {
+var multiSpanPool = sync.Pool{New: func() any { return new(multiSpan) }}
+
+func (m *multiSpan) End(kv ...KV) {
+	for _, s := range m.spans {
 		s.End(kv...)
 	}
+	clear(m.spans)
+	m.spans = m.spans[:0]
+	multiSpanPool.Put(m)
 }
 
 // Start implements Tracer.
 func (m MultiTracer) Start(name string, kv ...KV) Span {
-	spans := make(multiSpan, len(m))
-	for i, t := range m {
-		spans[i] = t.Start(name, kv...)
+	switch len(m) {
+	case 0:
+		return nopSpan{}
+	case 1:
+		return m[0].Start(name, kv...)
 	}
-	return spans
+	ms := multiSpanPool.Get().(*multiSpan)
+	for _, t := range m {
+		ms.spans = append(ms.spans, t.Start(name, kv...))
+	}
+	return ms
+}
+
+// StartSpan implements HierarchicalTracer.
+func (m MultiTracer) StartSpan(ctx, parent SpanContext, name string, kv ...KV) Span {
+	switch len(m) {
+	case 0:
+		return nopSpan{}
+	case 1:
+		return startSpanOn(m[0], ctx, parent, name, kv)
+	}
+	ms := multiSpanPool.Get().(*multiSpan)
+	for _, t := range m {
+		ms.spans = append(ms.spans, startSpanOn(t, ctx, parent, name, kv))
+	}
+	return ms
+}
+
+// startSpanOn delivers a hierarchical span to one tracer, degrading to
+// the flat call for tracers without StartSpan.
+func startSpanOn(t Tracer, ctx, parent SpanContext, name string, kv []KV) Span {
+	if h, ok := t.(HierarchicalTracer); ok {
+		return h.StartSpan(ctx, parent, name, kv...)
+	}
+	return t.Start(name, kv...)
 }
 
 // Event implements Tracer.
@@ -137,11 +210,15 @@ type CollectingTracer struct {
 	Events []CollectedEvent
 }
 
-// CollectedSpan is one finished span.
+// CollectedSpan is one finished span. Trace/Span/Parent are zero for
+// spans started through the flat Start call.
 type CollectedSpan struct {
-	Name string
-	Dur  time.Duration
-	KVs  []KV
+	Name   string
+	Dur    time.Duration
+	KVs    []KV
+	Trace  uint64
+	Span   uint64
+	Parent uint64
 }
 
 // CollectedEvent is one recorded event.
@@ -151,15 +228,22 @@ type CollectedEvent struct {
 }
 
 type collectSpan struct {
-	c     *CollectingTracer
-	name  string
-	start time.Time
-	kv    []KV
+	c      *CollectingTracer
+	name   string
+	start  time.Time
+	kv     []KV
+	ctx    SpanContext
+	parent uint64
 }
 
 // Start implements Tracer.
 func (c *CollectingTracer) Start(name string, kv ...KV) Span {
 	return &collectSpan{c: c, name: name, start: time.Now(), kv: kv}
+}
+
+// StartSpan implements HierarchicalTracer.
+func (c *CollectingTracer) StartSpan(ctx, parent SpanContext, name string, kv ...KV) Span {
+	return &collectSpan{c: c, name: name, start: time.Now(), kv: kv, ctx: ctx, parent: parent.Span}
 }
 
 // Event implements Tracer.
@@ -173,8 +257,11 @@ func (s *collectSpan) End(kv ...KV) {
 	s.c.mu.Lock()
 	defer s.c.mu.Unlock()
 	s.c.Spans = append(s.c.Spans, CollectedSpan{
-		Name: s.name,
-		Dur:  time.Since(s.start),
-		KVs:  append(append([]KV{}, s.kv...), kv...),
+		Name:   s.name,
+		Dur:    time.Since(s.start),
+		KVs:    append(append([]KV{}, s.kv...), kv...),
+		Trace:  s.ctx.Trace,
+		Span:   s.ctx.Span,
+		Parent: s.parent,
 	})
 }

@@ -336,6 +336,10 @@ type TxInfo struct {
 	Deleted        int // net tuples deleted across base relations
 	ViewsRefreshed int // immediate views brought up to date
 	ViewsDeferred  int // deferred views that queued the change
+
+	// Trace identifies the commit's span tree in an attached
+	// hierarchical tracer (obs.FlightRecorder); 0 when untraced.
+	Trace uint64
 }
 
 // Exec runs the operations as one atomic transaction. Net semantics
@@ -465,7 +469,7 @@ func buildTx(ops []Op) delta.Tx {
 }
 
 func txInfoFrom(res db.TxResult) TxInfo {
-	info := TxInfo{ViewsRefreshed: res.ViewsRefreshed, ViewsDeferred: res.ViewsDeferred}
+	info := TxInfo{ViewsRefreshed: res.ViewsRefreshed, ViewsDeferred: res.ViewsDeferred, Trace: res.Trace}
 	for _, u := range res.Updates {
 		if u.Inserts != nil {
 			info.Inserted += u.Inserts.Len()
@@ -667,3 +671,39 @@ func (d *DB) Relevant(view, rel string, vals ...int64) (bool, error) {
 func (d *DB) Explain(view string) (string, error) {
 	return d.eng.Explain(view)
 }
+
+// ExplainAnalyze is Explain plus an "analyze" section with actual
+// numbers: lifetime maintenance counters, current staleness, and the
+// measured stage timings of the view's most recent maintenance pass —
+// queue wait, compute, install, shard fan-out, delta size, and the
+// trace id to look the carrying commit up in the flight recorder.
+func (d *DB) ExplainAnalyze(view string) (string, error) {
+	return d.eng.ExplainAnalyze(view)
+}
+
+// StageSummary is one stage's cumulative cost in CriticalPathSummary.
+type StageSummary = db.StageSummary
+
+// CriticalPathSummary attributes cumulative commit time to pipeline
+// stages; see CriticalPath.
+type CriticalPathSummary = db.CriticalPathSummary
+
+// CriticalPath returns the database's cumulative commit-time
+// attribution: for every pipeline stage (queue wait, net effects,
+// composition, the slowest parallel maintenance task, validation,
+// fsync, install, snapshot publish), the total seconds spent there and
+// its share of the critical path. Counters accumulate from open; the
+// read is lock-free.
+func (d *DB) CriticalPath() CriticalPathSummary { return d.eng.CriticalPath() }
+
+// Staleness reports each view's staleness in seconds: the age of its
+// oldest unapplied change, 0 for a fresh view. Immediate views are
+// always fresh; a deferred view goes stale the moment a commit queues
+// backlog for it and snaps back to 0 when refreshed. As a side effect
+// the per-view mview_view_staleness_seconds gauges are brought up to
+// date.
+func (d *DB) Staleness() map[string]float64 { return d.eng.Staleness() }
+
+// SnapshotAge reports the age of the published read snapshot — how
+// long ago the last commit, refresh, or DDL statement published.
+func (d *DB) SnapshotAge() time.Duration { return d.eng.SnapshotAge() }
