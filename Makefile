@@ -25,11 +25,16 @@ BENCH ?= .
 bench:
 	$(GO) test -run=NONE -bench=$(BENCH) -benchmem .
 
-# Fault injection: kill the checkpoint at every step, and a group
-# commit at every torn-batch byte offset, and prove recovery loses no
-# committed transaction (durable_crash_test.go).
+# Fault injection: kill the checkpoint at every step (segment write,
+# manifest tmp, rename, dirsync, segment delete), a group commit at
+# every torn-batch byte offset, a single append at both IO stages, a
+# legacy-layout migration mid-checkpoint, and a randomized workload at
+# random hook steps — and prove recovery loses no committed transaction
+# (durable_crash_test.go, durable_ckpt_test.go). The WAL-level torn-tail
+# and rollback sweeps ride along from internal/wal.
 crash:
-	$(GO) test -race -count=1 -run 'CheckpointCrash|CheckpointFault|GroupCrash|GroupCommitCrash' -v .
+	$(GO) test -race -count=1 -run 'CheckpointCrash|CheckpointFault|GroupCrash|GroupCommitCrash|SingleAppendFailure|LegacyMigrationCrash|RandomizedCrashCheckpoints' -v .
+	$(GO) test -race -count=1 -run 'TornTail|AppendRollback|AppendBatchTorn|CorruptChecksum' ./internal/wal
 
 # End-to-end flight-recorder check: boot mviewd with -trace-ring,
 # drive a commit over HTTP, and assert /v1/debug/traces captured a

@@ -639,6 +639,75 @@ func BenchmarkDurableExec(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpoint measures what a checkpoint costs over a large
+// sharded base when one commit dirtied one shard: "full-rewrite"
+// forces every shard dirty before each checkpoint (the cost the old
+// monolithic layout paid every time — and paid under the commit
+// fence), "incremental" lets the dirty-shard tracking rewrite only the
+// touched shard and re-reference the rest. fence-ns/op is how long the
+// commit fence was actually held (capture + manifest swap); the rest
+// of the checkpoint runs with commits flowing.
+func BenchmarkCheckpoint(b *testing.B) {
+	const rows = 100_000
+	for _, m := range []struct {
+		name string
+		full bool
+	}{
+		{"full-rewrite", true},
+		{"incremental", false},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			d, err := OpenDurable(b.TempDir(), WithShards(8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			if err := d.CreateRelation("r", "A", "B"); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.CreateView("v", ViewSpec{From: []string{"r"}, Where: "B < 3"}); err != nil {
+				b.Fatal(err)
+			}
+			const batch = 1000
+			for lo := int64(0); lo < rows; lo += batch {
+				ops := make([]Op, batch)
+				for j := range ops {
+					i := lo + int64(j)
+					ops[j] = Insert("r", i, i%7)
+				}
+				if _, err := d.Exec(ops...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// A baseline checkpoint so the incremental variant has a
+			// previous manifest to reuse segments from.
+			if err := d.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var fenceNS, bytes, segs int64
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Exec(Insert("r", int64(rows+i), 1)); err != nil {
+					b.Fatal(err)
+				}
+				if m.full {
+					d.eng.MarkAllCheckpointDirty()
+				}
+				if err := d.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+				st := d.LastCheckpointStats()
+				fenceNS += st.FenceHold.Nanoseconds()
+				bytes += st.BytesWritten
+				segs += int64(st.SegmentsWritten)
+			}
+			b.ReportMetric(float64(fenceNS)/float64(b.N), "fence-ns/op")
+			b.ReportMetric(float64(bytes)/float64(b.N), "bytes/op")
+			b.ReportMetric(float64(segs)/float64(b.N), "segs/op")
+		})
+	}
+}
+
 // ---------- observability overhead ----------
 
 // BenchmarkObsOverhead measures what metrics and tracing cost on the

@@ -33,6 +33,7 @@ func main() {
 	groupCommit := flag.Bool("group-commit", false, "coalesce concurrent transactions into commit groups")
 	groupMax := flag.Int("group-max", 0, "maximum transactions per commit group (0 = default)")
 	groupWindow := flag.Duration("group-window", 2*time.Millisecond, "group leader's wait for followers under concurrency (0 = no wait)")
+	segBytes := flag.Int64("wal-segment-bytes", 0, "commit-log segment rotation threshold in bytes (0 = 64 MiB default; durable mode only)")
 	flag.Parse()
 
 	var opts []mview.Option
@@ -44,6 +45,9 @@ func main() {
 	}
 	if *groupCommit {
 		opts = append(opts, mview.WithGroupCommit(*groupMax, *groupWindow))
+	}
+	if *segBytes > 0 {
+		opts = append(opts, mview.WithSegmentSize(*segBytes))
 	}
 
 	interactive := isTerminal()

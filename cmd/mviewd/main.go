@@ -3,7 +3,7 @@
 // Usage:
 //
 //	mviewd [-addr :8080] [-data ./mydb] [-metrics=true] [-slowlog 100ms] [-maint-workers N] [-shards N]
-//	       [-checkpoint-interval 5m] [-group-commit] [-group-max N] [-group-window 2ms]
+//	       [-checkpoint-interval 5m] [-wal-segment-bytes N] [-group-commit] [-group-max N] [-group-window 2ms]
 //	       [-trace-ring N] [-trace-slow 250ms] [-pprof]
 //
 // See package mview/internal/httpapi for the endpoint reference. A
@@ -47,9 +47,19 @@
 // persisted state: restarting with a different -shards value reshards
 // the recovered database.
 //
-// -checkpoint-interval makes a durable server checkpoint periodically
-// (snapshot + commit-log truncate), bounding recovery replay time. It
-// requires -data; 0 (the default) leaves checkpointing to the operator.
+// -checkpoint-interval makes a durable server checkpoint periodically,
+// bounding recovery replay time. Checkpoints are incremental (only
+// shards dirtied since the last one are rewritten) and run concurrently
+// with commits — the commit fence is held only to capture the cut and
+// swap the manifest — so a background interval does not stall traffic.
+// It requires -data; 0 (the default) leaves checkpointing to the
+// operator.
+//
+// -wal-segment-bytes sets the commit-log segment rotation threshold:
+// once the active commit.log.<n> segment exceeds this size, the next
+// append seals it and starts a new one, and checkpoints reclaim
+// covered segments by whole-file deletion. 0 selects the default
+// (64 MiB).
 //
 // -group-commit coalesces concurrent POST /exec transactions into
 // commit groups: one batched commit-log fsync, one composed
@@ -93,6 +103,7 @@ type config struct {
 	workers     int
 	shards      int
 	ckptEvery   time.Duration
+	segBytes    int64
 	groupCommit bool
 	groupMax    int
 	groupWindow time.Duration
@@ -110,6 +121,7 @@ func main() {
 	flag.IntVar(&c.workers, "maint-workers", 0, "per-view maintenance worker pool size (0 = GOMAXPROCS)")
 	flag.IntVar(&c.shards, "shards", 1, "hash shards per base relation (1 = monolithic)")
 	flag.DurationVar(&c.ckptEvery, "checkpoint-interval", 0, "checkpoint a durable database this often (0 disables; requires -data)")
+	flag.Int64Var(&c.segBytes, "wal-segment-bytes", 0, "commit-log segment rotation threshold in bytes (0 = default 64 MiB; requires -data)")
 	flag.BoolVar(&c.groupCommit, "group-commit", false, "coalesce concurrent transactions into commit groups (one fsync, one maintenance pass, one snapshot publish per group)")
 	flag.IntVar(&c.groupMax, "group-max", 0, "maximum transactions per commit group (0 = default)")
 	flag.DurationVar(&c.groupWindow, "group-window", 2*time.Millisecond, "how long a group leader waits for followers once writers are concurrent (0 = no wait)")
@@ -155,6 +167,9 @@ func run(c config) error {
 	}
 	if c.groupCommit {
 		dbOpts = append(dbOpts, mview.WithGroupCommit(c.groupMax, c.groupWindow))
+	}
+	if c.segBytes > 0 {
+		dbOpts = append(dbOpts, mview.WithSegmentSize(c.segBytes))
 	}
 	if reg != nil || tr != nil {
 		dbOpts = append(dbOpts, mview.WithObs(reg, tr))

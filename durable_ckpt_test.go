@@ -1,0 +1,482 @@
+package mview
+
+// Tests for the segmented checkpoint layout: incremental dirty-shard
+// reuse, WAL segment rotation, legacy-layout migration, and
+// checkpoints running concurrently with commits.
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mview/internal/wal"
+)
+
+// TestIncrementalCheckpointReusesCleanShards: a checkpoint rewrites
+// only the shards dirtied since the previous one and re-references the
+// rest, across restarts too.
+func TestIncrementalCheckpointReusesCleanShards(t *testing.T) {
+	dir := t.TempDir()
+	opts := []Option{WithShards(8)}
+	d, err := OpenDurable(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateRelation("r", "A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 64; i++ {
+		if _, err := d.Exec(Insert("r", i, i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	first := d.LastCheckpointStats()
+	if first.SegmentsReused != 0 {
+		t.Errorf("first checkpoint reused %d segments, want 0", first.SegmentsReused)
+	}
+	if first.SegmentsWritten < 2 {
+		t.Fatalf("first checkpoint wrote %d segments, want catalog + shards", first.SegmentsWritten)
+	}
+	nonEmpty := first.SegmentsWritten - 1 // minus the catalog
+
+	// One more insert dirties exactly one shard (key 5 landed there in
+	// the seeding loop, so that shard is non-empty and was written).
+	if _, err := d.Exec(Insert("r", 5, 999)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	second := d.LastCheckpointStats()
+	if second.SegmentsWritten != 2 {
+		t.Errorf("incremental checkpoint wrote %d segments, want 2 (catalog + 1 shard)", second.SegmentsWritten)
+	}
+	if second.SegmentsReused != nonEmpty-1 {
+		t.Errorf("incremental checkpoint reused %d segments, want %d", second.SegmentsReused, nonEmpty-1)
+	}
+
+	// Restart with the same shard count: the manifest's segments match
+	// the live layout, so the first checkpoint after recovery is still
+	// incremental.
+	_ = d.Close()
+	d, err = OpenDurable(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec(Insert("r", 5, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	third := d.LastCheckpointStats()
+	if third.SegmentsWritten != 2 || third.SegmentsReused != nonEmpty-1 {
+		t.Errorf("post-restart checkpoint wrote %d / reused %d, want 2 / %d",
+			third.SegmentsWritten, third.SegmentsReused, nonEmpty-1)
+	}
+	_ = d.Close()
+
+	// Restart with a different shard count: segments no longer match
+	// the layout, so everything is dirty and the next checkpoint is a
+	// full rewrite.
+	d, err = OpenDurable(dir, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	rows, err := d.Rows("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 66 {
+		t.Fatalf("resharded recovery lost rows: %d, want 66", len(rows))
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.LastCheckpointStats().SegmentsReused; got != 0 {
+		t.Errorf("resharded checkpoint reused %d segments, want 0", got)
+	}
+}
+
+// TestSegmentSizeRotation: a tiny WithSegmentSize makes the log rotate
+// under load, recovery reads the whole chain in order, and a
+// checkpoint collapses it back to one (empty) active segment.
+func TestSegmentSizeRotation(t *testing.T) {
+	dir := t.TempDir()
+	opts := []Option{WithSegmentSize(256)}
+	d, err := OpenDurable(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedDurable(t, d)
+	for i := int64(0); i < 30; i++ {
+		if _, err := d.Exec(Insert("r", 100+i, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if segs := walSegments(t, dir); len(segs) < 3 {
+		t.Fatalf("log rotated into %d segments, want >= 3", len(segs))
+	}
+	_ = d.Close()
+
+	d2, err := OpenDurable(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := d2.Rows("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 31 {
+		t.Fatalf("recovered %d r rows across segments, want 31", len(rows))
+	}
+	if err := d2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.LastCheckpointStats().WALSegmentsDropped; got < 3 {
+		t.Errorf("checkpoint dropped %d WAL segments, want >= 3", got)
+	}
+	if segs := walSegments(t, dir); len(segs) != 1 {
+		t.Errorf("%d WAL segments after checkpoint, want 1", len(segs))
+	}
+	_ = d2.Close()
+}
+
+// writeLegacyLayout builds a pre-segmentation durable directory by
+// hand: a monolithic snapshot.db at the given LSN plus a bare
+// commit.log holding the given statements at LSNs 1..n.
+func writeLegacyLayout(t *testing.T, dir string, seed *DB, snapLSN uint64, stmts []walStmt) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lsnBuf [8]byte
+	binary.BigEndian.PutUint64(lsnBuf[:], snapLSN)
+	if _, err := f.Write([]byte(snapshotMagic)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(lsnBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.eng.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) == 0 {
+		return
+	}
+	scratch := t.TempDir()
+	lg, err := wal.Open(filepath.Join(scratch, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stmts {
+		p, err := encodeStmt(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lg.Append(walKindStmt, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(scratch, "x.1"), filepath.Join(dir, logFile)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyLayoutMigration: a directory in the old snapshot.db +
+// bare commit.log layout opens transparently, replays only the records
+// past the snapshot's LSN, and is rewritten into the segmented layout.
+func TestLegacyLayoutMigration(t *testing.T) {
+	dir := t.TempDir()
+	seed := Open()
+	seedDurable(t, seed)
+	// Records 1..2 are covered by the snapshot (their effects are in
+	// it); 3..4 are the post-checkpoint tail that must replay.
+	writeLegacyLayout(t, dir, seed, 2, []walStmt{
+		{Kind: "tx", Ops: []walOp{{Rel: "r", Vals: []int64{9, 10}}}},
+		{Kind: "tx", Ops: []walOp{{Rel: "s", Vals: []int64{10, 20}}}},
+		{Kind: "tx", Ops: []walOp{{Rel: "r", Vals: []int64{5, 10}}}},
+		{Kind: "tx", Ops: []walOp{{Rel: "s", Vals: []int64{10, 30}}}},
+	})
+
+	d, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMigrated := func(d *DB) {
+		t.Helper()
+		rows, err := d.Rows("r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("r after migration = %v, want 2 rows", rows)
+		}
+		vrows, err := d.View("v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vrows) != 4 {
+			t.Fatalf("view after migration = %+v, want 4 rows", vrows)
+		}
+	}
+	checkMigrated(d)
+	// The migration happened eagerly: manifest present, legacy files gone.
+	if _, err := os.Stat(filepath.Join(dir, manifestFile)); err != nil {
+		t.Fatalf("no manifest after migration: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); !os.IsNotExist(err) {
+		t.Errorf("legacy snapshot.db survived migration (stat err = %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, logFile)); !os.IsNotExist(err) {
+		t.Errorf("bare commit.log survived migration (stat err = %v)", err)
+	}
+	// The migrated database keeps working durably.
+	if _, err := d.Exec(Insert("r", 8, 10)); err != nil {
+		t.Fatal(err)
+	}
+	_ = d.Close()
+	d2, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rows, _ := d2.Rows("r")
+	if len(rows) != 3 {
+		t.Errorf("r after post-migration commit = %v", rows)
+	}
+}
+
+// TestLegacyMigrationCrashRetries: killing the migration checkpoint
+// leaves the legacy files authoritative; the next open retries and
+// succeeds.
+func TestLegacyMigrationCrashRetries(t *testing.T) {
+	dir := t.TempDir()
+	seed := Open()
+	seedDurable(t, seed)
+	writeLegacyLayout(t, dir, seed, 2, []walStmt{
+		{Kind: "tx", Ops: []walOp{{Rel: "r", Vals: []int64{9, 10}}}},
+		{Kind: "tx", Ops: []walOp{{Rel: "s", Vals: []int64{10, 20}}}},
+		{Kind: "tx", Ops: []walOp{{Rel: "r", Vals: []int64{5, 10}}}},
+	})
+	for _, step := range []string{"segment-write", "manifest-tmp"} {
+		checkpointHook = func(s string) error {
+			if s == step {
+				return errSimulatedCrash
+			}
+			return nil
+		}
+		_, err := OpenDurable(dir)
+		checkpointHook = nil
+		if !errors.Is(err, errSimulatedCrash) {
+			t.Fatalf("open with migration killed at %q: err = %v", step, err)
+		}
+	}
+	d, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	rows, err := d.Rows("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("r after retried migration = %v, want 2 rows", rows)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); !os.IsNotExist(err) {
+		t.Errorf("legacy snapshot.db survived retried migration (stat err = %v)", err)
+	}
+}
+
+// TestConcurrentCheckpointsAndCommits hammers Checkpoint from a
+// background goroutine — as cmd/mviewd's ticker does — while the
+// foreground commits, then proves recovery sees every acknowledged
+// transaction. This is the regime the incremental design exists for:
+// segment writes run outside the commit fence.
+func TestConcurrentCheckpointsAndCommits(t *testing.T) {
+	for _, grouped := range []bool{false, true} {
+		name := "serial"
+		if grouped {
+			name = "grouped"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := []Option{WithShards(4), WithSegmentSize(4 << 10)}
+			if grouped {
+				opts = append(opts, WithGroupCommit(8, 200*time.Microsecond))
+			}
+			d, err := OpenDurable(dir, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.CreateRelation("r", "A", "B"); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.CreateView("v", ViewSpec{From: []string{"r"}, Where: "A >= 0"}); err != nil {
+				t.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := d.Checkpoint(); err != nil {
+						t.Errorf("background checkpoint: %v", err)
+						return
+					}
+				}
+			}()
+			const n = 300
+			var cwg sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				cwg.Add(1)
+				go func(w int) {
+					defer cwg.Done()
+					for i := 0; i < n/3; i++ {
+						if _, err := d.Exec(Insert("r", int64(w*n+i), int64(i))); err != nil {
+							t.Errorf("writer %d: %v", w, err)
+							return
+						}
+					}
+				}(w)
+			}
+			cwg.Wait()
+			close(stop)
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			_ = d.Close()
+
+			d2, err := OpenDurable(dir, WithShards(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d2.Close()
+			rows, err := d2.Rows("r")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != n {
+				t.Fatalf("recovered %d rows, want %d", len(rows), n)
+			}
+			vrows, err := d2.View("v")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vrows) != n {
+				t.Fatalf("recovered view has %d rows, want %d", len(vrows), n)
+			}
+		})
+	}
+}
+
+// TestRandomizedCrashCheckpoints is the randomized property over the
+// new layout: random commits with background-style checkpoints killed
+// at random hook steps, hard reopens (no Close), always comparing
+// against an in-memory shadow oracle.
+func TestRandomizedCrashCheckpoints(t *testing.T) {
+	steps := []string{"segment-write", "manifest-tmp", "rename", "dirsync", "segment-delete"}
+	rng := rand.New(rand.NewSource(31337))
+	for trial := 0; trial < 4; trial++ {
+		opts := []Option{WithSegmentSize(512)}
+		if trial%2 == 1 {
+			opts = append(opts, WithShards(4))
+		}
+		dir := t.TempDir()
+		dur, err := OpenDurable(dir, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := Open()
+		both := func(f func(d *DB) error) {
+			t.Helper()
+			ed, em := f(dur), f(mem)
+			if (ed == nil) != (em == nil) {
+				t.Fatalf("trial %d: durable err=%v, memory err=%v", trial, ed, em)
+			}
+		}
+		both(func(d *DB) error { return d.CreateRelation("r", "A", "B") })
+		both(func(d *DB) error { return d.CreateRelation("s", "B", "C") })
+		both(func(d *DB) error {
+			return d.CreateView("v", ViewSpec{From: []string{"r", "s"}, Where: "r.B = s.B"}, WithFilter())
+		})
+
+		for step := 0; step < 80; step++ {
+			switch rng.Intn(8) {
+			case 0: // checkpoint killed at a random step, then a hard reopen
+				kill := steps[rng.Intn(len(steps))]
+				checkpointHook = func(s string) error {
+					if s == kill {
+						return errSimulatedCrash
+					}
+					return nil
+				}
+				err := dur.Checkpoint()
+				checkpointHook = nil
+				if err != nil && !errors.Is(err, errSimulatedCrash) {
+					t.Fatalf("trial %d: checkpoint killed at %q: %v", trial, kill, err)
+				}
+				// The process died mid-checkpoint: abandon the handle
+				// without Close and recover the directory.
+				dur, err = OpenDurable(dir, opts...)
+				if err != nil {
+					t.Fatalf("trial %d: recovery after kill at %q: %v", trial, kill, err)
+				}
+			case 1: // clean checkpoint
+				if err := dur.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // hard crash with no checkpoint
+				dur, err = OpenDurable(dir, opts...)
+				if err != nil {
+					t.Fatalf("trial %d: recovery: %v", trial, err)
+				}
+			default: // transaction
+				var ops []Op
+				for j := 0; j < 1+rng.Intn(3); j++ {
+					rel := "r"
+					if rng.Intn(2) == 0 {
+						rel = "s"
+					}
+					vals := []int64{int64(rng.Intn(6)), int64(rng.Intn(6))}
+					if rng.Intn(3) == 0 {
+						ops = append(ops, Delete(rel, vals...))
+					} else {
+						ops = append(ops, Insert(rel, vals...))
+					}
+				}
+				both(func(d *DB) error {
+					_, err := d.Exec(ops...)
+					return err
+				})
+			}
+		}
+
+		compareDBs(t, dur, mem, mem.Relations(), []string{"v"})
+		_ = dur.Close()
+	}
+}

@@ -18,12 +18,14 @@ import (
 )
 
 // TestCheckpointCrashConsistency simulates the process dying at each
-// checkpoint step — after the tmp write, after the rename (before the
-// directory fsync), after the directory fsync (before the log
-// truncate), and after a complete checkpoint — and asserts that no
-// committed transaction is lost and no tmp file is leaked.
+// checkpoint step — after the segment writes, after the manifest tmp
+// write, after the manifest rename (before the directory fsync), after
+// the directory fsync (before the old segments are deleted), after the
+// segment deletes, and after a complete checkpoint — and asserts that
+// no committed transaction is lost and no tmp file or orphan segment
+// survives recovery.
 func TestCheckpointCrashConsistency(t *testing.T) {
-	for _, step := range []string{"write-tmp", "rename", "dirsync", "complete"} {
+	for _, step := range []string{"segment-write", "manifest-tmp", "rename", "dirsync", "segment-delete", "complete"} {
 		t.Run(step, func(t *testing.T) {
 			dir := t.TempDir()
 			d := openDur(t, dir)
@@ -70,9 +72,7 @@ func TestCheckpointCrashConsistency(t *testing.T) {
 				t.Fatalf("crash at %q: recovered view has %d rows, want %d: %+v",
 					step, len(rows), want, rows)
 			}
-			if _, err := os.Stat(filepath.Join(dir, "snapshot.db.tmp")); !os.IsNotExist(err) {
-				t.Errorf("stale snapshot tmp survived recovery (stat err = %v)", err)
-			}
+			assertNoCheckpointDebris(t, dir)
 
 			// The recovered database keeps committing and checkpointing.
 			if _, err := d2.Exec(Insert("r", 7, 10)); err != nil {
@@ -85,37 +85,123 @@ func TestCheckpointCrashConsistency(t *testing.T) {
 	}
 }
 
-// TestCheckpointFaultCleansTmp: a checkpoint that fails for an
-// ordinary reason (not a crash) must remove its tmp file and leave
-// the database fully usable.
-func TestCheckpointFaultCleansTmp(t *testing.T) {
-	dir := t.TempDir()
-	d := openDur(t, dir)
-	seedDurable(t, d)
-	bad := errors.New("injected checkpoint failure")
-	checkpointHook = func(s string) error {
-		if s == "write-tmp" {
-			return bad
+// assertNoCheckpointDebris fails if the directory holds a manifest tmp
+// file, a legacy snapshot tmp, or a checkpoint segment the current
+// manifest does not reference.
+func assertNoCheckpointDebris(t *testing.T, dir string) {
+	t.Helper()
+	for _, tmp := range []string{manifestFile + ".tmp", snapshotFile + ".tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, tmp)); !os.IsNotExist(err) {
+			t.Errorf("stale %s survived (stat err = %v)", tmp, err)
 		}
-		return nil
 	}
-	err := d.Checkpoint()
-	checkpointHook = nil
-	if !errors.Is(err, bad) {
-		t.Fatalf("Checkpoint err = %v, want injected failure", err)
-	}
-	if _, err := os.Stat(filepath.Join(dir, "snapshot.db.tmp")); !os.IsNotExist(err) {
-		t.Errorf("failed checkpoint leaked its tmp file (stat err = %v)", err)
-	}
-	if err := d.Checkpoint(); err != nil {
+	man, err := readManifest(dir)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Close(); err != nil {
+	var referenced map[string]bool
+	if man != nil {
+		referenced = man.files()
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "ckpt-*.seg"))
+	if err != nil {
 		t.Fatal(err)
 	}
-	d2 := openDur(t, dir)
-	defer d2.Close()
-	verifySeeded(t, d2)
+	for _, p := range matches {
+		if !referenced[filepath.Base(p)] {
+			t.Errorf("orphan checkpoint segment %s survived", filepath.Base(p))
+		}
+	}
+}
+
+// TestCheckpointFaultCleansTmp: a checkpoint that fails for an
+// ordinary reason (not a crash) must remove every file it wrote —
+// segments and manifest tmp — restore its dirty bits, and leave the
+// database fully usable.
+func TestCheckpointFaultCleansTmp(t *testing.T) {
+	for _, step := range []string{"segment-write", "manifest-tmp"} {
+		t.Run(step, func(t *testing.T) {
+			dir := t.TempDir()
+			d := openDur(t, dir)
+			seedDurable(t, d)
+			bad := errors.New("injected checkpoint failure")
+			checkpointHook = func(s string) error {
+				if s == step {
+					return bad
+				}
+				return nil
+			}
+			err := d.Checkpoint()
+			checkpointHook = nil
+			if !errors.Is(err, bad) {
+				t.Fatalf("Checkpoint err = %v, want injected failure", err)
+			}
+			assertNoCheckpointDebris(t, dir)
+			// The restored dirty bits make the retry write everything the
+			// failed run was responsible for.
+			if err := d.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			d2 := openDur(t, dir)
+			defer d2.Close()
+			verifySeeded(t, d2)
+		})
+	}
+}
+
+// TestSingleAppendFailureRecovery injects an IO failure into a single
+// (non-batched) log append: the Exec must report the error, the log
+// must roll back to its pre-write state, and — the regression this
+// pins — a later successful append must be fully recovered on reopen
+// rather than shadowed by leftover bytes of the failed write.
+func TestSingleAppendFailureRecovery(t *testing.T) {
+	for _, stage := range []string{"written", "synced"} {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			d := openDur(t, dir)
+			seedDurable(t, d)
+			fail := errors.New("injected append failure")
+			wal.AppendHook = func(s string) error {
+				if s == stage {
+					return fail
+				}
+				return nil
+			}
+			_, err := d.Exec(Insert("r", 8, 10))
+			wal.AppendHook = nil
+			if !errors.Is(err, fail) {
+				t.Fatalf("Exec err = %v, want injected failure", err)
+			}
+			// The next append lands where the failed one was rolled back
+			// from and must be recovered intact.
+			if _, err := d.Exec(Insert("r", 7, 10)); err != nil {
+				t.Fatal(err)
+			}
+			_ = d.Close()
+			d2 := openDur(t, dir)
+			defer d2.Close()
+			rows, err := d2.Rows("r")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Seed row plus the acknowledged insert; the failed one was
+			// never logged (serial commits apply-then-log).
+			want := map[int64]bool{9: true, 7: true}
+			if len(rows) != 2 || !want[rows[0][0]] || !want[rows[1][0]] {
+				t.Fatalf("recovered r = %v, want rows keyed 9 and 7", rows)
+			}
+			vrows, err := d2.View("v")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vrows) != 2 {
+				t.Fatalf("recovered view = %+v, want 2 rows", vrows)
+			}
+		})
+	}
 }
 
 // TestGroupCrashMidBatch kills the process (via wal.AppendBatchHook)
@@ -131,7 +217,7 @@ func TestGroupCrashMidBatch(t *testing.T) {
 	d := openDur(t, dir)
 	seedDurable(t, d)
 
-	walPath := filepath.Join(dir, logFile)
+	walPath := filepath.Join(dir, logFile+".1") // the active segment
 	before, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -176,7 +262,7 @@ func TestGroupCrashMidBatch(t *testing.T) {
 	prevK := -1
 	for cut := len(before); cut <= len(after); cut++ {
 		dir2 := t.TempDir()
-		if err := os.WriteFile(filepath.Join(dir2, logFile), after[:cut], 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir2, logFile+".1"), after[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		d2, err := OpenDurable(dir2)
@@ -243,7 +329,7 @@ func TestGroupCommitCrashNeverAcksLostTx(t *testing.T) {
 	seedDurable(t, d)
 	d.EnableGroupCommit(8, 5*time.Millisecond)
 
-	walPath := filepath.Join(dir, logFile)
+	walPath := filepath.Join(dir, logFile+".1") // the active segment
 	// The hook fires on every append attempt (the process is "dead"
 	// after the first), and records the log size at the first failure:
 	// bytes past that mark were written by retries that a real crash

@@ -4,7 +4,20 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"mview/internal/wal"
 )
+
+// walSegments lists the commit-log segment files of a durable
+// directory, oldest first; the last is the active segment.
+func walSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	segs, err := wal.SegmentFiles(filepath.Join(dir, logFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return segs
+}
 
 func openDur(t *testing.T, dir string) *DB {
 	t.Helper()
@@ -104,7 +117,8 @@ func TestDurableRecoveryFromCheckpointPlusLog(t *testing.T) {
 	}
 }
 
-// TestDurableCheckpointTruncatesLog and numbering stays monotonic.
+// TestDurableCheckpointTruncatesLog: a checkpoint drops the covered
+// commit-log segments and numbering stays monotonic.
 func TestDurableCheckpointTruncatesLog(t *testing.T) {
 	dir := t.TempDir()
 	d := openDur(t, dir)
@@ -112,13 +126,20 @@ func TestDurableCheckpointTruncatesLog(t *testing.T) {
 	if err := d.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	before, err := os.Stat(filepath.Join(dir, logFile))
-	if err != nil {
-		t.Fatal(err)
+	if got := d.LastCheckpointStats().WALSegmentsDropped; got < 1 {
+		t.Errorf("checkpoint dropped %d WAL segments, want >= 1", got)
 	}
-	// The truncated log holds only the small continuity marker.
-	if before.Size() > 64 {
-		t.Errorf("log not truncated: %d bytes", before.Size())
+	// Only the fresh (empty) active segment remains.
+	var total int64
+	for _, seg := range walSegments(t, dir) {
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	if total > 64 {
+		t.Errorf("log not truncated: %d bytes across segments", total)
 	}
 	if _, err := d.Exec(Insert("r", 1, 1)); err != nil {
 		t.Fatal(err)
@@ -139,7 +160,8 @@ func TestDurableTornLogTail(t *testing.T) {
 	d := openDur(t, dir)
 	seedDurable(t, d)
 	_ = d.Close()
-	f, err := os.OpenFile(filepath.Join(dir, logFile), os.O_APPEND|os.O_WRONLY, 0)
+	segs := walSegments(t, dir)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,10 +180,11 @@ func TestDurableCheckpointCrashWindow(t *testing.T) {
 	d := openDur(t, dir)
 	seedDurable(t, d)
 
-	// Simulate "snapshot written but log NOT truncated": checkpoint,
-	// then restore the pre-checkpoint log contents.
-	logPath := filepath.Join(dir, logFile)
-	oldLog, err := os.ReadFile(logPath)
+	// Simulate "manifest swapped but covered log segment NOT deleted":
+	// checkpoint, then resurrect the pre-checkpoint active segment.
+	segs := walSegments(t, dir)
+	active := segs[len(segs)-1]
+	oldLog, err := os.ReadFile(active)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,11 +192,11 @@ func TestDurableCheckpointCrashWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = d.Close()
-	if err := os.WriteFile(logPath, oldLog, 0o644); err != nil {
+	if err := os.WriteFile(active, oldLog, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	// Reopen: the snapshot's LSN gates replay, so the stale records
+	// Reopen: the manifest's LSN gates replay, so the stale records
 	// are skipped and state is exactly the checkpointed one.
 	d2 := openDur(t, dir)
 	defer d2.Close()

@@ -230,6 +230,10 @@ type Engine struct {
 	// creation (shard.go). Engine configuration, immutable after New;
 	// <= 1 means monolithic relations.
 	shards int
+	// ckptDirty tracks, per base relation, which shards changed since
+	// the last checkpoint interval started (checkpoint.go). Guarded by
+	// mu; commits mark exactly the shards their net delta touched.
+	ckptDirty map[string][]bool
 	// crit accumulates per-stage commit time for critical-path
 	// attribution (trace.go). Lock-free: written by commitTrace.close,
 	// read by CriticalPath.
@@ -432,6 +436,7 @@ func New(opts ...Option) *Engine {
 		views:      make(map[string]*viewState),
 		indexes:    make(map[string]map[int]*relation.Index),
 		baseShared: make(map[string]bool),
+		ckptDirty:  make(map[string][]bool),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -604,6 +609,7 @@ func (e *Engine) CreateRelation(name string, attrs ...schema.Attribute) error {
 	} else {
 		e.base[name] = relation.New(s)
 	}
+	e.initCheckpointDirtyLocked(name)
 	e.publishLocked()
 	return nil
 }

@@ -659,6 +659,7 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 	}
 	for _, u := range composed {
 		e.applyToIndexes(u)
+		e.markCheckpointDirtyLocked(u)
 	}
 	var ns []notification
 	for _, w := range work3 {

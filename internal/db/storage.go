@@ -176,32 +176,73 @@ func (e *Engine) Save(out io.Writer) error {
 	w.u32(uint32(len(e.viewOrder)))
 	for _, name := range e.viewOrder {
 		st := e.views[name]
-		w.str(name)
-		b := st.bound
-		w.u32(uint32(len(b.Operands)))
-		for _, op := range b.Operands {
-			w.str(op.Rel)
-			w.str(op.Alias)
-		}
-		writeDNF(w, b.Where)
-		w.u32(uint32(len(b.Project)))
-		for _, a := range b.Project {
-			w.str(string(a))
-		}
-		cfg := st.cfg
-		w.u8(uint8(cfg.Mode))
-		w.u8(uint8(cfg.Policy))
-		w.f64(cfg.AdaptiveThreshold)
-		w.u8(uint8(cfg.Maint.Strategy))
-		w.bool(cfg.Maint.Filter)
-		w.u8(uint8(cfg.Maint.FilterOptions.Method))
-		w.i64(int64(cfg.Maint.FilterOptions.NELimit))
-		w.bool(cfg.EvalOpt.Greedy)
+		writeViewDef(w, name, st.bound, st.cfg)
 	}
 	if w.err != nil {
 		return w.err
 	}
 	return w.w.Flush()
+}
+
+// writeViewDef encodes one view definition (operands, predicate,
+// projection, configuration) — the unit shared by the monolithic Save
+// stream and the checkpoint catalog segment.
+func writeViewDef(w *writer, name string, b *expr.Bound, cfg ViewConfig) {
+	w.str(name)
+	w.u32(uint32(len(b.Operands)))
+	for _, op := range b.Operands {
+		w.str(op.Rel)
+		w.str(op.Alias)
+	}
+	writeDNF(w, b.Where)
+	w.u32(uint32(len(b.Project)))
+	for _, a := range b.Project {
+		w.str(string(a))
+	}
+	w.u8(uint8(cfg.Mode))
+	w.u8(uint8(cfg.Policy))
+	w.f64(cfg.AdaptiveThreshold)
+	w.u8(uint8(cfg.Maint.Strategy))
+	w.bool(cfg.Maint.Filter)
+	w.u8(uint8(cfg.Maint.FilterOptions.Method))
+	w.i64(int64(cfg.Maint.FilterOptions.NELimit))
+	w.bool(cfg.EvalOpt.Greedy)
+}
+
+// readViewDef decodes one view definition written by writeViewDef.
+func readViewDef(r *reader) (expr.View, ViewConfig, error) {
+	name := r.str()
+	nOp := r.u32()
+	if r.err != nil || nOp > maxStr {
+		return expr.View{}, ViewConfig{}, fmt.Errorf("db: corrupt snapshot: view %q", name)
+	}
+	v := expr.View{Name: name}
+	for j := uint32(0); j < nOp; j++ {
+		rel := r.str()
+		alias := r.str()
+		v.Operands = append(v.Operands, expr.Operand{Rel: rel, Alias: alias})
+	}
+	v.Where = readDNF(r)
+	nProj := r.u32()
+	if r.err != nil || nProj > maxStr {
+		return expr.View{}, ViewConfig{}, fmt.Errorf("db: corrupt snapshot: view %q projection", name)
+	}
+	for j := uint32(0); j < nProj; j++ {
+		v.Project = append(v.Project, schema.Attribute(r.str()))
+	}
+	var cfg ViewConfig
+	cfg.Mode = RefreshMode(r.u8())
+	cfg.Policy = Policy(r.u8())
+	cfg.AdaptiveThreshold = r.f64()
+	cfg.Maint.Strategy = diffevalStrategy(r.u8())
+	cfg.Maint.Filter = r.bool()
+	cfg.Maint.FilterOptions.Method = satMethod(r.u8())
+	cfg.Maint.FilterOptions.NELimit = int(r.i64())
+	cfg.EvalOpt.Greedy = r.bool()
+	if r.err != nil {
+		return expr.View{}, ViewConfig{}, fmt.Errorf("db: corrupt snapshot: view %q config: %w", name, r.err)
+	}
+	return v, cfg, nil
 }
 
 func writeDNF(w *writer, d pred.DNF) {
@@ -307,39 +348,12 @@ func Load(in io.Reader, opts ...Option) (*Engine, error) {
 		return nil, fmt.Errorf("db: corrupt snapshot: %d views", nView)
 	}
 	for i := uint32(0); i < nView; i++ {
-		name := r.str()
-		nOp := r.u32()
-		if r.err != nil || nOp > maxStr {
-			return nil, fmt.Errorf("db: corrupt snapshot: view %q", name)
-		}
-		v := expr.View{Name: name}
-		for j := uint32(0); j < nOp; j++ {
-			rel := r.str()
-			alias := r.str()
-			v.Operands = append(v.Operands, expr.Operand{Rel: rel, Alias: alias})
-		}
-		v.Where = readDNF(r)
-		nProj := r.u32()
-		if r.err != nil || nProj > maxStr {
-			return nil, fmt.Errorf("db: corrupt snapshot: view %q projection", name)
-		}
-		for j := uint32(0); j < nProj; j++ {
-			v.Project = append(v.Project, schema.Attribute(r.str()))
-		}
-		var cfg ViewConfig
-		cfg.Mode = RefreshMode(r.u8())
-		cfg.Policy = Policy(r.u8())
-		cfg.AdaptiveThreshold = r.f64()
-		cfg.Maint.Strategy = diffevalStrategy(r.u8())
-		cfg.Maint.Filter = r.bool()
-		cfg.Maint.FilterOptions.Method = satMethod(r.u8())
-		cfg.Maint.FilterOptions.NELimit = int(r.i64())
-		cfg.EvalOpt.Greedy = r.bool()
-		if r.err != nil {
-			return nil, fmt.Errorf("db: corrupt snapshot: view %q config: %w", name, r.err)
+		v, cfg, err := readViewDef(r)
+		if err != nil {
+			return nil, err
 		}
 		if err := e.CreateView(v, cfg); err != nil {
-			return nil, fmt.Errorf("db: restoring view %q: %w", name, err)
+			return nil, fmt.Errorf("db: restoring view %q: %w", v.Name, err)
 		}
 	}
 	if r.err != nil {

@@ -1,11 +1,25 @@
 // Package wal implements a minimal write-ahead log: an append-only
-// file of checksummed, length-framed records with monotonically
-// increasing log sequence numbers (LSNs).
+// sequence of checksummed, length-framed records with monotonically
+// increasing log sequence numbers (LSNs), stored as a chain of segment
+// files.
 //
 // The durable mview database logs every DDL statement and transaction
 // before applying it; on restart, records with LSN greater than the
 // last checkpointed snapshot are replayed. A torn final record (from a
 // crash mid-append) is detected by its length/checksum and truncated.
+//
+// On disk the log rooted at path p is the ordered file chain
+//
+//	p          (legacy single-file layout, adopted as the oldest segment)
+//	p.0, p.1, p.2, ...
+//
+// Appends go to the highest-numbered (active) segment. Rotate seals the
+// active segment and starts a new one; sealing is triggered explicitly
+// (a checkpoint) or by SegmentBytes. Sealed segments are immutable, so
+// a checkpoint drops the covered prefix by deleting whole files
+// (DropThrough) instead of truncating a monolithic log. Recovery scans
+// the chain in order; LSNs must continue exactly across segment
+// boundaries, and the torn-tail rules apply per segment.
 //
 // Record layout (all integers big-endian):
 //
@@ -18,6 +32,10 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"mview/internal/obs"
@@ -37,15 +55,30 @@ const crcLen = 4
 // cannot trigger huge allocations.
 const MaxPayload = 16 << 20
 
+// sealedSeg is an immutable, fully scanned segment awaiting drop.
+type sealedSeg struct {
+	path    string
+	lastLSN uint64 // highest LSN stored in the segment (0 = empty)
+}
+
 // Log is an open write-ahead log positioned for appending.
 type Log struct {
-	f       *os.File
-	path    string
+	f      *os.File // active segment
+	path   string   // base path; segments are path.<n> (plus an adopted legacy path)
+	seg    int      // active segment number
+	size   int64    // valid bytes in the active segment
+	sealed []sealedSeg
+
 	nextLSN uint64
 	// Sync controls whether every append is fsynced (durability
 	// against OS crashes). Defaults to true; tests and bulk loads may
 	// disable it.
 	Sync bool
+	// SegmentBytes, when positive, seals the active segment once it
+	// would exceed this many bytes and rotates to a fresh one. Zero
+	// (the default) rotates only on explicit Rotate/Truncate calls.
+	// Adjust right after Open; not safe concurrently with Append.
+	SegmentBytes int64
 	// o holds metric handles once SetObs attaches a registry; nil
 	// keeps appends untimed.
 	o *logObs
@@ -58,12 +91,14 @@ type logObs struct {
 	bytesWritten  *obs.Counter
 	appends       *obs.Counter
 	fsyncs        *obs.Counter
+	segments      *obs.Gauge
+	segsDropped   *obs.Counter
 }
 
 // SetObs attaches a metrics registry to the log: append and fsync
-// latency histograms plus byte/record counters. Pass nil to detach.
-// Not safe to call concurrently with Append; callers attach it right
-// after Open (the durable DB does so under its statement lock).
+// latency histograms plus byte/record/segment counters. Pass nil to
+// detach. Not safe to call concurrently with Append; callers attach it
+// right after Open (the durable DB does so under its statement lock).
 func (l *Log) SetObs(reg *obs.Registry) {
 	if reg == nil {
 		l.o = nil
@@ -80,43 +115,163 @@ func (l *Log) SetObs(reg *obs.Registry) {
 			"Records appended to the commit log.", nil),
 		fsyncs: reg.Counter("mview_wal_fsyncs_total",
 			"Commit-log fsyncs. Group commit amortizes one fsync over a whole batch, so under concurrent writers this grows slower than mview_wal_appends_total.", nil),
+		segments: reg.Gauge("mview_wal_segments",
+			"Commit-log segment files currently on disk (sealed + active).", nil),
+		segsDropped: reg.Counter("mview_wal_segments_dropped_total",
+			"Sealed commit-log segments deleted after being covered by a checkpoint.", nil),
 	}
+	l.o.segments.Set(float64(len(l.sealed) + 1))
 }
 
-// Open opens (or creates) a log, scans it to find the end of the valid
-// prefix, truncates any torn tail, and positions for appending.
+// segmentFiles returns the on-disk segment chain for the log rooted at
+// path, oldest first: the bare legacy file (if present) then numbered
+// segments ascending. Missing files yield an empty slice.
+func segmentFiles(path string) (bare string, numbered []int, err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil, nil
+		}
+		return "", nil, err
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if name == base {
+			bare = path
+			continue
+		}
+		if !strings.HasPrefix(name, base+".") {
+			continue
+		}
+		n, convErr := strconv.Atoi(name[len(base)+1:])
+		if convErr != nil || n < 0 {
+			continue // not a segment (e.g. commit.log.tmp)
+		}
+		numbered = append(numbered, n)
+	}
+	sort.Ints(numbered)
+	return bare, numbered, nil
+}
+
+// SegmentFiles lists the log's on-disk segment chain, oldest first —
+// the adopted legacy file (if any) followed by numbered segments. It
+// reads the directory only; safe on a closed log.
+func SegmentFiles(path string) ([]string, error) {
+	bare, nums, err := segmentFiles(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	if bare != "" {
+		out = append(out, bare)
+	}
+	for _, n := range nums {
+		out = append(out, fmt.Sprintf("%s.%d", path, n))
+	}
+	return out, nil
+}
+
+// Open opens (or creates) the log rooted at path, scans its segment
+// chain to find the end of the valid prefix, truncates any torn tail,
+// and positions for appending. A bare legacy single-file log at path is
+// adopted as the oldest segment (renamed to path.0) transparently.
 func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	bare, nums, err := segmentFiles(path)
 	if err != nil {
 		return nil, err
 	}
-	validEnd, lastLSN, err := scan(f, 0, nil)
-	if err != nil {
-		f.Close()
-		return nil, err
+	if bare != "" {
+		// One-time migration of the legacy single-file layout: the bare
+		// file becomes the oldest numbered segment. Nothing is rewritten,
+		// so a crash before or after the rename recovers identically.
+		adopted := path + ".0"
+		if len(nums) > 0 && nums[0] <= 0 {
+			return nil, fmt.Errorf("wal: both legacy %s and segment %s exist; refusing to guess their order", path, adopted)
+		}
+		if err := os.Rename(path, adopted); err != nil {
+			return nil, err
+		}
+		nums = append([]int{0}, nums...)
 	}
-	if err := f.Truncate(validEnd); err != nil {
-		f.Close()
-		return nil, err
+	if len(nums) == 0 {
+		nums = []int{1}
 	}
-	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
-		f.Close()
-		return nil, err
+	l := &Log{path: path, Sync: true, nextLSN: 1}
+	var lastLSN uint64
+	for i, n := range nums {
+		segPath := fmt.Sprintf("%s.%d", path, n)
+		f, err := os.OpenFile(segPath, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		validEnd, segLast, err := scan(f, lastLSN, 0, nil)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		lastLSN = segLast
+		if validEnd < info.Size() || i == len(nums)-1 {
+			// Torn or corrupt tail, or the chain's final segment either
+			// way: everything after this point was never acknowledged.
+			// Truncate this segment at its valid prefix, delete any later
+			// segments, and append here.
+			if err := f.Truncate(validEnd); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+				f.Close()
+				return nil, err
+			}
+			for _, later := range nums[i+1:] {
+				if err := os.Remove(fmt.Sprintf("%s.%d", path, later)); err != nil {
+					f.Close()
+					return nil, err
+				}
+			}
+			l.f = f
+			l.seg = n
+			l.size = validEnd
+			break
+		}
+		// Clean, fully-valid non-final segment: sealed.
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		l.sealed = append(l.sealed, sealedSeg{path: segPath, lastLSN: segLast})
 	}
-	return &Log{f: f, path: path, nextLSN: lastLSN + 1, Sync: true}, nil
+	l.nextLSN = lastLSN + 1
+	return l, nil
 }
 
 // scan reads records from the start of f, invoking fn (when non-nil)
-// for each valid record, and returns the byte offset after the last
-// valid record plus the last valid LSN (0 when none). A torn or
-// corrupt tail terminates the scan without error.
-func scan(f *os.File, fromLSN uint64, fn func(Record) error) (validEnd int64, lastLSN uint64, err error) {
+// for each valid record with LSN > fromLSN, and returns the byte offset
+// after the last valid record plus the last valid LSN (prevLSN when the
+// segment holds none). A torn or corrupt tail terminates the scan
+// without error.
+//
+// prevLSN threads continuity across a segment chain: when non-zero, the
+// first record must carry exactly prevLSN+1. When zero (the chain's
+// first scanned record), any LSN is accepted — a truncation writes a
+// continuity marker carrying the prior high-water mark, and a
+// checkpoint may have dropped every earlier segment.
+func scan(f *os.File, prevLSN, fromLSN uint64, fn func(Record) error) (validEnd int64, lastLSN uint64, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, 0, err
 	}
 	r := io.Reader(f)
 	var offset int64
 	var header [headerLen]byte
+	lastLSN = prevLSN
 	for {
 		if _, err := io.ReadFull(r, header[:]); err != nil {
 			return offset, lastLSN, nil // clean EOF or torn header
@@ -124,9 +279,7 @@ func scan(f *os.File, fromLSN uint64, fn func(Record) error) (validEnd int64, la
 		lsn := binary.BigEndian.Uint64(header[0:8])
 		kind := header[8]
 		plen := binary.BigEndian.Uint32(header[9:13])
-		// LSNs start at 1 and increase strictly sequentially within a
-		// log file; the first record may carry any LSN (a truncation
-		// writes a continuity marker with the prior high-water mark).
+		// LSNs start at 1 and increase strictly sequentially.
 		if plen > MaxPayload || lsn == 0 || (lastLSN != 0 && lsn != lastLSN+1) {
 			return offset, lastLSN, nil // corrupt: stop at last valid record
 		}
@@ -165,7 +318,7 @@ func frame(buf []byte, lsn uint64, kind uint8, payload []byte) []byte {
 	return append(buf, tail[:]...)
 }
 
-// syncTimed fsyncs the log file, timing and counting the fsync.
+// syncTimed fsyncs the active segment, timing and counting the fsync.
 func (l *Log) syncTimed() error {
 	var ts time.Time
 	if l.o != nil {
@@ -181,8 +334,40 @@ func (l *Log) syncTimed() error {
 	return nil
 }
 
+// maybeRotate seals the active segment before an append of n framed
+// bytes when SegmentBytes is configured and the append would overflow
+// it. A non-empty segment always accepts at least one record, so a
+// record larger than SegmentBytes still lands (in its own segment).
+func (l *Log) maybeRotate(n int64) error {
+	if l.SegmentBytes <= 0 || l.size == 0 || l.size+n <= l.SegmentBytes {
+		return nil
+	}
+	return l.Rotate()
+}
+
+// AppendHook, when non-nil, runs inside the single-record Append after
+// the write (stage "written") and after the fsync (stage "synced"). A
+// non-nil return is treated as the corresponding I/O failure, so Append
+// takes the same rollback path as a real short write: truncate back to
+// the pre-append offset and return the error. Never set in production
+// code; fault-injection tests use it to prove a failed append can never
+// shadow a later acknowledged one from recovery.
+var AppendHook func(stage string) error
+
 // Append logs one record and returns its LSN.
+//
+// On a write or sync failure the log truncates itself back to the
+// pre-append offset, so the torn bytes cannot sit in front of a later
+// successful append and silently shadow it from recovery; if the
+// truncate also fails the error reports the log as broken.
 func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
+	return l.append(kind, payload, l.Sync)
+}
+
+func (l *Log) append(kind uint8, payload []byte, sync bool) (uint64, error) {
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: log closed or broken")
+	}
 	if len(payload) > MaxPayload {
 		return 0, fmt.Errorf("wal: payload of %d bytes exceeds limit", len(payload))
 	}
@@ -190,17 +375,41 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 	if l.o != nil {
 		t0 = time.Now()
 	}
-	lsn := l.nextLSN
-	buf := frame(make([]byte, 0, headerLen+len(payload)+crcLen), lsn, kind, payload)
-	if _, err := l.f.Write(buf); err != nil {
+	buf := frame(make([]byte, 0, headerLen+len(payload)+crcLen), l.nextLSN, kind, payload)
+	if err := l.maybeRotate(int64(len(buf))); err != nil {
 		return 0, err
 	}
-	if l.Sync {
+	lsn := l.nextLSN
+	pre := l.size
+	abort := func(err error) (uint64, error) {
+		if terr := l.f.Truncate(pre); terr != nil {
+			return 0, fmt.Errorf("wal: append failed (%w) and truncating the torn record failed (%v): log broken", err, terr)
+		}
+		if _, serr := l.f.Seek(pre, io.SeekStart); serr != nil {
+			return 0, fmt.Errorf("wal: append failed (%w) and reseeking failed (%v): log broken", err, serr)
+		}
+		return 0, err
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return abort(err)
+	}
+	if AppendHook != nil {
+		if err := AppendHook("written"); err != nil {
+			return abort(err)
+		}
+	}
+	if sync {
 		if err := l.syncTimed(); err != nil {
-			return 0, err
+			return abort(err)
+		}
+		if AppendHook != nil {
+			if err := AppendHook("synced"); err != nil {
+				return abort(err)
+			}
 		}
 	}
 	l.nextLSN++
+	l.size = pre + int64(len(buf))
 	if l.o != nil {
 		l.o.appendSeconds.ObserveDuration(time.Since(t0))
 		l.o.bytesWritten.Add(int64(len(buf)))
@@ -238,6 +447,9 @@ var AppendBatchHook func(stage string) error
 // and silently shadow it from recovery; if the truncate also fails the
 // error reports the log as broken.
 func (l *Log) AppendBatch(entries []Entry) (uint64, error) {
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: log closed or broken")
+	}
 	if len(entries) == 0 {
 		return 0, fmt.Errorf("wal: empty batch")
 	}
@@ -252,10 +464,10 @@ func (l *Log) AppendBatch(entries []Entry) (uint64, error) {
 	if l.o != nil {
 		t0 = time.Now()
 	}
-	pre, err := l.f.Seek(0, io.SeekCurrent)
-	if err != nil {
+	if err := l.maybeRotate(int64(size)); err != nil {
 		return 0, err
 	}
+	pre := l.size
 	first := l.nextLSN
 	buf := make([]byte, 0, size)
 	for i, e := range entries {
@@ -289,6 +501,7 @@ func (l *Log) AppendBatch(entries []Entry) (uint64, error) {
 		}
 	}
 	l.nextLSN += uint64(len(entries))
+	l.size = pre + int64(len(buf))
 	if l.o != nil {
 		l.o.appendSeconds.ObserveDuration(time.Since(t0))
 		l.o.bytesWritten.Add(int64(len(buf)))
@@ -309,18 +522,80 @@ func (l *Log) EnsureLSN(min uint64) {
 	}
 }
 
+// Rotate seals the active segment (fsyncing it so its contents are
+// stable) and starts a new empty one; appends continue there with
+// uninterrupted LSN numbering. Sealing an empty segment is a no-op.
+// Sealed segments become eligible for DropThrough once a checkpoint
+// covers them.
+func (l *Log) Rotate() error {
+	if l.size == 0 {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	sealedPath := fmt.Sprintf("%s.%d", l.path, l.seg)
+	l.sealed = append(l.sealed, sealedSeg{path: sealedPath, lastLSN: l.nextLSN - 1})
+	l.seg++
+	f, err := os.OpenFile(fmt.Sprintf("%s.%d", l.path, l.seg), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		l.f = nil
+		return fmt.Errorf("wal: rotating to segment %d: %w (log closed)", l.seg, err)
+	}
+	l.f = f
+	l.size = 0
+	if l.o != nil {
+		l.o.segments.Set(float64(len(l.sealed) + 1))
+	}
+	return nil
+}
+
+// SegmentCount reports the segments currently on disk (sealed plus the
+// active one).
+func (l *Log) SegmentCount() int { return len(l.sealed) + 1 }
+
+// ActivePath returns the file path of the active (appending) segment.
+func (l *Log) ActivePath() string { return fmt.Sprintf("%s.%d", l.path, l.seg) }
+
+// DropThrough deletes sealed segments whose every record has LSN <=
+// lsn — the prefix of the chain a checkpoint at lsn has made redundant.
+// The active segment is never deleted. Returns how many segment files
+// were removed. Deletion stops at the first failure so the chain never
+// acquires a hole.
+func (l *Log) DropThrough(lsn uint64) (int, error) {
+	removed := 0
+	for len(l.sealed) > 0 && l.sealed[0].lastLSN <= lsn {
+		if err := os.Remove(l.sealed[0].path); err != nil && !os.IsNotExist(err) {
+			return removed, err
+		}
+		l.sealed = l.sealed[1:]
+		removed++
+	}
+	if l.o != nil && removed > 0 {
+		l.o.segments.Set(float64(len(l.sealed) + 1))
+		l.o.segsDropped.Add(int64(removed))
+	}
+	return removed, nil
+}
+
 // Truncate discards all records (after a checkpoint has made them
-// redundant). LSNs keep increasing monotonically across truncations.
+// redundant): the active segment is sealed and every sealed segment is
+// deleted. LSNs keep increasing monotonically across truncations — the
+// high-water mark is persisted as a no-op continuity record, which is
+// fsynced even when Sync is off (it is the only durable copy of the
+// numbering, and Truncate runs once per checkpoint, so the cost is
+// negligible).
 func (l *Log) Truncate() error {
-	if err := l.f.Truncate(0); err != nil {
+	if err := l.Rotate(); err != nil {
 		return err
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+	if _, err := l.DropThrough(l.nextLSN - 1); err != nil {
 		return err
 	}
-	// Persist the LSN high-water mark as a single no-op record so
-	// that a reopened log continues numbering correctly.
-	_, err := l.Append(KindNoop, nil)
+	_, err := l.append(KindNoop, nil, true)
 	return err
 }
 
@@ -328,11 +603,10 @@ func (l *Log) Truncate() error {
 // replay skips them.
 const KindNoop uint8 = 0
 
-// Close flushes and closes the underlying file. When per-append Sync
-// is disabled, buffered appends are fsynced first, so a clean Close
-// never loses acknowledged records — disabling Sync only trades
-// durability against OS crashes, not clean shutdowns. Close is
-// idempotent.
+// Close flushes and closes the active segment. When per-append Sync is
+// disabled, buffered appends are fsynced first, so a clean Close never
+// loses acknowledged records — disabling Sync only trades durability
+// against OS crashes, not clean shutdowns. Close is idempotent.
 func (l *Log) Close() error {
 	if l.f == nil {
 		return nil
@@ -350,23 +624,40 @@ func (l *Log) Close() error {
 }
 
 // Replay invokes fn for every valid record with LSN > fromLSN, in
-// order. Torn or corrupt tails end the replay silently (they were
-// never acknowledged); fn errors abort it.
+// order across the whole segment chain (including a bare legacy file,
+// which is read in place without being adopted). Torn or corrupt tails
+// end the replay silently (they were never acknowledged); fn errors
+// abort it.
 func Replay(path string, fromLSN uint64, fn func(Record) error) error {
-	f, err := os.Open(path)
+	files, err := SegmentFiles(path)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
 		return err
 	}
-	defer f.Close()
 	wrapped := func(r Record) error {
 		if r.Kind == KindNoop {
 			return nil
 		}
 		return fn(r)
 	}
-	_, _, err = scan(f, fromLSN, wrapped)
-	return err
+	var lastLSN uint64
+	for _, p := range files {
+		f, err := os.Open(p)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // dropped concurrently; nothing acknowledged lives there
+			}
+			return err
+		}
+		info, statErr := f.Stat()
+		validEnd, segLast, err := scan(f, lastLSN, fromLSN, wrapped)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if statErr == nil && validEnd < info.Size() {
+			return nil // torn tail: nothing after it was acknowledged
+		}
+		lastLSN = segLast
+	}
+	return nil
 }

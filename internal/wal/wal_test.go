@@ -94,8 +94,8 @@ func TestTornTailTruncated(t *testing.T) {
 	_, _ = l.Append(1, []byte("good"))
 	_ = l.Close()
 
-	// Simulate a crash mid-append: garbage tail.
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	// Simulate a crash mid-append: garbage tail in the active segment.
+	f, err := os.OpenFile(path+".1", os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestTornTailAtEveryOffset(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	full, err := os.ReadFile(path)
+	full, err := os.ReadFile(path + ".1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,9 +194,9 @@ func TestCorruptChecksumStopsReplay(t *testing.T) {
 	_ = l.Close()
 
 	// Flip one payload byte of the second record.
-	data, _ := os.ReadFile(path)
+	data, _ := os.ReadFile(path + ".1")
 	data[len(data)-6] ^= 0xFF
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := os.WriteFile(path+".1", data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	recs := collect(t, path, 0)
@@ -353,7 +353,7 @@ func TestAppendBatchTornAtEveryOffset(t *testing.T) {
 	if _, err := l.Append(1, []byte("pre")); err != nil {
 		t.Fatal(err)
 	}
-	preInfo, err := os.Stat(path)
+	preInfo, err := os.Stat(path + ".1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +366,7 @@ func TestAppendBatchTornAtEveryOffset(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = l.Close()
-	full, err := os.ReadFile(path)
+	full, err := os.ReadFile(path + ".1")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,6 +39,16 @@ type DB struct {
 	// engine; statements here apply-then-log) and guarantees the
 	// scheduler never stops with a durable transaction in flight.
 	gmu sync.RWMutex
+	// ckptMu serializes whole checkpoints (the background ticker, an
+	// operator-triggered Checkpoint, and the open-time migration may
+	// otherwise interleave); the commit fence is only held for the
+	// capture and manifest-swap phases inside.
+	ckptMu sync.Mutex
+	// man is the checkpoint manifest currently on disk (nil before the
+	// first checkpoint); ckptStats describes the last completed one.
+	// Both are guarded by mu.
+	man       *manifest
+	ckptStats CheckpointStats
 	// Observability (Instrument); nil until attached.
 	reg    *obs.Registry
 	tracer obs.Tracer

@@ -30,6 +30,7 @@ type config struct {
 	obsSet       bool
 	reg          *obs.Registry
 	tracer       obs.Tracer
+	segmentBytes int64
 }
 
 // WithMaintWorkers bounds the worker pool that parallelizes per-view
@@ -77,6 +78,16 @@ func WithObs(reg *obs.Registry, tr obs.Tracer) Option {
 		c.reg = reg
 		c.tracer = tr
 	}
+}
+
+// WithSegmentSize sets the commit-log segment rotation threshold in
+// bytes for durable databases: once the active segment exceeds n, the
+// next append seals it and starts a new one, letting checkpoints drop
+// covered segments by whole-file deletion. n <= 0 selects the default
+// (64 MiB). Small values are useful in tests; in-memory databases
+// ignore the option.
+func WithSegmentSize(n int64) Option {
+	return func(c *config) { c.segmentBytes = n }
 }
 
 func buildOpenConfig(opts []Option) config {
