@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race bench crash trace-smoke lint apicheck apilock clean
+.PHONY: all build test race bench allocguard crash trace-smoke lint apicheck apilock clean
 
-all: lint apicheck build test
+all: lint apicheck build test allocguard
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,11 @@ race:
 BENCH ?= .
 bench:
 	$(GO) test -run=NONE -bench=$(BENCH) -benchmem .
+
+# Allocation regression gate: the C-FLAT eval benchmarks must stay
+# within the allocs/op budgets checked in at scripts/allocguard.budget.
+allocguard:
+	scripts/allocguard.sh
 
 # Fault injection: kill the checkpoint at every step (segment write,
 # manifest tmp, rename, dirsync, segment delete), a group commit at

@@ -1180,3 +1180,135 @@ func BenchmarkShardedCommit(b *testing.B) {
 		}
 	}
 }
+
+// ---------- C-FLAT: flat arena tuple storage + compiled predicates ----------
+
+// BenchmarkFlatEval measures the commit-heavy eval hot path end to
+// end through the public API: per-tuple §4 satisfiability checks,
+// differential truth-table rows over tagged operands, §5.2 counted
+// folds into the stored views, and the COW clones behind every
+// snapshot publish.
+//
+// "select" commits 256-row deltas against 8 filtered range views over
+// one base relation (every delta tuple passes through 8 compiled
+// predicates and 8 irrelevance checkers); "join" commits order+item
+// deltas against an orders ⋈ items view (tagged truth-table joins
+// dominate). Run with -benchmem: the flat-arena + compiled-predicate
+// storage layer is judged on ns/op and allocs/op here, and
+// scripts/allocguard.sh pins the allocs/op budget in CI.
+func BenchmarkFlatEval(b *testing.B) {
+	b.Run("select", func(b *testing.B) {
+		const (
+			nviews = 8
+			span   = 1 << 20
+			rows   = 256
+		)
+		d := Open()
+		if err := d.CreateRelation("r", "A", "B"); err != nil {
+			b.Fatal(err)
+		}
+		for v := 0; v < nviews; v++ {
+			spec := ViewSpec{From: []string{"r"},
+				Where: fmt.Sprintf("A >= %d && A < %d", v*span, (v+1)*span)}
+			if err := d.CreateView(fmt.Sprintf("v%d", v), spec, WithFilter()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var seed []Op
+		for i := 0; i < 4096; i++ {
+			seed = append(seed, Insert("r", int64(i*4093%(nviews*span)), int64(i%97)))
+		}
+		if _, err := d.Exec(seed...); err != nil {
+			b.Fatal(err)
+		}
+		// Each batch scatters across every view's range; B=1e9+j keeps
+		// it disjoint from the seed, and each insert batch is deleted by
+		// the next iteration so the relation stays at its seeded size.
+		batch := func(del bool) []Op {
+			ops := make([]Op, rows)
+			for j := 0; j < rows; j++ {
+				k := int64((j*4093*nviews + j) % (nviews * span))
+				if del {
+					ops[j] = Delete("r", k, int64(1e9)+int64(j))
+				} else {
+					ops[j] = Insert("r", k, int64(1e9)+int64(j))
+				}
+			}
+			return ops
+		}
+		ins, del := batch(false), batch(true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ops := ins
+			if i%2 == 1 {
+				ops = del
+			}
+			if _, err := d.Exec(ops...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("join", func(b *testing.B) {
+		const (
+			orders    = 4096
+			perOrder  = 2
+			newOrders = 64
+		)
+		d := Open()
+		if err := d.CreateRelation("orders", "OID", "CUST", "REGION"); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.CreateRelation("items", "OID", "SKU", "QTY"); err != nil {
+			b.Fatal(err)
+		}
+		spec := ViewSpec{
+			From:   []string{"orders", "items"},
+			Where:  "orders.OID = items.OID && REGION = 2 && QTY >= 40",
+			Select: []string{"orders.OID", "CUST", "SKU", "QTY"},
+		}
+		if err := d.CreateView("hot", spec, WithFilter()); err != nil {
+			b.Fatal(err)
+		}
+		var seed []Op
+		for o := 0; o < orders; o++ {
+			seed = append(seed, Insert("orders", int64(o), int64(o%500), int64(o%4)))
+			for l := 0; l < perOrder; l++ {
+				seed = append(seed, Insert("items", int64(o), int64(o*perOrder+l), int64((o*7+l*13)%100)))
+			}
+		}
+		if _, err := d.Exec(seed...); err != nil {
+			b.Fatal(err)
+		}
+		// Each batch books 64 new orders with 2 lines each (half in the
+		// view's region, half the QTY lines above threshold), deleted by
+		// the next iteration.
+		batch := func(del bool) []Op {
+			var ops []Op
+			mk := func(rel string, vals ...int64) Op {
+				if del {
+					return Delete(rel, vals...)
+				}
+				return Insert(rel, vals...)
+			}
+			for o := 0; o < newOrders; o++ {
+				oid := int64(1_000_000 + o)
+				ops = append(ops, mk("orders", oid, int64(o%500), int64(o%2)*2))
+				for l := 0; l < perOrder; l++ {
+					ops = append(ops, mk("items", oid, oid*perOrder+int64(l), int64((o*17+l*29)%100)))
+				}
+			}
+			return ops
+		}
+		ins, del := batch(false), batch(true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ops := ins
+			if i%2 == 1 {
+				ops = del
+			}
+			if _, err := d.Exec(ops...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -576,7 +576,9 @@ func (e *Engine) applyToIndexes(u delta.Update) {
 			u.Deletes.Each(ix.Remove)
 		}
 		if u.Inserts != nil {
-			u.Inserts.Each(func(t tuple.Tuple) { ix.Add(t.Clone()) })
+			// Tuples handed out by Each are arena rows, immutable once
+			// stored, so the index may retain them directly.
+			u.Inserts.Each(ix.Add)
 		}
 	}
 }

@@ -41,12 +41,14 @@ func (u Update) Size() int {
 	return n
 }
 
-// Apply mutates r into τ(r) = r ∪ i_r − d_r.
+// Apply mutates r into τ(r) = r ∪ i_r − d_r. Inserted tuples carry
+// their codec key over from the update relation, so applying a delta
+// allocates no new key strings.
 func (u Update) Apply(r *relation.Relation) error {
 	if u.Inserts != nil {
 		var err error
-		u.Inserts.Each(func(t tuple.Tuple) {
-			if e := r.Insert(t); e != nil && err == nil {
+		u.Inserts.EachEntry(func(k string, t tuple.Tuple) {
+			if e := r.InsertKeyed(k, t); e != nil && err == nil {
 				err = e
 			}
 		})
@@ -202,25 +204,66 @@ const (
 type op struct {
 	kind opKind
 	rel  string
-	t    tuple.Tuple
+	off  int32 // offset into Tx.vals
+	n    int32 // arity
 }
 
 // Tx is a transaction: an ordered sequence of updates to base
 // relations, applied atomically. The zero value is an empty
 // transaction.
+//
+// Recorded tuples are copied into one shared value arena rather than
+// cloned individually, so callers may reuse a scratch tuple across
+// operations and a transaction of k operations costs O(log k) buffer
+// growths, not k allocations.
 type Tx struct {
-	ops []op
+	ops  []op
+	vals []int64
 }
 
-// Insert appends an insert operation.
+// tupleAt returns operation i's tuple as a slice into the value arena.
+// Valid only once recording has stopped (ops reference the arena by
+// offset, so growth during recording cannot invalidate them, but the
+// returned slice must not outlive the Tx).
+func (tx *Tx) tupleAt(i int) tuple.Tuple {
+	o := tx.ops[i]
+	return tx.vals[o.off : o.off+o.n : o.off+o.n]
+}
+
+// Reserve pre-allocates capacity for nops operations holding nvals
+// values in total, so recording a transaction of known size costs two
+// allocations.
+func (tx *Tx) Reserve(nops, nvals int) {
+	if cap(tx.ops)-len(tx.ops) < nops {
+		ops := make([]op, len(tx.ops), len(tx.ops)+nops)
+		copy(ops, tx.ops)
+		tx.ops = ops
+	}
+	if cap(tx.vals)-len(tx.vals) < nvals {
+		vals := make([]int64, len(tx.vals), len(tx.vals)+nvals)
+		copy(vals, tx.vals)
+		tx.vals = vals
+	}
+}
+
+// record appends an operation, copying t into the value arena.
+func (tx *Tx) record(kind opKind, rel string, t tuple.Tuple) {
+	off := int32(len(tx.vals))
+	tx.vals = append(tx.vals, t...)
+	tx.ops = append(tx.ops, op{kind: kind, rel: rel, off: off, n: int32(len(t))})
+}
+
+// Insert appends an insert operation. The tuple is copied; the caller
+// may reuse it.
 func (tx *Tx) Insert(rel string, t tuple.Tuple) *Tx {
-	tx.ops = append(tx.ops, op{kind: opInsert, rel: rel, t: t.Clone()})
+	tx.record(opInsert, rel, t)
 	return tx
 }
 
-// Delete appends a delete operation.
+// Delete appends a delete operation. The tuple is copied; the caller
+// may reuse it.
 func (tx *Tx) Delete(rel string, t tuple.Tuple) *Tx {
-	tx.ops = append(tx.ops, op{kind: opDelete, rel: rel, t: t.Clone()})
+	tx.record(opDelete, rel, t)
 	return tx
 }
 
@@ -250,41 +293,50 @@ func (tx *Tx) Relations() []string {
 // returned updates satisfy the disjointness invariant: i_r ∩ r = ∅,
 // d_r ⊆ r, i_r ∩ d_r = ∅.
 func (tx *Tx) Net(lookup func(string) (*relation.Relation, bool)) ([]Update, error) {
+	// One map entry per (relation, tuple): the tuple, whether it was
+	// present before the transaction, and whether it is present after
+	// the ops seen so far. Lookups use a scratch key buffer, so the
+	// key string is allocated once per distinct tuple — and then
+	// shared with the Update relations via InsertKeyed.
+	type entry struct {
+		t       tuple.Tuple
+		initial bool
+		final   bool
+	}
 	type state struct {
 		rel     *relation.Relation
-		initial map[string]bool // key → present before tx (lazily filled)
-		final   map[string]bool // key → present now
-		tuples  map[string]tuple.Tuple
+		m       map[string]int32 // key → index into entries
+		entries []entry
 	}
 	states := make(map[string]*state)
 	order := make([]string, 0, 4)
+	nops := len(tx.ops)
+	var kbuf []byte
 
-	for _, o := range tx.ops {
+	for oi, o := range tx.ops {
 		st := states[o.rel]
 		if st == nil {
 			rel, ok := lookup(o.rel)
 			if !ok {
 				return nil, fmt.Errorf("delta: transaction touches unknown relation %q", o.rel)
 			}
-			st = &state{
-				rel:     rel,
-				initial: make(map[string]bool),
-				final:   make(map[string]bool),
-				tuples:  make(map[string]tuple.Tuple),
-			}
+			st = &state{rel: rel, m: make(map[string]int32, nops), entries: make([]entry, 0, nops)}
 			states[o.rel] = st
 			order = append(order, o.rel)
 		}
-		if len(o.t) != st.rel.Scheme().Arity() {
+		t := tx.tupleAt(oi)
+		if len(t) != st.rel.Scheme().Arity() {
 			return nil, fmt.Errorf("delta: tuple %v has arity %d, relation %q has arity %d",
-				o.t, len(o.t), o.rel, st.rel.Scheme().Arity())
+				t, len(t), o.rel, st.rel.Scheme().Arity())
 		}
-		k := o.t.Key()
-		if _, seen := st.initial[k]; !seen {
-			st.initial[k] = st.rel.Has(o.t)
-			st.tuples[k] = o.t
+		kbuf = tuple.AppendKey(kbuf[:0], t)
+		i, seen := st.m[string(kbuf)]
+		if !seen {
+			i = int32(len(st.entries))
+			st.entries = append(st.entries, entry{t: t, initial: st.rel.Has(t)})
+			st.m[string(kbuf)] = i
 		}
-		st.final[k] = o.kind == opInsert
+		st.entries[i].final = o.kind == opInsert
 	}
 
 	updates := make([]Update, 0, len(order))
@@ -292,18 +344,18 @@ func (tx *Tx) Net(lookup func(string) (*relation.Relation, bool)) ([]Update, err
 		st := states[name]
 		u := Update{
 			Rel:     name,
-			Inserts: relation.New(st.rel.Scheme()),
-			Deletes: relation.New(st.rel.Scheme()),
+			Inserts: relation.NewCap(st.rel.Scheme(), len(st.entries)),
+			Deletes: relation.NewCap(st.rel.Scheme(), len(st.entries)),
 		}
-		for k, present := range st.final {
-			was := st.initial[k]
+		for k, i := range st.m {
+			e := &st.entries[i]
 			switch {
-			case present && !was:
-				if err := u.Inserts.Insert(st.tuples[k]); err != nil {
+			case e.final && !e.initial:
+				if err := u.Inserts.InsertKeyed(k, e.t); err != nil {
 					return nil, err
 				}
-			case !present && was:
-				if err := u.Deletes.Insert(st.tuples[k]); err != nil {
+			case !e.final && e.initial:
+				if err := u.Deletes.InsertKeyed(k, e.t); err != nil {
 					return nil, err
 				}
 			}

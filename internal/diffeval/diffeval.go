@@ -31,12 +31,14 @@ package diffeval
 
 import (
 	"fmt"
+	"sync"
 
 	"mview/internal/delta"
 	"mview/internal/eval"
 	"mview/internal/expr"
 	"mview/internal/irrelevance"
 	"mview/internal/obs"
+	"mview/internal/pred"
 	"mview/internal/relation"
 	"mview/internal/schema"
 	"mview/internal/tuple"
@@ -137,11 +139,126 @@ type Maintainer struct {
 	// that share the maintainer across goroutines must set it before
 	// concurrent use (the engine sets it under its own lock).
 	Tracer obs.Tracer
+
+	// jointAttrs is the view's output attribute order, computed once —
+	// every truth-table row permutes its result to it.
+	jointAttrs []schema.Attribute
+
+	// deltaPos/deltaPS is the precomputed Joint→Project split plan:
+	// every commit ends by projecting the joint delta onto the view
+	// scheme, so the two derived schemes are built once, not per
+	// transaction.
+	deltaPos []int
+	deltaPS  *schema.Scheme
+
+	// Derived-object caches. Truth-table rows rebuild the same handful
+	// of intermediate schemes, residual-predicate programs, and reorder
+	// plans on every commit; since the inputs are identified by stable
+	// pointers (operand QSchemes and the schemes cached here), one
+	// lookup replaces the rebuild. sync.Map because shard workers may
+	// drive one maintainer concurrently.
+	concats  sync.Map // concatKey → *schema.Scheme
+	resids   sync.Map // residKey → func(tuple.Tuple) bool
+	reorders sync.Map // *schema.Scheme → *reorderPlan
+}
+
+// concatKey identifies a cached scheme concatenation.
+type concatKey struct{ a, b *schema.Scheme }
+
+// residKey identifies a compiled residual predicate: the atoms of
+// conjunct conj selected by mask, resolved against scheme.
+type residKey struct {
+	scheme *schema.Scheme
+	conj   int
+	mask   uint64
+}
+
+// reorderPlan caches the position map and target scheme for permuting
+// an intermediate scheme to the view's output order.
+type reorderPlan struct {
+	pos      []int
+	ps       *schema.Scheme
+	identity bool // pos is the identity permutation
+}
+
+// concatScheme returns the cached concatenation of two schemes.
+func (m *Maintainer) concatScheme(a, b *schema.Scheme) (*schema.Scheme, error) {
+	k := concatKey{a, b}
+	if v, ok := m.concats.Load(k); ok {
+		return v.(*schema.Scheme), nil
+	}
+	cs, err := a.Concat(b)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := m.concats.LoadOrStore(k, cs)
+	return v.(*schema.Scheme), nil
+}
+
+// residualFilter returns the compiled filter for the atoms of conjunct
+// ci selected by mask, resolved against s.
+func (m *Maintainer) residualFilter(ci int, s *schema.Scheme, mask uint64) (func(tuple.Tuple) bool, error) {
+	k := residKey{scheme: s, conj: ci, mask: mask}
+	if v, ok := m.resids.Load(k); ok {
+		return v.(func(tuple.Tuple) bool), nil
+	}
+	info := &m.conjs[ci]
+	var atoms []pred.Atom
+	for ai := range info.atoms {
+		if mask&(1<<uint(ai)) != 0 {
+			atoms = append(atoms, info.atoms[ai].a)
+		}
+	}
+	f, err := pred.Or(pred.And(atoms...)).Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := m.resids.LoadOrStore(k, f)
+	return v.(func(tuple.Tuple) bool), nil
+}
+
+// reorderJoint permutes g to the view's output attribute order using a
+// cached per-scheme plan. The result is read-only: when the columns are
+// already in order it is a zero-copy scheme rebind of g, not a clone —
+// callers merge it into an accumulator and drop it.
+func (m *Maintainer) reorderJoint(g *relation.Tagged) (*relation.Tagged, error) {
+	s := g.Scheme()
+	v, ok := m.reorders.Load(s)
+	if !ok {
+		pos, err := s.Positions(m.jointAttrs)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := s.Project(m.jointAttrs)
+		if err != nil {
+			return nil, err
+		}
+		identity := true
+		for i, p := range pos {
+			if p != i {
+				identity = false
+				break
+			}
+		}
+		v, _ = m.reorders.LoadOrStore(s, &reorderPlan{pos: pos, ps: ps, identity: identity})
+	}
+	p := v.(*reorderPlan)
+	if p.identity {
+		return g.RebindScheme(p.ps)
+	}
+	return g.ReorderPlanned(p.pos, p.ps)
 }
 
 // NewMaintainer prepares a maintainer for the bound view.
 func NewMaintainer(b *expr.Bound, opts Options) (*Maintainer, error) {
-	m := &Maintainer{bound: b, opts: opts}
+	m := &Maintainer{bound: b, opts: opts, jointAttrs: b.Joint.Attributes()}
+	var err error
+	if m.deltaPos, err = b.Joint.Positions(b.Project); err != nil {
+		return nil, err
+	}
+	if m.deltaPS, err = b.Joint.Project(b.Project); err != nil {
+		return nil, err
+	}
 	for _, conj := range b.Where.Conjuncts {
 		p, err := eval.BuildPlan(b, conj, nil)
 		if err != nil {
@@ -218,22 +335,14 @@ func (s *slot) deltaTagged() (*relation.Tagged, error) {
 	if s.deltaT != nil {
 		return s.deltaT, nil
 	}
-	g := relation.NewTagged(s.op.QScheme)
+	g := relation.NewTaggedCap(s.op.QScheme, s.deltaSize())
 	if s.ins != nil {
-		ins, err := relation.TagRelationAs(s.ins, s.op.QScheme, tuple.TagInsert)
-		if err != nil {
-			return nil, err
-		}
-		if err := g.Merge(ins); err != nil {
+		if err := g.MergeRelation(s.ins, tuple.TagInsert); err != nil {
 			return nil, err
 		}
 	}
 	if s.del != nil {
-		del, err := relation.TagRelationAs(s.del, s.op.QScheme, tuple.TagDelete)
-		if err != nil {
-			return nil, err
-		}
-		if err := g.Merge(del); err != nil {
+		if err := g.MergeRelation(s.del, tuple.TagDelete); err != nil {
 			return nil, err
 		}
 	}
@@ -324,7 +433,14 @@ func (m *Maintainer) ComputeDeltaWith(insts []*relation.Relation, updates []delt
 		sl[i] = s
 	}
 
-	out := relation.NewTagged(b.Joint)
+	// Presize the joint accumulator by the total delta size: the number
+	// of result rows is usually on the order of the touched tuples, and
+	// a close guess turns the per-row map growth into one allocation.
+	sizeHint := 0
+	for _, s := range sl {
+		sizeHint += s.deltaSize()
+	}
+	out := relation.NewTaggedCap(b.Joint, sizeHint)
 	if stats.ModifiedOperands > 0 {
 		var err error
 		switch strategy {
@@ -340,7 +456,7 @@ func (m *Maintainer) ComputeDeltaWith(insts []*relation.Relation, updates []delt
 		}
 	}
 
-	ins, del, err := out.Deltas(b.Project)
+	ins, del, err := out.DeltasPlanned(m.deltaPos, m.deltaPS)
 	if err != nil {
 		return nil, err
 	}

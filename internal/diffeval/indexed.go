@@ -107,7 +107,18 @@ func (m *Maintainer) evalRowIndexed(ci int, sl []*slot, modified []int, mask int
 
 	info := &m.conjs[ci]
 	n := len(sl)
-	isDelta := make([]bool, n)
+	// Scratch state lives in stack buffers for the typical view shape
+	// (≤8 operands, ≤16 atoms): truth-table rows are evaluated a few
+	// times per commit and these little slices would otherwise be the
+	// row's fixed allocation overhead.
+	var isDeltaBuf, consumedBuf [8]bool
+	var appliedBuf [16]bool
+	var isDelta []bool
+	if n <= len(isDeltaBuf) {
+		isDelta = isDeltaBuf[:n]
+	} else {
+		isDelta = make([]bool, n)
+	}
 	for bit, opIdx := range modified {
 		if mask&(1<<bit) != 0 {
 			isDelta[opIdx] = true
@@ -120,7 +131,17 @@ func (m *Maintainer) evalRowIndexed(ci int, sl []*slot, modified []int, mask int
 		return sl[i].old()
 	}
 
-	st := &rowState{consumed: make([]bool, n), applied: make([]bool, len(info.atoms))}
+	st := &rowState{}
+	if n <= len(consumedBuf) {
+		st.consumed = consumedBuf[:n]
+	} else {
+		st.consumed = make([]bool, n)
+	}
+	if na := len(info.atoms); na <= len(appliedBuf) {
+		st.applied = appliedBuf[:na]
+	} else {
+		st.applied = make([]bool, na)
+	}
 
 	// Linking atoms between the consumed set and operand j.
 	linksTo := func(j int) []int {
@@ -158,7 +179,8 @@ func (m *Maintainer) evalRowIndexed(ci int, sl []*slot, modified []int, mask int
 	// Choose the evaluation order: the row's delta slots first
 	// (smallest first), then connected operands preferring indexed
 	// probes, then the rest.
-	var deltaOps []int
+	var deltaOpsBuf [8]int
+	deltaOps := deltaOpsBuf[:0]
 	for _, opIdx := range modified {
 		if isDelta[opIdx] {
 			deltaOps = append(deltaOps, opIdx)
@@ -169,23 +191,48 @@ func (m *Maintainer) evalRowIndexed(ci int, sl []*slot, modified []int, mask int
 	})
 
 	// tryApply filters the intermediate by every not-yet-applied atom
-	// whose variables are all available.
+	// whose variables are all available. The compiled filter is cached
+	// per (conjunct, atom set, scheme) — the same residuals recur every
+	// commit.
 	tryApply := func() error {
-		var atoms []pred.Atom
+		if len(info.atoms) > 64 {
+			// Can't key the cache by bitmask; compile directly.
+			var atoms []pred.Atom
+			for ai, a := range info.atoms {
+				if st.applied[ai] {
+					continue
+				}
+				if st.scheme.Has(schema.Attribute(a.a.Left)) &&
+					(!a.a.HasRightVar() || st.scheme.Has(schema.Attribute(a.a.Right))) {
+					atoms = append(atoms, a.a)
+					st.applied[ai] = true
+				}
+			}
+			if len(atoms) == 0 {
+				return nil
+			}
+			f, err := pred.Or(pred.And(atoms...)).Compile(st.scheme)
+			if err != nil {
+				return err
+			}
+			st.g = relation.SelectTagged(st.g, f)
+			return nil
+		}
+		var amask uint64
 		for ai, a := range info.atoms {
 			if st.applied[ai] {
 				continue
 			}
 			if st.scheme.Has(schema.Attribute(a.a.Left)) &&
 				(!a.a.HasRightVar() || st.scheme.Has(schema.Attribute(a.a.Right))) {
-				atoms = append(atoms, a.a)
+				amask |= 1 << uint(ai)
 				st.applied[ai] = true
 			}
 		}
-		if len(atoms) == 0 {
+		if amask == 0 {
 			return nil
 		}
-		f, err := pred.Or(pred.And(atoms...)).Compile(st.scheme)
+		f, err := m.residualFilter(ci, st.scheme, amask)
 		if err != nil {
 			return err
 		}
@@ -259,11 +306,11 @@ func (m *Maintainer) evalRowIndexed(ci int, sl []*slot, modified []int, mask int
 			if !ok {
 				return nil, fmt.Errorf("diffeval: probe variable %q missing from intermediate", curVar)
 			}
-			nextScheme, err := st.scheme.Concat(sl[next].op.QScheme)
+			nextScheme, err := m.concatScheme(st.scheme, sl[next].op.QScheme)
 			if err != nil {
 				return nil, err
 			}
-			ng := relation.NewTagged(nextScheme)
+			ng := relation.NewTaggedCap(nextScheme, st.g.Len())
 			delSet := sl[next].del
 			var setErr error
 			st.g.Each(func(t tuple.Tuple, tag tuple.Tag) {
@@ -271,15 +318,17 @@ func (m *Maintainer) evalRowIndexed(ci int, sl []*slot, modified []int, mask int
 					return
 				}
 				stats.IndexProbes++
-				for _, bt := range probeIx.Probe(t[lpos]) {
-					if delSet != nil && delSet.Has(bt) {
-						continue
-					}
-					if err := ng.Set(t.Concat(bt), tag); err != nil {
-						setErr = err
+				probeIx.EachMatch(t[lpos], func(bt tuple.Tuple) {
+					if setErr != nil {
 						return
 					}
-				}
+					if delSet != nil && delSet.Has(bt) {
+						return
+					}
+					if err := ng.SetPair(t, bt, tag); err != nil {
+						setErr = err
+					}
+				})
 			})
 			if setErr != nil {
 				return nil, setErr
@@ -310,7 +359,11 @@ func (m *Maintainer) evalRowIndexed(ci int, sl []*slot, modified []int, mask int
 				rpos = append(rpos, rp)
 				st.applied[ai] = true
 			}
-			ng, err := relation.JoinOn(st.g, rhs, lpos, rpos)
+			cs, err := m.concatScheme(st.scheme, rhs.Scheme())
+			if err != nil {
+				return nil, err
+			}
+			ng, err := relation.JoinOnScheme(st.g, rhs, lpos, rpos, cs)
 			if err != nil {
 				return nil, err
 			}
@@ -332,7 +385,7 @@ func (m *Maintainer) evalRowIndexed(ci int, sl []*slot, modified []int, mask int
 		}
 	}
 	stats.RowsEvaluated++
-	return st.g.Reorder(m.bound.Joint.Attributes())
+	return m.reorderJoint(st.g)
 }
 
 func sizeOf(s *slot, isDelta bool) int {

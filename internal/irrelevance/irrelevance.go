@@ -46,10 +46,31 @@ type Options struct {
 
 // preparedConj is one ≠-free conjunct of the view condition split per
 // Algorithm 4.1 relative to the checked operand's attributes (Y1).
+//
+// The per-tuple test never touches the atom lists: vEval is compiled
+// once into a position-resolved program (prog), and each vNonEval atom
+// into a nonEvalTemplate, so Relevant does no AST walk, name lookup,
+// or Binding-closure construction per tuple. The atom slices are kept
+// only for the naive comparator (RelevantNaive).
 type preparedConj struct {
 	vEval    []pred.Atom // variant evaluable: ground after substitution
 	vNonEval []pred.Atom // variant non-evaluable: substitute, then probe
+	prog     *pred.Program
+	tmpls    []nonEvalTemplate
 	prep     *satgraph.Prepared
+}
+
+// nonEvalTemplate is one variant non-evaluable atom resolved to tuple
+// positions at prepare time. Substituting tuple t leaves the residual
+// (v op c') with c' = t[pos] − C (bound variable on the left, operator
+// flipped) or c' = t[pos] + C (bound on the right); the constant folds
+// with saturating arithmetic, matching pred.SubstituteAtom.
+type nonEvalTemplate struct {
+	v   pred.Var
+	op  pred.Op
+	pos int
+	sub bool // fold as t[pos] − C instead of t[pos] + C
+	c   int64
 }
 
 // Checker decides relevance of single-tuple updates against one
@@ -116,7 +137,24 @@ func NewChecker(b *expr.Bound, opIdx int, opts Options) (*Checker, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.conjs = append(c.conjs, preparedConj{vEval: vEval, vNonEval: vNonEval, prep: prep})
+		prog, err := pred.CompileAtoms(vEval, q)
+		if err != nil {
+			return nil, err
+		}
+		tmpls := make([]nonEvalTemplate, 0, len(vNonEval))
+		for _, a := range vNonEval {
+			if p, ok := q.Pos(schema.Attribute(a.Left)); ok {
+				tmpls = append(tmpls, nonEvalTemplate{v: a.Right, op: a.Op.Flip(), pos: p, sub: true, c: a.C})
+			} else if p, ok := q.Pos(schema.Attribute(a.Right)); ok {
+				tmpls = append(tmpls, nonEvalTemplate{v: a.Left, op: a.Op, pos: p, sub: false, c: a.C})
+			} else {
+				return nil, fmt.Errorf("irrelevance: atom %q classified variant but binds no attribute of %s", a, q)
+			}
+		}
+		c.conjs = append(c.conjs, preparedConj{
+			vEval: vEval, vNonEval: vNonEval,
+			prog: prog, tmpls: tmpls, prep: prep,
+		})
 	}
 	return c, nil
 }
@@ -139,9 +177,8 @@ func (c *Checker) Relevant(t tuple.Tuple) (bool, error) {
 		return false, fmt.Errorf("irrelevance: tuple %v has arity %d, operand %q has arity %d",
 			t, len(t), c.bound.Operands[c.opIdx].Alias, q.Arity())
 	}
-	bind := pred.BindTuple(q, t)
 	for i := range c.conjs {
-		ok, err := c.conjSatisfiable(&c.conjs[i], bind)
+		ok, err := c.conjSatisfiable(&c.conjs[i], t)
 		if err != nil {
 			return false, err
 		}
@@ -153,37 +190,33 @@ func (c *Checker) Relevant(t tuple.Tuple) (bool, error) {
 	return false, nil
 }
 
-func (c *Checker) conjSatisfiable(pc *preparedConj, bind pred.Binding) (bool, error) {
+func (c *Checker) conjSatisfiable(pc *preparedConj, t tuple.Tuple) (bool, error) {
 	if pc.prep.InvariantUnsatisfiable() {
 		return false, nil
 	}
-	// Variant evaluable atoms are ground after substitution.
-	for _, a := range pc.vEval {
-		_, ground, value := pred.SubstituteAtom(a, bind)
-		if !ground {
-			return false, fmt.Errorf("irrelevance: atom %q classified evaluable but not ground", a)
-		}
-		if !value {
-			return false, nil
-		}
+	// Variant evaluable atoms are ground after substitution: one pass
+	// of the compiled program, no AST walk or binding closure.
+	if !pc.prog.Eval(t) {
+		return false, nil
 	}
-	// Variant non-evaluable atoms become var-vs-constant bounds.
-	var cons []pred.Constraint
-	for _, a := range pc.vNonEval {
-		res, ground, value := pred.SubstituteAtom(a, bind)
-		if ground {
-			// Possible when Y1 covers both sides via qualified names;
-			// treat as evaluable.
-			if !value {
-				return false, nil
-			}
-			continue
+	// Variant non-evaluable atoms become var-vs-constant bounds; fold
+	// each template's constant and normalize into a per-call buffer
+	// (Relevant runs on concurrent maintenance workers).
+	var consBuf [8]pred.Constraint
+	cons := consBuf[:0]
+	for i := range pc.tmpls {
+		te := &pc.tmpls[i]
+		cv := t[te.pos]
+		if te.sub {
+			cv = pred.SubSat(cv, te.c)
+		} else {
+			cv = pred.AddSat(cv, te.c)
 		}
-		cs, err := pred.Normalize(res)
+		var err error
+		cons, err = pred.AppendNormalize(cons, pred.VarConst(te.v, te.op, cv))
 		if err != nil {
 			return false, err
 		}
-		cons = append(cons, cs...)
 	}
 	return pc.prep.SatisfiableWith(cons)
 }
@@ -261,7 +294,7 @@ func (c *Checker) FilterTuples(ts []tuple.Tuple) ([]tuple.Tuple, error) {
 func (c *Checker) FilterRelation(r *relation.Relation) (*relation.Relation, error) {
 	out := relation.New(r.Scheme())
 	var firstErr error
-	r.Each(func(t tuple.Tuple) {
+	r.EachEntry(func(k string, t tuple.Tuple) {
 		if firstErr != nil {
 			return
 		}
@@ -271,7 +304,7 @@ func (c *Checker) FilterRelation(r *relation.Relation) (*relation.Relation, erro
 			return
 		}
 		if rel {
-			firstErr = out.Insert(t)
+			firstErr = out.InsertKeyed(k, t)
 		}
 	})
 	if firstErr != nil {

@@ -1,6 +1,8 @@
 package pred
 
 import (
+	"math"
+	"math/big"
 	"strings"
 	"testing"
 )
@@ -80,6 +82,40 @@ func FuzzNormalizeEval(f *testing.F) {
 		}
 		if got != want {
 			t.Fatalf("normalize mismatch for %s at x=%d y=%d: %v vs %v", a, x, y, got, want)
+		}
+	})
+}
+
+// FuzzCompareShifted cross-checks the overflow-safe x op (y + c)
+// against exact big.Int arithmetic, with no clamping: the interesting
+// inputs are exactly the ones where y + c leaves the int64 range.
+func FuzzCompareShifted(f *testing.F) {
+	f.Add(int64(5), int64(math.MaxInt64), int64(1), uint8(1))
+	f.Add(int64(-7), int64(math.MinInt64), int64(-1), uint8(3))
+	f.Add(int64(math.MaxInt64), int64(math.MaxInt64), int64(math.MaxInt64), uint8(0))
+	f.Add(int64(math.MinInt64), int64(math.MinInt64), int64(math.MinInt64), uint8(5))
+	f.Fuzz(func(t *testing.T, x, y, c int64, opIdx uint8) {
+		op := []Op{OpEQ, OpLT, OpLE, OpGT, OpGE, OpNE}[int(opIdx)%6]
+		sum := new(big.Int).Add(big.NewInt(y), big.NewInt(c))
+		cmp := big.NewInt(x).Cmp(sum)
+		var want bool
+		switch op {
+		case OpEQ:
+			want = cmp == 0
+		case OpNE:
+			want = cmp != 0
+		case OpLT:
+			want = cmp < 0
+		case OpLE:
+			want = cmp <= 0
+		case OpGT:
+			want = cmp > 0
+		case OpGE:
+			want = cmp >= 0
+		}
+		if got := op.CompareShifted(x, y, c); got != want {
+			t.Fatalf("CompareShifted(%d, %s, %d, %d) = %v, want %v (exact sum %s)",
+				x, op, y, c, got, want, sum)
 		}
 	})
 }

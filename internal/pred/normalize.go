@@ -57,25 +57,33 @@ func (e ErrOutsideClass) Error() string {
 //
 // Normalize returns ErrOutsideClass for ≠.
 func Normalize(a Atom) ([]Constraint, error) {
+	return AppendNormalize(make([]Constraint, 0, 2), a)
+}
+
+// AppendNormalize appends a's normalized constraints to dst and
+// returns the extended slice, letting per-tuple callers (the §4
+// irrelevance fast path) reuse one scratch buffer instead of paying
+// Normalize's slice allocation per atom.
+func AppendNormalize(dst []Constraint, a Atom) ([]Constraint, error) {
 	x, y, c := a.Left, a.Right, a.C
 	if !a.HasRightVar() {
 		y = ZeroVar
 	}
 	switch a.Op {
 	case OpLE:
-		return []Constraint{{X: x, Y: y, C: c}}, nil
+		return append(dst, Constraint{X: x, Y: y, C: c}), nil
 	case OpLT:
-		return []Constraint{{X: x, Y: y, C: c - 1}}, nil
+		return append(dst, Constraint{X: x, Y: y, C: c - 1}), nil
 	case OpGE:
-		return []Constraint{{X: y, Y: x, C: -c}}, nil
+		return append(dst, Constraint{X: y, Y: x, C: -c}), nil
 	case OpGT:
-		return []Constraint{{X: y, Y: x, C: -c - 1}}, nil
+		return append(dst, Constraint{X: y, Y: x, C: -c - 1}), nil
 	case OpEQ:
-		return []Constraint{{X: x, Y: y, C: c}, {X: y, Y: x, C: -c}}, nil
+		return append(dst, Constraint{X: x, Y: y, C: c}, Constraint{X: y, Y: x, C: -c}), nil
 	case OpNE:
-		return nil, ErrOutsideClass{Atom: a}
+		return dst, ErrOutsideClass{Atom: a}
 	default:
-		return nil, fmt.Errorf("pred: cannot normalize unknown operator in %q", a)
+		return dst, fmt.Errorf("pred: cannot normalize unknown operator in %q", a)
 	}
 }
 

@@ -99,6 +99,57 @@ func (o Op) Compare(a, b int64) bool {
 	}
 }
 
+// CompareShifted evaluates x op (y + c) exactly, even when y + c
+// overflows int64. A naive y + c wraps around and silently inverts the
+// comparison (e.g. x < y + c with y, c near MaxInt64); here an
+// overflowed sum is treated as the out-of-range value it really is: no
+// int64 x equals or exceeds a sum beyond MaxInt64, and none equals or
+// undercuts a sum below MinInt64.
+func (o Op) CompareShifted(x, y, c int64) bool {
+	s := y + c
+	if c > 0 && s < y { // y + c > MaxInt64 >= x
+		return o == OpNE || o == OpLT || o == OpLE
+	}
+	if c < 0 && s > y { // y + c < MinInt64 <= x
+		return o == OpNE || o == OpGT || o == OpGE
+	}
+	return o.Compare(x, s)
+}
+
+// AddSat returns a + b saturated at the int64 bounds. Substitution
+// (Definition 4.1) folds tuple values into atom constants; saturating
+// keeps an out-of-range bound at the nearest representable one, which
+// over the engine's int64 attribute domain is exact for bounds that
+// exclude nothing and conservative (never proving unsatisfiability of
+// a satisfiable condition) for bounds that exclude everything.
+func AddSat(a, b int64) int64 {
+	s := a + b
+	if b > 0 && s < a {
+		return maxInt64
+	}
+	if b < 0 && s > a {
+		return minInt64
+	}
+	return s
+}
+
+// SubSat returns a - b saturated at the int64 bounds.
+func SubSat(a, b int64) int64 {
+	d := a - b
+	if b < 0 && d < a {
+		return maxInt64
+	}
+	if b > 0 && d > a {
+		return minInt64
+	}
+	return d
+}
+
+const (
+	maxInt64 = int64(^uint64(0) >> 1)
+	minInt64 = -maxInt64 - 1
+)
+
 // Atom is one atomic formula. With Right == "" it reads "Left Op C";
 // otherwise it reads "Left Op Right + C" (use C == 0 for "x op y").
 type Atom struct {
@@ -279,21 +330,22 @@ func (d DNF) HasNE() bool {
 type Binding func(Var) (tuple.Value, bool)
 
 // EvalAtom evaluates one atom under a binding. It returns an error for
-// unbound variables.
+// unbound variables. The x op y + c form is evaluated with the
+// overflow-safe CompareShifted, so values near the int64 bounds
+// compare exactly.
 func EvalAtom(a Atom, b Binding) (bool, error) {
 	lv, ok := b(a.Left)
 	if !ok {
 		return false, fmt.Errorf("pred: unbound variable %q in %s", a.Left, a)
 	}
-	rv := a.C
-	if a.HasRightVar() {
-		v, ok := b(a.Right)
-		if !ok {
-			return false, fmt.Errorf("pred: unbound variable %q in %s", a.Right, a)
-		}
-		rv = v + a.C
+	if !a.HasRightVar() {
+		return a.Op.Compare(lv, a.C), nil
 	}
-	return a.Op.Compare(lv, rv), nil
+	rv, ok := b(a.Right)
+	if !ok {
+		return false, fmt.Errorf("pred: unbound variable %q in %s", a.Right, a)
+	}
+	return a.Op.CompareShifted(lv, rv, a.C), nil
 }
 
 // Eval evaluates the conjunction under a binding.
@@ -324,60 +376,119 @@ func (d DNF) Eval(b Binding) (bool, error) {
 	return false, nil
 }
 
-// compiledAtom is an atom with variable references resolved to tuple
-// positions for fast evaluation.
+// compiledAtom is one instruction of a Program: an atom with variable
+// references resolved to tuple positions for fast evaluation.
 type compiledAtom struct {
 	op       Op
-	leftPos  int
-	rightPos int // -1 when the right side is a constant
+	leftPos  int32
+	rightPos int32 // -1 when the right side is a constant
 	c        int64
 }
 
 func (ca compiledAtom) eval(t tuple.Tuple) bool {
-	rv := ca.c
 	if ca.rightPos >= 0 {
-		rv = t[ca.rightPos] + ca.c
+		return ca.op.CompareShifted(t[ca.leftPos], t[ca.rightPos], ca.c)
 	}
-	return ca.op.Compare(t[ca.leftPos], rv)
+	return ca.op.Compare(t[ca.leftPos], ca.c)
+}
+
+// Program is the compiled form of a condition over one scheme: every
+// atom resolved to tuple positions, conjuncts flattened into one flat
+// instruction table. Eval walks instructions only — no AST, no
+// Binding closure, no attribute-name lookups, and no allocation. A
+// Program is immutable and safe for concurrent use; compile once per
+// (view, relation) pair and reuse it for every tuple (the engine
+// caches programs alongside the §4 checkers, which embed them).
+type Program struct {
+	atoms []compiledAtom
+	ends  []int // atoms[ends[i-1]:ends[i]] is conjunct i
+}
+
+// NumConjuncts returns the number of compiled conjuncts.
+func (p *Program) NumConjuncts() int { return len(p.ends) }
+
+// Eval reports whether the tuple satisfies the compiled condition
+// (some conjunct's atoms all hold).
+func (p *Program) Eval(t tuple.Tuple) bool {
+	start := 0
+	for _, end := range p.ends {
+		ok := true
+		for _, ca := range p.atoms[start:end] {
+			if !ca.eval(t) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+		start = end
+	}
+	return false
+}
+
+// EvalConjunct reports whether the tuple satisfies conjunct i alone.
+func (p *Program) EvalConjunct(i int, t tuple.Tuple) bool {
+	start := 0
+	if i > 0 {
+		start = p.ends[i-1]
+	}
+	for _, ca := range p.atoms[start:p.ends[i]] {
+		if !ca.eval(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func compileAtom(a Atom, s *schema.Scheme) (compiledAtom, error) {
+	lp, ok := s.Pos(a.Left)
+	if !ok {
+		return compiledAtom{}, fmt.Errorf("pred: variable %q not in scheme %s", a.Left, s)
+	}
+	rp := -1
+	if a.HasRightVar() {
+		p, ok := s.Pos(a.Right)
+		if !ok {
+			return compiledAtom{}, fmt.Errorf("pred: variable %q not in scheme %s", a.Right, s)
+		}
+		rp = p
+	}
+	return compiledAtom{op: a.Op, leftPos: int32(lp), rightPos: int32(rp), c: a.C}, nil
+}
+
+// CompileProgram resolves the DNF's variables against a scheme. It
+// returns an error if any variable is missing from the scheme.
+func (d DNF) CompileProgram(s *schema.Scheme) (*Program, error) {
+	p := &Program{ends: make([]int, 0, len(d.Conjuncts))}
+	for _, c := range d.Conjuncts {
+		for _, a := range c.Atoms {
+			ca, err := compileAtom(a, s)
+			if err != nil {
+				return nil, err
+			}
+			p.atoms = append(p.atoms, ca)
+		}
+		p.ends = append(p.ends, len(p.atoms))
+	}
+	return p, nil
+}
+
+// CompileAtoms compiles a bare atom list (one conjunct) against a
+// scheme, for callers that assemble conjuncts themselves (the §4
+// checker's variant-evaluable subexpression, plan filters).
+func CompileAtoms(atoms []Atom, s *schema.Scheme) (*Program, error) {
+	return DNF{Conjuncts: []Conjunction{{Atoms: atoms}}}.CompileProgram(s)
 }
 
 // Compile resolves the DNF's variables against a scheme, returning a
-// fast predicate over tuples of that scheme. It returns an error if any
-// variable is missing from the scheme.
+// fast predicate over tuples of that scheme (Program.Eval bound to the
+// compiled program). It returns an error if any variable is missing
+// from the scheme.
 func (d DNF) Compile(s *schema.Scheme) (func(tuple.Tuple) bool, error) {
-	compiled := make([][]compiledAtom, len(d.Conjuncts))
-	for i, c := range d.Conjuncts {
-		cas := make([]compiledAtom, len(c.Atoms))
-		for j, a := range c.Atoms {
-			lp, ok := s.Pos(a.Left)
-			if !ok {
-				return nil, fmt.Errorf("pred: variable %q not in scheme %s", a.Left, s)
-			}
-			rp := -1
-			if a.HasRightVar() {
-				p, ok := s.Pos(a.Right)
-				if !ok {
-					return nil, fmt.Errorf("pred: variable %q not in scheme %s", a.Right, s)
-				}
-				rp = p
-			}
-			cas[j] = compiledAtom{op: a.Op, leftPos: lp, rightPos: rp, c: a.C}
-		}
-		compiled[i] = cas
+	p, err := d.CompileProgram(s)
+	if err != nil {
+		return nil, err
 	}
-	return func(t tuple.Tuple) bool {
-		for _, conj := range compiled {
-			ok := true
-			for _, ca := range conj {
-				if !ca.eval(t) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				return true
-			}
-		}
-		return false
-	}, nil
+	return p.Eval, nil
 }

@@ -1,6 +1,7 @@
 package pred
 
 import (
+	"math"
 	"testing"
 
 	"mview/internal/schema"
@@ -92,6 +93,55 @@ func TestEvalAtom(t *testing.T) {
 	}
 	if _, err := EvalAtom(VarVar("A", OpEQ, "Z", 0), b); err == nil {
 		t.Error("unbound right variable should error")
+	}
+}
+
+// TestEvalAtomOverflow pins the overflow behaviour of x op y + c near
+// the int64 bounds. A naive `y + c` wraps (MaxInt64 + 1 = MinInt64) and
+// inverts the comparison — e.g. 5 < MaxInt64 + 1 evaluated as
+// 5 < MinInt64 = false — which this test caught before EvalAtom moved
+// to CompareShifted.
+func TestEvalAtomOverflow(t *testing.T) {
+	b := bindMap(map[Var]int64{
+		"S":  5,
+		"N":  -7,
+		"Hi": math.MaxInt64,
+		"Lo": math.MinInt64,
+	})
+	cases := []struct {
+		a    Atom
+		want bool
+	}{
+		// y + c above MaxInt64: every x is strictly below the true sum.
+		{VarVar("S", OpLT, "Hi", 1), true},
+		{VarVar("S", OpLE, "Hi", 1), true},
+		{VarVar("S", OpGT, "Hi", 1), false},
+		{VarVar("S", OpGE, "Hi", 1), false},
+		{VarVar("S", OpEQ, "Hi", 1), false},
+		{VarVar("S", OpNE, "Hi", 1), true},
+		{VarVar("Hi", OpLT, "Hi", math.MaxInt64), true},
+		// y + c below MinInt64: every x is strictly above the true sum.
+		{VarVar("N", OpGT, "Lo", -1), true},
+		{VarVar("N", OpGE, "Lo", -1), true},
+		{VarVar("N", OpLT, "Lo", -1), false},
+		{VarVar("N", OpLE, "Lo", -1), false},
+		{VarVar("N", OpEQ, "Lo", -1), false},
+		{VarVar("N", OpNE, "Lo", -1), true},
+		{VarVar("Lo", OpGT, "Lo", math.MinInt64), true},
+		// Sums that land exactly on a bound do not overflow.
+		{VarVar("Hi", OpEQ, "Hi", 0), true},
+		{VarVar("Lo", OpEQ, "Lo", 0), true},
+		{VarVar("Hi", OpEQ, "Lo", math.MaxInt64), false}, // MinInt64 + MaxInt64 = -1
+		{VarVar("N", OpGT, "Lo", math.MaxInt64), false},  // -7 > -1 is false
+	}
+	for _, c := range cases {
+		got, err := EvalAtom(c.a, b)
+		if err != nil {
+			t.Fatalf("EvalAtom(%s): %v", c.a, err)
+		}
+		if got != c.want {
+			t.Errorf("EvalAtom(%s) = %v, want %v", c.a, got, c.want)
+		}
 	}
 }
 

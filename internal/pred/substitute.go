@@ -88,13 +88,18 @@ func SubstituteAtom(a Atom, bind Binding) (residual Atom, ground, value bool) {
 	rv, rightBound := bind(a.Right)
 	switch {
 	case leftBound && rightBound:
-		return Atom{}, true, a.Op.Compare(lv, rv+a.C)
+		return Atom{}, true, a.Op.CompareShifted(lv, rv, a.C)
 	case leftBound:
-		// lv op y + c  ≡  y Flip(op) lv − c
-		return VarConst(a.Right, a.Op.Flip(), lv-a.C), false, false
+		// lv op y + c  ≡  y Flip(op) lv − c. The folded constant
+		// saturates at the int64 bounds (AddSat doc): exact over the
+		// engine's int64 attribute domain except that a bound excluding
+		// every int64 keeps its nearest representable value, which can
+		// only make an unsatisfiable residue satisfiable — the sound
+		// (conservative) direction for the §4 irrelevance test.
+		return VarConst(a.Right, a.Op.Flip(), SubSat(lv, a.C)), false, false
 	case rightBound:
 		// x op rv + c
-		return VarConst(a.Left, a.Op, rv+a.C), false, false
+		return VarConst(a.Left, a.Op, AddSat(rv, a.C)), false, false
 	default:
 		return a, false, false
 	}

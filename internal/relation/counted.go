@@ -16,15 +16,16 @@ import (
 // Base relations have an implicit counter of one on every tuple (the
 // paper: "for base relations, this attribute need not be explicitly
 // stored since its value in every tuple is always one").
+//
+// Storage is one flat row arena plus a dense counts slice indexed by
+// handle. Live entries always have a positive count, so counts[h] == 0
+// doubles as the dead-row marker and Each can walk the arena linearly.
 type Counted struct {
 	scheme *schema.Scheme
-	m      map[string]centry
-	total  int64 // sum of all counts, maintained incrementally
-}
-
-type centry struct {
-	t tuple.Tuple
-	n int64
+	a      *rowArena
+	counts []int64 // by handle; 0 marks a dead (removed) row
+	total  int64   // sum of all counts, maintained incrementally
+	kbuf   []byte  // key scratch; mutation paths only (serialized), never cloned
 }
 
 // CountedTuple pairs a tuple with its multiplicity, for iteration in
@@ -36,15 +37,32 @@ type CountedTuple struct {
 
 // NewCounted returns an empty counted relation over the given scheme.
 func NewCounted(s *schema.Scheme) *Counted {
-	return &Counted{scheme: s, m: make(map[string]centry)}
+	return &Counted{scheme: s, a: newRowArena(s.Arity())}
+}
+
+// NewCountedCap returns an empty counted relation presized for n
+// distinct tuples, so producers with a known (or bounding) output size
+// skip the incremental map and slice growth of the accumulation loop.
+func NewCountedCap(s *schema.Scheme, n int) *Counted {
+	if n == 0 {
+		return NewCounted(s)
+	}
+	return &Counted{
+		scheme: s,
+		a:      newRowArenaCap(s.Arity(), n),
+		counts: make([]int64, 0, n),
+	}
 }
 
 // FromRelation lifts a set relation to a counted relation with every
-// count equal to one.
+// count equal to one (key strings are shared with r's index).
 func FromRelation(r *Relation) *Counted {
 	c := NewCounted(r.scheme)
-	r.Each(func(t tuple.Tuple) {
-		c.m[t.Key()] = centry{t: t, n: 1}
+	c.a = newRowArenaCap(r.scheme.Arity(), r.Len())
+	c.counts = make([]int64, 0, r.Len())
+	r.eachEntry(func(k string, t tuple.Tuple) {
+		c.a.addKeyed(k, t)
+		c.counts = append(c.counts, 1)
 	})
 	c.total = int64(r.Len())
 	return c
@@ -54,14 +72,23 @@ func FromRelation(r *Relation) *Counted {
 func (c *Counted) Scheme() *schema.Scheme { return c.scheme }
 
 // Len returns the number of distinct tuples.
-func (c *Counted) Len() int { return len(c.m) }
+func (c *Counted) Len() int { return c.a.len() }
 
 // Total returns the sum of all multiplicities.
 func (c *Counted) Total() int64 { return c.total }
 
-// Count returns the multiplicity of t (zero when absent).
+// Count returns the multiplicity of t (zero when absent). Safe for
+// concurrent readers of a published view (per-call key buffer).
 func (c *Counted) Count(t tuple.Tuple) int64 {
-	return c.m[t.Key()].n
+	if len(t) != c.scheme.Arity() {
+		return 0
+	}
+	var buf [keyBufSize]byte
+	h, ok := c.a.find(tuple.AppendKey(buf[:0], t))
+	if !ok {
+		return 0
+	}
+	return c.counts[h]
 }
 
 // Has reports whether t has a positive count.
@@ -79,49 +106,108 @@ func (c *Counted) Add(t tuple.Tuple, n int64) error {
 	if n == 0 {
 		return nil
 	}
-	k := t.Key()
-	e := c.m[k]
-	next := e.n + n
+	c.kbuf = tuple.AppendKey(c.kbuf[:0], t)
+	h, ok := c.a.find(c.kbuf)
+	var cur int64
+	if ok {
+		cur = c.counts[h]
+	}
+	next := cur + n
 	switch {
 	case next < 0:
-		return fmt.Errorf("relation: counter for %v would become negative (%d%+d)", t, e.n, n)
+		return fmt.Errorf("relation: counter for %v would become negative (%d%+d)", t, cur, n)
 	case next == 0:
-		delete(c.m, k)
+		c.a.remove(c.kbuf)
+		c.counts[h] = 0
+		c.maybeCompact()
 	default:
-		if e.t == nil {
-			e.t = t.Clone()
+		if ok {
+			c.counts[h] = next
+		} else {
+			c.a.add(c.kbuf, t)
+			c.counts = append(c.counts, next)
 		}
-		e.n = next
-		c.m[k] = e
 	}
 	c.total += n
 	return nil
 }
 
-// Each calls f for every (tuple, count) pair in unspecified order.
-func (c *Counted) Each(f func(tuple.Tuple, int64)) {
-	for _, e := range c.m {
-		f(e.t, e.n)
+// bump adds n (> 0) to t's counter without the error path, for
+// operators that only ever accumulate positive counts.
+func (c *Counted) bump(t tuple.Tuple, n int64) {
+	c.kbuf = tuple.AppendKey(c.kbuf[:0], t)
+	if h, ok := c.a.find(c.kbuf); ok {
+		c.counts[h] += n
+	} else {
+		c.a.add(c.kbuf, t)
+		c.counts = append(c.counts, n)
 	}
+	c.total += n
+}
+
+// bumpKeyed is bump for a tuple whose key string already exists.
+func (c *Counted) bumpKeyed(k string, t tuple.Tuple, n int64) {
+	if h, ok := c.a.findKey(k); ok {
+		c.counts[h] += n
+	} else {
+		c.a.addKeyed(k, t)
+		c.counts = append(c.counts, n)
+	}
+	c.total += n
+}
+
+// maybeCompact rebuilds the arena once dead rows dominate, carrying
+// the counts over to the renumbered handles.
+func (c *Counted) maybeCompact() {
+	if !c.a.tooManyDead() {
+		return
+	}
+	nc := make([]int64, c.a.len())
+	old := c.counts
+	c.a = c.a.clone(func(o, n int32) { nc[n] = old[o] })
+	c.counts = nc
+}
+
+// Each calls f for every (tuple, count) pair in unspecified order. The
+// walk is linear over the arena; dead rows are skipped by their zero
+// count.
+func (c *Counted) Each(f func(tuple.Tuple, int64)) {
+	for h := int32(0); h < c.a.n; h++ {
+		if n := c.counts[h]; n != 0 {
+			f(c.a.row(h), n)
+		}
+	}
+}
+
+// eachEntry calls f for every (key, handle) pair of a live row.
+func (c *Counted) eachEntry(f func(k string, h int32)) {
+	c.a.eachEntry(f)
 }
 
 // Tuples returns all counted tuples sorted lexicographically.
 func (c *Counted) Tuples() []CountedTuple {
-	out := make([]CountedTuple, 0, len(c.m))
-	for _, e := range c.m {
-		out = append(out, CountedTuple{Tuple: e.t, Count: e.n})
-	}
+	out := make([]CountedTuple, 0, c.a.len())
+	c.Each(func(t tuple.Tuple, n int64) {
+		out = append(out, CountedTuple{Tuple: t, Count: n})
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Less(out[j].Tuple) })
 	return out
 }
 
-// Clone returns a deep copy.
+// Clone returns an independent copy. The common case preserves handle
+// numbering and costs O(map buckets + counts memmove) via the arena's
+// shared-row clone; once dead rows dominate, the copy compacts
+// instead.
 func (c *Counted) Clone() *Counted {
-	out := NewCounted(c.scheme)
-	for k, e := range c.m {
-		out.m[k] = e
+	out := &Counted{scheme: c.scheme, total: c.total}
+	if c.a.tooManyDead() {
+		out.counts = make([]int64, c.a.len())
+		old := c.counts
+		out.a = c.a.clone(func(o, n int32) { out.counts[n] = old[o] })
+		return out
 	}
-	out.total = c.total
+	out.a = c.a.cloneShared()
+	out.counts = append([]int64(nil), c.counts...)
 	return out
 }
 
@@ -129,23 +215,28 @@ func (c *Counted) Clone() *Counted {
 // tuples, and multiplicities. It is the correctness oracle used to
 // compare differential maintenance against full re-evaluation.
 func (c *Counted) Equal(o *Counted) bool {
-	if !c.scheme.Equal(o.scheme) || len(c.m) != len(o.m) {
+	if !c.scheme.Equal(o.scheme) || c.a.len() != o.a.len() {
 		return false
 	}
-	for k, e := range c.m {
-		if o.m[k].n != e.n {
-			return false
+	eq := true
+	c.a.eachEntry(func(k string, h int32) {
+		if !eq {
+			return
 		}
-	}
-	return true
+		oh, ok := o.a.findKey(k)
+		if !ok || o.counts[oh] != c.counts[h] {
+			eq = false
+		}
+	})
+	return eq
 }
 
 // ToRelation collapses multiplicities, returning the underlying set.
 func (c *Counted) ToRelation() *Relation {
 	out := New(c.scheme)
-	for _, e := range c.m {
-		out.put(e.t)
-	}
+	c.a.eachEntry(func(k string, h int32) {
+		out.putKeyed(k, c.a.row(h))
+	})
 	return out
 }
 
@@ -168,11 +259,10 @@ func (c *Counted) Merge(o *Counted) error {
 	if err := sameScheme("counted merge", c.scheme, o.scheme); err != nil {
 		return err
 	}
-	for _, e := range o.m {
-		if err := c.Add(e.t, e.n); err != nil {
-			return err
-		}
-	}
+	// Counts are positive on both sides, so no counter can go negative.
+	o.a.eachEntry(func(k string, h int32) {
+		c.bumpKeyed(k, o.a.row(h), o.counts[h])
+	})
 	return nil
 }
 
@@ -182,24 +272,26 @@ func (c *Counted) Subtract(o *Counted) error {
 	if err := sameScheme("counted subtract", c.scheme, o.scheme); err != nil {
 		return err
 	}
-	for _, e := range o.m {
-		if err := c.Add(e.t, -e.n); err != nil {
-			return err
+	var firstErr error
+	o.Each(func(t tuple.Tuple, n int64) {
+		if firstErr != nil {
+			return
 		}
-	}
-	return nil
+		firstErr = c.Add(t, -n)
+	})
+	return firstErr
 }
 
 // SelectCounted returns σ_pred(c); selection leaves counters untouched
 // (§5.2: "the select operation is not affected").
 func SelectCounted(c *Counted, pred func(tuple.Tuple) bool) *Counted {
-	out := NewCounted(c.scheme)
-	for k, e := range c.m {
-		if pred(e.t) {
-			out.m[k] = e
-			out.total += e.n
+	out := NewCountedCap(c.scheme, c.Len())
+	c.a.eachEntry(func(k string, h int32) {
+		t := c.a.row(h)
+		if pred(t) {
+			out.bumpKeyed(k, t, c.counts[h])
 		}
-	}
+	})
 	return out
 }
 
@@ -216,17 +308,13 @@ func ProjectCounted(c *Counted, attrs []schema.Attribute) (*Counted, error) {
 		return nil, err
 	}
 	out := NewCounted(ps)
-	for _, e := range c.m {
-		pt := e.t.Project(pos)
-		k := pt.Key()
-		oe := out.m[k]
-		if oe.t == nil {
-			oe.t = pt
+	buf := make(tuple.Tuple, len(pos))
+	c.Each(func(t tuple.Tuple, n int64) {
+		for i, p := range pos {
+			buf[i] = t[p]
 		}
-		oe.n += e.n
-		out.m[k] = oe
-	}
-	out.total = c.total
+		out.bump(buf, n)
+	})
 	return out, nil
 }
 
@@ -238,13 +326,13 @@ func CrossCounted(a, b *Counted) (*Counted, error) {
 		return nil, err
 	}
 	out := NewCounted(cs)
-	for _, ea := range a.m {
-		for _, eb := range b.m {
-			t := ea.t.Concat(eb.t)
-			out.m[t.Key()] = centry{t: t, n: ea.n * eb.n}
-			out.total += ea.n * eb.n
-		}
-	}
+	buf := make(tuple.Tuple, 0, cs.Arity())
+	a.Each(func(ta tuple.Tuple, na int64) {
+		b.Each(func(tb tuple.Tuple, nb int64) {
+			buf = append(append(buf[:0], ta...), tb...)
+			out.bump(buf, na*nb)
+		})
+	})
 	return out, nil
 }
 
@@ -256,25 +344,30 @@ func NaturalJoinCounted(a, b *Counted) (*Counted, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := NewCounted(p.out)
-	idx := make(map[string][]centry, len(b.m))
-	for _, eb := range b.m {
-		k := eb.t.Project(p.rightPos).Key()
-		idx[k] = append(idx[k], eb)
-	}
-	for _, ea := range a.m {
-		k := ea.t.Project(p.leftPos).Key()
-		for _, eb := range idx[k] {
-			t := p.combine(ea.t, eb.t)
-			tk := t.Key()
-			oe := out.m[tk]
-			if oe.t == nil {
-				oe.t = t
-			}
-			oe.n += ea.n * eb.n
-			out.m[tk] = oe
-			out.total += ea.n * eb.n
+	out := NewCountedCap(p.out, a.Len())
+	ix := newHandleIndex(b.a.len())
+	var kb []byte
+	pbuf := make(tuple.Tuple, len(p.rightPos))
+	b.a.eachEntry(func(_ string, h int32) {
+		t := b.a.row(h)
+		for i, pos := range p.rightPos {
+			pbuf[i] = t[pos]
 		}
-	}
+		kb = tuple.AppendKey(kb[:0], pbuf)
+		ix.add(kb, int64(h))
+	})
+	lbuf := make(tuple.Tuple, len(p.leftPos))
+	obuf := make(tuple.Tuple, 0, p.out.Arity())
+	a.Each(func(ta tuple.Tuple, na int64) {
+		for i, pos := range p.leftPos {
+			lbuf[i] = ta[pos]
+		}
+		kb = tuple.AppendKey(kb[:0], lbuf)
+		ix.eachRef(kb, func(ref int64) {
+			h := int32(ref)
+			obuf = p.appendCombine(obuf[:0], ta, b.a.row(h))
+			out.bump(obuf, na*b.counts[h])
+		})
+	})
 	return out, nil
 }

@@ -15,14 +15,24 @@ import (
 // new tuples to the join").
 type Index struct {
 	pos int
-	m   map[tuple.Value][]tuple.Tuple
+	m   map[tuple.Value]ixBucket
 	n   int
+}
+
+// ixBucket holds the tuples sharing one indexed value. The first two
+// tuples are stored inline: unique and low-fanout columns (keys,
+// foreign keys with a couple of children) dominate index usage, so the
+// common small bucket costs a map entry and no slice allocation.
+type ixBucket struct {
+	one  tuple.Tuple   // first tuple; nil only in the zero value
+	two  tuple.Tuple   // second tuple; nil when the bucket holds one
+	rest []tuple.Tuple // overflow beyond the first two
 }
 
 // NewIndex returns an empty index on column pos of the indexed
 // relation's scheme.
 func NewIndex(pos int) *Index {
-	return &Index{pos: pos, m: make(map[tuple.Value][]tuple.Tuple)}
+	return &Index{pos: pos, m: make(map[tuple.Value]ixBucket)}
 }
 
 // BuildIndex indexes every tuple of r on column pos.
@@ -44,7 +54,16 @@ func (ix *Index) Len() int { return ix.n }
 // Add indexes t. The caller must not mutate t afterwards.
 func (ix *Index) Add(t tuple.Tuple) {
 	k := t[ix.pos]
-	ix.m[k] = append(ix.m[k], t)
+	b := ix.m[k]
+	switch {
+	case b.one == nil:
+		b.one = t
+	case b.two == nil:
+		b.two = t
+	default:
+		b.rest = append(b.rest, t)
+	}
+	ix.m[k] = b
 	ix.n++
 }
 
@@ -52,24 +71,70 @@ func (ix *Index) Add(t tuple.Tuple) {
 // absent tuple is a no-op.
 func (ix *Index) Remove(t tuple.Tuple) {
 	k := t[ix.pos]
-	bucket := ix.m[k]
-	for i, u := range bucket {
-		if u.Equal(t) {
-			bucket[i] = bucket[len(bucket)-1]
-			bucket = bucket[:len(bucket)-1]
-			if len(bucket) == 0 {
-				delete(ix.m, k)
-			} else {
-				ix.m[k] = bucket
+	b, ok := ix.m[k]
+	if !ok {
+		return
+	}
+	switch {
+	case b.one.Equal(t):
+		b.one = b.two
+		b.two = nil
+	case b.two != nil && b.two.Equal(t):
+		b.two = nil
+	default:
+		for i, u := range b.rest {
+			if u.Equal(t) {
+				b.rest[i] = b.rest[len(b.rest)-1]
+				b.rest = b.rest[:len(b.rest)-1]
+				ix.m[k] = b
+				ix.n--
+				return
 			}
-			ix.n--
-			return
 		}
+		return
+	}
+	// An inline slot was vacated: backfill from the overflow so the
+	// inline slots stay the densely packed prefix of the bucket.
+	if b.two == nil && len(b.rest) > 0 {
+		b.two = b.rest[len(b.rest)-1]
+		b.rest = b.rest[:len(b.rest)-1]
+	}
+	if b.one == nil {
+		delete(ix.m, k)
+	} else {
+		ix.m[k] = b
+	}
+	ix.n--
+}
+
+// EachMatch calls f for every indexed tuple whose indexed column equals
+// v. It is the allocation-free probe used by the delta-join hot path.
+func (ix *Index) EachMatch(v tuple.Value, f func(tuple.Tuple)) {
+	b, ok := ix.m[v]
+	if !ok {
+		return
+	}
+	f(b.one)
+	if b.two != nil {
+		f(b.two)
+	}
+	for _, u := range b.rest {
+		f(u)
 	}
 }
 
-// Probe returns the tuples whose indexed column equals v. The caller
-// must not mutate the returned slice or its tuples.
+// Probe returns the tuples whose indexed column equals v, nil when
+// none. The returned slice is freshly allocated; hot paths iterate with
+// EachMatch instead. The caller must not mutate the tuples.
 func (ix *Index) Probe(v tuple.Value) []tuple.Tuple {
-	return ix.m[v]
+	b, ok := ix.m[v]
+	if !ok {
+		return nil
+	}
+	out := make([]tuple.Tuple, 0, 2+len(b.rest))
+	out = append(out, b.one)
+	if b.two != nil {
+		out = append(out, b.two)
+	}
+	return append(out, b.rest...)
 }

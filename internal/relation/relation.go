@@ -9,6 +9,12 @@
 //   - Tagged: a relation whose tuples carry the old/insert/delete tags
 //     of §5.3, used while differentially re-evaluating join views.
 //
+// All three store their tuples in flat row arenas (arena.go): values
+// live back-to-back in one []int64 per shard, the maps hold only
+// int32 handles, and per-tuple payloads (counts, tags) are dense side
+// slices indexed by handle. The representation is invisible behind the
+// package-level ops.
+//
 // All operators are pure: they allocate fresh results and never mutate
 // their operands, except for the explicitly mutating methods (Insert,
 // Delete, Add, Apply).
@@ -22,24 +28,39 @@ import (
 	"mview/internal/tuple"
 )
 
+// keyBufSize is the stack scratch used by concurrent read paths (Has,
+// Count, Get): tuples of up to 8 attributes encode without heap
+// allocation; wider tuples spill, which is correct and merely slower.
+const keyBufSize = 64
+
 // Relation is a set of tuples over a fixed scheme, stored as one or
-// more hash shards keyed on one attribute. Clone shares the shard maps
-// copy-on-write; concurrent readers of a published relation are safe as
-// long as all mutation happens on clones under the engine's write lock
-// (the snapshot discipline in internal/db).
+// more hash-sharded row arenas keyed on one attribute. Clone shares
+// the shard arenas copy-on-write; concurrent readers of a published
+// relation are safe as long as all mutation happens on clones under
+// the engine's write lock (the snapshot discipline in internal/db).
 type Relation struct {
 	scheme *schema.Scheme
 	key    int // shard-key attribute position
-	parts  []map[string]tuple.Tuple
+	parts  []*rowArena
 	shared []bool // parts[i] is also referenced by a clone or snapshot
 	n      int
+	kbuf   []byte // key scratch; mutation paths only (serialized), never cloned
 }
 
 // New returns an empty unsharded relation over the given scheme.
 func New(s *schema.Scheme) *Relation {
 	return &Relation{
 		scheme: s,
-		parts:  []map[string]tuple.Tuple{make(map[string]tuple.Tuple)},
+		parts:  []*rowArena{newRowArena(s.Arity())},
+		shared: make([]bool, 1),
+	}
+}
+
+// NewCap returns an empty unsharded relation presized for n tuples.
+func NewCap(s *schema.Scheme, n int) *Relation {
+	return &Relation{
+		scheme: s,
+		parts:  []*rowArena{newRowArenaCap(s.Arity(), n)},
 		shared: make([]bool, 1),
 	}
 }
@@ -73,12 +94,15 @@ func (r *Relation) Scheme() *schema.Scheme { return r.scheme }
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return r.n }
 
-// Has reports whether t is in the relation.
+// Has reports whether t is in the relation. Safe for concurrent
+// readers of a published relation (uses a per-call key buffer).
 func (r *Relation) Has(t tuple.Tuple) bool {
 	if len(t) != r.scheme.Arity() {
 		return false
 	}
-	_, ok := r.parts[r.part(t)][t.Key()]
+	var buf [keyBufSize]byte
+	k := tuple.AppendKey(buf[:0], t)
+	_, ok := r.parts[r.part(t)].find(k)
 	return ok
 }
 
@@ -96,12 +120,7 @@ func (r *Relation) Insert(t tuple.Tuple) error {
 	if err := r.checkArity(t); err != nil {
 		return err
 	}
-	p := r.part(t)
-	k := t.Key()
-	if _, ok := r.parts[p][k]; !ok {
-		r.writable(p)[k] = t.Clone()
-		r.n++
-	}
+	r.put(t)
 	return nil
 }
 
@@ -111,29 +130,30 @@ func (r *Relation) Delete(t tuple.Tuple) {
 		return
 	}
 	p := r.part(t)
-	k := t.Key()
-	if _, ok := r.parts[p][k]; !ok {
+	r.kbuf = tuple.AppendKey(r.kbuf[:0], t)
+	if _, ok := r.parts[p].find(r.kbuf); !ok {
 		return
 	}
-	delete(r.writable(p), k)
+	a := r.writable(p)
+	a.remove(r.kbuf)
 	r.n--
+	if a.tooManyDead() {
+		r.parts[p] = a.clone(nil)
+	}
 }
 
 // Each calls f for every tuple in unspecified order. The callback must
-// not retain or mutate the tuple.
+// not mutate the tuple; retaining it is safe (arena rows are immutable
+// once stored).
 func (r *Relation) Each(f func(tuple.Tuple)) {
-	for _, m := range r.parts {
-		for _, t := range m {
-			f(t)
-		}
+	for _, a := range r.parts {
+		a.each(f)
 	}
 }
 
 // EachShard calls f for every tuple of shard i, in unspecified order.
 func (r *Relation) EachShard(i int, f func(tuple.Tuple)) {
-	for _, t := range r.parts[i] {
-		f(t)
-	}
+	r.parts[i].each(f)
 }
 
 // Tuples returns all tuples sorted lexicographically, for deterministic
@@ -145,15 +165,15 @@ func (r *Relation) Tuples() []tuple.Tuple {
 	return out
 }
 
-// Clone returns a copy sharing all shard maps copy-on-write: the copy
-// costs O(#shards), and a subsequent mutation of either side copies
-// only the shard it touches. Callers must serialize Clone with other
-// mutations of r (it marks r's parts shared).
+// Clone returns a copy sharing all shard arenas copy-on-write: the
+// copy costs O(#shards), and a subsequent mutation of either side
+// copies only the shard it touches. Callers must serialize Clone with
+// other mutations of r (it marks r's parts shared).
 func (r *Relation) Clone() *Relation {
 	out := &Relation{
 		scheme: r.scheme,
 		key:    r.key,
-		parts:  append([]map[string]tuple.Tuple(nil), r.parts...),
+		parts:  append([]*rowArena(nil), r.parts...),
 		shared: make([]bool, len(r.parts)),
 		n:      r.n,
 	}
@@ -170,14 +190,19 @@ func (r *Relation) Equal(o *Relation) bool {
 	if !r.scheme.Equal(o.scheme) || r.n != o.n {
 		return false
 	}
-	for _, m := range r.parts {
-		for k, t := range m {
-			if _, ok := o.parts[o.part(t)][k]; !ok {
-				return false
+	eq := true
+	for _, a := range r.parts {
+		a.eachEntry(func(k string, h int32) {
+			if !eq {
+				return
 			}
-		}
+			t := a.row(h)
+			if _, ok := o.parts[o.part(t)].findKey(k); !ok {
+				eq = false
+			}
+		})
 	}
-	return true
+	return eq
 }
 
 // String renders the relation as "{(1, 2), (3, 4)}" in sorted order.
@@ -200,13 +225,39 @@ func sameScheme(op string, a, b *schema.Scheme) error {
 	return nil
 }
 
+// eachEntry calls f for every (key, tuple) pair across all shards,
+// letting same-scheme derivations share the key strings instead of
+// re-encoding them.
+func (r *Relation) eachEntry(f func(k string, t tuple.Tuple)) {
+	for _, a := range r.parts {
+		a.eachEntry(func(k string, h int32) { f(k, a.row(h)) })
+	}
+}
+
+// EachEntry calls f for every (key, tuple) pair in unspecified order,
+// where key is the tuple's codec key (tuple.Tuple.Key). Passing the
+// key back into InsertKeyed of a same-arity container shares the
+// string instead of re-encoding it; this is how delta pipelines keep
+// one key allocation per tuple end to end.
+func (r *Relation) EachEntry(f func(k string, t tuple.Tuple)) { r.eachEntry(f) }
+
+// InsertKeyed is Insert for a tuple whose codec key is already known:
+// k must equal t.Key(). The key string is shared, not re-encoded.
+func (r *Relation) InsertKeyed(k string, t tuple.Tuple) error {
+	if err := r.checkArity(t); err != nil {
+		return err
+	}
+	r.putKeyed(k, t)
+	return nil
+}
+
 // Union returns r ∪ o. The schemes must be equal.
 func Union(r, o *Relation) (*Relation, error) {
 	if err := sameScheme("union", r.scheme, o.scheme); err != nil {
 		return nil, err
 	}
 	out := r.Clone()
-	o.Each(out.put)
+	o.eachEntry(out.putKeyed)
 	return out, nil
 }
 
@@ -216,9 +267,9 @@ func Diff(r, o *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := New(r.scheme)
-	r.Each(func(t tuple.Tuple) {
+	r.eachEntry(func(k string, t tuple.Tuple) {
 		if !o.Has(t) {
-			out.put(t)
+			out.putKeyed(k, t)
 		}
 	})
 	return out, nil
@@ -230,9 +281,9 @@ func Intersect(r, o *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := New(r.scheme)
-	r.Each(func(t tuple.Tuple) {
+	r.eachEntry(func(k string, t tuple.Tuple) {
 		if o.Has(t) {
-			out.put(t)
+			out.putKeyed(k, t)
 		}
 	})
 	return out, nil
@@ -241,9 +292,9 @@ func Intersect(r, o *Relation) (*Relation, error) {
 // Select returns σ_pred(r).
 func Select(r *Relation, pred func(tuple.Tuple) bool) *Relation {
 	out := New(r.scheme)
-	r.Each(func(t tuple.Tuple) {
+	r.eachEntry(func(k string, t tuple.Tuple) {
 		if pred(t) {
-			out.put(t)
+			out.putKeyed(k, t)
 		}
 	})
 	return out
@@ -261,7 +312,13 @@ func Project(r *Relation, attrs []schema.Attribute) (*Relation, error) {
 		return nil, err
 	}
 	out := New(ps)
-	r.Each(func(t tuple.Tuple) { out.put(t.Project(pos)) })
+	buf := make(tuple.Tuple, len(pos))
+	r.Each(func(t tuple.Tuple) {
+		for i, p := range pos {
+			buf[i] = t[p]
+		}
+		out.put(buf)
+	})
 	return out, nil
 }
 
@@ -273,9 +330,11 @@ func Cross(r, o *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := New(cs)
+	buf := make(tuple.Tuple, 0, cs.Arity())
 	r.Each(func(a tuple.Tuple) {
 		o.Each(func(b tuple.Tuple) {
-			out.put(a.Concat(b))
+			buf = append(append(buf[:0], a...), b...)
+			out.put(buf)
 		})
 	})
 	return out, nil
@@ -315,13 +374,15 @@ func planNaturalJoin(l, r *schema.Scheme) (*joinPlan, error) {
 	return p, nil
 }
 
-func (p *joinPlan) combine(a, b tuple.Tuple) tuple.Tuple {
-	t := make(tuple.Tuple, 0, len(a)+len(p.rightRest))
-	t = append(t, a...)
+// appendCombine appends the join of a and b (a followed by b's
+// non-shared columns) to dst and returns it, so callers can reuse one
+// scratch tuple across rows.
+func (p *joinPlan) appendCombine(dst, a, b tuple.Tuple) tuple.Tuple {
+	dst = append(dst, a...)
 	for _, i := range p.rightRest {
-		t = append(t, b[i])
+		dst = append(dst, b[i])
 	}
-	return t
+	return dst
 }
 
 // NaturalJoin returns l ⋈ r: tuples agreeing on all shared attributes,
@@ -333,17 +394,33 @@ func NaturalJoin(l, r *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := New(p.out)
-	// Hash join: build on the smaller side conceptually; here build on r.
-	idx := make(map[string][]tuple.Tuple, r.n)
-	r.Each(func(b tuple.Tuple) {
-		k := b.Project(p.rightPos).Key()
-		idx[k] = append(idx[k], b)
-	})
+	// Hash join: build a handle index on r (refs pack shard and
+	// handle), probe with l's rows.
+	ix := newHandleIndex(r.n)
+	var kb []byte
+	pbuf := make(tuple.Tuple, len(p.rightPos))
+	for pi, a := range r.parts {
+		a.eachEntry(func(_ string, h int32) {
+			b := a.row(h)
+			for i, pos := range p.rightPos {
+				pbuf[i] = b[pos]
+			}
+			kb = tuple.AppendKey(kb[:0], pbuf)
+			ix.add(kb, int64(pi)<<32|int64(h))
+		})
+	}
+	lbuf := make(tuple.Tuple, len(p.leftPos))
+	obuf := make(tuple.Tuple, 0, p.out.Arity())
 	l.Each(func(a tuple.Tuple) {
-		k := a.Project(p.leftPos).Key()
-		for _, b := range idx[k] {
-			out.put(p.combine(a, b))
+		for i, pos := range p.leftPos {
+			lbuf[i] = a[pos]
 		}
+		kb = tuple.AppendKey(kb[:0], lbuf)
+		ix.eachRef(kb, func(ref int64) {
+			b := r.parts[ref>>32].row(int32(ref))
+			obuf = p.appendCombine(obuf[:0], a, b)
+			out.put(obuf)
+		})
 	})
 	return out, nil
 }

@@ -8,13 +8,14 @@ import (
 )
 
 // Hash sharding of base relations. A Relation is internally a list of
-// parts (hash shards); tuples are routed by hashing one designated
-// shard-key attribute (the first attribute by default). Sharding is a
-// representation property only: every operator and accessor observes
-// identical set semantics at any shard count. It exists so that
+// parts (hash-sharded row arenas); tuples are routed by hashing one
+// designated shard-key attribute (the first attribute by default).
+// Sharding is a representation property only: every operator and
+// accessor observes identical set semantics at any shard count. It
+// exists so that
 //
 //   - commit-time pre-clones are O(#shards), not O(#tuples): Clone
-//     shares the part maps copy-on-write and a mutation copies only
+//     shares the part arenas copy-on-write and a mutation copies only
 //     the one part it lands in (per-shard dirty tracking), and
 //   - differential maintenance can split a delta by shard and fan the
 //     per-shard sub-deltas out onto the worker pool, merging the
@@ -52,11 +53,11 @@ func NewSharded(s *schema.Scheme, key, n int) (*Relation, error) {
 	r := &Relation{
 		scheme: s,
 		key:    key,
-		parts:  make([]map[string]tuple.Tuple, n),
+		parts:  make([]*rowArena, n),
 		shared: make([]bool, n),
 	}
 	for i := range r.parts {
-		r.parts[i] = make(map[string]tuple.Tuple)
+		r.parts[i] = newRowArena(s.Arity())
 	}
 	return r, nil
 }
@@ -68,7 +69,7 @@ func (r *Relation) Shards() int { return len(r.parts) }
 func (r *Relation) ShardKey() int { return r.key }
 
 // ShardLen returns the number of tuples in shard i.
-func (r *Relation) ShardLen(i int) int { return len(r.parts[i]) }
+func (r *Relation) ShardLen(i int) int { return r.parts[i].len() }
 
 // part returns the shard index tuple t routes to.
 func (r *Relation) part(t tuple.Tuple) int {
@@ -78,29 +79,43 @@ func (r *Relation) part(t tuple.Tuple) int {
 	return ShardOf(t[r.key], len(r.parts))
 }
 
-// writable returns part i's map, first copying it if it is shared with
-// a clone or a published snapshot (copy-on-write: an update pays only
-// for the shards it touches).
-func (r *Relation) writable(i int) map[string]tuple.Tuple {
+// writable returns part i's arena, first cloning it if it is shared
+// with a clone or a published snapshot (copy-on-write: an update pays
+// only for the shards it touches). The cheap handle-preserving clone
+// is used unless dead rows dominate, in which case the copy compacts.
+func (r *Relation) writable(i int) *rowArena {
 	if r.shared[i] {
-		cp := make(map[string]tuple.Tuple, len(r.parts[i]))
-		for k, t := range r.parts[i] {
-			cp[k] = t
+		if r.parts[i].tooManyDead() {
+			r.parts[i] = r.parts[i].clone(nil)
+		} else {
+			r.parts[i] = r.parts[i].cloneShared()
 		}
-		r.parts[i] = cp
 		r.shared[i] = false
 	}
 	return r.parts[i]
 }
 
-// put inserts t without arity checking or defensive cloning; callers
-// guarantee both. Present tuples are left untouched (set semantics).
+// put inserts t without arity checking; the arena copies t's values,
+// so callers may pass scratch tuples. Present tuples are left
+// untouched (set semantics).
 func (r *Relation) put(t tuple.Tuple) {
 	p := r.part(t)
-	k := t.Key()
-	if _, ok := r.parts[p][k]; ok {
+	r.kbuf = tuple.AppendKey(r.kbuf[:0], t)
+	if _, ok := r.parts[p].find(r.kbuf); ok {
 		return
 	}
-	r.writable(p)[k] = t
+	r.writable(p).add(r.kbuf, t)
+	r.n++
+}
+
+// putKeyed is put for a tuple whose key string already exists (taken
+// from another container's index): the string is shared, not
+// re-encoded.
+func (r *Relation) putKeyed(k string, t tuple.Tuple) {
+	p := r.part(t)
+	if _, ok := r.parts[p].findKey(k); ok {
+		return
+	}
+	r.writable(p).addKeyed(k, t)
 	r.n++
 }

@@ -13,14 +13,15 @@ import (
 // truth-table row are tagged relations, and tags propagate through the
 // operators: joins combine tags by the paper's tag table (dropping
 // "ignore" results), while select and project preserve them.
+//
+// Storage is one flat row arena plus a dense tags slice indexed by
+// handle. Tagged has no removal operation, so the arena never holds
+// dead rows and Each is a straight linear walk.
 type Tagged struct {
 	scheme *schema.Scheme
-	m      map[string]tentry
-}
-
-type tentry struct {
-	t   tuple.Tuple
-	tag tuple.Tag
+	a      *rowArena
+	tags   []tuple.Tag
+	kbuf   []byte // key scratch; mutation paths only (serialized), never cloned
 }
 
 // TaggedTuple pairs a tuple with its tag for deterministic iteration.
@@ -31,16 +32,23 @@ type TaggedTuple struct {
 
 // NewTagged returns an empty tagged relation over the given scheme.
 func NewTagged(s *schema.Scheme) *Tagged {
-	return &Tagged{scheme: s, m: make(map[string]tentry)}
+	return &Tagged{scheme: s, a: newRowArena(s.Arity())}
+}
+
+// NewTaggedCap returns an empty tagged relation presized for n tuples.
+func NewTaggedCap(s *schema.Scheme, n int) *Tagged {
+	return &Tagged{
+		scheme: s,
+		a:      newRowArenaCap(s.Arity(), n),
+		tags:   make([]tuple.Tag, 0, n),
+	}
 }
 
 // TagRelation lifts a set relation to a tagged relation with every
-// tuple carrying the given tag.
+// tuple carrying the given tag (key strings are shared with r).
 func TagRelation(r *Relation, tag tuple.Tag) *Tagged {
 	g := NewTagged(r.scheme)
-	r.Each(func(t tuple.Tuple) {
-		g.m[t.Key()] = tentry{t: t, tag: tag}
-	})
+	g.liftFrom(r, tag)
 	return g
 }
 
@@ -53,17 +61,36 @@ func TagRelationAs(r *Relation, s *schema.Scheme, tag tuple.Tag) (*Tagged, error
 		return nil, fmt.Errorf("relation: cannot rebind %s as %s: arity mismatch", r.scheme, s)
 	}
 	g := NewTagged(s)
-	r.Each(func(t tuple.Tuple) {
-		g.m[t.Key()] = tentry{t: t, tag: tag}
-	})
+	g.liftFrom(r, tag)
 	return g, nil
+}
+
+// MergeRelation adds every tuple of r tagged tag, sharing r's key
+// strings. A tuple already present has its tag overwritten.
+func (g *Tagged) MergeRelation(r *Relation, tag tuple.Tag) error {
+	if r.Scheme().Arity() != g.scheme.Arity() {
+		return fmt.Errorf("relation: cannot merge %s into tagged %s: arity mismatch", r.Scheme(), g.scheme)
+	}
+	r.eachEntry(func(k string, t tuple.Tuple) {
+		g.setKeyed(k, t, tag)
+	})
+	return nil
+}
+
+func (g *Tagged) liftFrom(r *Relation, tag tuple.Tag) {
+	g.a = newRowArenaCap(g.scheme.Arity(), r.Len())
+	g.tags = make([]tuple.Tag, 0, r.Len())
+	r.eachEntry(func(k string, t tuple.Tuple) {
+		g.a.addKeyed(k, t)
+		g.tags = append(g.tags, tag)
+	})
 }
 
 // Scheme returns the relation's scheme.
 func (g *Tagged) Scheme() *schema.Scheme { return g.scheme }
 
 // Len returns the number of tuples.
-func (g *Tagged) Len() int { return len(g.m) }
+func (g *Tagged) Len() int { return g.a.len() }
 
 // Set records t with the given tag, replacing any previous tag.
 func (g *Tagged) Set(t tuple.Tuple, tag tuple.Tag) error {
@@ -71,40 +98,98 @@ func (g *Tagged) Set(t tuple.Tuple, tag tuple.Tag) error {
 		return fmt.Errorf("relation: tagged tuple %v has arity %d, scheme %s has arity %d",
 			t, len(t), g.scheme, g.scheme.Arity())
 	}
-	g.m[t.Key()] = tentry{t: t.Clone(), tag: tag}
+	g.kbuf = tuple.AppendKey(g.kbuf[:0], t)
+	if h, ok := g.a.find(g.kbuf); ok {
+		g.tags[h] = tag
+		return nil
+	}
+	g.a.add(g.kbuf, t)
+	g.tags = append(g.tags, tag)
 	return nil
 }
 
-// Get returns t's tag and whether t is present.
-func (g *Tagged) Get(t tuple.Tuple) (tuple.Tag, bool) {
-	e, ok := g.m[t.Key()]
-	return e.tag, ok
+// SetPair records the concatenation a ++ b with the given tag, without
+// materializing the concatenated tuple: the two halves are appended
+// straight into the arena. It is the indexed-probe fast path of
+// differential join evaluation.
+func (g *Tagged) SetPair(a, b tuple.Tuple, tag tuple.Tag) error {
+	if len(a)+len(b) != g.scheme.Arity() {
+		return fmt.Errorf("relation: tagged pair has arity %d+%d, scheme %s has arity %d",
+			len(a), len(b), g.scheme, g.scheme.Arity())
+	}
+	g.kbuf = tuple.AppendKey(tuple.AppendKey(g.kbuf[:0], a), b)
+	if h, ok := g.a.find(g.kbuf); ok {
+		g.tags[h] = tag
+		return nil
+	}
+	g.a.add(g.kbuf, a, b)
+	g.tags = append(g.tags, tag)
+	return nil
 }
 
-// Each calls f for every (tuple, tag) pair in unspecified order.
+// setKeyed records t under an existing key string, sharing it.
+func (g *Tagged) setKeyed(k string, t tuple.Tuple, tag tuple.Tag) {
+	if h, ok := g.a.findKey(k); ok {
+		g.tags[h] = tag
+		return
+	}
+	g.a.addKeyed(k, t)
+	g.tags = append(g.tags, tag)
+}
+
+// Get returns t's tag and whether t is present. Safe for concurrent
+// readers (per-call key buffer).
+func (g *Tagged) Get(t tuple.Tuple) (tuple.Tag, bool) {
+	if len(t) != g.scheme.Arity() {
+		return 0, false
+	}
+	var buf [keyBufSize]byte
+	h, ok := g.a.find(tuple.AppendKey(buf[:0], t))
+	if !ok {
+		return 0, false
+	}
+	return g.tags[h], true
+}
+
+// Each calls f for every (tuple, tag) pair in unspecified order (a
+// linear arena walk — Tagged never has dead rows).
 func (g *Tagged) Each(f func(tuple.Tuple, tuple.Tag)) {
-	for _, e := range g.m {
-		f(e.t, e.tag)
+	for h := int32(0); h < g.a.n; h++ {
+		f(g.a.row(h), g.tags[h])
 	}
 }
 
 // Tuples returns all tagged tuples sorted lexicographically.
 func (g *Tagged) Tuples() []TaggedTuple {
-	out := make([]TaggedTuple, 0, len(g.m))
-	for _, e := range g.m {
-		out = append(out, TaggedTuple{Tuple: e.t, Tag: e.tag})
-	}
+	out := make([]TaggedTuple, 0, g.a.len())
+	g.Each(func(t tuple.Tuple, tag tuple.Tag) {
+		out = append(out, TaggedTuple{Tuple: t, Tag: tag})
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Less(out[j].Tuple) })
 	return out
 }
 
-// Clone returns a deep copy.
+// Clone returns an independent copy (handle-preserving; key strings
+// and row storage shared until either side appends).
 func (g *Tagged) Clone() *Tagged {
-	out := NewTagged(g.scheme)
-	for k, e := range g.m {
-		out.m[k] = e
+	return &Tagged{
+		scheme: g.scheme,
+		a:      g.a.cloneShared(),
+		tags:   append([]tuple.Tag(nil), g.tags...),
 	}
-	return out
+}
+
+// RebindScheme returns g viewed under scheme ps, which must have the
+// same arity (the usual case is renaming qualified attributes to the
+// view's output order when the column order already matches). Storage
+// is shared, not copied: the result is a read-only alias — mutating
+// either relation afterwards is undefined. Callers that need an
+// independent copy use Clone.
+func (g *Tagged) RebindScheme(ps *schema.Scheme) (*Tagged, error) {
+	if ps.Arity() != g.scheme.Arity() {
+		return nil, fmt.Errorf("relation: cannot rebind tagged %s as %s: arity mismatch", g.scheme, ps)
+	}
+	return &Tagged{scheme: ps, a: g.a, tags: g.tags}, nil
 }
 
 // Merge adds every tuple of o into g. A tuple present in both must
@@ -114,13 +199,23 @@ func (g *Tagged) Merge(o *Tagged) error {
 	if err := sameScheme("tagged merge", g.scheme, o.scheme); err != nil {
 		return err
 	}
-	for k, e := range o.m {
-		if prev, ok := g.m[k]; ok && prev.tag != e.tag {
-			return fmt.Errorf("relation: tuple %v tagged both %v and %v", e.t, prev.tag, e.tag)
+	var firstErr error
+	o.a.eachEntry(func(k string, oh int32) {
+		if firstErr != nil {
+			return
 		}
-		g.m[k] = e
-	}
-	return nil
+		t, tag := o.a.row(oh), o.tags[oh]
+		if h, ok := g.a.findKey(k); ok {
+			if g.tags[h] != tag {
+				firstErr = fmt.Errorf("relation: tuple %v tagged both %v and %v", t, g.tags[h], tag)
+				return
+			}
+			return
+		}
+		g.a.addKeyed(k, t)
+		g.tags = append(g.tags, tag)
+	})
+	return firstErr
 }
 
 // String renders the relation as "{(1, 2):insert, …}" in sorted order.
@@ -138,12 +233,15 @@ func (g *Tagged) String() string {
 // SelectTagged returns σ_pred(g); per §5.3's unary tag table, the tag
 // of every surviving tuple is preserved.
 func SelectTagged(g *Tagged, pred func(tuple.Tuple) bool) *Tagged {
-	out := NewTagged(g.scheme)
-	for k, e := range g.m {
-		if pred(e.t) {
-			out.m[k] = e
+	out := &Tagged{scheme: g.scheme, a: newRowArenaCap(g.scheme.Arity(), g.a.len())}
+	out.tags = make([]tuple.Tag, 0, g.a.len())
+	g.a.eachEntry(func(k string, h int32) {
+		t := g.a.row(h)
+		if pred(t) {
+			out.a.addKeyed(k, t)
+			out.tags = append(out.tags, g.tags[h])
 		}
-	}
+	})
 	return out
 }
 
@@ -156,16 +254,15 @@ func CrossTagged(a, b *Tagged) (*Tagged, error) {
 		return nil, err
 	}
 	out := NewTagged(cs)
-	for _, ea := range a.m {
-		for _, eb := range b.m {
-			tag := tuple.JoinTags(ea.tag, eb.tag)
+	a.Each(func(ta tuple.Tuple, ga tuple.Tag) {
+		b.Each(func(tb tuple.Tuple, gb tuple.Tag) {
+			tag := tuple.JoinTags(ga, gb)
 			if tag == tuple.TagIgnore {
-				continue
+				return
 			}
-			t := ea.t.Concat(eb.t)
-			out.m[t.Key()] = tentry{t: t, tag: tag}
-		}
-	}
+			out.SetPair(ta, tb, tag)
+		})
+	})
 	return out, nil
 }
 
@@ -177,22 +274,34 @@ func NaturalJoinTagged(a, b *Tagged) (*Tagged, error) {
 		return nil, err
 	}
 	out := NewTagged(p.out)
-	idx := make(map[string][]tentry, len(b.m))
-	for _, eb := range b.m {
-		k := eb.t.Project(p.rightPos).Key()
-		idx[k] = append(idx[k], eb)
-	}
-	for _, ea := range a.m {
-		k := ea.t.Project(p.leftPos).Key()
-		for _, eb := range idx[k] {
-			tag := tuple.JoinTags(ea.tag, eb.tag)
-			if tag == tuple.TagIgnore {
-				continue
-			}
-			t := p.combine(ea.t, eb.t)
-			out.m[t.Key()] = tentry{t: t, tag: tag}
+	ix := newHandleIndex(b.a.len())
+	var kb []byte
+	pbuf := make(tuple.Tuple, len(p.rightPos))
+	b.a.eachEntry(func(_ string, h int32) {
+		t := b.a.row(h)
+		for i, pos := range p.rightPos {
+			pbuf[i] = t[pos]
 		}
-	}
+		kb = tuple.AppendKey(kb[:0], pbuf)
+		ix.add(kb, int64(h))
+	})
+	lbuf := make(tuple.Tuple, len(p.leftPos))
+	obuf := make(tuple.Tuple, 0, p.out.Arity())
+	a.Each(func(ta tuple.Tuple, ga tuple.Tag) {
+		for i, pos := range p.leftPos {
+			lbuf[i] = ta[pos]
+		}
+		kb = tuple.AppendKey(kb[:0], lbuf)
+		ix.eachRef(kb, func(ref int64) {
+			h := int32(ref)
+			tag := tuple.JoinTags(ga, b.tags[h])
+			if tag == tuple.TagIgnore {
+				return
+			}
+			obuf = p.appendCombine(obuf[:0], ta, b.a.row(h))
+			out.Set(obuf, tag)
+		})
+	})
 	return out, nil
 }
 
@@ -202,30 +311,47 @@ func NaturalJoinTagged(a, b *Tagged) (*Tagged, error) {
 // table; "ignore" results are discarded. Empty position lists yield
 // the cross product. The schemes must be disjoint.
 func JoinOn(a, b *Tagged, lpos, rpos []int) (*Tagged, error) {
-	if len(lpos) != len(rpos) {
-		return nil, fmt.Errorf("relation: JoinOn with %d left and %d right positions", len(lpos), len(rpos))
-	}
 	cs, err := a.scheme.Concat(b.scheme)
 	if err != nil {
 		return nil, err
 	}
-	out := NewTagged(cs)
-	idx := make(map[string][]tentry, len(b.m))
-	for _, eb := range b.m {
-		k := eb.t.Project(rpos).Key()
-		idx[k] = append(idx[k], eb)
+	return JoinOnScheme(a, b, lpos, rpos, cs)
+}
+
+// JoinOnScheme is JoinOn with the concatenated output scheme supplied
+// by the caller (it must equal a.Scheme().Concat(b.Scheme())), so
+// repeated joins over the same operand shapes can reuse one scheme.
+func JoinOnScheme(a, b *Tagged, lpos, rpos []int, cs *schema.Scheme) (*Tagged, error) {
+	if len(lpos) != len(rpos) {
+		return nil, fmt.Errorf("relation: JoinOn with %d left and %d right positions", len(lpos), len(rpos))
 	}
-	for _, ea := range a.m {
-		k := ea.t.Project(lpos).Key()
-		for _, eb := range idx[k] {
-			tag := tuple.JoinTags(ea.tag, eb.tag)
-			if tag == tuple.TagIgnore {
-				continue
-			}
-			t := ea.t.Concat(eb.t)
-			out.m[t.Key()] = tentry{t: t, tag: tag}
+	out := NewTaggedCap(cs, a.a.len())
+	ix := newHandleIndex(b.a.len())
+	var kb []byte
+	pbuf := make(tuple.Tuple, len(rpos))
+	b.a.eachEntry(func(_ string, h int32) {
+		t := b.a.row(h)
+		for i, pos := range rpos {
+			pbuf[i] = t[pos]
 		}
-	}
+		kb = tuple.AppendKey(kb[:0], pbuf)
+		ix.add(kb, int64(h))
+	})
+	lbuf := make(tuple.Tuple, len(lpos))
+	a.Each(func(ta tuple.Tuple, ga tuple.Tag) {
+		for i, pos := range lpos {
+			lbuf[i] = ta[pos]
+		}
+		kb = tuple.AppendKey(kb[:0], lbuf)
+		ix.eachRef(kb, func(ref int64) {
+			h := int32(ref)
+			tag := tuple.JoinTags(ga, b.tags[h])
+			if tag == tuple.TagIgnore {
+				return
+			}
+			out.SetPair(ta, b.a.row(h), tag)
+		})
+	})
 	return out, nil
 }
 
@@ -244,11 +370,32 @@ func (g *Tagged) Reorder(attrs []schema.Attribute) (*Tagged, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := NewTagged(ps)
-	for _, e := range g.m {
-		t := e.t.Project(pos)
-		out.m[t.Key()] = tentry{t: t, tag: e.tag}
+	return g.ReorderPlanned(pos, ps)
+}
+
+// ReorderPlanned is Reorder with the position map and target scheme
+// precomputed (g.Scheme().Positions(attrs) and g.Scheme().Project
+// (attrs)); callers that repeatedly permute to a fixed attribute order
+// cache the plan instead of re-deriving it per call.
+func (g *Tagged) ReorderPlanned(pos []int, ps *schema.Scheme) (*Tagged, error) {
+	if len(pos) != g.scheme.Arity() || ps.Arity() != g.scheme.Arity() {
+		return nil, fmt.Errorf("relation: Reorder plan with %d of %d attributes", len(pos), g.scheme.Arity())
 	}
+	if isIdentity(pos, g.scheme.Arity()) {
+		// Already in order (the common case for select-shaped views):
+		// rebind the scheme over a cheap handle-preserving clone.
+		out := g.Clone()
+		out.scheme = ps
+		return out, nil
+	}
+	out := NewTaggedCap(ps, g.Len())
+	buf := make(tuple.Tuple, len(pos))
+	g.Each(func(t tuple.Tuple, tag tuple.Tag) {
+		for i, p := range pos {
+			buf[i] = t[p]
+		}
+		out.Set(buf, tag)
+	})
 	if out.Len() != g.Len() {
 		return nil, fmt.Errorf("relation: Reorder collapsed tuples; attribute list is not a permutation")
 	}
@@ -267,13 +414,36 @@ func (g *Tagged) CountAll(attrs []schema.Attribute) (*Counted, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := NewCounted(ps)
-	for _, e := range g.m {
-		if err := out.Add(e.t.Project(pos), 1); err != nil {
-			return nil, err
+	out := NewCountedCap(ps, g.Len())
+	if isIdentity(pos, g.scheme.Arity()) {
+		g.a.eachEntry(func(k string, h int32) {
+			out.bumpKeyed(k, g.a.row(h), 1)
+		})
+		return out, nil
+	}
+	buf := make(tuple.Tuple, len(pos))
+	g.Each(func(t tuple.Tuple, _ tuple.Tag) {
+		for i, p := range pos {
+			buf[i] = t[p]
+		}
+		out.bump(buf, 1)
+	})
+	return out, nil
+}
+
+// isIdentity reports whether projecting onto pos reproduces a tuple of
+// the given arity unchanged — in which case projection outputs can
+// share the operand's key strings.
+func isIdentity(pos []int, arity int) bool {
+	if len(pos) != arity {
+		return false
+	}
+	for i, p := range pos {
+		if p != i {
+			return false
 		}
 	}
-	return out, nil
+	return true
 }
 
 // Deltas projects the tagged relation onto attrs with §5.2 counting and
@@ -291,20 +461,43 @@ func (g *Tagged) Deltas(attrs []schema.Attribute) (ins, del *Counted, err error)
 	if err != nil {
 		return nil, nil, err
 	}
-	ins, del = NewCounted(ps), NewCounted(ps)
-	for _, e := range g.m {
+	return g.DeltasPlanned(pos, ps)
+}
+
+// DeltasPlanned is Deltas with the projection plan precomputed
+// (g.Scheme().Positions(attrs) and g.Scheme().Project(attrs));
+// maintainers that split the same joint relation every commit cache
+// the plan instead of re-deriving two schemes per transaction.
+func (g *Tagged) DeltasPlanned(pos []int, ps *schema.Scheme) (ins, del *Counted, err error) {
+	ins, del = NewCountedCap(ps, g.Len()), NewCountedCap(ps, g.Len())
+	if isIdentity(pos, g.scheme.Arity()) {
+		// Select-shaped views project every column: the delta tuples
+		// keep their keys, so share the strings instead of re-encoding.
+		g.a.eachEntry(func(k string, h int32) {
+			switch g.tags[h] {
+			case tuple.TagInsert:
+				ins.bumpKeyed(k, g.a.row(h), 1)
+			case tuple.TagDelete:
+				del.bumpKeyed(k, g.a.row(h), 1)
+			}
+		})
+		return ins, del, nil
+	}
+	buf := make(tuple.Tuple, len(pos))
+	g.Each(func(t tuple.Tuple, tag tuple.Tag) {
 		var target *Counted
-		switch e.tag {
+		switch tag {
 		case tuple.TagInsert:
 			target = ins
 		case tuple.TagDelete:
 			target = del
 		default:
-			continue
+			return
 		}
-		if err := target.Add(e.t.Project(pos), 1); err != nil {
-			return nil, nil, err
+		for i, p := range pos {
+			buf[i] = t[p]
 		}
-	}
+		target.bump(buf, 1)
+	})
 	return ins, del, nil
 }

@@ -327,7 +327,11 @@ func (p *Prepared) SatisfiableWith(variant []pred.Constraint) (bool, error) {
 		node int
 		w    int64
 	}
-	var outs, ins []half
+	// Variants are tiny (one constraint per variant-non-evaluable atom
+	// of a conjunct); stack buffers keep the hot Relevant path
+	// allocation-free.
+	var outsBuf, insBuf [8]half
+	outs, ins := outsBuf[:0], insBuf[:0]
 	for _, c := range variant {
 		from, to, w := c.Y, c.X, c.C
 		fi, ok := p.index[from]

@@ -1,0 +1,57 @@
+package tuple
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzKeyRoundTrip checks the single key codec (AppendKey/DecodeValue
+// behind Key/FromKey) over fuzzed values, including negatives and the
+// int64 bounds: every tuple must survive Key → FromKey unchanged, and
+// keys must order-embed tuple equality.
+func FuzzKeyRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0), int64(0), uint8(0))
+	f.Add(int64(1), int64(-1), int64(2), int64(-2), uint8(4))
+	f.Add(int64(math.MaxInt64), int64(math.MinInt64), int64(-1), int64(math.MaxInt64), uint8(4))
+	f.Add(int64(math.MinInt64), int64(math.MinInt64+1), int64(math.MaxInt64-1), int64(0), uint8(3))
+	f.Fuzz(func(t *testing.T, a, b, c, d int64, n uint8) {
+		vals := []int64{a, b, c, d}
+		tu := New(vals[:int(n)%5]...)
+		got, err := FromKey(tu.Key(), len(tu))
+		if err != nil {
+			t.Fatalf("FromKey(Key(%v)): %v", tu, err)
+		}
+		if !got.Equal(tu) {
+			t.Fatalf("round trip = %v, want %v", got, tu)
+		}
+		if got.Key() != tu.Key() {
+			t.Fatalf("re-encoded key differs for %v", tu)
+		}
+	})
+}
+
+// FuzzFromKeyBytes feeds arbitrary bytes to FromKey: it must never
+// panic, must reject length mismatches, and any accepted key must
+// re-encode to the identical bytes (the codec is a bijection on
+// well-formed keys).
+func FuzzFromKeyBytes(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add([]byte("abc"), 2)
+	f.Add(make([]byte, 16), 2)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, 1)
+	f.Fuzz(func(t *testing.T, raw []byte, arity int) {
+		tu, err := FromKey(string(raw), arity)
+		if arity < 0 || len(raw) != arity*8 {
+			if err == nil {
+				t.Fatalf("FromKey accepted %d bytes at arity %d", len(raw), arity)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("FromKey rejected well-formed %d-byte key: %v", len(raw), err)
+		}
+		if tu.Key() != string(raw) {
+			t.Fatalf("accepted key did not re-encode identically (arity %d)", arity)
+		}
+	})
+}

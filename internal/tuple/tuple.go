@@ -9,7 +9,6 @@
 package tuple
 
 import (
-	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -60,29 +59,51 @@ func (t Tuple) Less(u Tuple) bool {
 	return len(t) < len(u)
 }
 
-// Key encodes the tuple into a string usable as a map key. The
-// encoding is injective for tuples of the same arity (fixed 8 bytes
-// per value, big-endian two's complement).
-func (t Tuple) Key() string {
-	var b strings.Builder
-	b.Grow(len(t) * 8)
-	var buf [8]byte
+// The key codec: tuples map to strings injectively (for tuples of the
+// same arity) as fixed 8-byte big-endian two's complement per value.
+// AppendKey and DecodeValue are the single encoder/decoder pair; Key
+// and FromKey are conveniences over them. Hot paths (the relation
+// arenas) call AppendKey with a reused scratch buffer and look maps up
+// with the zero-allocation string([]byte) conversion, so no key string
+// is materialized unless a tuple is actually inserted.
+
+// AppendKey appends t's key encoding to dst and returns the extended
+// slice.
+func AppendKey(dst []byte, t Tuple) []byte {
 	for _, v := range t {
-		binary.BigEndian.PutUint64(buf[:], uint64(v))
-		b.Write(buf[:])
+		dst = append(dst,
+			byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 	}
-	return b.String()
+	return dst
+}
+
+// DecodeValue decodes the i-th value of a key produced by AppendKey,
+// indexing the string directly (no []byte conversion or copy). The
+// caller guarantees len(key) >= (i+1)*8.
+func DecodeValue(key string, i int) Value {
+	o := i * 8
+	return int64(uint64(key[o])<<56 | uint64(key[o+1])<<48 |
+		uint64(key[o+2])<<40 | uint64(key[o+3])<<32 |
+		uint64(key[o+4])<<24 | uint64(key[o+5])<<16 |
+		uint64(key[o+6])<<8 | uint64(key[o+7]))
+}
+
+// Key encodes the tuple into a string usable as a map key. The
+// encoding is injective for tuples of the same arity.
+func (t Tuple) Key() string {
+	return string(AppendKey(make([]byte, 0, len(t)*8), t))
 }
 
 // FromKey decodes a key produced by Key back into a tuple of the given
 // arity. It returns an error if the key length does not match.
 func FromKey(key string, arity int) (Tuple, error) {
-	if len(key) != arity*8 {
+	if arity < 0 || arity != len(key)/8 || len(key)%8 != 0 {
 		return nil, fmt.Errorf("tuple: key length %d does not match arity %d", len(key), arity)
 	}
 	t := make(Tuple, arity)
 	for i := 0; i < arity; i++ {
-		t[i] = int64(binary.BigEndian.Uint64([]byte(key[i*8 : i*8+8])))
+		t[i] = DecodeValue(key, i)
 	}
 	return t, nil
 }

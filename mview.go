@@ -467,8 +467,15 @@ func (d *DB) execCore(ops []Op) (TxInfo, error) {
 
 func buildTx(ops []Op) delta.Tx {
 	var tx delta.Tx
+	nv := 0
 	for _, o := range ops {
-		t := tuple.New(o.vals...)
+		nv += len(o.vals)
+	}
+	tx.Reserve(len(ops), nv)
+	for _, o := range ops {
+		// Tx.Insert/Delete copy the values into the transaction's
+		// arena, so the op's slice can be handed over as-is.
+		t := tuple.Tuple(o.vals)
 		if o.del {
 			tx.Delete(o.rel, t)
 		} else {
