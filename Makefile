@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench allocguard crash trace-smoke lint apicheck apilock clean
+.PHONY: all build test race bench bench-json allocguard crash trace-smoke repl-smoke lint apicheck apilock clean
 
 all: lint apicheck build test allocguard
 
@@ -25,6 +25,12 @@ BENCH ?= .
 bench:
 	$(GO) test -run=NONE -bench=$(BENCH) -benchmem .
 
+# The C-* benchmark tables as machine-readable JSON (one object per
+# benchmark line on stdout, raw output on stderr) so the perf
+# trajectory behind bench_results.txt is trackable across PRs.
+bench-json:
+	scripts/bench-json.sh
+
 # Allocation regression gate: the C-FLAT eval benchmarks must stay
 # within the allocs/op budgets checked in at scripts/allocguard.budget.
 allocguard:
@@ -46,6 +52,13 @@ crash:
 # full hierarchical trace (scripts/trace-smoke.sh).
 trace-smoke:
 	scripts/trace-smoke.sh
+
+# End-to-end replication check: boot a leader mviewd -replicate and a
+# follower mviewd -follow, commit over HTTP, and assert the follower
+# converges, refuses writes, and both sides expose lag
+# (scripts/repl-smoke.sh).
+repl-smoke:
+	scripts/repl-smoke.sh
 
 lint:
 	$(GO) vet ./...

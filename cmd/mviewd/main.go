@@ -4,7 +4,7 @@
 //
 //	mviewd [-addr :8080] [-data ./mydb] [-metrics=true] [-slowlog 100ms] [-maint-workers N] [-shards N]
 //	       [-checkpoint-interval 5m] [-wal-segment-bytes N] [-group-commit] [-group-max N] [-group-window 2ms]
-//	       [-trace-ring N] [-trace-slow 250ms] [-pprof]
+//	       [-trace-ring N] [-trace-slow 250ms] [-pprof] [-replicate] [-follow URL] [-follower-id ID]
 //
 // See package mview/internal/httpapi for the endpoint reference. A
 // minimal session:
@@ -69,6 +69,21 @@
 // how long a leader waits for followers once writers are observed to
 // be concurrent (solo writers never wait).
 //
+// -replicate exposes the leader-side replication routes under
+// /v1/replication (requires -data: the segmented commit log is the
+// stream's source of truth). Followers connect with -follow.
+//
+// -follow runs this server as a read-only follower of the leader at
+// the given base URL: it bootstraps from a leader snapshot, applies
+// the composed-delta stream through the same maintenance pipeline a
+// leader runs, and serves every read route (views, watch streams,
+// metrics) from its own local snapshots — horizontal read scale-out
+// with no leader round-trip per read. Write routes answer 403.
+// -follower-id names this replica in the leader's lag metrics
+// (mview_repl_lag_lsn{follower=...}) and defaults to the listen
+// address; give each follower a stable, unique id. -follow excludes
+// -data, -group-commit, and -replicate.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests get a grace period, SSE watchers are disconnected, and the
 // commit log is closed so every acknowledged transaction is on disk.
@@ -110,6 +125,9 @@ type config struct {
 	traceRing   int
 	traceSlow   time.Duration
 	pprof       bool
+	replicate   bool
+	follow      string
+	followerID  string
 }
 
 func main() {
@@ -128,6 +146,9 @@ func main() {
 	flag.IntVar(&c.traceRing, "trace-ring", 64, "commit traces kept in the flight recorder at /v1/debug/traces (0 disables)")
 	flag.DurationVar(&c.traceSlow, "trace-slow", 250*time.Millisecond, "pin traces slower than this so the ring cannot evict them")
 	flag.BoolVar(&c.pprof, "pprof", false, "serve net/http/pprof profiling endpoints at /debug/pprof/")
+	flag.BoolVar(&c.replicate, "replicate", false, "serve the leader-side replication stream under /v1/replication (requires -data)")
+	flag.StringVar(&c.follow, "follow", "", "run as a read-only follower of the leader at this base URL (e.g. http://leader:8080)")
+	flag.StringVar(&c.followerID, "follower-id", "", "stable follower name in the leader's lag metrics (default: the listen address)")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -176,13 +197,27 @@ func run(c config) error {
 	}
 
 	var db *mview.DB
-	if c.data != "" {
+	switch {
+	case c.follow != "":
+		if c.data != "" || c.groupCommit || c.replicate {
+			return errors.New("mviewd: -follow excludes -data, -group-commit, and -replicate")
+		}
+		id := c.followerID
+		if id == "" {
+			id = c.addr
+		}
+		var err error
+		if db, err = mview.OpenFollower(c.follow, id, dbOpts...); err != nil {
+			return err
+		}
+		log.Printf("mviewd: following %s as %q", c.follow, id)
+	case c.data != "":
 		var err error
 		if db, err = mview.OpenDurable(c.data, dbOpts...); err != nil {
 			return err
 		}
 		log.Printf("mviewd: recovered durable database in %s", c.data)
-	} else {
+	default:
 		db = mview.Open(dbOpts...)
 	}
 	defer db.Close()
@@ -195,6 +230,13 @@ func run(c config) error {
 	}
 	if fr != nil {
 		opts = append(opts, httpapi.WithFlightRecorder(fr))
+	}
+	if c.replicate {
+		replSrv, err := db.ReplicationServer()
+		if err != nil {
+			return err
+		}
+		opts = append(opts, httpapi.WithReplication(replSrv))
 	}
 	var handler http.Handler = httpapi.NewWith(db, opts...)
 	if c.pprof {

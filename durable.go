@@ -296,7 +296,8 @@ func OpenDurable(dir string, opts ...Option) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		d = &DB{eng: eng, man: man}
+		d = &DB{man: man}
+		d.eng.Store(eng)
 		snapLSN = man.lsn
 		// A crash between a migration's manifest swap and its legacy
 		// snapshot removal leaves snapshot.db behind; the manifest is
@@ -305,14 +306,17 @@ func OpenDurable(dir string, opts ...Option) (*DB, error) {
 			return nil, err
 		}
 	default:
-		d = &DB{eng: db.New(cfg.engineOptions()...)}
+		d = &DB{}
+		d.eng.Store(db.New(cfg.engineOptions()...))
 		if f, err := os.Open(snapPath); err == nil {
 			migrate = true
-			snapLSN, d.eng, err = loadLegacySnapshot(f, cfg)
+			var eng *db.Engine
+			snapLSN, eng, err = loadLegacySnapshot(f, cfg)
 			f.Close()
 			if err != nil {
 				return nil, err
 			}
+			d.eng.Store(eng)
 		} else if !os.IsNotExist(err) {
 			return nil, err
 		}
@@ -325,10 +329,10 @@ func OpenDurable(dir string, opts ...Option) (*DB, error) {
 	// checkpoint must rewrite everything. WAL replay below re-dirties
 	// the shards it touches through the normal commit path.
 	if man != nil {
-		cur := d.eng.CurrentSnapshot()
+		cur := d.engine().CurrentSnapshot()
 		for rel, n := range man.relShards {
 			if cur.RelationShards(rel) == n {
-				d.eng.SetCheckpointClean(rel)
+				d.engine().SetCheckpointClean(rel)
 			}
 		}
 	}
@@ -460,7 +464,7 @@ func removeOrphanSegments(dir string, man *manifest) error {
 func (d *DB) applyStmt(st walStmt) error {
 	switch st.Kind {
 	case "relation":
-		return d.eng.CreateRelation(st.Name, toAttrs(st.Attrs)...)
+		return d.engine().CreateRelation(st.Name, toAttrs(st.Attrs)...)
 	case "view":
 		opts, err := optionsByName(st.Options)
 		if err != nil {
@@ -470,7 +474,7 @@ func (d *DB) applyStmt(st walStmt) error {
 		if err != nil {
 			return err
 		}
-		return d.eng.CreateView(v, buildConfig(opts))
+		return d.engine().CreateView(v, buildConfig(opts))
 	case "joinview":
 		opts, err := optionsByName(st.Options)
 		if err != nil {
@@ -478,7 +482,7 @@ func (d *DB) applyStmt(st walStmt) error {
 		}
 		return d.createJoinViewCore(st.Name, st.Rels, opts)
 	case "dropview":
-		return d.eng.DropView(st.Name)
+		return d.engine().DropView(st.Name)
 	case "tx":
 		ops := make([]Op, len(st.Ops))
 		for i, o := range st.Ops {
@@ -658,13 +662,13 @@ func (d *DB) Checkpoint() error {
 		d.gmu.Unlock()
 		return fmt.Errorf("mview: Checkpoint on a closed database")
 	}
-	snap := d.eng.CurrentSnapshot()
+	snap := d.engine().CurrentSnapshot()
 	lsn := d.wal.LastLSN()
 	rotErr := d.wal.Rotate()
 	var dirty map[string][]bool
 	var prev *manifest
 	if rotErr == nil {
-		dirty = d.eng.TakeCheckpointDirty()
+		dirty = d.engine().TakeCheckpointDirty()
 		prev = d.man
 	}
 	d.mu.Unlock()
@@ -674,7 +678,7 @@ func (d *DB) Checkpoint() error {
 	}
 	fenceHold := time.Since(t0)
 
-	restoreDirty := func() { d.eng.RestoreCheckpointDirty(dirty) }
+	restoreDirty := func() { d.engine().RestoreCheckpointDirty(dirty) }
 
 	// Phase B — no fence: plan the segment set and write the new files
 	// concurrently on the maintenance pool. The snapshot is immutable
@@ -686,7 +690,7 @@ func (d *DB) Checkpoint() error {
 	man := &manifest{
 		gen:       gen,
 		lsn:       lsn,
-		shards:    d.eng.Shards(),
+		shards:    d.engine().Shards(),
 		catalog:   fmt.Sprintf("ckpt-%d-0.seg", gen),
 		relShards: make(map[string]int),
 	}
@@ -855,7 +859,7 @@ func segKey(rel string, shard int) string { return fmt.Sprintf("%s\x00%d", rel, 
 // pool sized like the maintenance pool, fsyncing each. The first error
 // wins; remaining jobs are skipped.
 func (d *DB) writeSegments(snap *db.Snapshot, jobs []segJob, bytesWritten *atomic.Int64) error {
-	workers := d.eng.MaintWorkers()
+	workers := d.engine().MaintWorkers()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -957,14 +961,20 @@ func (d *DB) SetLogSync(sync bool) {
 	}
 }
 
-// Close releases the commit log. In-memory databases need no Close.
+// Close releases the commit log and, on a follower, stops replication
+// (waiting for the apply loop to exit). In-memory leaders need no
+// Close.
 func (d *DB) Close() error {
+	if d.follower != nil {
+		d.follower.cancel()
+		<-d.follower.done
+	}
 	// Stop the group scheduler first (drains queued transactions and
 	// waits out in-flight Exec calls) so no leader can touch the log
 	// once it is closed.
 	d.gmu.Lock()
 	defer d.gmu.Unlock()
-	d.eng.DisableGroupCommit()
+	d.engine().DisableGroupCommit()
 	if d.wal == nil {
 		return nil
 	}

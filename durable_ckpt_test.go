@@ -168,7 +168,7 @@ func writeLegacyLayout(t *testing.T, dir string, seed *DB, snapLSN uint64, stmts
 	if _, err := f.Write(lsnBuf[:]); err != nil {
 		t.Fatal(err)
 	}
-	if err := seed.eng.Save(f); err != nil {
+	if err := seed.engine().Save(f); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {

@@ -18,6 +18,10 @@
 //	GET  /v1/views/{name}/analyze   explain + measured timings of the last maintenance
 //	GET  /v1/debug/traces           flight-recorder summaries (WithFlightRecorder)
 //	GET  /v1/debug/traces/{id}      one full trace: hierarchical spans + critical path
+//	GET  /v1/replication/status     leader LSN + per-follower ack/lag (WithReplication)
+//	GET  /v1/replication/snapshot   bootstrap snapshot stream for followers
+//	GET  /v1/replication/stream     ?id=f1&from=LSN → framed WAL record stream
+//	POST /v1/replication/ack        ?id=f1&lsn=LSN → follower applied-position report
 //	GET  /metrics                   Prometheus text exposition of all registered metrics
 //	GET  /debug/stats               JSON snapshot: uptime, every metric series, per-view stats,
 //	                                critical-path attribution, per-view staleness
@@ -68,10 +72,23 @@
 // diff). GET /debug/stats reports whether group commit is active
 // ("group_commit") alongside the mview_group_commit_size,
 // mview_group_wait_seconds, and mview_wal_fsyncs_total series.
+//
+// # Replication
+//
+// A leader passes its replication server (DB.ReplicationServer) via
+// WithReplication to expose the /v1/replication routes above; /metrics
+// then carries the per-follower mview_repl_lag_lsn and
+// mview_repl_lag_seconds gauges (refreshed at scrape time), and
+// /debug/stats grows a "replication" section. A handler over a
+// follower database (mview.OpenFollower) serves the same read routes
+// from the replica's local snapshots; its write routes answer 403 with
+// the read-only error, and /debug/stats reports the follower's own
+// applied position and lag under "replication_client".
 package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -80,6 +97,7 @@ import (
 
 	"mview"
 	"mview/internal/obs"
+	"mview/internal/repl"
 )
 
 // Handler serves the API for one database.
@@ -95,6 +113,9 @@ type Handler struct {
 	inflight *obs.Gauge
 	noObs    bool
 	ownObs   bool // registry defaulted here → this handler instruments the DB
+
+	// Leader-side replication server (WithReplication); nil otherwise.
+	repl *repl.Server
 }
 
 // Option configures a Handler.
@@ -111,6 +132,15 @@ func WithObs(reg *obs.Registry, tr obs.Tracer) Option {
 // recording, and /metrics and /debug/stats answer 404.
 func WithoutObs() Option {
 	return func(h *Handler) { h.noObs = true }
+}
+
+// WithReplication exposes the leader's replication server on the
+// /v1/replication routes: follower bootstrap snapshots, the framed WAL
+// record stream, position acknowledgements, and a status view. The
+// handler attaches its metrics registry to the server, so per-follower
+// lag gauges appear on /metrics without further wiring.
+func WithReplication(srv *repl.Server) Option {
+	return func(h *Handler) { h.repl = srv }
 }
 
 // WithFlightRecorder lets /v1/debug/traces serve fr's contents. The
@@ -172,6 +202,15 @@ func NewWith(db *mview.DB, opts ...Option) *Handler {
 	h.handle("GET /v1/views/{name}/analyze", h.explainAnalyze)
 	h.handle("GET /v1/debug/traces", h.listTraces)
 	h.handle("GET /v1/debug/traces/{id}", h.getTrace)
+	if h.repl != nil {
+		if h.reg != nil {
+			h.repl.SetObs(h.reg)
+		}
+		h.handle("GET /v1/replication/status", h.replStatus)
+		h.handle("GET /v1/replication/snapshot", h.replSnapshot)
+		h.handle("GET /v1/replication/stream", h.replStream)
+		h.handle("POST /v1/replication/ack", h.replAck)
+	}
 	if h.reg != nil {
 		h.handle("GET /metrics", h.metrics)
 		h.handle("GET /debug/stats", h.debugStats)
@@ -250,6 +289,9 @@ func (h *Handler) handle(pattern string, fn http.HandlerFunc) {
 // current as of this scrape.
 func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	h.db.Staleness()
+	if h.repl != nil {
+		h.repl.RefreshMetrics() // lag gauges current as of this scrape
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = h.reg.WritePrometheus(w)
 }
@@ -265,7 +307,7 @@ func (h *Handler) debugStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	staleness := h.db.Staleness() // also refreshes the gauges below
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"uptime_seconds":       time.Since(h.start).Seconds(),
 		"group_commit":         h.db.GroupCommitEnabled(),
 		"shards":               h.db.Shards(),
@@ -274,7 +316,69 @@ func (h *Handler) debugStats(w http.ResponseWriter, r *http.Request) {
 		"staleness":            staleness,
 		"metrics":              h.reg.Snapshot(),
 		"views":                views,
+	}
+	if h.repl != nil {
+		h.repl.RefreshMetrics()
+		stats["replication"] = map[string]any{
+			"leader_lsn": h.repl.LeaderLSN(),
+			"followers":  h.repl.Status(),
+		}
+	}
+	if st, ok := h.db.FollowerStatus(); ok {
+		stats["replication_client"] = st
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// replStatus serves the leader's view of its followers.
+func (h *Handler) replStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"leader_lsn": h.repl.LeaderLSN(),
+		"followers":  h.repl.Status(),
 	})
+}
+
+// replSnapshot streams a bootstrap snapshot. The body starts
+// immediately, so a capture or write failure surfaces to the follower
+// as a truncated stream, not an HTTP error status.
+func (h *Handler) replSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = h.repl.Snapshot(w)
+}
+
+// replStream serves the framed WAL record stream, resuming after the
+// follower's applied LSN. It runs until the client disconnects; a slow
+// reader backpressures through the response writer.
+func (h *Handler) replStream(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("need id query parameter"))
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad from LSN %q", r.URL.Query().Get("from")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_ = h.repl.StreamTo(r.Context(), id, from, w)
+}
+
+// replAck records a follower's applied position.
+func (h *Handler) replAck(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("need id query parameter"))
+		return
+	}
+	lsn, err := strconv.ParseUint(r.URL.Query().Get("lsn"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad lsn %q", r.URL.Query().Get("lsn")))
+		return
+	}
+	h.repl.Ack(id, lsn)
+	writeJSON(w, http.StatusOK, map[string]any{"acked": lsn})
 }
 
 // explainAnalyze serves Explain annotated with the measured stage
@@ -332,6 +436,15 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// errCode maps database errors to HTTP statuses that fallback doesn't
+// cover: writes rejected by a read-only replica are 403.
+func errCode(err error, fallback int) int {
+	if errors.Is(err, mview.ErrReadOnlyReplica) {
+		return http.StatusForbidden
+	}
+	return fallback
+}
+
 func decode(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -350,7 +463,7 @@ func (h *Handler) createRelation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := h.db.CreateRelation(req.Name, req.Attrs...); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, errCode(err, http.StatusBadRequest), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"created": req.Name})
@@ -407,7 +520,7 @@ func (h *Handler) createView(w http.ResponseWriter, r *http.Request) {
 	}
 	spec := mview.ViewSpec{From: req.From, Where: req.Where, Select: req.Select}
 	if err := h.db.CreateView(req.Name, spec, opts...); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, errCode(err, http.StatusBadRequest), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"created": req.Name})
@@ -581,7 +694,7 @@ func (h *Handler) exec(w http.ResponseWriter, r *http.Request) {
 	// disconnects while queued in a commit group abandons the wait.
 	info, err := h.db.ExecContext(r.Context(), ops...)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, errCode(err, http.StatusBadRequest), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)

@@ -264,6 +264,39 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 	return r.lookup(name, help, typeGauge, labels, nil).g
 }
 
+// Delete removes the series for (name, labels) from the registry, so
+// it stops appearing in /metrics and /debug/stats. Handles previously
+// returned for the series keep working but are detached; a later
+// Counter/Gauge/Histogram call re-creates the series fresh. Deleting a
+// series that does not exist is a no-op. The family itself remains
+// registered (its help text and type are sticky), which keeps the
+// type-mismatch panic meaningful across delete/re-create cycles.
+//
+// The replication server uses this to retire the per-follower lag
+// gauges of a replica an operator has forgotten (repl.Server.Forget).
+func (r *Registry) Delete(name string, labels Labels) {
+	if r == nil {
+		return
+	}
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		return
+	}
+	if _, ok := f.series[key]; !ok {
+		return
+	}
+	delete(f.series, key)
+	for i, k := range f.order {
+		if k == key {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // Histogram returns (creating if needed) the histogram series for
 // (name, labels). buckets is used only on first creation; nil means
 // DefBuckets. On a nil registry it returns a detached histogram.

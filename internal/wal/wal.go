@@ -36,6 +36,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"mview/internal/obs"
@@ -69,7 +70,12 @@ type Log struct {
 	size   int64    // valid bytes in the active segment
 	sealed []sealedSeg
 
-	nextLSN uint64
+	// nextLSN and first are atomics so Bounds can be read concurrently
+	// with appends (the replication stream server polls it without the
+	// durable layer's statement lock). All writers still serialize
+	// through the append/checkpoint paths; only the reads are lock-free.
+	nextLSN atomic.Uint64
+	first   atomic.Uint64 // LSN of the oldest retained record; 0 = none retained
 	// Sync controls whether every append is fsynced (durability
 	// against OS crashes). Defaults to true; tests and bulk loads may
 	// disable it.
@@ -200,8 +206,15 @@ func Open(path string) (*Log, error) {
 	if len(nums) == 0 {
 		nums = []int{1}
 	}
-	l := &Log{path: path, Sync: true, nextLSN: 1}
-	var lastLSN uint64
+	l := &Log{path: path, Sync: true}
+	l.nextLSN.Store(1)
+	var lastLSN, firstSeen uint64
+	noteFirst := func(r Record) error {
+		if firstSeen == 0 {
+			firstSeen = r.LSN
+		}
+		return nil
+	}
 	for i, n := range nums {
 		segPath := fmt.Sprintf("%s.%d", path, n)
 		f, err := os.OpenFile(segPath, os.O_RDWR|os.O_CREATE, 0o644)
@@ -213,7 +226,7 @@ func Open(path string) (*Log, error) {
 			f.Close()
 			return nil, err
 		}
-		validEnd, segLast, err := scan(f, lastLSN, 0, nil)
+		validEnd, segLast, err := scan(f, lastLSN, 0, noteFirst)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -249,7 +262,8 @@ func Open(path string) (*Log, error) {
 		}
 		l.sealed = append(l.sealed, sealedSeg{path: segPath, lastLSN: segLast})
 	}
-	l.nextLSN = lastLSN + 1
+	l.nextLSN.Store(lastLSN + 1)
+	l.first.Store(firstSeen)
 	return l, nil
 }
 
@@ -375,11 +389,11 @@ func (l *Log) append(kind uint8, payload []byte, sync bool) (uint64, error) {
 	if l.o != nil {
 		t0 = time.Now()
 	}
-	buf := frame(make([]byte, 0, headerLen+len(payload)+crcLen), l.nextLSN, kind, payload)
+	lsn := l.nextLSN.Load()
+	buf := frame(make([]byte, 0, headerLen+len(payload)+crcLen), lsn, kind, payload)
 	if err := l.maybeRotate(int64(len(buf))); err != nil {
 		return 0, err
 	}
-	lsn := l.nextLSN
 	pre := l.size
 	abort := func(err error) (uint64, error) {
 		if terr := l.f.Truncate(pre); terr != nil {
@@ -408,7 +422,10 @@ func (l *Log) append(kind uint8, payload []byte, sync bool) (uint64, error) {
 			}
 		}
 	}
-	l.nextLSN++
+	if l.first.Load() == 0 {
+		l.first.Store(lsn)
+	}
+	l.nextLSN.Store(lsn + 1)
 	l.size = pre + int64(len(buf))
 	if l.o != nil {
 		l.o.appendSeconds.ObserveDuration(time.Since(t0))
@@ -468,7 +485,7 @@ func (l *Log) AppendBatch(entries []Entry) (uint64, error) {
 		return 0, err
 	}
 	pre := l.size
-	first := l.nextLSN
+	first := l.nextLSN.Load()
 	buf := make([]byte, 0, size)
 	for i, e := range entries {
 		buf = frame(buf, first+uint64(i), e.Kind, e.Payload)
@@ -500,7 +517,10 @@ func (l *Log) AppendBatch(entries []Entry) (uint64, error) {
 			}
 		}
 	}
-	l.nextLSN += uint64(len(entries))
+	if l.first.Load() == 0 {
+		l.first.Store(first)
+	}
+	l.nextLSN.Store(first + uint64(len(entries)))
 	l.size = pre + int64(len(buf))
 	if l.o != nil {
 		l.o.appendSeconds.ObserveDuration(time.Since(t0))
@@ -512,14 +532,29 @@ func (l *Log) AppendBatch(entries []Entry) (uint64, error) {
 
 // LastLSN returns the LSN of the most recently appended record (0 when
 // the log is empty).
-func (l *Log) LastLSN() uint64 { return l.nextLSN - 1 }
+func (l *Log) LastLSN() uint64 { return l.nextLSN.Load() - 1 }
 
 // EnsureLSN raises the next LSN to at least min, so numbering stays
 // monotonic across a checkpoint that emptied the log.
 func (l *Log) EnsureLSN(min uint64) {
-	if l.nextLSN < min {
-		l.nextLSN = min
+	if l.nextLSN.Load() < min {
+		l.nextLSN.Store(min)
 	}
+}
+
+// Bounds reports the log's retained LSN window: oldest is the LSN of
+// the oldest record still on disk, next is the LSN the upcoming append
+// will take. oldest == next means nothing is retained — records up to
+// next-1 existed but were reclaimed (or never written). Both values are
+// lock-free loads, safe concurrently with appends; the replication
+// stream server uses them to decide whether a follower's resume point
+// is still servable or needs a re-sync (Tail returns GapError).
+func (l *Log) Bounds() (oldest, next uint64) {
+	next = l.nextLSN.Load()
+	if f := l.first.Load(); f != 0 {
+		return f, next
+	}
+	return next, next
 }
 
 // Rotate seals the active segment (fsyncing it so its contents are
@@ -538,7 +573,7 @@ func (l *Log) Rotate() error {
 		return err
 	}
 	sealedPath := fmt.Sprintf("%s.%d", l.path, l.seg)
-	l.sealed = append(l.sealed, sealedSeg{path: sealedPath, lastLSN: l.nextLSN - 1})
+	l.sealed = append(l.sealed, sealedSeg{path: sealedPath, lastLSN: l.nextLSN.Load() - 1})
 	l.seg++
 	f, err := os.OpenFile(fmt.Sprintf("%s.%d", l.path, l.seg), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -567,12 +602,24 @@ func (l *Log) ActivePath() string { return fmt.Sprintf("%s.%d", l.path, l.seg) }
 // acquires a hole.
 func (l *Log) DropThrough(lsn uint64) (int, error) {
 	removed := 0
+	var droppedLast uint64
 	for len(l.sealed) > 0 && l.sealed[0].lastLSN <= lsn {
 		if err := os.Remove(l.sealed[0].path); err != nil && !os.IsNotExist(err) {
 			return removed, err
 		}
+		droppedLast = l.sealed[0].lastLSN
 		l.sealed = l.sealed[1:]
 		removed++
+	}
+	if removed > 0 {
+		// LSNs are strictly sequential across the chain, so the oldest
+		// retained record (if any) is exactly droppedLast+1; when that
+		// equals nextLSN the chain holds nothing.
+		if newFirst := droppedLast + 1; newFirst >= l.nextLSN.Load() {
+			l.first.Store(0)
+		} else {
+			l.first.Store(newFirst)
+		}
 	}
 	if l.o != nil && removed > 0 {
 		l.o.segments.Set(float64(len(l.sealed) + 1))
@@ -592,7 +639,7 @@ func (l *Log) Truncate() error {
 	if err := l.Rotate(); err != nil {
 		return err
 	}
-	if _, err := l.DropThrough(l.nextLSN - 1); err != nil {
+	if _, err := l.DropThrough(l.nextLSN.Load() - 1); err != nil {
 		return err
 	}
 	_, err := l.append(KindNoop, nil, true)

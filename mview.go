@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mview/internal/db"
@@ -16,6 +17,7 @@ import (
 	"mview/internal/obs"
 	"mview/internal/pred"
 	"mview/internal/relation"
+	"mview/internal/repl"
 	"mview/internal/satgraph"
 	"mview/internal/schema"
 	"mview/internal/tuple"
@@ -26,7 +28,11 @@ import (
 // backed by a commit log and checkpoints (OpenDurable). It is safe for
 // concurrent use.
 type DB struct {
-	eng *db.Engine
+	// eng is an atomic pointer so readers (queries, HTTP handlers,
+	// metrics) can keep loading it lock-free while a replication
+	// re-sync swaps in a freshly bootstrapped engine (follower.go).
+	// Leader databases store it once at open and never again.
+	eng atomic.Pointer[db.Engine]
 	// Durable state; nil/zero for in-memory databases.
 	wal *wal.Log
 	dir string
@@ -49,6 +55,14 @@ type DB struct {
 	// Both are guarded by mu.
 	man       *manifest
 	ckptStats CheckpointStats
+	// Replication (repl.go): replSrv is the lazily-created leader-side
+	// stream server; follower is non-nil on replicas opened with
+	// OpenFollower, which also sets readonly so every mutating method
+	// returns ErrReadOnlyReplica.
+	replMu   sync.Mutex
+	replSrv  *repl.Server
+	follower *followerState
+	readonly bool
 	// Observability (Instrument); nil until attached.
 	reg    *obs.Registry
 	tracer obs.Tracer
@@ -73,7 +87,7 @@ func (d *DB) Instrument(reg *obs.Registry, tr obs.Tracer) {
 	defer d.lockIfDurable()()
 	d.reg = reg
 	d.tracer = tr
-	d.eng.SetObs(reg, tr)
+	d.engine().SetObs(reg, tr)
 	if d.wal != nil {
 		d.wal.SetObs(reg)
 	}
@@ -89,10 +103,17 @@ func (d *DB) Instrument(reg *obs.Registry, tr obs.Tracer) {
 // database is uninstrumented).
 func (d *DB) Metrics() *obs.Registry { return d.reg }
 
+// engine returns the current engine. The pointer is stable for the
+// database's whole lifetime except on a replication follower, where a
+// gap re-sync atomically replaces it (the old engine's immutable
+// snapshots stay valid for readers that already hold them).
+func (d *DB) engine() *db.Engine { return d.eng.Load() }
+
 // Open creates an empty database configured by the given options.
 func Open(opts ...Option) *DB {
 	cfg := buildOpenConfig(opts)
-	d := &DB{eng: db.New(cfg.engineOptions()...)}
+	d := &DB{}
+	d.eng.Store(db.New(cfg.engineOptions()...))
 	d.applyRuntime(cfg)
 	return d
 }
@@ -104,15 +125,18 @@ func Open(opts ...Option) *DB {
 // catalogs stop paying single-core commit latency.
 //
 // Deprecated: pass WithMaintWorkers to Open or OpenDurable instead.
-func (d *DB) SetMaintWorkers(n int) { d.eng.SetMaintWorkers(n) }
+func (d *DB) SetMaintWorkers(n int) { d.engine().SetMaintWorkers(n) }
 
 // MaintWorkers reports the effective maintenance worker-pool size.
-func (d *DB) MaintWorkers() int { return d.eng.MaintWorkers() }
+func (d *DB) MaintWorkers() int { return d.engine().MaintWorkers() }
 
 // CreateRelation adds a base relation with the named attributes.
 func (d *DB) CreateRelation(name string, attrs ...string) error {
+	if d.readonly {
+		return ErrReadOnlyReplica
+	}
 	defer d.lockIfDurable()()
-	if err := d.eng.CreateRelation(name, toAttrs(attrs)...); err != nil {
+	if err := d.engine().CreateRelation(name, toAttrs(attrs)...); err != nil {
 		return err
 	}
 	return d.logStmt(walStmt{Kind: "relation", Name: name, Attrs: attrs})
@@ -259,12 +283,15 @@ func optionByName(name string) (ViewOption, error) {
 
 // CreateView defines and materializes a view.
 func (d *DB) CreateView(name string, spec ViewSpec, opts ...ViewOption) error {
+	if d.readonly {
+		return ErrReadOnlyReplica
+	}
 	defer d.lockIfDurable()()
 	v, err := spec.build(name)
 	if err != nil {
 		return err
 	}
-	if err := d.eng.CreateView(v, buildConfig(opts)); err != nil {
+	if err := d.engine().CreateView(v, buildConfig(opts)); err != nil {
 		return err
 	}
 	return d.logStmt(walStmt{Kind: "view", Name: name, Spec: spec, Options: optionNames(opts)})
@@ -295,6 +322,9 @@ func buildConfig(opts []ViewOption) db.ViewConfig {
 // operands join on equality of all shared attribute names, each
 // emitted once.
 func (d *DB) CreateJoinView(name string, rels []string, opts ...ViewOption) error {
+	if d.readonly {
+		return ErrReadOnlyReplica
+	}
 	defer d.lockIfDurable()()
 	if err := d.createJoinViewCore(name, rels, opts); err != nil {
 		return err
@@ -303,17 +333,20 @@ func (d *DB) CreateJoinView(name string, rels []string, opts ...ViewOption) erro
 }
 
 func (d *DB) createJoinViewCore(name string, rels []string, opts []ViewOption) error {
-	v, err := expr.NaturalJoin(name, d.eng.Scheme(), rels...)
+	v, err := expr.NaturalJoin(name, d.engine().Scheme(), rels...)
 	if err != nil {
 		return err
 	}
-	return d.eng.CreateView(v, buildConfig(opts))
+	return d.engine().CreateView(v, buildConfig(opts))
 }
 
 // DropView removes a view.
 func (d *DB) DropView(name string) error {
+	if d.readonly {
+		return ErrReadOnlyReplica
+	}
 	defer d.lockIfDurable()()
-	if err := d.eng.DropView(name); err != nil {
+	if err := d.engine().DropView(name); err != nil {
 		return err
 	}
 	return d.logStmt(walStmt{Kind: "dropview", Name: name})
@@ -370,8 +403,11 @@ func (d *DB) ExecContext(ctx context.Context, ops ...Op) (TxInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return TxInfo{}, err
 	}
+	if d.readonly {
+		return TxInfo{}, ErrReadOnlyReplica
+	}
 	d.gmu.RLock()
-	if d.eng.GroupCommitEnabled() {
+	if d.engine().GroupCommitEnabled() {
 		defer d.gmu.RUnlock()
 		return d.execGrouped(ctx, ops)
 	}
@@ -407,7 +443,7 @@ func (d *DB) execGrouped(ctx context.Context, ops []Op) (TxInfo, error) {
 		payload = p
 	}
 	tx := buildTx(ops)
-	res, err := d.eng.ExecuteLoggedCtx(ctx, &tx, payload)
+	res, err := d.engine().ExecuteLoggedCtx(ctx, &tx, payload)
 	if err != nil {
 		return TxInfo{}, err
 	}
@@ -434,13 +470,16 @@ func opsToWal(ops []Op) []walOp {
 //
 // Deprecated: pass WithGroupCommit to Open or OpenDurable instead.
 func (d *DB) EnableGroupCommit(maxBatch int, window time.Duration) {
+	if d.readonly {
+		return // followers apply wire batches; no local scheduler
+	}
 	d.gmu.Lock()
 	defer d.gmu.Unlock()
 	var logBatch func([][]byte) error
 	if d.wal != nil {
 		logBatch = d.logPayloadBatch
 	}
-	d.eng.EnableGroupCommit(maxBatch, window, logBatch)
+	d.engine().EnableGroupCommit(maxBatch, window, logBatch)
 }
 
 // DisableGroupCommit drains any queued transactions and restores the
@@ -449,16 +488,16 @@ func (d *DB) EnableGroupCommit(maxBatch int, window time.Duration) {
 func (d *DB) DisableGroupCommit() {
 	d.gmu.Lock()
 	defer d.gmu.Unlock()
-	d.eng.DisableGroupCommit()
+	d.engine().DisableGroupCommit()
 }
 
 // GroupCommitEnabled reports whether Exec currently rides the
 // group-commit scheduler.
-func (d *DB) GroupCommitEnabled() bool { return d.eng.GroupCommitEnabled() }
+func (d *DB) GroupCommitEnabled() bool { return d.engine().GroupCommitEnabled() }
 
 func (d *DB) execCore(ops []Op) (TxInfo, error) {
 	tx := buildTx(ops)
-	res, err := d.eng.Execute(&tx)
+	res, err := d.engine().Execute(&tx)
 	if err != nil {
 		return TxInfo{}, err
 	}
@@ -517,7 +556,7 @@ func rowsOf(c *relation.Counted) []Row {
 // View returns the current contents of a materialized view, sorted.
 // Deferred views may lag; call Refresh first for fresh results.
 func (d *DB) View(name string) ([]Row, error) {
-	c, err := d.eng.View(name)
+	c, err := d.engine().View(name)
 	if err != nil {
 		return nil, err
 	}
@@ -526,7 +565,7 @@ func (d *DB) View(name string) ([]Row, error) {
 
 // ViewSchema returns the attribute names of a view's result.
 func (d *DB) ViewSchema(name string) ([]string, error) {
-	b, err := d.eng.ViewDef(name)
+	b, err := d.engine().ViewDef(name)
 	if err != nil {
 		return nil, err
 	}
@@ -544,7 +583,7 @@ func (d *DB) ViewSchema(name string) ([]string, error) {
 
 // Rows returns the sorted contents of a base relation.
 func (d *DB) Rows(rel string) ([][]int64, error) {
-	r, err := d.eng.Relation(rel)
+	r, err := d.engine().Relation(rel)
 	if err != nil {
 		return nil, err
 	}
@@ -557,16 +596,16 @@ func (d *DB) Rows(rel string) ([][]int64, error) {
 }
 
 // Refresh brings a deferred view up to date (§6 snapshot refresh).
-func (d *DB) Refresh(name string) error { return d.eng.RefreshView(name) }
+func (d *DB) Refresh(name string) error { return d.engine().RefreshView(name) }
 
 // RefreshAll refreshes every deferred view.
-func (d *DB) RefreshAll() error { return d.eng.RefreshAll() }
+func (d *DB) RefreshAll() error { return d.engine().RefreshAll() }
 
 // Relations lists base relation names in creation order.
-func (d *DB) Relations() []string { return d.eng.Relations() }
+func (d *DB) Relations() []string { return d.engine().Relations() }
 
 // Views lists view names in creation order.
-func (d *DB) Views() []string { return d.eng.Views() }
+func (d *DB) Views() []string { return d.engine().Views() }
 
 // Stats reports a view's accumulated maintenance counters.
 type Stats struct {
@@ -585,7 +624,7 @@ type Stats struct {
 
 // Stats returns a view's maintenance counters.
 func (d *DB) Stats(name string) (Stats, error) {
-	s, err := d.eng.ViewStats(name)
+	s, err := d.engine().ViewStats(name)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -621,7 +660,7 @@ func (d *DB) QueryContext(ctx context.Context, spec ViewSpec) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := d.eng.Query(v, eval.Options{Greedy: true})
+	c, err := d.engine().Query(v, eval.Options{Greedy: true})
 	if err != nil {
 		return nil, err
 	}
@@ -643,19 +682,19 @@ type Change struct {
 // read the database but must not write to it. The returned cancel
 // function removes the subscription.
 func (d *DB) Subscribe(view string, fn func(Change)) (cancel func(), err error) {
-	id, err := d.eng.Subscribe(view, func(name string, ins, del *relation.Counted) {
+	id, err := d.engine().Subscribe(view, func(name string, ins, del *relation.Counted) {
 		fn(Change{View: name, Inserts: rowsOf(ins), Deletes: rowsOf(del)})
 	})
 	if err != nil {
 		return nil, err
 	}
-	return func() { _ = d.eng.Unsubscribe(view, id) }, nil
+	return func() { _ = d.engine().Unsubscribe(view, id) }, nil
 }
 
 // Save writes a durable snapshot of the database — scheme, base
 // relation contents, and view definitions with their configurations —
 // in a versioned binary format readable by Load.
-func (d *DB) Save(w io.Writer) error { return d.eng.Save(w) }
+func (d *DB) Save(w io.Writer) error { return d.engine().Save(w) }
 
 // Load reads a snapshot produced by Save, returning a database with
 // all relations restored and all views re-materialized. The snapshot
@@ -667,7 +706,8 @@ func Load(r io.Reader, opts ...Option) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DB{eng: eng}
+	d := &DB{}
+	d.eng.Store(eng)
 	d.applyRuntime(cfg)
 	return d, nil
 }
@@ -679,14 +719,14 @@ func Load(r io.Reader, opts ...Option) (*DB, error) {
 // operand that references the relation; the per-view checkers (and
 // their prepared invariant graphs) are cached inside the engine.
 func (d *DB) Relevant(view, rel string, vals ...int64) (bool, error) {
-	return d.eng.Relevant(view, rel, tuple.New(vals...))
+	return d.engine().Relevant(view, rel, tuple.New(vals...))
 }
 
 // Explain describes how a view is defined and maintained: operands,
 // condition, projection, refresh mode, policy, row strategy, and the
 // persistent indexes available to its delta joins.
 func (d *DB) Explain(view string) (string, error) {
-	return d.eng.Explain(view)
+	return d.engine().Explain(view)
 }
 
 // ExplainAnalyze is Explain plus an "analyze" section with actual
@@ -695,7 +735,7 @@ func (d *DB) Explain(view string) (string, error) {
 // queue wait, compute, install, shard fan-out, delta size, and the
 // trace id to look the carrying commit up in the flight recorder.
 func (d *DB) ExplainAnalyze(view string) (string, error) {
-	return d.eng.ExplainAnalyze(view)
+	return d.engine().ExplainAnalyze(view)
 }
 
 // StageSummary is one stage's cumulative cost in CriticalPathSummary.
@@ -711,7 +751,7 @@ type CriticalPathSummary = db.CriticalPathSummary
 // fsync, install, snapshot publish), the total seconds spent there and
 // its share of the critical path. Counters accumulate from open; the
 // read is lock-free.
-func (d *DB) CriticalPath() CriticalPathSummary { return d.eng.CriticalPath() }
+func (d *DB) CriticalPath() CriticalPathSummary { return d.engine().CriticalPath() }
 
 // Staleness reports each view's staleness in seconds: the age of its
 // oldest unapplied change, 0 for a fresh view. Immediate views are
@@ -719,8 +759,8 @@ func (d *DB) CriticalPath() CriticalPathSummary { return d.eng.CriticalPath() }
 // backlog for it and snaps back to 0 when refreshed. As a side effect
 // the per-view mview_view_staleness_seconds gauges are brought up to
 // date.
-func (d *DB) Staleness() map[string]float64 { return d.eng.Staleness() }
+func (d *DB) Staleness() map[string]float64 { return d.engine().Staleness() }
 
 // SnapshotAge reports the age of the published read snapshot — how
 // long ago the last commit, refresh, or DDL statement published.
-func (d *DB) SnapshotAge() time.Duration { return d.eng.SnapshotAge() }
+func (d *DB) SnapshotAge() time.Duration { return d.engine().SnapshotAge() }

@@ -114,7 +114,7 @@ func (c config) engineOptions() []db.Option {
 // appends.
 func (d *DB) applyRuntime(c config) {
 	if c.maintWorkers > 0 {
-		d.eng.SetMaintWorkers(c.maintWorkers)
+		d.engine().SetMaintWorkers(c.maintWorkers)
 	}
 	if c.obsSet {
 		d.Instrument(c.reg, c.tracer)
@@ -126,4 +126,4 @@ func (d *DB) applyRuntime(c config) {
 
 // Shards reports the configured hash-shard count of base relations
 // (1 when unsharded).
-func (d *DB) Shards() int { return d.eng.Shards() }
+func (d *DB) Shards() int { return d.engine().Shards() }

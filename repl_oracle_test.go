@@ -1,0 +1,408 @@
+package mview
+
+// Replication oracle and failover properties: a follower fed the
+// composed-delta stream (over the in-process transport, bytes
+// identical to the HTTP wire) must converge to exactly the leader's
+// state — no lost, duplicated, or reordered transactions — through a
+// randomized concurrent workload with group commit, a mid-stream
+// leader kill and restart (stream resume), and a checkpoint that
+// reclaims WAL segments the follower still needed (explicit re-sync,
+// never silent divergence). Run with -race in CI.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mview/internal/repl"
+)
+
+// swapTransport lets the failover test replace the follower's peer
+// (leader restart → new server instance) and simulate the leader being
+// down (every call errors, as a refused connection would).
+type swapTransport struct {
+	mu   sync.Mutex
+	t    repl.Transport
+	down bool
+}
+
+func (s *swapTransport) set(t repl.Transport, down bool) {
+	s.mu.Lock()
+	s.t, s.down = t, down
+	s.mu.Unlock()
+}
+
+func (s *swapTransport) peer() (repl.Transport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return nil, errors.New("swapTransport: leader down")
+	}
+	return s.t, nil
+}
+
+func (s *swapTransport) Snapshot(ctx context.Context) (io.ReadCloser, error) {
+	t, err := s.peer()
+	if err != nil {
+		return nil, err
+	}
+	return t.Snapshot(ctx)
+}
+
+func (s *swapTransport) Stream(ctx context.Context, id string, from uint64) (io.ReadCloser, error) {
+	t, err := s.peer()
+	if err != nil {
+		return nil, err
+	}
+	return t.Stream(ctx, id, from)
+}
+
+func (s *swapTransport) Ack(ctx context.Context, id string, lsn uint64) error {
+	t, err := s.peer()
+	if err != nil {
+		return err
+	}
+	return t.Ack(ctx, id, lsn)
+}
+
+func waitReplicated(t *testing.T, f *DB, lsn uint64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, ok := f.FollowerStatus(); ok && st.AppliedLSN >= lsn {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, _ := f.FollowerStatus()
+	t.Fatalf("follower stuck at LSN %d (want >= %d; state %q, resyncs %d, reconnects %d)",
+		st.AppliedLSN, lsn, st.State, st.Resyncs, st.Reconnects)
+}
+
+// oracleOps is one writer's committed transactions in program order.
+// Writers use disjoint key ranges, so transactions from different
+// writers commute and the oracle may replay writer-by-writer.
+type oracleOps struct {
+	mu  sync.Mutex
+	txs [][]Op
+}
+
+func (o *oracleOps) record(ops []Op) {
+	o.mu.Lock()
+	o.txs = append(o.txs, ops)
+	o.mu.Unlock()
+}
+
+func replTestDDL(t *testing.T, d *DB) {
+	t.Helper()
+	steps := []func() error{
+		func() error { return d.CreateRelation("r", "A", "B") },
+		func() error { return d.CreateRelation("s", "B", "C") },
+		func() error { return d.CreateView("vsel", ViewSpec{From: []string{"r"}, Where: "A < 250"}) },
+		func() error { return d.CreateJoinView("vj", []string{"r", "s"}) },
+		func() error {
+			return d.CreateView("vrec", ViewSpec{From: []string{"r"}, Where: "B >= 5"}, Recompute())
+		},
+	}
+	for _, f := range steps {
+		if err := f(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runWriters commits nTx random transactions per writer against d,
+// each writer confined to its own key range, recording every committed
+// transaction for the oracle.
+func runWriters(t *testing.T, d *DB, writers, nTx, seed int, rec []*oracleOps) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed*100 + g)))
+			base := int64(g * 100)
+			for i := 0; i < nTx; i++ {
+				var ops []Op
+				for j := 0; j < 1+rng.Intn(3); j++ {
+					a := base + int64(rng.Intn(25))
+					b := base + int64(rng.Intn(25))
+					var op Op
+					switch rng.Intn(4) {
+					case 0:
+						op = Delete("r", a, b)
+					case 1:
+						op = Insert("s", b, a)
+					case 2:
+						op = Delete("s", b, a)
+					default:
+						op = Insert("r", a, b)
+					}
+					ops = append(ops, op)
+				}
+				if _, err := d.Exec(ops...); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", g, err)
+					return
+				}
+				rec[g].record(ops)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// mustEqualDB asserts b has exactly a's relations and views (rows,
+// values, and §5 multiplicity counters).
+func mustEqualDB(t *testing.T, label string, a, b *DB) {
+	t.Helper()
+	for _, rel := range a.Relations() {
+		ra, err := a.Rows(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Rows(rel)
+		if err != nil {
+			t.Fatalf("%s: relation %s: %v", label, rel, err)
+		}
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: relation %s: %d vs %d rows", label, rel, len(ra), len(rb))
+		}
+		for i := range ra {
+			for j := range ra[i] {
+				if ra[i][j] != rb[i][j] {
+					t.Fatalf("%s: relation %s row %d: %v vs %v", label, rel, i, ra[i], rb[i])
+				}
+			}
+		}
+	}
+	for _, view := range a.Views() {
+		va, err := a.View(view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := b.View(view)
+		if err != nil {
+			t.Fatalf("%s: view %s: %v", label, view, err)
+		}
+		if len(va) != len(vb) {
+			t.Fatalf("%s: view %s: %d vs %d rows", label, view, len(va), len(vb))
+		}
+		for i := range va {
+			if va[i].Count != vb[i].Count {
+				t.Fatalf("%s: view %s row %d count: %d vs %d", label, view, i, va[i].Count, vb[i].Count)
+			}
+			for j := range va[i].Values {
+				if va[i].Values[j] != vb[i].Values[j] {
+					t.Fatalf("%s: view %s row %d: %v vs %v", label, view, i, va[i], vb[i])
+				}
+			}
+		}
+	}
+}
+
+func TestReplicationFollowerOracleWithFailover(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *DB {
+		d, err := OpenDurable(dir,
+			WithSegmentSize(2048),
+			WithGroupCommit(16, time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	leader := open()
+	replTestDDL(t, leader)
+
+	srv, err := leader.ReplicationServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Poll = 200 * time.Microsecond
+	srv.Heartbeat = 5 * time.Millisecond
+
+	st := &swapTransport{}
+	st.set(repl.LocalTransport{S: srv}, false)
+	follower, err := openFollowerTransport(st, "f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	// The in-memory oracle executes the same DDL and, at the end, each
+	// writer's committed transactions in program order.
+	oracle := Open()
+	replTestDDL(t, oracle)
+	const writers = 4
+	rec := make([]*oracleOps, writers)
+	for i := range rec {
+		rec[i] = &oracleOps{}
+	}
+
+	// Phase 1: concurrent group-committed workload; follower streams it.
+	runWriters(t, leader, writers, 40, 1, rec)
+	waitReplicated(t, follower, srv.LeaderLSN())
+
+	// Mid-stream DDL rides the same stream as transactions.
+	if err := leader.CreateView("vlate", ViewSpec{From: []string{"s"}, Where: "C < 180"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.CreateView("vlate", ViewSpec{From: []string{"s"}, Where: "C < 180"}); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicated(t, follower, srv.LeaderLSN())
+
+	// Phase 2: kill the leader mid-stream. The transport goes dark (a
+	// reconnect would be refused), then the fault hook aborts the live
+	// stream at its next frame boundary.
+	st.set(nil, true)
+	var once sync.Once
+	repl.SetStreamWriteHook(func(id string) error {
+		var injected error
+		once.Do(func() { injected = errors.New("injected leader crash") })
+		return injected
+	})
+	defer repl.SetStreamWriteHook(nil)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		stats := srv.Status()
+		if len(stats) == 1 && stats[0].Streams == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream did not drop after fault injection: %+v", stats)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+	repl.SetStreamWriteHook(nil)
+
+	// Restart the leader, commit more while the follower is cut off,
+	// and checkpoint so the WAL records the follower still needs are
+	// reclaimed — resuming the stream must now be answered with an
+	// explicit gap, forcing a snapshot re-sync.
+	leader = open()
+	defer leader.Close()
+	runWriters(t, leader, writers, 40, 2, rec)
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := leader.ReplicationServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.Poll = 200 * time.Microsecond
+	srv2.Heartbeat = 5 * time.Millisecond
+	st.set(repl.LocalTransport{S: srv2}, false)
+	waitReplicated(t, follower, srv2.LeaderLSN())
+	if fst, _ := follower.FollowerStatus(); fst.Resyncs == 0 {
+		t.Fatalf("expected a gap-forced re-sync after checkpoint reclaimed the WAL; status %+v", fst)
+	}
+
+	// Phase 3: post-re-sync liveness — more streamed traffic applies
+	// through the maintenance pipeline, not another snapshot.
+	preBoot, _ := follower.FollowerStatus()
+	runWriters(t, leader, writers, 20, 3, rec)
+	waitReplicated(t, follower, srv2.LeaderLSN())
+	if fst, _ := follower.FollowerStatus(); fst.Resyncs != preBoot.Resyncs {
+		t.Fatalf("post-re-sync traffic should stream, not re-bootstrap (resyncs %d -> %d; status %+v)",
+			preBoot.Resyncs, fst.Resyncs, fst)
+	}
+
+	// Oracle replay: writer-by-writer (disjoint key ranges commute).
+	for _, r := range rec {
+		for _, ops := range r.txs {
+			if _, err := oracle.Exec(ops...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Zero lost, zero duplicated, zero reordered: leader == oracle, and
+	// the follower matches both (contents and multiplicity counters).
+	mustEqualDB(t, "leader vs oracle", oracle, leader)
+	mustEqualDB(t, "follower vs leader", leader, follower)
+	mustEqualDB(t, "follower vs oracle", oracle, follower)
+
+	// Semantic stats: no view on either side may be left with queued
+	// work, and the follower must have maintained its views from the
+	// stream (bootstrap alone would leave the counters at zero).
+	for _, view := range leader.Views() {
+		ls, err := leader.Stats(view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := follower.Stats(view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ls.PendingTx != 0 || fs.PendingTx != 0 {
+			t.Fatalf("view %s: pending work after convergence (leader %d, follower %d)",
+				view, ls.PendingTx, fs.PendingTx)
+		}
+		if fs.Transactions == 0 {
+			t.Fatalf("view %s: follower applied no streamed maintenance", view)
+		}
+	}
+}
+
+func TestFollowerRejectsWrites(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if err := leader.CreateRelation("r", "A"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := leader.ReplicationServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := openFollowerTransport(repl.LocalTransport{S: srv}, "ro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	waitReplicated(t, follower, srv.LeaderLSN())
+
+	if _, err := follower.Exec(Insert("r", 1)); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("Exec on follower: %v", err)
+	}
+	if err := follower.CreateRelation("x", "A"); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("CreateRelation on follower: %v", err)
+	}
+	if err := follower.CreateView("v", ViewSpec{From: []string{"r"}}); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("CreateView on follower: %v", err)
+	}
+	if err := follower.DropView("v"); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("DropView on follower: %v", err)
+	}
+
+	// Reads work: the replica serves the leader's catalog locally.
+	if _, err := leader.Exec(Insert("r", 7)); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicated(t, follower, srv.LeaderLSN())
+	rows, err := follower.Rows("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != 7 {
+		t.Fatalf("follower rows = %v, want [[7]]", rows)
+	}
+}
