@@ -1519,3 +1519,58 @@ func BenchmarkReplication(b *testing.B) {
 		})
 	}
 }
+
+// ---------- C-POLICY: refresh policies on a write-heavy workload ----------
+
+// BenchmarkRefreshPolicy measures per-commit cost under each refresh
+// policy on a write-only stream against a join view. On-commit pays
+// differential maintenance inside every Exec; MaxStaleness (bound far
+// beyond the bench) and on-demand only stage backlog, so their commit
+// path is an append — the policy spectrum's write-side saving. The
+// deferred variants still owe one refresh at the end; drainns/op is
+// that cost amortized per commit, keeping the comparison honest.
+func BenchmarkRefreshPolicy(b *testing.B) {
+	policies := []struct {
+		name string
+		opt  ViewOption
+	}{
+		{"oncommit", OnCommit()},
+		{"maxstale", MaxStaleness(time.Hour)},
+		{"ondemand", OnDemand()},
+	}
+	for _, p := range policies {
+		b.Run(p.name, func(b *testing.B) {
+			d := Open()
+			if err := d.CreateRelation("r", "A", "B"); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.CreateRelation("s", "B", "C"); err != nil {
+				b.Fatal(err)
+			}
+			for j := int64(0); j < 256; j++ {
+				if _, err := d.Exec(Insert("s", j, j*3)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := d.CreateJoinView("v", []string{"r", "s"}, p.opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Exec(Insert("r", int64(i), int64(i%256))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			start := time.Now()
+			if err := d.RefreshAll(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(time.Since(start).Seconds()/float64(b.N)*1e9, "drainns/op")
+			rows, err := d.View("v")
+			if err != nil || len(rows) != b.N {
+				b.Fatalf("converged view has %d rows, want %d (%v)", len(rows), b.N, err)
+			}
+		})
+	}
+}

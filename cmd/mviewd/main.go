@@ -5,6 +5,7 @@
 //	mviewd [-addr :8080] [-data ./mydb] [-metrics=true] [-slowlog 100ms] [-maint-workers N] [-shards N]
 //	       [-checkpoint-interval 5m] [-wal-segment-bytes N] [-group-commit] [-group-max N] [-group-window 2ms]
 //	       [-trace-ring N] [-trace-slow 250ms] [-pprof] [-replicate] [-follow URL] [-follower-id ID]
+//	       [-default-policy SPEC]
 //
 // See package mview/internal/httpapi for the endpoint reference. A
 // minimal session:
@@ -84,6 +85,14 @@
 // address; give each follower a stable, unique id. -follow excludes
 // -data, -group-commit, and -replicate.
 //
+// -default-policy sets the refresh policy given to views created
+// without one (oncommit | ondemand | every=<dur> | maxstale=<dur> |
+// autopolicy; the built-in default is oncommit). The chosen policy is
+// materialized into each view's logged definition, so a durable
+// database replays its views unchanged if the daemon restarts with a
+// different default. Any view's policy can still be changed at runtime
+// via PUT /v1/views/{name}/policy.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests get a grace period, SSE watchers are disconnected, and the
 // commit log is closed so every acknowledged transaction is on disk.
@@ -128,6 +137,7 @@ type config struct {
 	replicate   bool
 	follow      string
 	followerID  string
+	defPolicy   string
 }
 
 func main() {
@@ -149,6 +159,7 @@ func main() {
 	flag.BoolVar(&c.replicate, "replicate", false, "serve the leader-side replication stream under /v1/replication (requires -data)")
 	flag.StringVar(&c.follow, "follow", "", "run as a read-only follower of the leader at this base URL (e.g. http://leader:8080)")
 	flag.StringVar(&c.followerID, "follower-id", "", "stable follower name in the leader's lag metrics (default: the listen address)")
+	flag.StringVar(&c.defPolicy, "default-policy", "", "refresh policy for views created without one: oncommit | ondemand | every=<dur> | maxstale=<dur> | autopolicy (empty = oncommit)")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -194,6 +205,13 @@ func run(c config) error {
 	}
 	if reg != nil || tr != nil {
 		dbOpts = append(dbOpts, mview.WithObs(reg, tr))
+	}
+	if c.defPolicy != "" {
+		p, err := mview.ParseViewOption(c.defPolicy)
+		if err != nil {
+			return err
+		}
+		dbOpts = append(dbOpts, mview.WithDefaultPolicy(p))
 	}
 
 	var db *mview.DB

@@ -77,7 +77,7 @@ type walOp struct {
 
 // walStmt is one logged statement.
 type walStmt struct {
-	Kind    string // "tx" | "relation" | "view" | "joinview" | "dropview"
+	Kind    string // "tx" | "relation" | "view" | "joinview" | "dropview" | "policy"
 	Name    string
 	Attrs   []string
 	Spec    ViewSpec
@@ -483,6 +483,21 @@ func (d *DB) applyStmt(st walStmt) error {
 		return d.createJoinViewCore(st.Name, st.Rels, opts)
 	case "dropview":
 		return d.engine().DropView(st.Name)
+	case "policy":
+		// SetPolicy logs the spec as a single option name; re-parse and
+		// re-apply it. Replicas take this same path (repl.go), which is
+		// how policy DDL reaches followers.
+		if len(st.Options) != 1 {
+			return fmt.Errorf("mview: malformed policy statement for view %q (%d options)", st.Name, len(st.Options))
+		}
+		o, err := ParseViewOption(st.Options[0])
+		if err != nil {
+			return err
+		}
+		if o.when == nil {
+			return fmt.Errorf("mview: logged policy %q for view %q is not a refresh policy", st.Options[0], st.Name)
+		}
+		return d.engine().SetViewPolicy(st.Name, *o.when)
 	case "tx":
 		ops := make([]Op, len(st.Ops))
 		for i, o := range st.Ops {
@@ -498,7 +513,7 @@ func (d *DB) applyStmt(st walStmt) error {
 func optionsByName(names []string) ([]ViewOption, error) {
 	opts := make([]ViewOption, 0, len(names))
 	for _, n := range names {
-		o, err := optionByName(n)
+		o, err := ParseViewOption(n)
 		if err != nil {
 			return nil, err
 		}
@@ -962,8 +977,10 @@ func (d *DB) SetLogSync(sync bool) {
 }
 
 // Close releases the commit log and, on a follower, stops replication
-// (waiting for the apply loop to exit). In-memory leaders need no
-// Close.
+// (waiting for the apply loop to exit). In-memory leaders without
+// scheduled refresh policies need no Close; databases with Every,
+// MaxStaleness, or AdaptivePolicy views should Close to stop the
+// refresh scheduler's timer wheel.
 func (d *DB) Close() error {
 	if d.follower != nil {
 		d.follower.cancel()
@@ -971,10 +988,12 @@ func (d *DB) Close() error {
 	}
 	// Stop the group scheduler first (drains queued transactions and
 	// waits out in-flight Exec calls) so no leader can touch the log
-	// once it is closed.
+	// once it is closed, then the refresh scheduler (its wheel may be
+	// mid-refresh; stop waits it out so nothing fires after Close).
 	d.gmu.Lock()
 	defer d.gmu.Unlock()
 	d.engine().DisableGroupCommit()
+	d.engine().StopScheduler()
 	if d.wal == nil {
 		return nil
 	}

@@ -42,7 +42,7 @@ func TestDurableMatchesInMemoryTwinUnderCrashes(t *testing.T) {
 					opts = append(opts, WithFilter())
 				}
 				if rng.Intn(4) == 0 {
-					opts = append(opts, Recompute())
+					opts = append(opts, WithRecompute())
 				}
 				both(func(d *DB) error {
 					return d.CreateView(name, ViewSpec{

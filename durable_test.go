@@ -258,9 +258,9 @@ func TestDurableEverythingSurvives(t *testing.T) {
 	must(d.CreateRelation("r", "A", "B"))
 	must(d.CreateRelation("s", "B", "C"))
 	must(d.CreateView("v1", ViewSpec{From: []string{"r"}, Where: "A < 100"}))
-	must(d.CreateView("v2", ViewSpec{From: []string{"r", "s"}, Where: "r.B = s.B"}, Deferred(), WithFilter()))
-	must(d.CreateView("v3", ViewSpec{From: []string{"r"}}, Adaptive()))
-	must(d.CreateJoinView("v4", []string{"r", "s"}, Recompute()))
+	must(d.CreateView("v2", ViewSpec{From: []string{"r", "s"}, Where: "r.B = s.B"}, OnDemand(), WithFilter()))
+	must(d.CreateView("v3", ViewSpec{From: []string{"r"}}, WithAdaptiveMaint()))
+	must(d.CreateJoinView("v4", []string{"r", "s"}, WithRecompute()))
 	for i := int64(0); i < 20; i++ {
 		_, err := d.Exec(Insert("r", i, i%5), Insert("s", i%5, i*10))
 		must(err)

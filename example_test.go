@@ -68,7 +68,7 @@ func ExampleDB_Subscribe() {
 func ExampleDB_Refresh() {
 	db := mview.Open()
 	_ = db.CreateRelation("r", "A")
-	_ = db.CreateView("snap", mview.ViewSpec{From: []string{"r"}}, mview.Deferred())
+	_ = db.CreateView("snap", mview.ViewSpec{From: []string{"r"}}, mview.OnDemand())
 	_, _ = db.Exec(mview.Insert("r", 1))
 	rows, _ := db.View("snap")
 	fmt.Println("before refresh:", len(rows))

@@ -54,7 +54,7 @@ func main() {
 		Select: []string{"orders.OID", "orders.CUST", "items.SKU", "items.QTY"},
 	}
 	must(db.CreateView("hot_diff", spec, mview.WithFilter()))
-	must(db.CreateView("hot_full", spec, mview.Recompute()))
+	must(db.CreateView("hot_full", spec, mview.WithRecompute()))
 
 	fmt.Printf("loaded %d orders; hot view starts with %d rows\n", nOrders, viewLen(db, "hot_diff"))
 
@@ -100,7 +100,7 @@ func main() {
 	// Isolated timing: run the same kind of stream against two fresh
 	// databases, one per policy.
 	diffTotal = runIsolated(mview.WithFilter())
-	fullTotal = runIsolated(mview.Recompute())
+	fullTotal = runIsolated(mview.WithRecompute())
 
 	if a, b := viewLen(db, "hot_diff"), viewLen(db, "hot_full"); a != b {
 		log.Fatalf("differential (%d rows) and recompute (%d rows) diverged", a, b)

@@ -42,7 +42,7 @@ func main() {
 		From:   []string{"accounts"},
 		Where:  "BRANCH = 2 && BALANCE < 1500",
 		Select: []string{"ACCT", "BALANCE"},
-	}, mview.Deferred(), mview.WithFilter()))
+	}, mview.OnDemand(), mview.WithFilter()))
 
 	fmt.Printf("initial report rows: %d\n", reportLen(db))
 

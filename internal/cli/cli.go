@@ -78,7 +78,8 @@ const Help = `commands:
   create view <name> from <rel>[ <alias>], ...
        [where <condition>] [select <attr>, ...] [options <opt>,...]
                                             define a materialized SPJ view
-       options: deferred | recompute | adaptive | filtered | rowbyrow
+       options: oncommit | ondemand | every=<dur> | maxstale=<dur> | autopolicy
+                | recompute | adaptive | filtered | rowbyrow
   create join view <name> from <rel>, ...  natural-join view (§5.3)
   insert <rel> (<v>, ...)                  insert a tuple (auto-commits unless in a tx)
   delete <rel> (<v>, ...)                  delete a tuple
@@ -94,6 +95,8 @@ const Help = `commands:
   trace [<id>]                             flight recorder: list recent commit traces, or show
                                            one trace's span tree and critical path
   refresh <view> | refresh all             bring deferred views up to date (§6)
+  policy <view> [<spec>]                   show or change a view's refresh policy
+                                           (oncommit | ondemand | every=<dur> | maxstale=<dur> | autopolicy)
   relevant <view> <rel> (<v>, ...)         §4 irrelevance test for an update
   save <file> | load <file>                snapshot the database / restore one
   checkpoint                               durable mode: snapshot + truncate the commit log
@@ -147,6 +150,8 @@ func (s *Session) Exec(line string) (string, bool) {
 		out, err = s.trace(rest)
 	case "refresh":
 		out, err = s.refresh(rest)
+	case "policy":
+		out, err = s.policy(rest)
 	case "relevant":
 		out, err = s.relevant(rest)
 	case "save":
@@ -260,21 +265,17 @@ func indexWord(s, kw string) int {
 func parseOptions(spec string) ([]mview.ViewOption, error) {
 	var opts []mview.ViewOption
 	for _, o := range splitList(spec) {
-		switch strings.ToLower(o) {
-		case "deferred":
-			opts = append(opts, mview.Deferred())
-		case "recompute":
-			opts = append(opts, mview.Recompute())
-		case "adaptive":
-			opts = append(opts, mview.Adaptive())
-		case "filtered":
-			opts = append(opts, mview.WithFilter())
-		case "rowbyrow":
-			opts = append(opts, mview.WithoutPrefixSharing())
-		case "":
-		default:
-			return nil, fmt.Errorf("unknown option %q", o)
+		if o == "" {
+			continue
 		}
+		// ParseViewOption is the single source of truth for option
+		// names, shared with the WAL and the HTTP API — refresh
+		// policies (oncommit, every=250ms, maxstale=1s, ...) included.
+		opt, err := mview.ParseViewOption(strings.ToLower(o))
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, opt)
 	}
 	return opts, nil
 }
@@ -613,6 +614,36 @@ func (s *Session) refresh(rest string) (string, error) {
 		return "", err
 	}
 	return "refreshed " + rest, nil
+}
+
+// policy shows ("policy <view>") or changes ("policy <view> <spec>") a
+// view's refresh policy at runtime.
+func (s *Session) policy(rest string) (string, error) {
+	fields := strings.Fields(rest)
+	switch len(fields) {
+	case 1:
+		// Show only.
+	case 2:
+		opt, err := mview.ParseViewOption(strings.ToLower(fields[1]))
+		if err != nil {
+			return "", err
+		}
+		if err := s.db.SetPolicy(fields[0], opt); err != nil {
+			return "", err
+		}
+	default:
+		return "", fmt.Errorf("usage: policy <view> [oncommit | ondemand | every=<dur> | maxstale=<dur> | autopolicy]")
+	}
+	p, err := s.db.Policy(fields[0])
+	if err != nil {
+		return "", err
+	}
+	mode := "deferred"
+	if p.Immediate {
+		mode = "immediate"
+	}
+	return fmt.Sprintf("%s: policy=%s mode=%s staleness=%s",
+		fields[0], p.Spec, mode, p.Staleness.Round(time.Millisecond)), nil
 }
 
 // workers shows ("workers") or sets ("workers <n>") the maintenance

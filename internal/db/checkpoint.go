@@ -32,10 +32,13 @@ import (
 	"mview/internal/tuple"
 )
 
-// Segment format magics; the trailing digit is the version.
+// Segment format magics; the trailing digit is the version. Catalog
+// version 2 appended the refresh when-policy to each view definition
+// (see writeViewDef); version-1 catalogs still load.
 const (
-	catalogMagic = "MVIEWCAT1"
-	segmentMagic = "MVIEWSEG1"
+	catalogMagic   = "MVIEWCAT2"
+	catalogMagicV1 = "MVIEWCAT1"
+	segmentMagic   = "MVIEWSEG1"
 )
 
 // initCheckpointDirtyLocked sizes a fresh all-dirty bitmap for a newly
@@ -236,10 +239,14 @@ type pendingViewDef struct {
 // call CompleteSegmentedLoad.
 func BeginSegmentedLoad(in io.Reader, opts ...Option) (*Engine, *PendingViews, error) {
 	r := &reader{r: bufio.NewReader(in)}
-	if magic := r.str(); r.err != nil || magic != catalogMagic {
-		if r.err != nil {
-			return nil, nil, fmt.Errorf("db: reading catalog header: %w", r.err)
-		}
+	switch magic := r.str(); {
+	case r.err != nil:
+		return nil, nil, fmt.Errorf("db: reading catalog header: %w", r.err)
+	case magic == catalogMagic:
+		r.ver = 2
+	case magic == catalogMagicV1:
+		r.ver = 1
+	default:
 		return nil, nil, fmt.Errorf("db: not an mview catalog segment (magic %q)", magic)
 	}
 	e := New(opts...)

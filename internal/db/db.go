@@ -69,6 +69,82 @@ const (
 // PolicyAdaptive switches to full re-evaluation.
 const DefaultAdaptiveThreshold = 0.25
 
+// RefreshKind names a when-policy: the schedule on which a view's
+// maintenance runs. It is the third axis next to RefreshMode (the
+// commit-time mechanism the pipeline consults) and Policy (how a
+// refresh computes) — every kind resolves to a Mode via RefreshSpec
+// and, for the scheduled kinds, registers the view with the engine's
+// refresh scheduler (scheduler.go).
+type RefreshKind uint8
+
+const (
+	// RefreshOnCommit maintains the view inside every commit (§5) —
+	// always fresh, full maintenance cost on the write path.
+	RefreshOnCommit RefreshKind = iota
+	// RefreshOnDemand defers all maintenance to explicit RefreshView
+	// calls — the §6 snapshot regime with no schedule at all.
+	RefreshOnDemand
+	// RefreshEvery defers maintenance and refreshes on a fixed
+	// interval driven by the engine's scheduler.
+	RefreshEvery
+	// RefreshMaxStaleness defers maintenance under a staleness SLO:
+	// the scheduler refreshes proactively before the age of the oldest
+	// unapplied change reaches the bound.
+	RefreshMaxStaleness
+	// RefreshAdaptive lets the engine flip the view between on-commit
+	// and on-demand from the measured write/read ratio: read-heavy
+	// views pay maintenance on the write path to serve fresh reads,
+	// write-heavy views shed it into a backlog.
+	RefreshAdaptive
+)
+
+// RefreshSpec is a complete when-policy: the kind plus its parameter.
+type RefreshSpec struct {
+	Kind     RefreshKind
+	Interval time.Duration // RefreshEvery: the period
+	Bound    time.Duration // RefreshMaxStaleness: the SLO bound
+}
+
+// mode derives the commit-time refresh mode the pipeline consults.
+// RefreshAdaptive starts Immediate (fresh until the workload proves
+// write-heavy); the scheduler flips Mode at runtime without touching
+// Kind.
+func (s RefreshSpec) mode() RefreshMode {
+	switch s.Kind {
+	case RefreshOnCommit, RefreshAdaptive:
+		return Immediate
+	default:
+		return Deferred
+	}
+}
+
+// scheduled reports whether the kind needs the engine scheduler.
+func (s RefreshSpec) scheduled() bool {
+	switch s.Kind {
+	case RefreshEvery, RefreshMaxStaleness, RefreshAdaptive:
+		return true
+	}
+	return false
+}
+
+// String renders the spec in the stable option-name syntax that
+// round-trips through the catalog parsers (oncommit, ondemand,
+// every=1s, maxstale=500ms, autopolicy).
+func (s RefreshSpec) String() string {
+	switch s.Kind {
+	case RefreshOnDemand:
+		return "ondemand"
+	case RefreshEvery:
+		return "every=" + s.Interval.String()
+	case RefreshMaxStaleness:
+		return "maxstale=" + s.Bound.String()
+	case RefreshAdaptive:
+		return "autopolicy"
+	default:
+		return "oncommit"
+	}
+}
+
 // ViewConfig configures one materialized view.
 type ViewConfig struct {
 	Mode    RefreshMode
@@ -78,6 +154,22 @@ type ViewConfig struct {
 	// AdaptiveThreshold tunes PolicyAdaptive (0 means
 	// DefaultAdaptiveThreshold).
 	AdaptiveThreshold float64
+	// When is the view's refresh policy — when maintenance runs, as
+	// opposed to Policy's how. CreateView keeps Mode consistent with
+	// it (normalizeWhen), so legacy callers that set Mode directly
+	// keep working.
+	When RefreshSpec
+}
+
+// normalizeWhen reconciles the legacy Mode field with the when-policy:
+// a directly-set Deferred mode under the default on-commit spec means
+// the caller used the old API, so it maps to on-demand; otherwise the
+// spec is authoritative and Mode is derived from it.
+func (c *ViewConfig) normalizeWhen() {
+	if c.Mode == Deferred && c.When.Kind == RefreshOnCommit {
+		c.When.Kind = RefreshOnDemand
+	}
+	c.Mode = c.When.mode()
 }
 
 // ViewStats accumulates maintenance counters for one view.
@@ -126,6 +218,11 @@ type viewState struct {
 	// into the view's snapView at publish.
 	pendingSince time.Time
 	lastMaint    maintRecord
+	// reads counts snapshot reads of this view since creation. The
+	// pointer is shared with every published snapView so the lock-free
+	// read path can bump it; the scheduler's adaptive when-policy
+	// compares its growth against write traffic to flip Mode.
+	reads *atomic.Int64
 	// subscribers receive the view's deltas after each refresh — the
 	// alerter mechanism of Buneman & Clemons that §1–2 cite as a
 	// motivating application: the §4 filter suppresses wake-ups for
@@ -238,6 +335,15 @@ type Engine struct {
 	// attribution (trace.go). Lock-free: written by commitTrace.close,
 	// read by CriticalPath.
 	crit critAccum
+	// sched drives the scheduled when-policies — Every intervals,
+	// MaxStaleness SLO deadlines, adaptive mode flips, and every
+	// RefreshPeriodically registration — off one timer wheel
+	// (scheduler.go). Created at New, its goroutine starts lazily.
+	sched *scheduler
+	// now is the engine's wall clock (staleness stamps and the
+	// scheduler's deadlines); tests substitute a fake. Immutable after
+	// construction except by same-package tests before first use.
+	now func() time.Time
 }
 
 // engineObs bundles the engine-wide metric handles, resolved once at
@@ -297,6 +403,7 @@ type viewObs struct {
 	shardTasks    *obs.Counter
 	shardPruned   *obs.Counter
 	staleness     *obs.Gauge
+	sloBound      *obs.Gauge
 }
 
 func newViewObs(reg *obs.Registry, view string) *viewObs {
@@ -324,6 +431,8 @@ func newViewObs(reg *obs.Registry, view string) *viewObs {
 		shardPruned: reg.Counter("mview_shard_pruned_total",
 			"Shard sub-deltas skipped entirely by the §4 key-range irrelevance test.", l),
 		staleness: reg.Gauge("mview_view_staleness_seconds", stalenessHelp, l),
+		sloBound: reg.Gauge("mview_view_staleness_slo_seconds",
+			"Configured staleness SLO bound (MaxStaleness policy; 0 = no bound).", l),
 	}
 }
 
@@ -407,6 +516,7 @@ func (e *Engine) SetObs(reg *obs.Registry, tr obs.Tracer) {
 	for _, name := range e.viewOrder {
 		st := e.views[name]
 		st.vo = newViewObs(reg, name)
+		st.vo.sloBound.Set(st.cfg.When.Bound.Seconds())
 		st.maint.Tracer = tr
 	}
 }
@@ -437,7 +547,9 @@ func New(opts ...Option) *Engine {
 		indexes:    make(map[string]map[int]*relation.Index),
 		baseShared: make(map[string]bool),
 		ckptDirty:  make(map[string][]bool),
+		now:        time.Now,
 	}
+	e.sched = newScheduler(e)
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -664,6 +776,7 @@ func (e *Engine) CreateView(v expr.View, cfg ViewConfig) error {
 	if err != nil {
 		return err
 	}
+	cfg.normalizeWhen()
 	maint, err := diffeval.NewMaintainer(bound, cfg.Maint)
 	if err != nil {
 		return err
@@ -683,14 +796,19 @@ func (e *Engine) CreateView(v expr.View, cfg ViewConfig) error {
 		data:    data,
 		pending: make(map[string]delta.Update),
 		ck:      newCheckerCache(bound, cfg),
+		reads:   new(atomic.Int64),
 	}
 	if o := e.o.Load(); o != nil {
 		st.vo = newViewObs(o.reg, v.Name)
+		st.vo.sloBound.Set(cfg.When.Bound.Seconds())
 		maint.Tracer = o.tr
 	}
 	e.views[v.Name] = st
 	e.viewOrder = append(e.viewOrder, v.Name)
 	e.publishLocked()
+	if cfg.When.scheduled() {
+		e.sched.ensure()
+	}
 	return nil
 }
 
@@ -723,6 +841,9 @@ func (e *Engine) View(name string) (*relation.Counted, error) {
 	sv, ok := s.views[name]
 	if !ok {
 		return nil, fmt.Errorf("db: unknown view %q", name)
+	}
+	if sv.reads != nil {
+		sv.reads.Add(1) // feeds the adaptive when-policy's read rate
 	}
 	return sv.data, nil
 }
@@ -883,16 +1004,16 @@ func (e *Engine) executeLocked(tx *delta.Tx, parent obs.SpanContext) (TxResult, 
 // staged deferred backlogs, so a failed commit queues nothing.
 type refreshed struct {
 	st         *viewState
-	deferred   bool                    // backlog staging only; no computation
-	pend       map[string]delta.Update // staged composed backlog (deferred)
-	insts      []*relation.Relation    // operand instances for the computation
-	d          *diffeval.ViewDelta     // differential result
-	vc         *relation.Counted       // recompute shadow (PolicyRecompute)
-	cow        *relation.Counted       // phase-1 clone for the copy-on-write install
-	err        error                   // compute/validate failure
-	decision   string                  // metrics label
-	computeDur time.Duration           // delta or recompute computation time
-	wait       time.Duration           // queue wait before compute started
+	deferred   bool                 // backlog staging only; no computation
+	pend       []delta.Update       // staged updates, composed into the backlog at install
+	insts      []*relation.Relation // operand instances for the computation
+	d          *diffeval.ViewDelta  // differential result
+	vc         *relation.Counted    // recompute shadow (PolicyRecompute)
+	cow        *relation.Counted    // phase-1 clone for the copy-on-write install
+	err        error                // compute/validate failure
+	decision   string               // metrics label
+	computeDur time.Duration        // delta or recompute computation time
+	wait       time.Duration        // queue wait before compute started
 	// Group-commit fields (group.go). touchCount is how many of the
 	// group's transactions touch this view — the serial-equivalent
 	// increment for Transactions/PendingTx. noop marks a view whose
@@ -977,28 +1098,40 @@ func (e *Engine) viewTouched(st *viewState, touched map[string]bool) bool {
 	return false
 }
 
-// stagePending composes the transaction's updates with the view's
-// pending backlog WITHOUT installing them: the caller installs the
-// returned entries only once the whole commit is known to succeed, so
-// a failed commit queues nothing. Callers hold the engine lock.
-func (e *Engine) stagePending(st *viewState, updates []delta.Update) (map[string]delta.Update, error) {
-	out := make(map[string]delta.Update)
+// stagePending filters the transaction's updates down to those
+// touching st's operands, WITHOUT composing them into st.pending: the
+// caller folds the returned entries in (installPending) only once the
+// whole commit is known to succeed, so a failed commit queues nothing.
+// Callers hold the engine lock.
+func (e *Engine) stagePending(st *viewState, updates []delta.Update) []delta.Update {
+	var out []delta.Update
 	for _, u := range updates {
-		if !e.relUsedBy(st, u.Rel) {
-			continue
+		if e.relUsedBy(st, u.Rel) {
+			out = append(out, u)
 		}
+	}
+	return out
+}
+
+// installPending folds staged updates into the view's backlog in
+// place: O(|updates|) per commit regardless of how much backlog has
+// accumulated, where the old full Compose re-copied the whole backlog
+// every time. Runs in commit phase 5 and cannot fail — first-touch
+// relations are cloned (COW), and in-place composition only crosses
+// same-relation updates. st.pending relations are exclusively owned
+// under the engine lock (refresh paths hold it from build through
+// install; snapshots copy only pendingSince), so mutating them here is
+// safe. Callers hold the engine lock.
+func (e *Engine) installPending(st *viewState, updates []delta.Update) {
+	for _, u := range updates {
 		prev, ok := st.pending[u.Rel]
 		if !ok {
-			out[u.Rel] = cloneUpdate(u)
+			st.pending[u.Rel] = cloneUpdate(u)
 			continue
 		}
-		comp, err := delta.Compose(prev, u)
-		if err != nil {
-			return nil, err
-		}
-		out[u.Rel] = comp
+		delta.ComposeInPlace(&prev, u)
+		st.pending[u.Rel] = prev
 	}
-	return out, nil
 }
 
 func (e *Engine) relUsedBy(st *viewState, rel string) bool {
@@ -1384,6 +1517,20 @@ func (e *Engine) Explain(name string) (string, error) {
 		mode = "deferred (snapshot refresh, §6)"
 	}
 	fmt.Fprintf(&sb, "  refresh: %s\n", mode)
+	var when string
+	switch st.cfg.When.Kind {
+	case RefreshOnDemand:
+		when = "on demand (explicit refresh only)"
+	case RefreshEvery:
+		when = fmt.Sprintf("every %s (scheduler-driven)", st.cfg.When.Interval)
+	case RefreshMaxStaleness:
+		when = fmt.Sprintf("staleness SLO %s (scheduler refreshes before the bound)", st.cfg.When.Bound)
+	case RefreshAdaptive:
+		when = fmt.Sprintf("adaptive (currently %s; flips with the write/read balance)", mode)
+	default:
+		when = "on commit"
+	}
+	fmt.Fprintf(&sb, "  when:    %s\n", when)
 	policy := "differential (§5, Algorithm 5.1)"
 	switch st.cfg.Policy {
 	case PolicyRecompute:
@@ -1504,7 +1651,13 @@ func (e *Engine) Unsubscribe(view string, id int) error {
 // through the optional onErr callback and do NOT terminate the loop:
 // a transient failure (the view dropped and re-created, a delta that
 // does not fold) must not silently end periodic refresh forever. Only
-// stop() ends the ticker.
+// stop() ends the schedule.
+//
+// Deprecated: prefer the RefreshEvery when-policy (SetViewPolicy or a
+// RefreshSpec at CreateView), which expresses the schedule as durable
+// catalog state instead of a caller-held goroutine handle. This method
+// remains supported; registrations now ride the engine's single
+// scheduler wheel instead of one ticker goroutine per caller.
 func (e *Engine) RefreshPeriodically(name string, interval time.Duration, onErr func(error)) (stop func(), err error) {
 	e.mu.RLock()
 	_, ok := e.views[name]
@@ -1515,24 +1668,111 @@ func (e *Engine) RefreshPeriodically(name string, interval time.Duration, onErr 
 	if interval <= 0 {
 		return nil, fmt.Errorf("db: non-positive refresh interval %v", interval)
 	}
-	done := make(chan struct{})
-	var once sync.Once
-	go func() {
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-done:
-				return
-			case <-ticker.C:
-				if err := e.RefreshView(name); err != nil && onErr != nil {
-					onErr(err)
-				}
+	return e.sched.addPeriodic(name, interval, onErr), nil
+}
+
+// SetViewPolicy changes a view's refresh policy at runtime. Moving to
+// an on-commit (or adaptive) policy drains any accumulated backlog
+// under the same lock hold, so a commit can never observe an immediate
+// view with stale contents. The change is engine state only — durable
+// logging and replication are the caller's concern (mview.DB.SetPolicy).
+func (e *Engine) SetViewPolicy(name string, spec RefreshSpec) error {
+	e.mu.Lock()
+	st, ok := e.views[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("db: unknown view %q", name)
+	}
+	var ns []notification
+	if spec.mode() == Immediate && len(st.pending) > 0 {
+		j, err := e.buildRefreshJob(st)
+		if err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		if j != nil {
+			if o := e.o.Load(); o != nil && o.tr != nil {
+				j.tr = o.tr
+			}
+			j.run()
+			if ns, err = e.installRefreshJob(j); err != nil {
+				e.mu.Unlock()
+				return err
 			}
 		}
-	}()
-	return func() { once.Do(func() { close(done) }) }, nil
+	}
+	st.cfg.When = spec
+	st.cfg.Mode = spec.mode()
+	if st.vo != nil {
+		st.vo.sloBound.Set(spec.Bound.Seconds())
+	}
+	st.snapDirty = true
+	e.publishLocked()
+	scheduled := spec.scheduled()
+	e.mu.Unlock()
+	if scheduled {
+		e.sched.ensure()
+	}
+	e.sched.poke()
+	fire(ns)
+	return nil
 }
+
+// ViewPolicy reports a view's refresh policy and its current
+// commit-time mode. The two differ only under RefreshAdaptive, where
+// the scheduler flips the mode with the measured write/read balance.
+func (e *Engine) ViewPolicy(name string) (RefreshSpec, RefreshMode, error) {
+	s := e.currentSnapshot()
+	sv, ok := s.views[name]
+	if !ok {
+		return RefreshSpec{}, Immediate, fmt.Errorf("db: unknown view %q", name)
+	}
+	return sv.cfg.When, sv.cfg.Mode, nil
+}
+
+// ViewStaleness returns the age of the view's oldest unapplied change
+// as of the published snapshot (0 = no unapplied changes).
+func (e *Engine) ViewStaleness(name string) (time.Duration, error) {
+	s := e.currentSnapshot()
+	sv, ok := s.views[name]
+	if !ok {
+		return 0, fmt.Errorf("db: unknown view %q", name)
+	}
+	if sv.pendingSince.IsZero() {
+		return 0, nil
+	}
+	return e.now().Sub(sv.pendingSince), nil
+}
+
+// ViewFresh returns a view's contents no staler than bound: when the
+// snapshot's oldest unapplied change is older, the view is refreshed
+// synchronously first (bound 0 therefore always serves fresh
+// contents). A view exactly as old as the bound is within contract
+// and served as is.
+func (e *Engine) ViewFresh(name string, bound time.Duration) (*relation.Counted, error) {
+	age, err := e.ViewStaleness(name)
+	if err != nil {
+		return nil, err
+	}
+	if age > bound {
+		if err := e.RefreshView(name); err != nil {
+			return nil, err
+		}
+	}
+	return e.View(name)
+}
+
+// DisablePolicyRefresh turns off policy-driven scheduling on this
+// engine. Followers use it: they replay the leader's policy DDL so the
+// catalog matches, but never self-refresh — maintenance arrives
+// composed from the replication stream. RefreshPeriodically
+// registrations still fire (a local, caller-owned contract).
+func (e *Engine) DisablePolicyRefresh() { e.sched.disablePolicies() }
+
+// StopScheduler terminates the refresh scheduler and waits for it; an
+// engine being closed or replaced must stop its wheel or the goroutine
+// leaks. Idempotent.
+func (e *Engine) StopScheduler() { e.sched.stop() }
 
 // Query evaluates an ad-hoc SPJ expression against the current read
 // snapshot without materializing it. Binding and evaluation run

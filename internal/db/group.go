@@ -456,10 +456,7 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 			}
 		}
 		if st.cfg.Mode == Deferred {
-			pend, err := e.stagePending(st, composed)
-			if err != nil {
-				return nil, err
-			}
+			pend := e.stagePending(st, composed)
 			work3 = append(work3, &refreshed{st: st, deferred: true, pend: pend, touchCount: touchCount})
 			continue
 		}
@@ -662,6 +659,7 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 		e.markCheckpointDirtyLocked(u)
 	}
 	var ns []notification
+	wentStale := false
 	for _, w := range work3 {
 		name := w.st.name
 		w.st.stats.Transactions += w.touchCount
@@ -670,11 +668,10 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 			if w.st.stats.PendingTx == 0 && w.touchCount > 0 {
 				// 0→nonzero backlog: the view just went stale; its
 				// staleness clock starts at this commit.
-				w.st.pendingSince = time.Now()
+				w.st.pendingSince = e.now()
+				wentStale = true
 			}
-			for rel, u := range w.pend {
-				w.st.pending[rel] = u
-			}
+			e.installPending(w.st, w.pend)
 			w.st.stats.PendingTx += w.touchCount
 			if w.st.vo != nil {
 				w.st.vo.pending.Set(float64(w.st.stats.PendingTx))
@@ -795,6 +792,11 @@ func (e *Engine) executeBatchLocked(reqs []*groupReq, logBatch func([][]byte) er
 		e.publishLocked()
 	}
 	se.end()
+	if wentStale {
+		// A deferred view just started a backlog: wake the scheduler so
+		// a MaxStaleness SLO deadline is planned against it immediately.
+		e.sched.poke()
+	}
 	return ns, nil
 }
 

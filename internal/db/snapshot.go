@@ -20,6 +20,7 @@ package db
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mview/internal/expr"
@@ -67,6 +68,10 @@ type snapView struct {
 	// by Staleness and ExplainAnalyze (trace.go).
 	pendingSince time.Time
 	lastMaint    maintRecord
+	// reads is shared with the live viewState (not a copy): the
+	// lock-free read path bumps it so the adaptive when-policy can see
+	// the view's read rate.
+	reads *atomic.Int64
 }
 
 // checkerCache lazily builds and caches one §4 irrelevance checker
@@ -148,6 +153,7 @@ func (e *Engine) publishLocked() {
 				ck:           st.ck,
 				pendingSince: st.pendingSince,
 				lastMaint:    st.lastMaint,
+				reads:        st.reads,
 			}
 		}
 		st.dataShared = true

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"mview/internal/diffeval"
 	"mview/internal/expr"
@@ -27,8 +28,13 @@ func diffevalStrategy(v uint8) diffeval.Strategy { return diffeval.Strategy(v) }
 func satMethod(v uint8) satgraph.Method { return satgraph.Method(v) }
 
 // storageMagic identifies the format; the trailing digit is the
-// version.
-const storageMagic = "MVIEWDB1"
+// version. Version 2 appended the refresh when-policy (RefreshSpec)
+// to each view definition; version-1 snapshots still load, with the
+// policy derived from the legacy mode byte.
+const (
+	storageMagic   = "MVIEWDB2"
+	storageMagicV1 = "MVIEWDB1"
+)
 
 type writer struct {
 	w   *bufio.Writer
@@ -77,6 +83,10 @@ func (w *writer) bool(v bool) {
 type reader struct {
 	r   *bufio.Reader
 	err error
+	// ver is the format version of the stream being read, set from the
+	// magic by Load/BeginSegmentedLoad; readViewDef uses it to skip
+	// fields the writer's format predates.
+	ver int
 }
 
 func (r *reader) fail(err error) {
@@ -207,6 +217,12 @@ func writeViewDef(w *writer, name string, b *expr.Bound, cfg ViewConfig) {
 	w.u8(uint8(cfg.Maint.FilterOptions.Method))
 	w.i64(int64(cfg.Maint.FilterOptions.NELimit))
 	w.bool(cfg.EvalOpt.Greedy)
+	// Version 2: the refresh when-policy. Without it a checkpoint or
+	// reopen would silently demote every scheduled view to the legacy
+	// mode byte.
+	w.u8(uint8(cfg.When.Kind))
+	w.i64(int64(cfg.When.Interval))
+	w.i64(int64(cfg.When.Bound))
 }
 
 // readViewDef decodes one view definition written by writeViewDef.
@@ -239,6 +255,13 @@ func readViewDef(r *reader) (expr.View, ViewConfig, error) {
 	cfg.Maint.FilterOptions.Method = satMethod(r.u8())
 	cfg.Maint.FilterOptions.NELimit = int(r.i64())
 	cfg.EvalOpt.Greedy = r.bool()
+	if r.ver >= 2 {
+		cfg.When.Kind = RefreshKind(r.u8())
+		cfg.When.Interval = time.Duration(r.i64())
+		cfg.When.Bound = time.Duration(r.i64())
+	}
+	// Version 1 streams carry no when-policy; CreateView's
+	// normalizeWhen maps a deferred mode byte to RefreshOnDemand.
 	if r.err != nil {
 		return expr.View{}, ViewConfig{}, fmt.Errorf("db: corrupt snapshot: view %q config: %w", name, r.err)
 	}
@@ -302,10 +325,14 @@ func readDNF(r *reader) pred.DNF {
 // the restored relations re-shard to the configured count.
 func Load(in io.Reader, opts ...Option) (*Engine, error) {
 	r := &reader{r: bufio.NewReader(in)}
-	if magic := r.str(); r.err != nil || magic != storageMagic {
-		if r.err != nil {
-			return nil, fmt.Errorf("db: reading snapshot header: %w", r.err)
-		}
+	switch magic := r.str(); {
+	case r.err != nil:
+		return nil, fmt.Errorf("db: reading snapshot header: %w", r.err)
+	case magic == storageMagic:
+		r.ver = 2
+	case magic == storageMagicV1:
+		r.ver = 1
+	default:
 		return nil, fmt.Errorf("db: not an mview snapshot (magic %q)", magic)
 	}
 

@@ -275,7 +275,7 @@ func (e *Engine) Staleness() map[string]float64 {
 		sv := s.views[name]
 		var v float64
 		if !sv.pendingSince.IsZero() {
-			v = time.Since(sv.pendingSince).Seconds()
+			v = e.now().Sub(sv.pendingSince).Seconds()
 		}
 		out[name] = v
 		if o != nil {

@@ -122,6 +122,51 @@ func Compose(base, next Update) (Update, error) {
 	return Update{Rel: base.Rel, Inserts: ins, Deletes: del}, nil
 }
 
+// ComposeInPlace folds next into base in place: the per-tuple form of
+// Compose for callers that exclusively own base's relations, such as a
+// deferred view's backlog under the engine lock. It costs O(|next|)
+// where Compose costs O(|base| + |next|) — the difference between a
+// write path that pays for its own delta and one that re-copies an
+// ever-growing backlog on every commit. base's nil sets are allocated
+// on demand; next is not modified.
+//
+// Both updates must target the same relation (ComposeInPlace panics
+// otherwise): with that invariant every tuple carries the relation's
+// scheme, so the per-tuple inserts below cannot fail.
+func ComposeInPlace(base *Update, next Update) {
+	if base.Rel != next.Rel {
+		panic("delta: ComposeInPlace across relations " + base.Rel + " and " + next.Rel)
+	}
+	if next.Inserts != nil {
+		next.Inserts.EachEntry(func(k string, t tuple.Tuple) {
+			// Re-inserting a tuple base deleted from B0 cancels the
+			// delete (D − i); a genuinely new tuple joins I' (i − D).
+			if base.Deletes != nil && base.Deletes.Has(t) {
+				base.Deletes.Delete(t)
+				return
+			}
+			if base.Inserts == nil {
+				base.Inserts = relation.New(next.Inserts.Scheme())
+			}
+			_ = base.Inserts.InsertKeyed(k, t)
+		})
+	}
+	if next.Deletes != nil {
+		next.Deletes.EachEntry(func(k string, t tuple.Tuple) {
+			// Deleting a tuple base inserted cancels the insert (I − d);
+			// deleting a B0 tuple joins D' (d − I).
+			if base.Inserts != nil && base.Inserts.Has(t) {
+				base.Inserts.Delete(t)
+				return
+			}
+			if base.Deletes == nil {
+				base.Deletes = relation.New(next.Deletes.Scheme())
+			}
+			_ = base.Deletes.InsertKeyed(k, t)
+		})
+	}
+}
+
 // ComposeTxs folds an ordered slice of per-transaction update slices
 // into one net update per relation, in first-touch order. Each element
 // of txs must be the net effect of one transaction against the state

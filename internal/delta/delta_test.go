@@ -281,6 +281,86 @@ func TestComposeEdgeCases(t *testing.T) {
 	}
 }
 
+func TestComposeInPlaceMatchesCompose(t *testing.T) {
+	s := schema.MustScheme("A")
+	eq := func(a, b *relation.Relation) bool {
+		if a == nil {
+			a = relation.New(s)
+		}
+		if b == nil {
+			b = relation.New(s)
+		}
+		return a.Equal(b)
+	}
+	for trial := 0; trial < 300; trial++ {
+		seed := int64(trial + 7000)
+		rng := newRand(seed)
+		b0 := relation.New(s)
+		for i := 0; i < rng.n(10); i++ {
+			_ = b0.Insert(tuple.New(int64(rng.n(12))))
+		}
+		state := b0.Clone()
+		// Fold the same chain of nets both ways: the oracle through
+		// Compose, the subject through in-place composition starting
+		// from nil sets (exercising the on-demand allocation) or from a
+		// clone of the first net (the engine's first-touch path).
+		oracle := Update{Rel: "R"}
+		subject := Update{Rel: "R"}
+		for step := 0; step < 5; step++ {
+			u := randomNet(rng, state)
+			if err := u.Apply(state); err != nil {
+				t.Fatal(err)
+			}
+			before := cloneForTest(u)
+			comp, err := Compose(oracle, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle = comp
+			if step == 0 && trial%2 == 0 {
+				subject = cloneForTest(u)
+			} else {
+				ComposeInPlace(&subject, u)
+			}
+			// next must come through untouched.
+			if !eq(before.Inserts, u.Inserts) || !eq(before.Deletes, u.Deletes) {
+				t.Fatalf("seed %d: ComposeInPlace mutated next", seed)
+			}
+		}
+		if !eq(subject.Inserts, oracle.Inserts) || !eq(subject.Deletes, oracle.Deletes) {
+			t.Fatalf("seed %d: in-place %+v != compose %+v", seed, subject, oracle)
+		}
+		direct := b0.Clone()
+		if err := subject.Apply(direct); err != nil {
+			t.Fatal(err)
+		}
+		if !direct.Equal(state) {
+			t.Fatalf("seed %d: in-place apply = %v, sequential = %v", seed, direct, state)
+		}
+	}
+}
+
+func TestComposeInPlaceRelMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-relation ComposeInPlace must panic")
+		}
+	}()
+	base := Update{Rel: "R"}
+	ComposeInPlace(&base, Update{Rel: "S"})
+}
+
+func cloneForTest(u Update) Update {
+	out := Update{Rel: u.Rel}
+	if u.Inserts != nil {
+		out.Inserts = u.Inserts.Clone()
+	}
+	if u.Deletes != nil {
+		out.Deletes = u.Deletes.Clone()
+	}
+	return out
+}
+
 // Tiny deterministic PRNG helpers (avoid importing math/rand in two
 // places with clashing seeds).
 type miniRand struct{ state uint64 }

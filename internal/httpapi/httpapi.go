@@ -6,11 +6,13 @@
 //	POST /v1/relations              {"name":"r","attrs":["A","B"]}
 //	GET  /v1/relations/{name}       base relation contents
 //	POST /v1/views                  {"name":"v","from":["r","s"],"where":"...","select":["A"],"options":["deferred"]}
-//	GET  /v1/views/{name}           view contents (with counters)
+//	GET  /v1/views/{name}           view contents (with counters, policy, staleness)
 //	GET  /v1/views/{name}/stats     maintenance statistics
 //	GET  /v1/views/{name}/explain   definition and maintenance plan
 //	GET  /v1/views/{name}/watch     change stream (SSE; the ready event carries the current rows)
 //	POST /v1/views/{name}/refresh   snapshot refresh (§6)
+//	GET  /v1/views/{name}/policy    refresh policy + current staleness
+//	PUT  /v1/views/{name}/policy    {"policy":"maxstale=500ms"} → change it at runtime
 //	GET  /v1/views/{name}/relevant  ?rel=r&values=9,10 → §4 verdict
 //	POST /v1/exec                   {"ops":[{"op":"insert","rel":"r","values":[1,2]}, ...]}
 //	GET  /v1/catalog                relation and view names
@@ -24,7 +26,7 @@
 //	POST /v1/replication/ack        ?id=f1&lsn=LSN → follower applied-position report
 //	GET  /metrics                   Prometheus text exposition of all registered metrics
 //	GET  /debug/stats               JSON snapshot: uptime, every metric series, per-view stats,
-//	                                critical-path attribution, per-view staleness
+//	                                critical-path attribution, per-view staleness and policies
 //
 // Every seed-era API route is also served at its historical
 // unversioned path (POST /exec, GET /views/{name}, …) with
@@ -200,6 +202,8 @@ func NewWith(db *mview.DB, opts ...Option) *Handler {
 	}
 	// Post-versioning routes: canonical /v1 only, no legacy alias.
 	h.handle("GET /v1/views/{name}/analyze", h.explainAnalyze)
+	h.handle("GET /v1/views/{name}/policy", h.getPolicy)
+	h.handle("PUT /v1/views/{name}/policy", h.putPolicy)
 	h.handle("GET /v1/debug/traces", h.listTraces)
 	h.handle("GET /v1/debug/traces/{id}", h.getTrace)
 	if h.repl != nil {
@@ -301,13 +305,18 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 // cumulative critical-path attribution of commit time.
 func (h *Handler) debugStats(w http.ResponseWriter, r *http.Request) {
 	views := make(map[string]mview.Stats)
+	policies := make(map[string]map[string]any)
 	for _, name := range h.db.Views() {
 		if st, err := h.db.Stats(name); err == nil {
 			views[name] = st
 		}
+		if p, err := h.db.Policy(name); err == nil {
+			policies[name] = policyBody(p)
+		}
 	}
 	staleness := h.db.Staleness() // also refreshes the gauges below
 	stats := map[string]any{
+		"policies":             policies,
 		"uptime_seconds":       time.Since(h.start).Seconds(),
 		"group_commit":         h.db.GroupCommitEnabled(),
 		"shards":               h.db.Shards(),
@@ -489,20 +498,15 @@ type createViewReq struct {
 func viewOptions(names []string) ([]mview.ViewOption, error) {
 	var opts []mview.ViewOption
 	for _, o := range names {
-		switch strings.ToLower(o) {
-		case "deferred":
-			opts = append(opts, mview.Deferred())
-		case "recompute":
-			opts = append(opts, mview.Recompute())
-		case "adaptive":
-			opts = append(opts, mview.Adaptive())
-		case "filtered":
-			opts = append(opts, mview.WithFilter())
-		case "rowbyrow":
-			opts = append(opts, mview.WithoutPrefixSharing())
-		default:
-			return nil, fmt.Errorf("unknown option %q", o)
+		// ParseViewOption is the single source of truth for option
+		// names, so the HTTP surface accepts exactly what the WAL and
+		// the CLI do — refresh policies (oncommit, every=250ms, ...)
+		// included.
+		opt, err := mview.ParseViewOption(strings.ToLower(o))
+		if err != nil {
+			return nil, err
 		}
+		opts = append(opts, opt)
 	}
 	return opts, nil
 }
@@ -538,7 +542,60 @@ func (h *Handler) getView(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"schema": attrs, "rows": rows, "count": len(rows)})
+	body := map[string]any{"schema": attrs, "rows": rows, "count": len(rows)}
+	if p, err := h.db.Policy(name); err == nil {
+		body["policy"] = p.Spec
+		body["staleness_seconds"] = p.Staleness.Seconds()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// policyBody renders one view's policy the way both policy routes
+// answer: the stable spec string, the effective commit-time mode, and
+// the current staleness.
+func policyBody(p mview.PolicyInfo) map[string]any {
+	return map[string]any{
+		"policy":            p.Spec,
+		"immediate":         p.Immediate,
+		"staleness_seconds": p.Staleness.Seconds(),
+	}
+}
+
+func (h *Handler) getPolicy(w http.ResponseWriter, r *http.Request) {
+	p, err := h.db.Policy(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, policyBody(p))
+}
+
+type putPolicyReq struct {
+	Policy string `json:"policy"`
+}
+
+func (h *Handler) putPolicy(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req putPolicyReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opt, err := mview.ParseViewOption(strings.ToLower(strings.TrimSpace(req.Policy)))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := h.db.SetPolicy(name, opt); err != nil {
+		writeErr(w, errCode(err, http.StatusBadRequest), err)
+		return
+	}
+	p, err := h.db.Policy(name)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, policyBody(p))
 }
 
 func (h *Handler) getStats(w http.ResponseWriter, r *http.Request) {

@@ -63,6 +63,10 @@ type DB struct {
 	replSrv  *repl.Server
 	follower *followerState
 	readonly bool
+	// defaultPolicy is the WithDefaultPolicy refresh policy appended to
+	// CreateView option lists that choose none; nil means OnCommit (the
+	// zero ViewConfig) without materializing an option.
+	defaultPolicy *ViewOption
 	// Observability (Instrument); nil until attached.
 	reg    *obs.Registry
 	tracer obs.Tracer
@@ -223,31 +227,65 @@ func (s ViewSpec) build(name string) (expr.View, error) {
 
 // ViewOption configures a view at creation time. Options carry a
 // stable name so durable databases can log and replay view
-// definitions.
+// definitions; ParseViewOption reconstructs any option from that name.
+// The family covers three orthogonal axes: WHEN the view refreshes
+// (the policy constructors in policy.go — OnCommit, Every, OnDemand,
+// MaxStaleness, AdaptivePolicy), HOW a refresh runs (WithRecompute,
+// WithAdaptiveMaint), and maintenance tuning (WithFilter,
+// WithoutPrefixSharing).
 type ViewOption struct {
 	name  string
 	apply func(*db.ViewConfig)
+	// when is non-nil for refresh-policy options — the subset SetPolicy
+	// accepts and a WithDefaultPolicy default is displaced by.
+	when *db.RefreshSpec
+	// err carries a constructor error (e.g. Every(0)) until the option
+	// is used, since constructors have no error return.
+	err error
 }
 
 // Deferred makes the view a snapshot (§6): transactions accumulate
 // and the view is refreshed only by Refresh or RefreshAll.
+//
+// Deprecated: use the policy constructor OnDemand, which is identical;
+// or Every / MaxStaleness for a deferred view the engine keeps fresh
+// on a schedule.
 func Deferred() ViewOption {
-	return ViewOption{name: "deferred", apply: func(c *db.ViewConfig) { c.Mode = db.Deferred }}
+	o := OnDemand()
+	o.name = "deferred" // historical log spelling, still round-trips
+	return o
 }
 
-// Recompute pins the view to full re-evaluation on every refresh —
-// the paper's baseline, useful for comparison.
-func Recompute() ViewOption {
+// WithRecompute pins the view to full re-evaluation on every refresh —
+// the paper's baseline, useful for comparison. This is the HOW of a
+// refresh; combine freely with any WHEN policy.
+func WithRecompute() ViewOption {
 	return ViewOption{name: "recompute", apply: func(c *db.ViewConfig) { c.Policy = db.PolicyRecompute }}
 }
 
-// Adaptive lets the engine choose per refresh between differential
-// maintenance and full re-evaluation, based on the delta-to-base size
-// ratio — the paper's closing research question, answered with a
-// simple cost model.
-func Adaptive() ViewOption {
+// Recompute pins the view to full re-evaluation on every refresh.
+//
+// Deprecated: renamed WithRecompute to make room for the refresh
+// policy constructors (OnCommit, Every, OnDemand, MaxStaleness,
+// AdaptivePolicy); behavior is unchanged.
+func Recompute() ViewOption { return WithRecompute() }
+
+// WithAdaptiveMaint lets the engine choose per refresh between
+// differential maintenance and full re-evaluation, based on the
+// delta-to-base size ratio — the paper's closing research question,
+// answered with a simple cost model. This is the HOW of a refresh;
+// for the adaptive WHEN (on-commit vs deferred from the write/read
+// ratio) see AdaptivePolicy.
+func WithAdaptiveMaint() ViewOption {
 	return ViewOption{name: "adaptive", apply: func(c *db.ViewConfig) { c.Policy = db.PolicyAdaptive }}
 }
+
+// Adaptive lets the engine choose per refresh between differential
+// maintenance and full re-evaluation.
+//
+// Deprecated: renamed WithAdaptiveMaint; behavior is unchanged. (For
+// the adaptive refresh *policy*, see AdaptivePolicy.)
+func Adaptive() ViewOption { return WithAdaptiveMaint() }
 
 // WithFilter enables the §4 irrelevant-update pre-filter for the
 // view's differential maintenance.
@@ -262,29 +300,14 @@ func WithoutPrefixSharing() ViewOption {
 	return ViewOption{name: "rowbyrow", apply: func(c *db.ViewConfig) { c.Maint.Strategy = diffeval.StrategyRowByRow }}
 }
 
-// optionByName reconstructs a ViewOption from its stable name, for
-// write-ahead-log replay.
-func optionByName(name string) (ViewOption, error) {
-	switch name {
-	case "deferred":
-		return Deferred(), nil
-	case "recompute":
-		return Recompute(), nil
-	case "adaptive":
-		return Adaptive(), nil
-	case "filtered":
-		return WithFilter(), nil
-	case "rowbyrow":
-		return WithoutPrefixSharing(), nil
-	default:
-		return ViewOption{}, fmt.Errorf("mview: unknown view option %q", name)
-	}
-}
-
 // CreateView defines and materializes a view.
 func (d *DB) CreateView(name string, spec ViewSpec, opts ...ViewOption) error {
 	if d.readonly {
 		return ErrReadOnlyReplica
+	}
+	opts = d.withDefaultPolicy(opts)
+	if err := checkOptions(opts); err != nil {
+		return err
 	}
 	defer d.lockIfDurable()()
 	v, err := spec.build(name)
@@ -295,6 +318,23 @@ func (d *DB) CreateView(name string, spec ViewSpec, opts ...ViewOption) error {
 		return err
 	}
 	return d.logStmt(walStmt{Kind: "view", Name: name, Spec: spec, Options: optionNames(opts)})
+}
+
+// withDefaultPolicy materializes the database's WithDefaultPolicy into
+// a view's option list when the caller chose no policy themselves.
+// Appending (rather than remembering the default engine-side) makes
+// the choice durable: the logged statement names the policy, so a
+// reopen under a different default replays the view unchanged.
+func (d *DB) withDefaultPolicy(opts []ViewOption) []ViewOption {
+	if d.defaultPolicy == nil {
+		return opts
+	}
+	for _, o := range opts {
+		if o.when != nil {
+			return opts
+		}
+	}
+	return append(append(make([]ViewOption, 0, len(opts)+1), opts...), *d.defaultPolicy)
 }
 
 func optionNames(opts []ViewOption) []string {
@@ -324,6 +364,10 @@ func buildConfig(opts []ViewOption) db.ViewConfig {
 func (d *DB) CreateJoinView(name string, rels []string, opts ...ViewOption) error {
 	if d.readonly {
 		return ErrReadOnlyReplica
+	}
+	opts = d.withDefaultPolicy(opts)
+	if err := checkOptions(opts); err != nil {
+		return err
 	}
 	defer d.lockIfDurable()()
 	if err := d.createJoinViewCore(name, rels, opts); err != nil {
@@ -554,9 +598,20 @@ func rowsOf(c *relation.Counted) []Row {
 }
 
 // View returns the current contents of a materialized view, sorted.
-// Deferred views may lag; call Refresh first for fresh results.
-func (d *DB) View(name string) ([]Row, error) {
-	c, err := d.engine().View(name)
+// Without options the read is a lock-free snapshot: a deferred view
+// may lag its base relations. QueryOptions state the read's own
+// freshness contract — View(name, MaxStale(d)) refreshes the view
+// synchronously first only when its oldest unapplied change is older
+// than d, and Consistent() demands exact freshness — so callers no
+// longer pair Refresh with View by hand.
+func (d *DB) View(name string, opts ...QueryOption) ([]Row, error) {
+	var c *relation.Counted
+	var err error
+	if bound, ok := queryBound(opts); ok {
+		c, err = d.engine().ViewFresh(name, bound)
+	} else {
+		c, err = d.engine().View(name)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -70,7 +70,7 @@ func TestRelevantAPI(t *testing.T) {
 
 func TestDeferredAndStats(t *testing.T) {
 	db := openExample41(t)
-	if err := db.CreateView("snap", ViewSpec{From: []string{"r"}, Where: "A < 5"}, Deferred(), WithFilter()); err != nil {
+	if err := db.CreateView("snap", ViewSpec{From: []string{"r"}, Where: "A < 5"}, OnDemand(), WithFilter()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := db.Exec(Insert("r", 1, 1), Insert("r", 99, 1)); err != nil {
@@ -186,7 +186,7 @@ func TestQueryAndRows(t *testing.T) {
 
 func TestRecomputeOptionAndLists(t *testing.T) {
 	db := openExample41(t)
-	if err := db.CreateView("w", ViewSpec{From: []string{"r"}}, Recompute()); err != nil {
+	if err := db.CreateView("w", ViewSpec{From: []string{"r"}}, WithRecompute()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := db.Exec(Insert("r", 1, 1)); err != nil {
@@ -282,7 +282,7 @@ func TestSubscribe(t *testing.T) {
 
 func TestAdaptiveOption(t *testing.T) {
 	db := openExample41(t)
-	if err := db.CreateView("a", ViewSpec{From: []string{"r"}}, Adaptive()); err != nil {
+	if err := db.CreateView("a", ViewSpec{From: []string{"r"}}, WithAdaptiveMaint()); err != nil {
 		t.Fatal(err)
 	}
 	// Empty base → first tx recomputes.

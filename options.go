@@ -10,6 +10,7 @@ package mview
 // on durable reopen, and cannot race with traffic.
 
 import (
+	"fmt"
 	"time"
 
 	"mview/internal/db"
@@ -31,6 +32,7 @@ type config struct {
 	reg          *obs.Registry
 	tracer       obs.Tracer
 	segmentBytes int64
+	defPolicy    *ViewOption
 }
 
 // WithMaintWorkers bounds the worker pool that parallelizes per-view
@@ -80,6 +82,18 @@ func WithObs(reg *obs.Registry, tr obs.Tracer) Option {
 	}
 }
 
+// WithDefaultPolicy sets the refresh policy given to views created
+// without an explicit one (the built-in default is OnCommit). p must
+// be a when-policy option — OnCommit, Every, OnDemand, MaxStaleness,
+// or AdaptivePolicy; anything else (or an invalid one, e.g. Every(0))
+// surfaces as an error from the CreateView that would have used it.
+// The default is materialized into each view's logged option list, so
+// durable databases replay views under the policy they were created
+// with even if the daemon reopens with a different default.
+func WithDefaultPolicy(p ViewOption) Option {
+	return func(c *config) { c.defPolicy = &p }
+}
+
 // WithSegmentSize sets the commit-log segment rotation threshold in
 // bytes for durable databases: once the active segment exceeds n, the
 // next append seals it and starts a new one, letting checkpoints drop
@@ -113,6 +127,13 @@ func (c config) engineOptions() []db.Option {
 // instrumentation covers the log and group commit batches its
 // appends.
 func (d *DB) applyRuntime(c config) {
+	if c.defPolicy != nil {
+		p := *c.defPolicy
+		if p.err == nil && p.when == nil {
+			p.err = fmt.Errorf("mview: WithDefaultPolicy option %q is not a refresh policy (want oncommit, ondemand, every=<dur>, maxstale=<dur>, or autopolicy)", p.name)
+		}
+		d.defaultPolicy = &p
+	}
 	if c.maintWorkers > 0 {
 		d.engine().SetMaintWorkers(c.maintWorkers)
 	}

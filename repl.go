@@ -231,6 +231,12 @@ func openFollowerTransport(t repl.Transport, id string, opts ...Option) (*DB, er
 	cfg.groupCommit = false
 	d := &DB{readonly: true}
 	d.eng.Store(db.New(cfg.engineOptions()...))
+	// Policy DDL replays on followers so their catalogs mirror the
+	// leader's, but only the leader RUNS the policies: refreshes arrive
+	// through the replication stream, so a follower driving its own
+	// timer wheel would do redundant work (and diverge the staleness
+	// its metrics report from what the stream provides).
+	d.engine().DisablePolicyRefresh()
 	d.applyRuntime(cfg)
 	f := &followerState{id: id, cfg: cfg}
 	d.follower = f
@@ -275,7 +281,13 @@ func (a followerApplier) Bootstrap(r io.Reader) (uint64, error) {
 	// Carry instrumentation over to the fresh engine (set by Open
 	// options or a later Instrument call — e.g. the HTTP handler).
 	eng.SetObs(d.reg, d.tracer)
-	d.eng.Store(eng)
+	// Followers never drive policy refreshes (see openFollowerTransport);
+	// the replaced engine's scheduler must stop or its wheel goroutine
+	// would outlive the swap.
+	eng.DisablePolicyRefresh()
+	if old := d.eng.Swap(eng); old != nil {
+		old.StopScheduler()
+	}
 	d.follower.applied.Store(lsn)
 	return lsn, nil
 }

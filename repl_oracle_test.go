@@ -106,7 +106,7 @@ func replTestDDL(t *testing.T, d *DB) {
 		func() error { return d.CreateView("vsel", ViewSpec{From: []string{"r"}, Where: "A < 250"}) },
 		func() error { return d.CreateJoinView("vj", []string{"r", "s"}) },
 		func() error {
-			return d.CreateView("vrec", ViewSpec{From: []string{"r"}, Where: "B >= 5"}, Recompute())
+			return d.CreateView("vrec", ViewSpec{From: []string{"r"}, Where: "B >= 5"}, WithRecompute())
 		},
 	}
 	for _, f := range steps {

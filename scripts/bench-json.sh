@@ -14,7 +14,7 @@
 #   100x keeps a full sweep tractable in CI.
 set -eu
 
-BENCH="${1:-ParallelCommit|SnapshotReads|GroupCommit|ShardedCommit|Checkpoint|FlatEval|Replication}"
+BENCH="${1:-ParallelCommit|SnapshotReads|GroupCommit|ShardedCommit|Checkpoint|FlatEval|Replication|RefreshPolicy}"
 BENCHTIME="${2:-100x}"
 
 go test -run=NONE -bench="$BENCH" -benchtime="$BENCHTIME" -benchmem . |

@@ -85,6 +85,32 @@ if [ "$CODE" != "403" ]; then
 	exit 1
 fi
 
+# Policy DDL replicates: change v's refresh policy on the leader and
+# the follower must converge to the same spec on its policy route.
+curl -fsS -X PUT "$LEADER/v1/views/v/policy" \
+	-d '{"policy":"maxstale=500ms"}' >/dev/null
+i=0
+while :; do
+	FPOL="$(curl -fsS "$FOLLOWER/v1/views/v/policy" 2>/dev/null || true)"
+	case "$FPOL" in
+	*'"maxstale=500ms"'*) break ;;
+	esac
+	i=$((i + 1))
+	if [ "$i" -ge 100 ]; then
+		echo "repl-smoke: follower never saw the policy change: $FPOL" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+# Policy writes to the follower must be refused as read-only (403).
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X PUT "$FOLLOWER/v1/views/v/policy" \
+	-d '{"policy":"oncommit"}')"
+if [ "$CODE" != "403" ]; then
+	echo "repl-smoke: follower accepted a policy write (HTTP $CODE, want 403)" >&2
+	exit 1
+fi
+
 # Leader-side observability: the follower appears on the status route
 # and the per-follower lag gauges render on /metrics.
 STATUS="$(curl -fsS "$LEADER/v1/replication/status")"
@@ -115,4 +141,4 @@ case "$FSTATS" in
 	;;
 esac
 
-echo "repl-smoke: OK (follower converged, write refused with 403, lag gauges live)"
+echo "repl-smoke: OK (follower converged, writes and policy changes refused with 403, policy DDL replicated, lag gauges live)"

@@ -20,7 +20,7 @@ func TestTraceAPISurface(t *testing.T) {
 	if err := db.CreateView("v", ViewSpec{From: []string{"r"}, Where: "A < 10"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.CreateView("d", ViewSpec{From: []string{"r"}}, Deferred()); err != nil {
+	if err := db.CreateView("d", ViewSpec{From: []string{"r"}}, OnDemand()); err != nil {
 		t.Fatal(err)
 	}
 
